@@ -1,0 +1,57 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation (DESIGN.md §4) and prints them as text tables — the rows
+// EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	benchtab            # run every experiment
+//	benchtab E8 A2      # run selected experiments
+//	benchtab -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Println(r.ID)
+		}
+		return
+	}
+
+	runners := experiments.All()
+	if args := flag.Args(); len(args) > 0 {
+		runners = runners[:0]
+		for _, id := range args {
+			r, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	failed := 0
+	for _, r := range runners {
+		tab, err := r.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(tab.Render())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

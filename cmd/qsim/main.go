@@ -1,0 +1,221 @@
+// Command qsim runs hybrid-cluster scenarios from the command line:
+// pick a cluster organisation, a workload, and get the utilisation /
+// wait / switch report — optionally with the node-count time series
+// and the event log.
+//
+// Examples:
+//
+//	qsim -mode hybrid-v2 -trace matlabga -series
+//	qsim -mode static -trace phased -winfrac 0.5
+//	qsim -compare -trace poisson -winfrac 0.3 -hours 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/metrics"
+	"repro/internal/osid"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		modeName = flag.String("mode", "hybrid-v2", "cluster mode: hybrid-v1 | hybrid-v2 | static | mono-stable")
+		traceGen = flag.String("trace", "poisson", "workload: poisson | diurnal | phased | matlabga | burst | file")
+		traceIn  = flag.String("tracefile", "", "CSV trace to replay (with -trace file)")
+		nodes    = flag.Int("nodes", 16, "compute nodes")
+		initLin  = flag.Int("linux", 0, "nodes starting in Linux (0 = half)")
+		cycle    = flag.Duration("cycle", 10*time.Minute, "controller cycle interval")
+		policy   = flag.String("policy", "fcfs", "controller policy: fcfs | threshold | hysteresis | fairshare")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		winfrac  = flag.Float64("winfrac", 0.3, "Windows share of the workload")
+		hours    = flag.Float64("hours", 24, "submission window (poisson)")
+		rate     = flag.Float64("rate", 4, "jobs per hour (poisson)")
+		compare  = flag.Bool("compare", false, "run all four modes and print a comparison")
+		series   = flag.Bool("series", false, "print the node-count time series")
+		events   = flag.Bool("events", false, "print the event log")
+		apps     = flag.Bool("apps", false, "print per-application statistics")
+		csvPath  = flag.String("csv", "", "write the time series as CSV to this file")
+		jsonPath = flag.String("json", "", "write the run summary as JSON to this file")
+	)
+	flag.Parse()
+
+	trace, err := buildTrace(*traceGen, *traceIn, *seed, *winfrac, *hours, *rate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(2)
+	}
+
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(2)
+	}
+	base := cluster.Config{Nodes: *nodes, InitialLinux: *initLin, Cycle: *cycle, Seed: *seed, Policy: pol}
+
+	if *compare {
+		modes := []cluster.Mode{cluster.Static, cluster.MonoStable, cluster.HybridV1, cluster.HybridV2}
+		results, err := core.CompareModes(modes, base, trace, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("workload: %s (%d jobs, %v span)\n\n", *traceGen, len(trace), trace.Span().Round(time.Minute))
+		fmt.Print(core.ComparisonTable(results))
+		return
+	}
+
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(2)
+	}
+	base.Mode = mode
+	sc := core.Scenario{Name: *modeName, Cluster: base, Trace: trace}
+	if *series || *csvPath != "" {
+		sc.SampleInterval = time.Hour
+	}
+	res, err := core.Run(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(1)
+	}
+
+	s := res.Summary
+	fmt.Printf("scenario  %s on %d nodes, %d jobs\n", *modeName, *nodes, len(trace))
+	fmt.Printf("elapsed   %s (makespan %s)\n", metrics.Dur(s.Elapsed), metrics.Dur(s.Makespan))
+	fmt.Printf("util      %s total (linux %s, windows %s)\n",
+		metrics.Pct(s.Utilisation), metrics.Pct(s.UtilisationOS[osid.Linux]), metrics.Pct(s.UtilisationOS[osid.Windows]))
+	fmt.Printf("waits     linux %s, windows %s\n", metrics.Dur(s.MeanWait[osid.Linux]), metrics.Dur(s.MeanWait[osid.Windows]))
+	fmt.Printf("jobs      linux %d/%d, windows %d/%d completed\n",
+		s.JobsCompleted[osid.Linux], s.JobsSubmitted[osid.Linux],
+		s.JobsCompleted[osid.Windows], s.JobsSubmitted[osid.Windows])
+	fmt.Printf("switches  %d (%d ok, mean %s, max %s), control actions %d\n",
+		s.Switches, s.SwitchesOK, metrics.Dur(s.MeanSwitch), metrics.Dur(s.MaxSwitch), res.ControlActions)
+
+	if *series && len(res.Series) > 0 {
+		fmt.Println("\ntime series:")
+		rows := make([][]string, 0, len(res.Series))
+		for _, p := range res.Series {
+			rows = append(rows, []string{
+				metrics.Dur(p.At), fmt.Sprintf("%d", p.LinuxNodes), fmt.Sprintf("%d", p.WindowsNodes),
+				fmt.Sprintf("%d", p.Switching), fmt.Sprintf("%d", p.LinuxQueued), fmt.Sprintf("%d", p.WindowsQueued),
+			})
+		}
+		fmt.Print(metrics.Table([]string{"t", "linux", "windows", "switching", "linQ", "winQ"}, rows))
+	}
+	if *apps && len(res.AppStats) > 0 {
+		fmt.Println("\nper-application:")
+		rows := make([][]string, 0, len(res.AppStats))
+		for _, a := range res.AppStats {
+			rows = append(rows, []string{
+				a.App, a.OS.String(), fmt.Sprintf("%d", a.Completed),
+				metrics.Dur(a.MeanWait), fmt.Sprintf("%.1f", a.CPUHours),
+			})
+		}
+		fmt.Print(metrics.Table([]string{"app", "os", "done", "mean-wait", "cpu-hours"}, rows))
+	}
+	if *events {
+		fmt.Println("\nevents:")
+		for _, e := range res.Events {
+			fmt.Printf("  [%s] %s\n", metrics.Dur(e.At), e.What)
+		}
+	}
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, func(w *os.File) error {
+			return export.WriteSeriesCSV(w, res.Series)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "qsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("series written to %s\n", *csvPath)
+	}
+	if *jsonPath != "" {
+		if err := writeFile(*jsonPath, func(w *os.File) error {
+			return export.WriteSummaryJSON(w, res.Summary)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "qsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("summary written to %s\n", *jsonPath)
+	}
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func buildTrace(name, traceFile string, seed int64, winfrac, hours, rate float64) (workload.Trace, error) {
+	switch name {
+	case "poisson":
+		return workload.Poisson(workload.PoissonConfig{
+			Seed: seed, Duration: time.Duration(hours * float64(time.Hour)),
+			JobsPerHour: rate, WindowsFrac: winfrac, MaxNodes: 4,
+		}), nil
+	case "diurnal":
+		return workload.Diurnal(workload.DiurnalConfig{
+			Seed: seed, Days: int(hours/24) + 1, PeakPerHour: rate,
+			WindowsFrac: winfrac, MaxNodes: 4,
+		}), nil
+	case "file":
+		if traceFile == "" {
+			return nil, fmt.Errorf("-trace file needs -tracefile")
+		}
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return workload.ReadCSV(f)
+	case "phased":
+		return workload.PhasedWideMix(workload.PhasedConfig{Seed: seed, Phases: 8, WindowsFrac: winfrac}), nil
+	case "matlabga":
+		return workload.MatlabGACase(seed), nil
+	case "burst":
+		return workload.Burst(workload.BurstConfig{
+			Start: 0, Jobs: 6, Gap: 2 * time.Minute, App: "Backburner",
+			OS: osid.Windows, Nodes: 2, PPN: 4, Runtime: 45 * time.Minute, Owner: "render",
+		}), nil
+	default:
+		return nil, fmt.Errorf("unknown trace %q", name)
+	}
+}
+
+func parsePolicy(name string) (controller.Policy, error) {
+	switch name {
+	case "fcfs", "":
+		return controller.FCFS{}, nil
+	case "threshold":
+		return controller.Threshold{Reserve: 2, MinQueued: 1}, nil
+	case "hysteresis":
+		return &controller.Hysteresis{Inner: controller.FCFS{}, Cooldown: 20 * time.Minute}, nil
+	case "fairshare":
+		return controller.FairShare{MaxStep: 2}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func parseMode(name string) (cluster.Mode, error) {
+	for _, m := range []cluster.Mode{cluster.HybridV1, cluster.HybridV2, cluster.Static, cluster.MonoStable} {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mode %q", name)
+}

@@ -1,0 +1,96 @@
+// Deployment walkthrough: the v1 vs v2 maintenance story on one node
+// (paper §III-C and §IV-B). Watch the v1 clean-based Windows reimage
+// destroy the Linux install and the MBR, and the v2 skip label +
+// partition-1-only script keep everything.
+//
+//	go run ./examples/deployment
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/deploy"
+	"repro/internal/hardware"
+	"repro/internal/oscar"
+)
+
+func main() {
+	fmt.Println("== dualboot-oscar v1 deployment (Figures 9-10, §III-C) ==")
+	v1()
+	fmt.Println()
+	fmt.Println("== dualboot-oscar v2 deployment (Figures 14-15, §IV-B) ==")
+	v2()
+}
+
+func v1() {
+	node := hardware.NewNode(hardware.NodeSpec{Name: "enode01", Index: 1})
+
+	// Windows must go first: its installer owns the whole disk.
+	dp := must(deploy.ParseDiskpart(deploy.V1Diskpart))
+	winRep := must(deploy.DeployWindows(node, dp))
+	fmt.Printf("1. Windows installed on partition %d (150 GB of 250 GB reserved)\n", winRep.TargetPartition)
+
+	// Linux on top, with the manual patches v1 demands every rebuild.
+	layout := must(deploy.ParseIdeDisk(deploy.V1IdeDisk))
+	img := must(oscar.BuildImage("oscarimage", oscar.V1, layout))
+	fmt.Printf("2. OSCAR image built; manual patches required each rebuild:\n")
+	for _, p := range img.ManualPatches {
+		fmt.Printf("   - %s\n", p)
+	}
+	linRep := must(oscar.DeployNode(node, img))
+	fmt.Printf("3. Linux deployed: %d partitions created, GRUB in MBR: %v\n",
+		linRep.PartitionsCreated, linRep.GRUBInstalled)
+
+	// Now reimage Windows: the clean wipes everything.
+	reRep := must(deploy.DeployWindows(node, dp))
+	fmt.Printf("4. Windows reimaged: disk cleaned=%v, Linux partitions lost=%d, GRUB destroyed=%v\n",
+		reRep.Diskpart.Cleaned, reRep.LinuxPartitionsLost, reRep.GRUBDestroyed)
+	fmt.Println("   -> Linux must be fully reinstalled. This is the v1 pain.")
+}
+
+func v2() {
+	node := hardware.NewNode(hardware.NodeSpec{Name: "enode01", Index: 1, PXEFirst: true})
+
+	dp := must(deploy.ParseDiskpart(deploy.V2InitialDiskpart))
+	winRep := must(deploy.DeployWindows(node, dp))
+	fmt.Printf("1. Windows installed on partition %d (16 GB per Figure 14)\n", winRep.TargetPartition)
+
+	layout := must(deploy.ParseIdeDisk(deploy.V2IdeDisk))
+	img := must(oscar.BuildImage("oscarimage", oscar.V2, layout))
+	fmt.Printf("2. OSCAR image built with the skip label; manual patches: %d\n", len(img.ManualPatches))
+	linRep := must(oscar.DeployNode(node, img))
+	fmt.Printf("3. Linux deployed: %d created, %d preserved (the skip partition)\n",
+		linRep.PartitionsCreated, linRep.PartitionsPreserved)
+
+	// Reimage each OS independently.
+	re := must(deploy.ParseDiskpart(deploy.V2ReimageDiskpart))
+	reRep := must(deploy.DeployWindows(node, re))
+	fmt.Printf("4. Windows reimaged: cleaned=%v, Linux partitions lost=%d (MBR rewritten=%v — irrelevant under PXE)\n",
+		reRep.Diskpart.Cleaned, reRep.LinuxPartitionsLost, reRep.MBRRewritten)
+
+	// Plant Windows user data, then reimage Linux: the skip label
+	// protects it.
+	win := mustPart(node, 1)
+	_ = win.WriteFile("/Users/research/results.dat", []byte("precious"))
+	linRep2 := must(oscar.DeployNode(node, img))
+	win = mustPart(node, 1)
+	fmt.Printf("5. Linux reimaged: Windows preserved=%v, user data intact=%v\n",
+		!linRep2.WindowsLost, win.HasFile("/Users/research/results.dat"))
+	fmt.Println("   -> Each OS reimages independently. This is the v2 fix.")
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func mustPart(n *hardware.Node, idx int) *hardware.Partition {
+	p, err := n.Disk.Partition(idx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}

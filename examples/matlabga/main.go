@@ -1,0 +1,56 @@
+// The Eridani case study (paper §IV-B): a Linux molecular-dynamics
+// background is interrupted by a burst of Windows MATLAB-MDCS
+// genetic-algorithm jobs. The cluster starts fully Linux; watch the
+// dual-boot controller shift nodes to Windows and the system
+// "seamlessly adjust".
+//
+//	go run ./examples/matlabga
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	hybridcluster "repro"
+)
+
+func main() {
+	trace := hybridcluster.MatlabGATrace(7)
+	byOS := trace.CountByOS()
+	fmt.Printf("case study: %d linux MD jobs + %d windows MATLAB GA jobs\n\n",
+		byOS[hybridcluster.Linux], byOS[hybridcluster.Windows])
+
+	result, err := hybridcluster.Run(hybridcluster.Scenario{
+		Name: "matlab-ga",
+		Cluster: hybridcluster.ClusterConfig{
+			Mode:         hybridcluster.HybridV2,
+			InitialLinux: 16, // all nodes start on the Linux side
+			Cycle:        5 * time.Minute,
+		},
+		Trace:          trace,
+		Horizon:        48 * time.Hour,
+		SampleInterval: time.Hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("node allocation over time:")
+	fmt.Println("  t       linux  windows  switching  winQ")
+	for _, snap := range result.Series {
+		bar := ""
+		for i := 0; i < snap.WindowsNodes; i++ {
+			bar += "#"
+		}
+		fmt.Printf("  %-7v %5d  %7d  %9d  %4d  %s\n",
+			snap.At.Round(time.Minute), snap.LinuxNodes, snap.WindowsNodes,
+			snap.Switching, snap.WindowsQueued, bar)
+	}
+
+	s := result.Summary
+	fmt.Printf("\nGA jobs completed: %d/10, mean Windows wait %v\n",
+		s.JobsCompleted[hybridcluster.Windows], s.MeanWait[hybridcluster.Windows].Round(time.Second))
+	fmt.Printf("switches: %d (all under 5 minutes: %v)\n",
+		s.Switches, s.MaxSwitch <= 5*time.Minute)
+}

@@ -1,0 +1,58 @@
+// Queensgate Grid: the hybrid "Eridani" as part of a campus grid
+// alongside single-OS clusters (paper §I and Acknowledgements, and
+// Holmes & Kureshi's QGG paper, ref [2]). A router places jobs on the
+// member that can serve them; Windows demand that has no static home
+// overflows onto the hybrid.
+//
+//	go run ./examples/qgg
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/grid"
+	"repro/internal/osid"
+	"repro/internal/workload"
+)
+
+func main() {
+	g, err := grid.New(grid.RouteHybridLast, []grid.MemberSpec{
+		// The hybrid dual-boot cluster of this paper.
+		{Name: "eridani", Config: cluster.Config{
+			Mode: cluster.HybridV2, Nodes: 16, InitialLinux: 8, Cycle: 5 * time.Minute}},
+		// A dedicated Linux teaching cluster.
+		{Name: "tauceti", Config: cluster.Config{
+			Mode: cluster.Static, Nodes: 8, InitialLinux: 8}},
+		// A small Windows render farm.
+		{Name: "vega", Config: cluster.Config{
+			Mode: cluster.Static, Nodes: 4, InitialLinux: 1}}, // 1 linux + 3 windows
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A campus day: Linux MD work, Windows rendering, plus a wide CFD
+	// job only the 16-node hybrid can host.
+	trace := workload.Merge(
+		workload.Poisson(workload.PoissonConfig{
+			Seed: 3, Duration: 12 * time.Hour, JobsPerHour: 5, WindowsFrac: 0.35, MaxNodes: 3,
+		}),
+		workload.Trace{{
+			At: 2 * time.Hour, App: "ANSYS FLUENT", OS: osid.Windows,
+			Owner: "cfd", Nodes: 12, PPN: 4, Runtime: 2 * time.Hour,
+		}},
+	)
+	fmt.Printf("campus day: %d jobs across 3 clusters (%d grid cores)\n\n", len(trace), 16*4+8*4+4*4)
+
+	if err := g.ScheduleTrace(trace); err != nil {
+		log.Fatal(err)
+	}
+	g.RunUntilDrained(72 * time.Hour)
+
+	fmt.Print(g.Report())
+	fmt.Println("\nthe 12-node CFD job could only run on eridani — after the dual-boot")
+	fmt.Println("controller pulled its Linux nodes over to Windows.")
+}

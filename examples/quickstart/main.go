@@ -1,0 +1,46 @@
+// Quickstart: run a day of mixed campus workload through the
+// dualboot-oscar hybrid cluster and print the report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	hybridcluster "repro"
+)
+
+func main() {
+	// A Table-I style workload: 24 hours of submissions, 30% Windows.
+	trace := hybridcluster.PoissonTrace(hybridcluster.PoissonConfig{
+		Seed:         1,
+		Duration:     24 * time.Hour,
+		JobsPerHour:  2,
+		WindowsFrac:  0.3,
+		MaxNodes:     4,
+		RuntimeScale: 0.5,
+	})
+	fmt.Printf("workload: %d jobs over %v\n", len(trace), trace.Span().Round(time.Minute))
+
+	// The Eridani defaults: 16 nodes x 4 cores, half on each OS,
+	// dualboot-oscar v2 with a 10-minute detector cycle.
+	result, err := hybridcluster.Run(hybridcluster.Scenario{
+		Name:    "quickstart",
+		Cluster: hybridcluster.ClusterConfig{Mode: hybridcluster.HybridV2},
+		Trace:   trace,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := result.Summary
+	fmt.Printf("utilisation: %.1f%%\n", s.Utilisation*100)
+	fmt.Printf("completed:   %d linux + %d windows jobs\n",
+		s.JobsCompleted[hybridcluster.Linux], s.JobsCompleted[hybridcluster.Windows])
+	fmt.Printf("mean waits:  linux %v, windows %v\n",
+		s.MeanWait[hybridcluster.Linux].Round(time.Second),
+		s.MeanWait[hybridcluster.Windows].Round(time.Second))
+	fmt.Printf("OS switches: %d (mean %v)\n", s.Switches, s.MeanSwitch.Round(time.Second))
+}

@@ -1,0 +1,142 @@
+// Package hybridcluster is the public API of this reproduction of
+// "Hybrid Computer Cluster with High Flexibility" (Liang, Holmes,
+// Kureshi — IEEE Cluster 2012): the dualboot-oscar middleware that
+// turns a legacy Beowulf cluster into a bi-stable Linux/Windows hybrid
+// by rebooting idle nodes into whichever operating system has queued
+// demand.
+//
+// The package re-exports the simulation façade. A minimal use:
+//
+//	trace := hybridcluster.PoissonTrace(hybridcluster.PoissonConfig{
+//		Seed: 1, Duration: 24 * time.Hour, JobsPerHour: 6, WindowsFrac: 0.4,
+//	})
+//	result, err := hybridcluster.Run(hybridcluster.Scenario{
+//		Name:    "campus-day",
+//		Cluster: hybridcluster.ClusterConfig{Mode: hybridcluster.HybridV2},
+//		Trace:   trace,
+//	})
+//
+// Lower-level building blocks (the PBS and Windows HPC simulators, the
+// GRUB/PXE boot chain, the detector wire format, deployment tooling)
+// live in the internal packages; see DESIGN.md for the map.
+package hybridcluster
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/osid"
+	"repro/internal/workload"
+)
+
+// Cluster organisations under test.
+const (
+	// HybridV1 is dualboot-oscar 1.0 (FAT control file, MBR GRUB).
+	HybridV1 = cluster.HybridV1
+	// HybridV2 is dualboot-oscar 2.0 (PXE flag boot control).
+	HybridV2 = cluster.HybridV2
+	// Static is the fixed Linux/Windows sub-cluster baseline.
+	Static = cluster.Static
+	// MonoStable is the one-scheduler, return-home baseline.
+	MonoStable = cluster.MonoStable
+)
+
+// Operating-system identities.
+const (
+	Linux   = osid.Linux
+	Windows = osid.Windows
+)
+
+// Re-exported types; see the internal packages for full documentation.
+type (
+	// Scenario configures one run (cluster + trace).
+	Scenario = core.Scenario
+	// Result is the digested outcome of a run.
+	Result = core.Result
+	// ClusterConfig parameterises the simulated cluster.
+	ClusterConfig = cluster.Config
+	// ClusterMode selects hybrid-v1/v2, static or mono-stable.
+	ClusterMode = cluster.Mode
+	// Snapshot is one point of a node-count time series.
+	Snapshot = cluster.Snapshot
+	// Summary is the metrics digest of a run.
+	Summary = metrics.Summary
+	// Trace is an ordered stream of jobs.
+	Trace = workload.Trace
+	// Job is one workload submission.
+	Job = workload.Job
+	// PoissonConfig parameterises the campus workload generator.
+	PoissonConfig = workload.PoissonConfig
+	// BurstConfig parameterises a demand burst.
+	BurstConfig = workload.BurstConfig
+	// Policy is a controller decision rule.
+	Policy = controller.Policy
+)
+
+// Controller policies: FCFSPolicy is the paper's deployed rule; the
+// others are the "adapt the rules" extensions from §V.
+type (
+	FCFSPolicy       = controller.FCFS
+	ThresholdPolicy  = controller.Threshold
+	HysteresisPolicy = controller.Hysteresis
+	FairSharePolicy  = controller.FairShare
+)
+
+// Run executes a scenario from time zero on a fresh cluster.
+func Run(sc Scenario) (Result, error) { return core.Run(sc) }
+
+// CompareModes runs one trace through several organisations.
+func CompareModes(modes []ClusterMode, base ClusterConfig, trace Trace, horizon time.Duration) ([]Result, error) {
+	return core.CompareModes(modes, base, trace, horizon)
+}
+
+// ComparisonTable renders results as an aligned text table.
+func ComparisonTable(results []Result) string { return core.ComparisonTable(results) }
+
+// PoissonTrace draws a mixed campus workload from the Table-I
+// application catalog.
+func PoissonTrace(cfg PoissonConfig) Trace { return workload.Poisson(cfg) }
+
+// BurstTrace generates a rapid run of similar jobs.
+func BurstTrace(cfg BurstConfig) Trace { return workload.Burst(cfg) }
+
+// MatlabGATrace reproduces the §IV-B MATLAB-MDCS genetic-algorithm
+// case study workload.
+func MatlabGATrace(seed int64) Trace { return workload.MatlabGACase(seed) }
+
+// MergeTraces combines traces into one ordered stream.
+func MergeTraces(traces ...Trace) Trace { return workload.Merge(traces...) }
+
+// DiurnalTrace draws the day/night campus submission pattern.
+func DiurnalTrace(cfg DiurnalConfig) Trace { return workload.Diurnal(cfg) }
+
+// DiurnalConfig parameterises DiurnalTrace.
+type DiurnalConfig = workload.DiurnalConfig
+
+// Campus-grid layer: several clusters (hybrid and single-OS) sharing
+// one clock behind a capability- and load-aware job router — the
+// Queensgate Grid context the paper deploys into.
+type (
+	// Grid is the multi-cluster fabric.
+	Grid = grid.Grid
+	// GridMemberSpec configures one member cluster.
+	GridMemberSpec = grid.MemberSpec
+	// GridRouting selects the routing policy.
+	GridRouting = grid.RoutingPolicy
+)
+
+// Grid routing policies.
+const (
+	RouteLeastLoaded = grid.RouteLeastLoaded
+	RouteRoundRobin  = grid.RouteRoundRobin
+	RouteHybridLast  = grid.RouteHybridLast
+)
+
+// NewGrid assembles a campus grid from member cluster specs.
+func NewGrid(policy GridRouting, members []GridMemberSpec) (*Grid, error) {
+	return grid.New(policy, members)
+}

@@ -1,0 +1,84 @@
+package hybridcluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/osid"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	trace := PoissonTrace(PoissonConfig{
+		Seed: 1, Duration: 12 * time.Hour, JobsPerHour: 4, WindowsFrac: 0.4, MaxNodes: 4,
+	})
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	res, err := Run(Scenario{
+		Name:    "quickstart",
+		Cluster: ClusterConfig{Mode: HybridV2, Cycle: 5 * time.Minute},
+		Trace:   trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Summary.JobsCompleted[Linux] + res.Summary.JobsCompleted[Windows]
+	if total != len(trace) {
+		t.Fatalf("completed %d of %d", total, len(trace))
+	}
+	if res.Summary.Utilisation <= 0 {
+		t.Fatal("zero utilisation")
+	}
+}
+
+func TestPublicCompareModes(t *testing.T) {
+	trace := MergeTraces(
+		BurstTrace(BurstConfig{Start: 0, Jobs: 3, Gap: time.Minute, App: "Backburner",
+			OS: Windows, Nodes: 2, PPN: 4, Runtime: time.Hour, Owner: "render"}),
+		BurstTrace(BurstConfig{Start: 4 * time.Hour, Jobs: 3, Gap: time.Minute, App: "DL_POLY",
+			OS: Linux, Nodes: 2, PPN: 4, Runtime: time.Hour, Owner: "md"}),
+	)
+	results, err := CompareModes(
+		[]ClusterMode{Static, HybridV2},
+		ClusterConfig{InitialLinux: 8, Cycle: 5 * time.Minute},
+		trace, 48*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := ComparisonTable(results)
+	if !strings.Contains(table, "hybrid-v2") || !strings.Contains(table, "static-split") {
+		t.Fatalf("table:\n%s", table)
+	}
+}
+
+func TestPublicMatlabGATrace(t *testing.T) {
+	trace := MatlabGATrace(3)
+	byOS := trace.CountByOS()
+	if byOS[osid.Windows] != 10 || byOS[osid.Linux] == 0 {
+		t.Fatalf("mix = %v", byOS)
+	}
+}
+
+func TestPublicPolicies(t *testing.T) {
+	trace := BurstTrace(BurstConfig{Start: 0, Jobs: 2, Gap: time.Minute, App: "Opera",
+		OS: Windows, Nodes: 1, PPN: 4, Runtime: 30 * time.Minute, Owner: "u"})
+	for _, p := range []Policy{
+		FCFSPolicy{},
+		ThresholdPolicy{Reserve: 2, MinQueued: 1},
+		&HysteresisPolicy{Inner: FCFSPolicy{}, Cooldown: 10 * time.Minute},
+		FairSharePolicy{MaxStep: 2},
+	} {
+		res, err := Run(Scenario{
+			Name:    p.Name(),
+			Cluster: ClusterConfig{Mode: HybridV2, InitialLinux: 16, Cycle: 5 * time.Minute, Policy: p},
+			Trace:   trace,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.Summary.JobsCompleted[Windows] != 2 {
+			t.Fatalf("%s completed %v", p.Name(), res.Summary.JobsCompleted)
+		}
+	}
+}

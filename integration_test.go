@@ -1,0 +1,257 @@
+package hybridcluster
+
+// Integration tests: multi-day scenarios through the public API, with
+// cross-cutting invariants (node conservation, switch latency bounds,
+// completion accounting) checked over every mode.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/osid"
+	"repro/internal/workload"
+)
+
+func allModes() []ClusterMode {
+	return []ClusterMode{Static, MonoStable, HybridV1, HybridV2}
+}
+
+// TestWeekOfCampusWorkAllModes runs a simulated week through every
+// cluster organisation and checks global invariants.
+func TestWeekOfCampusWorkAllModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scenario")
+	}
+	trace := workload.Diurnal(workload.DiurnalConfig{
+		Seed: 17, Days: 7, PeakPerHour: 3, WindowsFrac: 0.35, MaxNodes: 4,
+	})
+	for _, mode := range allModes() {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			res, err := Run(Scenario{
+				Name:           mode.String(),
+				Cluster:        ClusterConfig{Mode: mode, InitialLinux: 8, Cycle: 10 * time.Minute},
+				Trace:          trace,
+				Horizon:        14 * 24 * time.Hour,
+				SampleInterval: 6 * time.Hour,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := res.Summary
+
+			// Node conservation at every sample.
+			for _, snap := range res.Series {
+				total := snap.LinuxNodes + snap.WindowsNodes + snap.Switching + snap.Broken
+				if total != 16 {
+					t.Fatalf("node conservation violated at %v: %+v", snap.At, snap)
+				}
+			}
+			// No switch ever exceeds the five-minute bound.
+			if s.MaxSwitch > 5*time.Minute {
+				t.Fatalf("max switch %v", s.MaxSwitch)
+			}
+			// Completions never exceed submissions.
+			for _, os := range []osid.OS{osid.Linux, osid.Windows} {
+				if s.JobsCompleted[os] > s.JobsSubmitted[os] {
+					t.Fatalf("%v: completed %d > submitted %d", os, s.JobsCompleted[os], s.JobsSubmitted[os])
+				}
+			}
+			// Utilisation is a valid fraction.
+			if s.Utilisation < 0 || s.Utilisation > 1 {
+				t.Fatalf("utilisation = %v", s.Utilisation)
+			}
+			if res.BrokenNodes != 0 {
+				t.Fatalf("broken nodes = %d on a healthy run", res.BrokenNodes)
+			}
+		})
+	}
+}
+
+// TestHybridBeatsStaticOnWideJobs is the paper's core claim as an
+// executable assertion.
+func TestHybridBeatsStaticOnWideJobs(t *testing.T) {
+	trace := workload.PhasedWideMix(workload.PhasedConfig{Seed: 33, Phases: 6, WindowsFrac: 0.5})
+	results, err := CompareModes([]ClusterMode{HybridV2, Static},
+		ClusterConfig{InitialLinux: 8, Cycle: 5 * time.Minute}, trace, 150*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, static := results[0].Summary, results[1].Summary
+	hDone := hybrid.JobsCompleted[osid.Linux] + hybrid.JobsCompleted[osid.Windows]
+	sDone := static.JobsCompleted[osid.Linux] + static.JobsCompleted[osid.Windows]
+	if hDone != len(trace) {
+		t.Fatalf("hybrid completed %d of %d", hDone, len(trace))
+	}
+	if sDone >= hDone {
+		t.Fatalf("static (%d) matched hybrid (%d) on wide jobs", sDone, hDone)
+	}
+	if hybrid.Utilisation <= static.Utilisation {
+		t.Fatalf("hybrid util %v <= static %v", hybrid.Utilisation, static.Utilisation)
+	}
+}
+
+// TestBiStableBeatsMonoStableOnWindowsLatency is the §III-C claim.
+func TestBiStableBeatsMonoStableOnWindowsLatency(t *testing.T) {
+	var bursts workload.Trace
+	for i := 0; i < 3; i++ {
+		bursts = append(bursts, workload.Burst(workload.BurstConfig{
+			Start: time.Duration(i*5) * time.Hour, Jobs: 3, Gap: time.Minute,
+			App: "Backburner", OS: osid.Windows, Nodes: 2, PPN: 4,
+			Runtime: 30 * time.Minute, Owner: "render",
+		})...)
+	}
+	results, err := CompareModes([]ClusterMode{HybridV2, MonoStable},
+		ClusterConfig{InitialLinux: 16, Cycle: 5 * time.Minute}, bursts, 48*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, mono := results[0].Summary, results[1].Summary
+	if bi.JobsCompleted[osid.Windows] != 9 || mono.JobsCompleted[osid.Windows] != 9 {
+		t.Fatalf("completions: bi=%v mono=%v", bi.JobsCompleted, mono.JobsCompleted)
+	}
+	if mono.Switches <= bi.Switches {
+		t.Fatalf("mono switches %d <= bi %d", mono.Switches, bi.Switches)
+	}
+	if mono.MeanWait[osid.Windows] < bi.MeanWait[osid.Windows] {
+		t.Fatalf("mono windows wait %v < bi %v", mono.MeanWait[osid.Windows], bi.MeanWait[osid.Windows])
+	}
+}
+
+// TestDeterminism: identical configurations produce identical results.
+func TestDeterminism(t *testing.T) {
+	run := func() Summary {
+		res, err := Run(Scenario{
+			Name:    "det",
+			Cluster: ClusterConfig{Mode: HybridV2, InitialLinux: 16, Cycle: 5 * time.Minute, Seed: 99},
+			Trace:   MatlabGATrace(42),
+			Horizon: 48 * time.Hour,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Summary
+	}
+	a, b := run(), run()
+	if a.Utilisation != b.Utilisation || a.Switches != b.Switches ||
+		a.MeanWait[osid.Windows] != b.MeanWait[osid.Windows] ||
+		a.Makespan != b.Makespan {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestSeedChangesJitter: different cluster seeds change switch
+// latencies (jitter) without breaking the five-minute bound.
+func TestSeedChangesJitter(t *testing.T) {
+	var latencies []time.Duration
+	for _, seed := range []int64{1, 2} {
+		c, err := cluster.New(cluster.Config{Mode: cluster.HybridV2, InitialLinux: 16, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ForceSwitch("enode01", Windows); err != nil {
+			t.Fatal(err)
+		}
+		c.Eng.RunFor(time.Hour)
+		sw := c.Rec.Switches()
+		if len(sw) != 1 || !sw[0].OK {
+			t.Fatalf("seed %d: switches = %+v", seed, sw)
+		}
+		latencies = append(latencies, sw[0].Duration())
+	}
+	if latencies[0] == latencies[1] {
+		t.Fatal("jitter did not vary with seed")
+	}
+	for _, l := range latencies {
+		if l > 5*time.Minute {
+			t.Fatalf("latency %v over bound", l)
+		}
+	}
+}
+
+// TestThrashResistanceWithHysteresis: alternating single-job demand
+// with a hysteresis policy produces fewer switches than plain FCFS.
+func TestThrashResistanceWithHysteresis(t *testing.T) {
+	var ping workload.Trace
+	for i := 0; i < 8; i++ {
+		os := osid.Linux
+		app := "GULP"
+		if i%2 == 0 {
+			os = osid.Windows
+			app = "Opera"
+		}
+		ping = append(ping, workload.Job{
+			At: time.Duration(i) * 40 * time.Minute, App: app, OS: os,
+			Owner: "u", Nodes: 2, PPN: 4, Runtime: 20 * time.Minute,
+		})
+	}
+	run := func(p Policy) Summary {
+		res, err := Run(Scenario{
+			Name:    p.Name(),
+			Cluster: ClusterConfig{Mode: HybridV2, Nodes: 4, InitialLinux: 4, Cycle: 5 * time.Minute, Policy: p},
+			Trace:   ping,
+			Horizon: 48 * time.Hour,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Summary
+	}
+	fcfs := run(FCFSPolicy{})
+	hyst := run(&HysteresisPolicy{Inner: FCFSPolicy{}, Cooldown: 2 * time.Hour})
+	if hyst.Switches >= fcfs.Switches {
+		t.Fatalf("hysteresis did not reduce thrash: %d >= %d", hyst.Switches, fcfs.Switches)
+	}
+}
+
+// TestPublicGridAPI drives the campus-grid layer through the root
+// package: capability routing plus overflow onto the hybrid.
+func TestPublicGridAPI(t *testing.T) {
+	g, err := NewGrid(RouteHybridLast, []GridMemberSpec{
+		{Name: "eridani", Config: ClusterConfig{Mode: HybridV2, Nodes: 8, InitialLinux: 4, Cycle: 5 * time.Minute}},
+		{Name: "tauceti", Config: ClusterConfig{Mode: Static, Nodes: 4, InitialLinux: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := MergeTraces(
+		BurstTrace(BurstConfig{Start: 0, Jobs: 2, Gap: time.Minute, App: "GULP",
+			OS: Linux, Nodes: 1, PPN: 2, Runtime: time.Hour, Owner: "chem"}),
+		BurstTrace(BurstConfig{Start: 5 * time.Minute, Jobs: 2, Gap: time.Minute, App: "Opera",
+			OS: Windows, Nodes: 1, PPN: 4, Runtime: time.Hour, Owner: "em"}),
+	)
+	if err := g.ScheduleTrace(trace); err != nil {
+		t.Fatal(err)
+	}
+	g.RunUntilDrained(24 * time.Hour)
+	if g.Dropped() != 0 {
+		t.Fatalf("dropped = %d", g.Dropped())
+	}
+	counts := g.RoutedCounts()
+	// hybrid-last sends the Linux work to the static member and the
+	// Windows work (no static home) to the hybrid.
+	if counts["tauceti"] != 2 || counts["eridani"] != 2 {
+		t.Fatalf("routing = %v", counts)
+	}
+	done := 0
+	for _, m := range g.Members() {
+		s := m.Cluster.Summary()
+		done += s.JobsCompleted[Linux] + s.JobsCompleted[Windows]
+	}
+	if done != len(trace) {
+		t.Fatalf("grid completed %d of %d", done, len(trace))
+	}
+}
+
+// TestDiurnalTracePublic sanity-checks the diurnal generator exposed
+// through the public API.
+func TestDiurnalTracePublic(t *testing.T) {
+	trace := DiurnalTrace(DiurnalConfig{Seed: 4, Days: 2, PeakPerHour: 5, WindowsFrac: 0.3, MaxNodes: 4})
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	if err := trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

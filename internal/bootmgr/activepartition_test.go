@@ -1,0 +1,139 @@
+package bootmgr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grubcfg"
+	"repro/internal/hardware"
+	"repro/internal/osid"
+)
+
+// Tests for the §II "changing active partition" multi-boot approach:
+// a generic Windows MBR chainloads whichever primary partition is
+// active; Linux boots through a GRUB installed in its partition's own
+// boot record rather than the MBR.
+
+// buildActivePartitionDisk: partition 1 = Windows (NTFS, its own
+// loader), partition 2 = Linux (ext3, partition-head GRUB with a
+// single Linux entry and the kernel on the same partition).
+func buildActivePartitionDisk(t *testing.T) *hardware.Disk {
+	t.Helper()
+	d := hardware.NewDisk(250000)
+	win, err := d.AddPartition(1, 150000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win.Format(hardware.FSNTFS)
+	if err := win.WriteFile(WindowsBootFile, []byte("bootmgr")); err != nil {
+		t.Fatal(err)
+	}
+
+	lin, err := d.AddPartition(2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin.Format(hardware.FSExt3)
+	if err := lin.WriteFile("/vmlinuz-2.6.18-164.el5", []byte("kernel")); err != nil {
+		t.Fatal(err)
+	}
+	menu := grubcfg.New()
+	menu.HasDefault = true
+	menu.Timeout = 5
+	menu.Entries = []*grubcfg.Entry{{
+		Title: "CentOS-5.4-linux",
+		Commands: []grubcfg.Command{
+			{Name: "root", Args: "(hd0,1)"},
+			{Name: "kernel", Args: "/vmlinuz-2.6.18-164.el5 ro root=/dev/sda2"},
+		},
+	}}
+	if err := lin.WriteFile("/grub/menu.lst", menu.Render()); err != nil {
+		t.Fatal(err)
+	}
+	lin.InstallGRUBVBR("/grub/menu.lst")
+
+	// Generic MBR: boots whatever partition is active.
+	d.InstallWindowsMBR()
+	return d
+}
+
+func TestActivePartitionSwitching(t *testing.T) {
+	n := hardware.NewNode(hardware.NodeSpec{Index: 1})
+	n.Disk = buildActivePartitionDisk(t)
+
+	// Active = Windows partition.
+	if err := n.Disk.SetActive(1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Boot(n, noJitterEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OS != osid.Windows {
+		t.Fatalf("active=1 boots %v", res.OS)
+	}
+
+	// Flip the active flag: the same disk now boots Linux through the
+	// partition-head GRUB.
+	if err := n.Disk.SetActive(2); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Boot(n, noJitterEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OS != osid.Linux {
+		t.Fatalf("active=2 boots %v", res.OS)
+	}
+	trace := strings.Join(res.Steps, "\n")
+	if !strings.Contains(trace, "VBR: GRUB on partition 2") {
+		t.Fatalf("partition GRUB not traced:\n%s", trace)
+	}
+}
+
+func TestVBRGrubMissingConfigFails(t *testing.T) {
+	n := hardware.NewNode(hardware.NodeSpec{Index: 1})
+	n.Disk = buildActivePartitionDisk(t)
+	lin, _ := n.Disk.Partition(2)
+	lin.RemoveFile("/grub/menu.lst")
+	n.Disk.SetActive(2)
+	if _, err := Boot(n, noJitterEnv()); err == nil || !strings.Contains(err.Error(), "VBR GRUB config read") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVBRGrubChainloaderLoopDetected(t *testing.T) {
+	n := hardware.NewNode(hardware.NodeSpec{Index: 1})
+	n.Disk = buildActivePartitionDisk(t)
+	lin, _ := n.Disk.Partition(2)
+	// A menu whose only entry chainloads its own partition: the boot
+	// must fail with a depth error, not hang.
+	menu := grubcfg.New()
+	menu.HasDefault = true
+	menu.Entries = []*grubcfg.Entry{{
+		Title: "self",
+		Commands: []grubcfg.Command{
+			{Name: "root", Args: "(hd0,1)"},
+			{Name: "chainloader", Args: "+1"},
+		},
+	}}
+	lin.WriteFile("/grub/menu.lst", menu.Render())
+	n.Disk.SetActive(2)
+	if _, err := Boot(n, noJitterEnv()); err == nil || !strings.Contains(err.Error(), "loop") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFormatClearsVBR(t *testing.T) {
+	d := hardware.NewDisk(1000)
+	p, _ := d.AddPartition(1, 500)
+	p.Format(hardware.FSExt3)
+	p.InstallGRUBVBR("/grub/menu.lst")
+	if p.VBR != hardware.BootGRUB {
+		t.Fatal("VBR not installed")
+	}
+	p.Format(hardware.FSNTFS)
+	if p.VBR != hardware.BootNone || p.VBRGrubConfig != "" {
+		t.Fatalf("VBR survived format: %v %q", p.VBR, p.VBRGrubConfig)
+	}
+}

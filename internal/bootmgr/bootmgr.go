@@ -1,0 +1,420 @@
+// Package bootmgr interprets a node's boot chain: BIOS boot order,
+// PXE ROM, MBR bootloader, GRUB configuration files (including the
+// configfile redirection of dualboot-oscar v1) and chainloading into
+// the Windows volume boot record. It answers the question every OS
+// switch in the paper ultimately reduces to: *given this disk and this
+// network state, which operating system comes up, and how long does it
+// take?*
+package bootmgr
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/grubcfg"
+	"repro/internal/hardware"
+	"repro/internal/osid"
+	"repro/internal/pxe"
+)
+
+// WindowsBootFile is the marker for an installed, bootable Windows
+// system on an NTFS partition (the real bootmgr at the NTFS root).
+const WindowsBootFile = "/bootmgr"
+
+// LinuxReleaseFile is the marker for an installed Linux root
+// filesystem.
+const LinuxReleaseFile = "/etc/redhat-release"
+
+// maxConfigDepth bounds configfile redirection chains so a cyclic
+// configuration fails cleanly instead of hanging the "machine".
+const maxConfigDepth = 8
+
+// LatencyModel parameterises how long each boot stage takes. The
+// defaults are calibrated so a full OS switch lands in the paper's
+// measured envelope: "booting from one OS to another takes no more
+// than five minutes".
+type LatencyModel struct {
+	Shutdown        time.Duration // clean OS shutdown before reboot
+	POST            time.Duration // BIOS power-on self test
+	DHCP            time.Duration // PXE DHCP exchange
+	TFTP            time.Duration // ROM + menu + kernel fetch
+	GRUBPerSecond   time.Duration // cost of one configured timeout second
+	KernelLinux     time.Duration // kernel + init to login
+	ServicesLinux   time.Duration // pbs_mom start + head-node re-registration
+	KernelWindows   time.Duration // Windows boot to services
+	ServicesWindows time.Duration // HPC node manager re-registration
+	JitterFrac      float64       // uniform ±fraction applied to the total
+}
+
+// DefaultLatencyModel returns the calibrated model. Typical totals:
+// switch-to-Linux ≈ 2m45s, switch-to-Windows ≈ 4m05s, both under the
+// paper's five-minute bound.
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{
+		Shutdown:        30 * time.Second,
+		POST:            20 * time.Second,
+		DHCP:            3 * time.Second,
+		TFTP:            4 * time.Second,
+		GRUBPerSecond:   time.Second,
+		KernelLinux:     75 * time.Second,
+		ServicesLinux:   35 * time.Second,
+		KernelWindows:   130 * time.Second,
+		ServicesWindows: 60 * time.Second,
+		JitterFrac:      0.10,
+	}
+}
+
+// Env is the environment a node boots in.
+type Env struct {
+	PXE     *pxe.Service // nil when no PXE service answers
+	Latency LatencyModel
+	Rand    *rand.Rand // jitter source; nil disables jitter
+}
+
+// Result describes a completed boot.
+type Result struct {
+	OS      osid.OS
+	Source  hardware.BootSource
+	Latency time.Duration
+	Steps   []string // human-readable trace for logs and debugging
+}
+
+// Error is a failed boot with the partial step trace attached.
+type Error struct {
+	Node  string
+	Steps []string
+	Err   error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("bootmgr: %s: %v (after %s)", e.Node, e.Err, strings.Join(e.Steps, " -> "))
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Boot resolves the node's boot chain and returns the OS it comes up
+// in. It does not mutate the node; callers (the cluster package)
+// apply the resulting state transition on their simulated clock.
+func Boot(node *hardware.Node, env Env) (Result, error) {
+	b := &booter{node: node, env: env}
+	return b.run()
+}
+
+type booter struct {
+	node    *hardware.Node
+	env     Env
+	steps   []string
+	grubSec int // configured GRUB timeout seconds encountered
+	usedPXE bool
+}
+
+func (b *booter) step(format string, args ...any) {
+	b.steps = append(b.steps, fmt.Sprintf(format, args...))
+}
+
+func (b *booter) fail(format string, args ...any) (Result, error) {
+	return Result{}, &Error{Node: b.node.Name, Steps: b.steps, Err: fmt.Errorf(format, args...)}
+}
+
+func (b *booter) run() (Result, error) {
+	b.step("POST")
+	order := b.node.BootOrder
+	if len(order) == 0 {
+		order = []hardware.BootSource{hardware.BootFromDisk}
+	}
+	for _, src := range order {
+		switch src {
+		case hardware.BootFromPXE:
+			res, ok, err := b.tryPXE()
+			if err != nil {
+				return Result{}, err
+			}
+			if ok {
+				return b.finish(res, hardware.BootFromPXE)
+			}
+		case hardware.BootFromDisk:
+			res, ok, err := b.tryDisk()
+			if err != nil {
+				return Result{}, err
+			}
+			if ok {
+				return b.finish(res, hardware.BootFromDisk)
+			}
+		}
+	}
+	return b.fail("no bootable device")
+}
+
+// tryPXE attempts a network boot. ok=false means "fall through to the
+// next boot source" (DHCP timeout), matching real BIOS behaviour; a
+// returned error means the chain started and then failed terminally.
+func (b *booter) tryPXE() (osid.OS, bool, error) {
+	if b.env.PXE == nil {
+		b.step("PXE: no DHCP offer")
+		return osid.None, false, nil
+	}
+	rom, ok := b.env.PXE.OfferROM(b.node.Addr)
+	if !ok {
+		b.step("PXE: no DHCP offer")
+		return osid.None, false, nil
+	}
+	b.usedPXE = true
+	b.step("PXE: DHCP offer, ROM %s", rom)
+	if _, err := b.env.PXE.FetchFile(rom); err != nil {
+		_, e := b.fail("PXE ROM fetch: %v", err)
+		return osid.None, false, e
+	}
+	menu, err := b.env.PXE.FetchMenu(b.node.Addr)
+	if err != nil {
+		_, e := b.fail("PXE menu fetch: %v", err)
+		return osid.None, false, e
+	}
+	b.step("PXE: menu fetched (%d bytes)", len(menu))
+	cfg, err := grubcfg.Parse(menu)
+	if err != nil {
+		_, e := b.fail("PXE menu parse: %v", err)
+		return osid.None, false, e
+	}
+	os, err := b.resolveConfig(cfg, nil, 0)
+	if err != nil {
+		return osid.None, false, err
+	}
+	return os, true, nil
+}
+
+// tryDisk attempts a local-disk boot via whatever loader owns the MBR.
+func (b *booter) tryDisk() (osid.OS, bool, error) {
+	disk := b.node.Disk
+	switch disk.MBR.Loader {
+	case hardware.BootNone:
+		b.step("disk: empty MBR")
+		return osid.None, false, nil
+	case hardware.BootWindows:
+		b.step("disk: Windows MBR -> active partition")
+		part, ok := disk.ActivePartition()
+		if !ok {
+			_, e := b.fail("Windows MBR: no active partition")
+			return osid.None, false, e
+		}
+		os, err := b.bootPartitionVBR(part)
+		if err != nil {
+			return osid.None, false, err
+		}
+		return os, true, nil
+	case hardware.BootGRUB:
+		b.step("disk: GRUB MBR, config on partition %d:%s",
+			disk.MBR.GrubConfigPartition, disk.MBR.GrubConfigPath)
+		part, err := disk.Partition(disk.MBR.GrubConfigPartition)
+		if err != nil {
+			_, e := b.fail("GRUB config partition: %v", err)
+			return osid.None, false, e
+		}
+		data, err := part.ReadFile(disk.MBR.GrubConfigPath)
+		if err != nil {
+			_, e := b.fail("GRUB config read: %v", err)
+			return osid.None, false, e
+		}
+		cfg, err := grubcfg.Parse(data)
+		if err != nil {
+			_, e := b.fail("GRUB config parse: %v", err)
+			return osid.None, false, e
+		}
+		os, err := b.resolveConfig(cfg, part, 0)
+		if err != nil {
+			return osid.None, false, err
+		}
+		return os, true, nil
+	default:
+		_, e := b.fail("unknown MBR loader")
+		return osid.None, false, e
+	}
+}
+
+// resolveConfig evaluates the default entry of a GRUB config, following
+// configfile redirections. curPart is the partition the config was read
+// from (nil for a PXE menu). When the default entry fails to boot and
+// the config names a fallback, GRUB retries with the fallback entry —
+// behaviour the dual-boot deployment relies on to survive a
+// half-installed OS.
+func (b *booter) resolveConfig(cfg *grubcfg.Config, curPart *hardware.Partition, depth int) (osid.OS, error) {
+	if depth > maxConfigDepth {
+		_, e := b.fail("configfile redirection loop (depth > %d)", maxConfigDepth)
+		return osid.None, e
+	}
+	if cfg.Timeout > 0 {
+		b.grubSec += cfg.Timeout
+	}
+	entry, err := cfg.DefaultEntry()
+	if err != nil {
+		_, e := b.fail("GRUB: %v", err)
+		return osid.None, e
+	}
+	os, err := b.resolveEntry(cfg, entry, curPart, depth)
+	if err != nil && cfg.Fallback >= 0 && cfg.Fallback < len(cfg.Entries) && cfg.Entries[cfg.Fallback] != entry {
+		fb := cfg.Entries[cfg.Fallback]
+		b.step("GRUB: default failed, fallback to entry %d %q", cfg.Fallback, fb.Title)
+		return b.resolveEntry(cfg, fb, curPart, depth)
+	}
+	return os, err
+}
+
+// resolveEntry evaluates one menu entry.
+func (b *booter) resolveEntry(cfg *grubcfg.Config, entry *grubcfg.Entry, curPart *hardware.Partition, depth int) (osid.OS, error) {
+	b.step("GRUB: entry %q", entry.Title)
+
+	// Resolve the entry's root device to a partition on the local disk.
+	rootPart := curPart
+	if dev, ok := entry.Root(); ok {
+		p, err := b.node.Disk.Partition(dev.LinuxPartition())
+		if err != nil {
+			_, e := b.fail("GRUB root %s: %v", dev, err)
+			return osid.None, e
+		}
+		rootPart = p
+	}
+
+	if path, ok := entry.ConfigFile(); ok {
+		if rootPart == nil {
+			_, e := b.fail("configfile %s: no root partition", path)
+			return osid.None, e
+		}
+		b.step("GRUB: configfile %s on partition %d", path, rootPart.Index)
+		data, err := rootPart.ReadFile(path)
+		if err != nil {
+			_, e := b.fail("configfile read: %v", err)
+			return osid.None, e
+		}
+		next, err := grubcfg.Parse(data)
+		if err != nil {
+			_, e := b.fail("configfile parse: %v", err)
+			return osid.None, e
+		}
+		return b.resolveConfig(next, rootPart, depth+1)
+	}
+
+	if kernel, ok := entry.KernelPath(); ok {
+		return b.bootLinuxKernel(entry, kernel, rootPart)
+	}
+
+	if entry.HasChainloader() {
+		if rootPart == nil {
+			_, e := b.fail("chainloader: no root partition")
+			return osid.None, e
+		}
+		b.step("GRUB: chainloader +1 on partition %d", rootPart.Index)
+		return b.bootPartitionVBRDepth(rootPart, depth+1)
+	}
+
+	_, e := b.fail("entry %q has no kernel, chainloader or configfile", entry.Title)
+	return osid.None, e
+}
+
+// bootLinuxKernel loads a kernel either from the TFTP tree ("(pd)"
+// prefix) or from the entry's root partition.
+func (b *booter) bootLinuxKernel(entry *grubcfg.Entry, kernel string, rootPart *hardware.Partition) (osid.OS, error) {
+	if strings.HasPrefix(kernel, "(pd)") {
+		if b.env.PXE == nil {
+			_, e := b.fail("kernel %s: no PXE service", kernel)
+			return osid.None, e
+		}
+		path := "/tftpboot" + strings.TrimPrefix(kernel, "(pd)")
+		if _, err := b.env.PXE.FetchFile(path); err != nil {
+			_, e := b.fail("kernel fetch: %v", err)
+			return osid.None, e
+		}
+		b.step("kernel: %s via TFTP", kernel)
+		return osid.Linux, nil
+	}
+	if rootPart == nil {
+		_, e := b.fail("kernel %s: no root partition", kernel)
+		return osid.None, e
+	}
+	if !rootPart.HasFile(kernel) {
+		_, e := b.fail("kernel %s missing on partition %d", kernel, rootPart.Index)
+		return osid.None, e
+	}
+	b.step("kernel: %s from partition %d", kernel, rootPart.Index)
+	return osid.Linux, nil
+}
+
+// bootPartitionVBR boots a partition's own volume boot record: the
+// Windows loader on an NTFS system partition, or a partition-head
+// GRUB (the §II "changing active partition" approach, where a generic
+// MBR chainloads whichever partition is active).
+func (b *booter) bootPartitionVBR(part *hardware.Partition) (osid.OS, error) {
+	return b.bootPartitionVBRDepth(part, 0)
+}
+
+func (b *booter) bootPartitionVBRDepth(part *hardware.Partition, depth int) (osid.OS, error) {
+	if part.VBR == hardware.BootGRUB {
+		path := part.VBRGrubConfig
+		if path == "" {
+			path = "/grub/menu.lst"
+		}
+		b.step("VBR: GRUB on partition %d, config %s", part.Index, path)
+		data, err := part.ReadFile(path)
+		if err != nil {
+			_, e := b.fail("VBR GRUB config read: %v", err)
+			return osid.None, e
+		}
+		cfg, err := grubcfg.Parse(data)
+		if err != nil {
+			_, e := b.fail("VBR GRUB config parse: %v", err)
+			return osid.None, e
+		}
+		return b.resolveConfig(cfg, part, depth+1)
+	}
+	if part.Type == hardware.FSNTFS && part.HasFile(WindowsBootFile) {
+		b.step("VBR: Windows bootmgr on partition %d", part.Index)
+		return osid.Windows, nil
+	}
+	_, e := b.fail("partition %d (%s) has no bootable system", part.Index, part.Type)
+	return osid.None, e
+}
+
+// finish computes the boot latency and assembles the result.
+func (b *booter) finish(os osid.OS, src hardware.BootSource) (Result, error) {
+	if !os.Valid() {
+		return b.fail("boot resolved to no OS")
+	}
+	lat := b.latency(os)
+	b.step("up: %s after %s", os, lat)
+	return Result{OS: os, Source: src, Latency: lat, Steps: b.steps}, nil
+}
+
+func (b *booter) latency(os osid.OS) time.Duration {
+	m := b.env.Latency
+	total := m.POST
+	if b.usedPXE {
+		total += m.DHCP + m.TFTP
+	}
+	total += time.Duration(b.grubSec) * m.GRUBPerSecond
+	if os == osid.Linux {
+		total += m.KernelLinux + m.ServicesLinux
+	} else {
+		total += m.KernelWindows + m.ServicesWindows
+	}
+	if b.env.Rand != nil && m.JitterFrac > 0 {
+		j := 1 + m.JitterFrac*(2*b.env.Rand.Float64()-1)
+		total = time.Duration(float64(total) * j)
+	}
+	return total
+}
+
+// SwitchLatency estimates a full OS switch (shutdown + boot) for
+// planning and experiments, without jitter.
+func SwitchLatency(m LatencyModel, target osid.OS, viaPXE bool, grubTimeoutSec int) time.Duration {
+	total := m.Shutdown + m.POST
+	if viaPXE {
+		total += m.DHCP + m.TFTP
+	}
+	total += time.Duration(grubTimeoutSec) * m.GRUBPerSecond
+	if target == osid.Linux {
+		total += m.KernelLinux + m.ServicesLinux
+	} else {
+		total += m.KernelWindows + m.ServicesWindows
+	}
+	return total
+}

@@ -1,0 +1,550 @@
+package bootmgr
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/grubcfg"
+	"repro/internal/hardware"
+	"repro/internal/osid"
+	"repro/internal/pxe"
+)
+
+// buildV1Disk provisions a node disk exactly like the paper's v1
+// layout: Windows on sda1, /boot on sda2, swap on sda5, the shared FAT
+// control partition on sda6 and the Linux root on sda7, with GRUB in
+// the MBR redirecting to the FAT control menu (Figures 2 and 3).
+func buildV1Disk(t *testing.T, defaultOS osid.OS) *hardware.Disk {
+	t.Helper()
+	d := hardware.NewDisk(250000)
+
+	win, err := d.AddPartition(1, 150000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win.Format(hardware.FSNTFS)
+	win.Label = "Node"
+	if err := win.WriteFile(WindowsBootFile, []byte("win bootmgr")); err != nil {
+		t.Fatal(err)
+	}
+	d.SetActive(1)
+
+	boot, err := d.AddPartition(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot.Format(hardware.FSExt3)
+	if err := boot.WriteFile("/vmlinuz-2.6.18-164.el5", []byte("kernel")); err != nil {
+		t.Fatal(err)
+	}
+	if err := boot.WriteFile("/sc-initrd-2.6.18-164.el5.gz", []byte("initrd")); err != nil {
+		t.Fatal(err)
+	}
+	redirect := grubcfg.RedirectMenu(grubcfg.DeviceRef{Disk: 0, Partition: 5}, "/controlmenu.lst")
+	if err := boot.WriteFile("/grub/menu.lst", redirect.Render()); err != nil {
+		t.Fatal(err)
+	}
+
+	swap, err := d.AddPartition(5, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swap.Format(hardware.FSSwap)
+
+	fat, err := d.AddPartition(6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fat.Format(hardware.FSFAT)
+	ctl, err := grubcfg.ControlMenu(grubcfg.DefaultLinuxEntry(), grubcfg.DefaultWindowsEntry(), defaultOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fat.WriteFile(grubcfg.ControlFileName, ctl.Render()); err != nil {
+		t.Fatal(err)
+	}
+	for _, os := range []osid.OS{osid.Linux, osid.Windows} {
+		staged, err := grubcfg.ControlMenu(grubcfg.DefaultLinuxEntry(), grubcfg.DefaultWindowsEntry(), os)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fat.WriteFile(grubcfg.StagedControlFileName(os), staged.Render()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	root, err := d.AddPartition(7, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.Format(hardware.FSExt3)
+	if err := root.WriteFile(LinuxReleaseFile, []byte("CentOS release 5.4")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The linux entry in the control menu uses root (hd0,1) = sda2 and
+	// kernel /vmlinuz-... — i.e. the kernel lives on the /boot
+	// partition, which is what buildV1Disk wrote above.
+	if err := d.InstallGRUB(2, "/grub/menu.lst"); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func newV1Node(t *testing.T, defaultOS osid.OS) *hardware.Node {
+	t.Helper()
+	n := hardware.NewNode(hardware.NodeSpec{Index: 1})
+	n.Disk = buildV1Disk(t, defaultOS)
+	return n
+}
+
+func noJitterEnv() Env {
+	return Env{Latency: DefaultLatencyModel()}
+}
+
+func TestV1BootLinuxViaConfigfileRedirect(t *testing.T) {
+	n := newV1Node(t, osid.Linux)
+	res, err := Boot(n, noJitterEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OS != osid.Linux {
+		t.Fatalf("booted %v, want linux", res.OS)
+	}
+	if res.Source != hardware.BootFromDisk {
+		t.Fatalf("source = %v", res.Source)
+	}
+	trace := strings.Join(res.Steps, "\n")
+	if !strings.Contains(trace, "configfile /controlmenu.lst") {
+		t.Errorf("redirect not followed:\n%s", trace)
+	}
+	if !strings.Contains(trace, "CentOS-5.4_Oscar-5b2-linux") {
+		t.Errorf("wrong entry:\n%s", trace)
+	}
+}
+
+func TestV1BootWindowsViaChainloader(t *testing.T) {
+	n := newV1Node(t, osid.Windows)
+	res, err := Boot(n, noJitterEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OS != osid.Windows {
+		t.Fatalf("booted %v, want windows", res.OS)
+	}
+	trace := strings.Join(res.Steps, "\n")
+	if !strings.Contains(trace, "chainloader") || !strings.Contains(trace, "Windows bootmgr") {
+		t.Errorf("chainload not traced:\n%s", trace)
+	}
+}
+
+func TestV1SwitchByRenamingStagedMenu(t *testing.T) {
+	n := newV1Node(t, osid.Linux)
+	fat, _ := n.Disk.Partition(6)
+	// The v1 batch script: rename controlmenu_to_windows.lst into place.
+	if err := fat.RemoveFile(grubcfg.ControlFileName); err != nil {
+		t.Fatal(err)
+	}
+	if err := fat.RenameFile(grubcfg.StagedControlFileName(osid.Windows), grubcfg.ControlFileName); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Boot(n, noJitterEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OS != osid.Windows {
+		t.Fatalf("after rename boots %v, want windows", res.OS)
+	}
+}
+
+func TestWindowsMBRBootsActivePartition(t *testing.T) {
+	// A fresh Windows deployment rewrites the MBR; with the generic
+	// loader the node can only ever boot Windows — the v1 trap.
+	n := newV1Node(t, osid.Linux)
+	n.Disk.InstallWindowsMBR()
+	res, err := Boot(n, noJitterEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OS != osid.Windows {
+		t.Fatalf("Windows MBR boots %v", res.OS)
+	}
+}
+
+func TestWindowsMBRNoActivePartition(t *testing.T) {
+	n := newV1Node(t, osid.Linux)
+	n.Disk.InstallWindowsMBR()
+	for _, p := range n.Disk.Partitions() {
+		p.Active = false
+	}
+	_, err := Boot(n, noJitterEnv())
+	if err == nil {
+		t.Fatal("boot succeeded with no active partition")
+	}
+	var be *Error
+	if !errors.As(err, &be) {
+		t.Fatalf("error type %T", err)
+	}
+}
+
+func TestEmptyMBRNoBootableDevice(t *testing.T) {
+	n := hardware.NewNode(hardware.NodeSpec{Index: 1})
+	_, err := Boot(n, noJitterEnv())
+	if err == nil || !strings.Contains(err.Error(), "no bootable device") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMissingKernelFails(t *testing.T) {
+	n := newV1Node(t, osid.Linux)
+	boot, _ := n.Disk.Partition(2)
+	boot.RemoveFile("/vmlinuz-2.6.18-164.el5")
+	_, err := Boot(n, noJitterEnv())
+	if err == nil || !strings.Contains(err.Error(), "kernel") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMissingControlMenuFails(t *testing.T) {
+	n := newV1Node(t, osid.Linux)
+	fat, _ := n.Disk.Partition(6)
+	fat.RemoveFile(grubcfg.ControlFileName)
+	_, err := Boot(n, noJitterEnv())
+	if err == nil || !strings.Contains(err.Error(), "configfile read") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConfigfileLoopDetected(t *testing.T) {
+	n := newV1Node(t, osid.Linux)
+	fat, _ := n.Disk.Partition(6)
+	// controlmenu.lst redirecting to itself
+	loop := grubcfg.RedirectMenu(grubcfg.DeviceRef{Disk: 0, Partition: 5}, "/controlmenu.lst")
+	fat.WriteFile(grubcfg.ControlFileName, loop.Render())
+	_, err := Boot(n, noJitterEnv())
+	if err == nil || !strings.Contains(err.Error(), "redirection loop") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChainloadToNonWindowsPartitionFails(t *testing.T) {
+	n := newV1Node(t, osid.Windows)
+	win, _ := n.Disk.Partition(1)
+	win.Format(hardware.FSNTFS) // wipes bootmgr
+	_, err := Boot(n, noJitterEnv())
+	if err == nil || !strings.Contains(err.Error(), "no bootable system") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func newPXENode(t *testing.T) (*hardware.Node, *pxe.Service) {
+	t.Helper()
+	n := hardware.NewNode(hardware.NodeSpec{Index: 1, PXEFirst: true})
+	n.Disk = buildV1Disk(t, osid.Linux)
+	svc, err := pxe.NewService(pxe.Config{Mode: pxe.ModeFlag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, svc
+}
+
+func TestPXEBootFollowsFlag(t *testing.T) {
+	n, svc := newPXENode(t)
+	env := Env{PXE: svc, Latency: DefaultLatencyModel()}
+
+	res, err := Boot(n, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OS != osid.Linux || res.Source != hardware.BootFromPXE {
+		t.Fatalf("res = %+v", res)
+	}
+
+	if err := svc.SetFlag(osid.Windows); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Boot(n, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OS != osid.Windows {
+		t.Fatalf("after flag flip boots %v", res.OS)
+	}
+}
+
+func TestPXEDisabledFallsBackToDisk(t *testing.T) {
+	n, svc := newPXENode(t)
+	svc.SetEnabled(false)
+	res, err := Boot(n, Env{PXE: svc, Latency: DefaultLatencyModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != hardware.BootFromDisk {
+		t.Fatalf("source = %v, want disk fallback", res.Source)
+	}
+}
+
+func TestPXENilServiceFallsBack(t *testing.T) {
+	n, _ := newPXENode(t)
+	res, err := Boot(n, noJitterEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != hardware.BootFromDisk {
+		t.Fatalf("source = %v", res.Source)
+	}
+}
+
+func TestPXEWindowsChainloadsLocalDisk(t *testing.T) {
+	n, svc := newPXENode(t)
+	svc.SetFlag(osid.Windows)
+	res, err := Boot(n, Env{PXE: svc, Latency: DefaultLatencyModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OS != osid.Windows {
+		t.Fatalf("OS = %v", res.OS)
+	}
+	// Even though the menu came from the network, Windows boots from
+	// the local NTFS partition.
+	if !strings.Contains(strings.Join(res.Steps, "\n"), "Windows bootmgr on partition 1") {
+		t.Fatalf("steps = %v", res.Steps)
+	}
+}
+
+func TestLatencyWithinFiveMinutes(t *testing.T) {
+	m := DefaultLatencyModel()
+	for _, target := range []osid.OS{osid.Linux, osid.Windows} {
+		for _, viaPXE := range []bool{false, true} {
+			lat := SwitchLatency(m, target, viaPXE, 10)
+			if lat > 5*time.Minute {
+				t.Errorf("switch to %v (pxe=%v) = %v, exceeds paper's 5-minute bound", target, viaPXE, lat)
+			}
+			if lat < time.Minute {
+				t.Errorf("switch to %v (pxe=%v) = %v, implausibly fast", target, viaPXE, lat)
+			}
+		}
+	}
+}
+
+func TestLatencyWindowsSlowerThanLinux(t *testing.T) {
+	m := DefaultLatencyModel()
+	if SwitchLatency(m, osid.Windows, true, 3) <= SwitchLatency(m, osid.Linux, true, 3) {
+		t.Fatal("Windows boot should be slower than Linux")
+	}
+}
+
+func TestBootLatencyDeterministicWithoutRand(t *testing.T) {
+	n := newV1Node(t, osid.Linux)
+	r1, err := Boot(n, noJitterEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Boot(n, noJitterEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Latency != r2.Latency {
+		t.Fatalf("latency not deterministic: %v vs %v", r1.Latency, r2.Latency)
+	}
+}
+
+func TestBootLatencyJitterBounded(t *testing.T) {
+	n := newV1Node(t, osid.Linux)
+	base, err := Boot(n, noJitterEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	m := DefaultLatencyModel()
+	for i := 0; i < 50; i++ {
+		res, err := Boot(n, Env{Latency: m, Rand: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := time.Duration(float64(base.Latency) * (1 - m.JitterFrac - 1e-9))
+		hi := time.Duration(float64(base.Latency) * (1 + m.JitterFrac + 1e-9))
+		if res.Latency < lo || res.Latency > hi {
+			t.Fatalf("jittered latency %v outside [%v, %v]", res.Latency, lo, hi)
+		}
+	}
+}
+
+func TestGRUBTimeoutContributesToLatency(t *testing.T) {
+	n := newV1Node(t, osid.Linux)
+	fast, err := Boot(n, noJitterEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raise the control menu timeout from 10 to 60 seconds.
+	fat, _ := n.Disk.Partition(6)
+	data, _ := fat.ReadFile(grubcfg.ControlFileName)
+	cfg, _ := grubcfg.Parse(data)
+	cfg.Timeout = 60
+	fat.WriteFile(grubcfg.ControlFileName, cfg.Render())
+	slow, err := Boot(n, noJitterEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Latency-fast.Latency != 50*time.Second {
+		t.Fatalf("timeout delta = %v, want 50s", slow.Latency-fast.Latency)
+	}
+}
+
+func TestBootErrorFormat(t *testing.T) {
+	n := hardware.NewNode(hardware.NodeSpec{Index: 2})
+	_, err := Boot(n, noJitterEnv())
+	var be *Error
+	if !errors.As(err, &be) {
+		t.Fatalf("error type %T", err)
+	}
+	if be.Node != n.Name || len(be.Steps) == 0 {
+		t.Fatalf("error = %+v", be)
+	}
+	if !strings.Contains(be.Error(), "POST") {
+		t.Fatalf("Error() = %q lacks step trace", be.Error())
+	}
+}
+
+func TestFallbackEntryUsedWhenDefaultFails(t *testing.T) {
+	n := newV1Node(t, osid.Windows)
+	// Break the Windows side (default) but leave Linux intact, and add
+	// a fallback directive pointing at the Linux entry.
+	win, _ := n.Disk.Partition(1)
+	win.RemoveFile(WindowsBootFile)
+	fat, _ := n.Disk.Partition(6)
+	data, _ := fat.ReadFile(grubcfg.ControlFileName)
+	cfg, err := grubcfg.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := cfg.EntryIndexForOS(osid.Linux)
+	if !ok {
+		t.Fatal("no linux entry")
+	}
+	cfg.Fallback = idx
+	fat.WriteFile(grubcfg.ControlFileName, cfg.Render())
+
+	res, err := Boot(n, noJitterEnv())
+	if err != nil {
+		t.Fatalf("fallback did not rescue the boot: %v", err)
+	}
+	if res.OS != osid.Linux {
+		t.Fatalf("fallback booted %v, want linux", res.OS)
+	}
+	if !strings.Contains(strings.Join(res.Steps, "\n"), "fallback") {
+		t.Fatalf("fallback not traced: %v", res.Steps)
+	}
+}
+
+func TestFallbackSameAsDefaultStillFails(t *testing.T) {
+	n := newV1Node(t, osid.Windows)
+	win, _ := n.Disk.Partition(1)
+	win.RemoveFile(WindowsBootFile)
+	fat, _ := n.Disk.Partition(6)
+	data, _ := fat.ReadFile(grubcfg.ControlFileName)
+	cfg, _ := grubcfg.Parse(data)
+	// fallback identical to the default entry: no rescue possible
+	cfg.Fallback = cfg.Default
+	fat.WriteFile(grubcfg.ControlFileName, cfg.Render())
+	if _, err := Boot(n, noJitterEnv()); err == nil {
+		t.Fatal("boot succeeded with broken default and self-fallback")
+	}
+}
+
+func TestFallbackOutOfRangeIgnored(t *testing.T) {
+	n := newV1Node(t, osid.Windows)
+	win, _ := n.Disk.Partition(1)
+	win.RemoveFile(WindowsBootFile)
+	fat, _ := n.Disk.Partition(6)
+	data, _ := fat.ReadFile(grubcfg.ControlFileName)
+	cfg, _ := grubcfg.Parse(data)
+	cfg.Fallback = 99
+	fat.WriteFile(grubcfg.ControlFileName, cfg.Render())
+	if _, err := Boot(n, noJitterEnv()); err == nil {
+		t.Fatal("boot succeeded with broken default and bogus fallback")
+	}
+}
+
+func TestBootErrorUnwrap(t *testing.T) {
+	n := hardware.NewNode(hardware.NodeSpec{Index: 3})
+	_, err := Boot(n, noJitterEnv())
+	var be *Error
+	if !errors.As(err, &be) {
+		t.Fatalf("error type %T", err)
+	}
+	if be.Unwrap() == nil {
+		t.Fatal("Unwrap returned nil")
+	}
+}
+
+func TestPXEMenuUnparseable(t *testing.T) {
+	n, svc := newPXENode(t)
+	svc.PutFile(pxe.DefaultMenuPath, []byte("default nonsense\n"))
+	// Replacing the default menu with garbage: since the ROM loaded,
+	// the failure is terminal, not a fallthrough.
+	if _, err := Boot(n, Env{PXE: svc, Latency: DefaultLatencyModel()}); err == nil {
+		t.Fatal("garbage PXE menu booted")
+	}
+}
+
+func TestPXEKernelMissingFromTFTP(t *testing.T) {
+	n, svc := newPXENode(t)
+	// Break the TFTP tree: menu points at a kernel that is not there.
+	menu := grubcfg.New()
+	menu.HasDefault = true
+	menu.Entries = []*grubcfg.Entry{{
+		Title:    "net-linux",
+		Commands: []grubcfg.Command{{Name: "kernel", Args: "(pd)/missing-kernel root=/dev/sda6"}},
+	}}
+	svc.PutFile(pxe.DefaultMenuPath, menu.Render())
+	if _, err := Boot(n, Env{PXE: svc, Latency: DefaultLatencyModel()}); err == nil || !strings.Contains(err.Error(), "kernel fetch") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPXEKernelEntryWithoutService(t *testing.T) {
+	// A (pd) kernel entry in a local menu with no PXE service fails.
+	n := newV1Node(t, osid.Linux)
+	fat, _ := n.Disk.Partition(6)
+	menu := grubcfg.New()
+	menu.HasDefault = true
+	menu.Entries = []*grubcfg.Entry{{
+		Title:    "net-linux",
+		Commands: []grubcfg.Command{{Name: "kernel", Args: "(pd)/vmlinuz root=/dev/sda7"}},
+	}}
+	fat.WriteFile(grubcfg.ControlFileName, menu.Render())
+	if _, err := Boot(n, noJitterEnv()); err == nil || !strings.Contains(err.Error(), "no PXE service") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEntryWithNoActionFails(t *testing.T) {
+	n := newV1Node(t, osid.Linux)
+	fat, _ := n.Disk.Partition(6)
+	menu := grubcfg.New()
+	menu.HasDefault = true
+	menu.Entries = []*grubcfg.Entry{{Title: "empty", Commands: []grubcfg.Command{{Name: "root", Args: "(hd0,1)"}}}}
+	fat.WriteFile(grubcfg.ControlFileName, menu.Render())
+	if _, err := Boot(n, noJitterEnv()); err == nil || !strings.Contains(err.Error(), "no kernel, chainloader or configfile") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEntryRootDeviceMissingPartition(t *testing.T) {
+	n := newV1Node(t, osid.Linux)
+	fat, _ := n.Disk.Partition(6)
+	menu := grubcfg.New()
+	menu.HasDefault = true
+	menu.Entries = []*grubcfg.Entry{{
+		Title:    "bad-root",
+		Commands: []grubcfg.Command{{Name: "root", Args: "(hd0,8)"}, {Name: "chainloader", Args: "+1"}},
+	}}
+	fat.WriteFile(grubcfg.ControlFileName, menu.Render())
+	if _, err := Boot(n, noJitterEnv()); err == nil || !strings.Contains(err.Error(), "GRUB root") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bootmgr"
+	"repro/internal/controller"
+	"repro/internal/detector"
+	"repro/internal/hardware"
+	"repro/internal/osid"
+	"repro/internal/pbs"
+	"repro/internal/pxe"
+	"repro/internal/winhpc"
+)
+
+// This file implements controller.Gateway: how the daemons observe the
+// two sides and how switch orders become batch jobs and reboots.
+
+// SideInfo implements controller.Gateway.
+func (c *Cluster) SideInfo(os osid.OS) controller.SideState {
+	s := controller.SideState{OS: os, CoresPerNode: c.cfg.CoresPerNode, PendingAway: c.pending[os]}
+	var det detector.Detector
+	switch os {
+	case osid.Linux:
+		det = c.pbsDet
+		s.RunningJobs = len(c.PBS.RunningJobs())
+		for _, j := range c.PBS.QueuedJobs() {
+			s.QueuedJobs++
+			s.QueuedCPUs += j.CPUs()
+		}
+	case osid.Windows:
+		det = c.winDet
+		snap := c.Win.Snapshot()
+		s.RunningJobs = snap.Running
+		s.QueuedJobs = snap.Queued
+		s.QueuedCPUs = snap.PendingCores
+	default:
+		return s
+	}
+	if rep, err := det.Detect(); err == nil {
+		s.Report = rep
+	}
+	for _, n := range c.nodes {
+		if n.OS != os || n.Switching {
+			continue
+		}
+		s.TotalNodes++
+		if c.nodeIdle(n) {
+			s.IdleNodes++
+		}
+	}
+	return s
+}
+
+// SwitchJobScript renders the Figure-4 PBS batch script for a switch
+// to the target OS; the v1 Linux donor path parses and submits it so
+// the artifact drives the real request shape.
+func (c *Cluster) SwitchJobScript(target osid.OS) string {
+	return fmt.Sprintf(`#!/bin/bash
+#PBS -l nodes=1:ppn=%d
+#PBS -N release_1_node
+#PBS -q default
+#PBS -j oe
+#PBS -o reboot_log.out
+#PBS -r n
+echo $PBS_JOBID >>/home/dualboot/reboot_log/rebootjob.log #write logs
+sudo /boot/swap/bootcontrol.pl /boot/swap/controlmenu.lst %s #changes default boot OS
+sudo reboot #reboot node
+sleep 10 #leave 10 seconds to avoid job be finished before reboot
+`, c.cfg.CoresPerNode, target)
+}
+
+// OrderSwitch implements controller.Gateway: submit switch batch jobs
+// on the donor side. Submitting through the scheduler is the paper's
+// central trick — "job scheduler can automatically locate free nodes,
+// and all the running jobs can be protected from other accidental
+// operations".
+func (c *Cluster) OrderSwitch(donor, target osid.OS, count int) int {
+	if count <= 0 || !donor.Valid() || !target.Valid() || donor == target {
+		return 0
+	}
+	// In the final v2 design the cluster-wide flag is set once per
+	// order batch (step 4 in Figure 11: "Set Target OS Flag"). The
+	// per-MAC variant cannot act here — the daemon does not yet know
+	// which machine the scheduler will book (the Figure-12 problem) —
+	// so its menu write happens inside the switch job instead.
+	if c.cfg.Mode != HybridV1 && c.PXE != nil && c.PXE.Mode() == pxe.ModeFlag {
+		if c.PXE.Flag() != target {
+			if err := c.PXE.SetFlag(target); err != nil {
+				c.logf("pxe flag error: %v", err)
+				return 0
+			}
+			c.controlActions++
+			c.logf("pxe: target OS flag -> %s", target)
+		}
+	}
+	submitted := 0
+	for i := 0; i < count; i++ {
+		if c.submitSwitchJob(donor, target) {
+			submitted++
+		}
+	}
+	return submitted
+}
+
+// submitSwitchJob books one full node on the donor side; when the job
+// runs it performs the version-specific boot-config action and on exit
+// the node reboots.
+func (c *Cluster) submitSwitchJob(donor, target osid.OS) bool {
+	var bookedHost string
+	exec := func(hosts []string) {
+		if len(hosts) == 0 {
+			return
+		}
+		bookedHost = hosts[0]
+		// Point the booked node's boot config at the target: the FAT
+		// rewrite for v1 (bootcontrol.pl), the per-MAC menu for the
+		// Figure-12 variant, and a no-op in flag mode (the flag was
+		// set before submission).
+		if n, ok := c.byName[bookedHost]; ok {
+			if err := c.pointBootConfig([]*Node{n}, target); err != nil {
+				c.logf("boot config edit failed on %s: %v", bookedHost, err)
+				return
+			}
+			c.logf("switch job: %s boot config -> %s", bookedHost, target)
+		}
+	}
+	onEnd := func() {
+		c.pending[donor]--
+		if bookedHost == "" {
+			return // job died before placement (node loss)
+		}
+		c.beginSwitch(bookedHost, target)
+	}
+
+	switch donor {
+	case osid.Linux:
+		script := c.SwitchJobScript(target)
+		parsed, err := pbs.ParseScript(script)
+		if err != nil {
+			c.logf("switch script parse error: %v", err)
+			return false
+		}
+		req := parsed.Request
+		req.Owner = "dualboot@" + c.PBS.Name()
+		req.Runtime = c.cfg.SwitchJobRuntime
+		req.Exec = exec
+		req.OnEnd = func(*pbs.Job) { onEnd() }
+		if _, err := c.PBS.Qsub(req); err != nil {
+			c.logf("switch qsub failed: %v", err)
+			return false
+		}
+	case osid.Windows:
+		_, err := c.Win.SubmitJob(winhpc.JobSpec{
+			Name:    "release_1_node",
+			Owner:   "HPC\\dualboot",
+			Unit:    winhpc.UnitNode,
+			Count:   1,
+			Runtime: c.cfg.SwitchJobRuntime,
+			Exec:    exec,
+			OnEnd:   func(*winhpc.Job) { onEnd() },
+		})
+		if err != nil {
+			c.logf("switch submit failed: %v", err)
+			return false
+		}
+	default:
+		return false
+	}
+	c.pending[donor]++
+	return true
+}
+
+// beginSwitch takes a node through shutdown → boot chain → re-register
+// on the target side. The boot chain is evaluated *after* shutdown, so
+// a v2 flag flip during shutdown redirects the node — faithful to the
+// single-flag design.
+func (c *Cluster) beginSwitch(name string, target osid.OS) {
+	n, ok := c.byName[name]
+	if !ok || n.Switching || n.Broken {
+		return
+	}
+	from := n.OS
+	n.Switching = true
+	n.Target = target
+	n.OS = osid.None
+	n.HW.Power = hardware.PowerShuttingDown
+	c.Rec.SwitchStarted(name, from, target)
+	c.Rec.NodeDown(from)
+	c.logf("switch: %s %s -> %s (shutdown)", name, from, target)
+
+	// Deregister from the donor scheduler.
+	switch from {
+	case osid.Linux:
+		_ = c.PBS.SetNodeAvailable(name, false)
+	case osid.Windows:
+		_ = c.Win.SetNodeOnline(name, false)
+	}
+
+	c.Eng.After(c.cfg.Latency.Shutdown, func() {
+		n.HW.Power = hardware.PowerBooting
+		res, err := bootmgr.Boot(n.HW, bootmgr.Env{
+			PXE:     c.PXE,
+			Latency: *c.cfg.Latency,
+			Rand:    c.rng,
+		})
+		if err != nil {
+			n.Switching = false
+			n.Broken = true
+			n.HW.Power = hardware.PowerOff
+			c.Rec.SwitchFinished(name, false)
+			c.logf("switch: %s boot FAILED: %v", name, err)
+			return
+		}
+		c.Eng.After(res.Latency, func() {
+			n.Switching = false
+			n.Target = osid.None
+			n.OS = res.OS
+			n.HW.Power = hardware.PowerOn
+			n.HW.BootedOS = res.OS
+			switch res.OS {
+			case osid.Linux:
+				_ = c.PBS.SetNodeAvailable(name, true)
+			case osid.Windows:
+				_ = c.Win.SetNodeOnline(name, true)
+			}
+			c.Rec.NodeUp(res.OS)
+			c.Rec.SwitchFinished(name, res.OS == target)
+			c.logf("switch: %s up in %s after %v", name, res.OS, c.cfg.Latency.Shutdown+res.Latency)
+		})
+	})
+}
+
+// ForceSwitch reboots a specific idle node immediately (administrative
+// action / tests); it bypasses the scheduler booking.
+func (c *Cluster) ForceSwitch(name string, target osid.OS) error {
+	n, ok := c.byName[name]
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %s", name)
+	}
+	if n.Switching {
+		return fmt.Errorf("cluster: %s already switching", name)
+	}
+	if err := c.pointBootConfig([]*Node{n}, target); err != nil {
+		return err
+	}
+	c.beginSwitch(name, target)
+	return nil
+}
+
+// SwitchLatencyEstimate returns the planning estimate for a switch on
+// this cluster's configuration.
+func (c *Cluster) SwitchLatencyEstimate(target osid.OS) time.Duration {
+	viaPXE := c.cfg.Mode != HybridV1
+	grubSec := 10 // control menu timeout
+	if viaPXE {
+		grubSec = 3 // PXE menu timeout
+	}
+	return bootmgr.SwitchLatency(*c.cfg.Latency, target, viaPXE, grubSec)
+}
+
+var _ controller.Gateway = (*Cluster)(nil)

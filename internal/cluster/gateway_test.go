@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/osid"
+)
+
+// Unit tests for the Gateway view the controller decides from.
+
+func TestSideInfoCountsNodesAndIdle(t *testing.T) {
+	c := newCluster(t, Config{Mode: HybridV2, InitialLinux: 10})
+	lin := c.SideInfo(osid.Linux)
+	win := c.SideInfo(osid.Windows)
+	if lin.TotalNodes != 10 || win.TotalNodes != 6 {
+		t.Fatalf("totals = %d/%d", lin.TotalNodes, win.TotalNodes)
+	}
+	if lin.IdleNodes != 10 || win.IdleNodes != 6 {
+		t.Fatalf("idle = %d/%d", lin.IdleNodes, win.IdleNodes)
+	}
+	if lin.CoresPerNode != 4 {
+		t.Fatalf("cores per node = %d", lin.CoresPerNode)
+	}
+}
+
+func TestSideInfoBusyNodesNotIdle(t *testing.T) {
+	c := newCluster(t, Config{Mode: HybridV2, InitialLinux: 8})
+	if _, err := c.Submit(linJob(0, 3, time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.RunFor(time.Minute)
+	lin := c.SideInfo(osid.Linux)
+	if lin.IdleNodes != 5 {
+		t.Fatalf("idle = %d, want 5 (3 busy)", lin.IdleNodes)
+	}
+	if lin.RunningJobs != 1 {
+		t.Fatalf("running = %d", lin.RunningJobs)
+	}
+}
+
+func TestSideInfoQueuedDemand(t *testing.T) {
+	c := newCluster(t, Config{Mode: HybridV2, InitialLinux: 16})
+	// Two Windows jobs queue against a zero-node Windows side.
+	if _, err := c.Submit(winJob(0, 2, time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(winJob(0, 1, time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.RunFor(time.Minute)
+	win := c.SideInfo(osid.Windows)
+	if win.QueuedJobs != 2 {
+		t.Fatalf("queued = %d", win.QueuedJobs)
+	}
+	if win.QueuedCPUs != 12 {
+		t.Fatalf("queued cpus = %d, want 12", win.QueuedCPUs)
+	}
+	if !win.Report.Stuck || win.Report.NeededCPUs != 8 {
+		t.Fatalf("report = %+v", win.Report)
+	}
+}
+
+func TestSideInfoPendingAwayTracksOrders(t *testing.T) {
+	c := newCluster(t, Config{Mode: HybridV2, InitialLinux: 16})
+	if n := c.OrderSwitch(osid.Linux, osid.Windows, 3); n != 3 {
+		t.Fatalf("ordered %d", n)
+	}
+	lin := c.SideInfo(osid.Linux)
+	if lin.PendingAway != 3 {
+		t.Fatalf("pending = %d", lin.PendingAway)
+	}
+	// Orders drain as switch jobs complete and reboots finish.
+	c.Eng.RunFor(time.Hour)
+	lin = c.SideInfo(osid.Linux)
+	if lin.PendingAway != 0 {
+		t.Fatalf("pending after drain = %d", lin.PendingAway)
+	}
+	if c.NodesOn(osid.Windows) != 3 {
+		t.Fatalf("windows nodes = %d", c.NodesOn(osid.Windows))
+	}
+}
+
+func TestSideInfoSwitchingNodesBelongToNeitherSide(t *testing.T) {
+	c := newCluster(t, Config{Mode: HybridV2, InitialLinux: 16})
+	if err := c.ForceSwitch("enode01", osid.Windows); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-switch: the node counts on neither side.
+	c.Eng.RunFor(time.Second)
+	lin := c.SideInfo(osid.Linux)
+	win := c.SideInfo(osid.Windows)
+	if lin.TotalNodes+win.TotalNodes != 15 {
+		t.Fatalf("totals = %d+%d, want 15 while one switches", lin.TotalNodes, win.TotalNodes)
+	}
+	if c.SwitchingCount() != 1 {
+		t.Fatalf("switching = %d", c.SwitchingCount())
+	}
+}
+
+func TestOrderSwitchValidation(t *testing.T) {
+	c := newCluster(t, Config{Mode: HybridV2, InitialLinux: 8})
+	if n := c.OrderSwitch(osid.Linux, osid.Linux, 1); n != 0 {
+		t.Fatal("same-OS order accepted")
+	}
+	if n := c.OrderSwitch(osid.None, osid.Linux, 1); n != 0 {
+		t.Fatal("invalid donor accepted")
+	}
+	if n := c.OrderSwitch(osid.Linux, osid.Windows, 0); n != 0 {
+		t.Fatal("zero count accepted")
+	}
+	if n := c.OrderSwitch(osid.Linux, osid.Windows, -2); n != 0 {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestSideInfoInvalidOS(t *testing.T) {
+	c := newCluster(t, Config{Mode: HybridV2})
+	s := c.SideInfo(osid.None)
+	if s.TotalNodes != 0 || s.Report.Stuck {
+		t.Fatalf("SideInfo(None) = %+v", s)
+	}
+}

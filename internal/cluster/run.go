@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/osid"
+	"repro/internal/pbs"
+	"repro/internal/simtime"
+	"repro/internal/winhpc"
+	"repro/internal/workload"
+)
+
+// This file runs workload traces through the cluster and exposes the
+// snapshot/summary views the experiments and examples consume.
+
+// Submit routes one workload job to the appropriate scheduler now.
+// The returned ID is the metrics key ("<seq>.<fqdn>" for PBS, "W<id>"
+// for Windows HPC).
+func (c *Cluster) Submit(j workload.Job) (string, error) {
+	if err := j.Validate(); err != nil {
+		return "", err
+	}
+	switch j.OS {
+	case osid.Linux:
+		pj, err := c.PBS.Qsub(pbs.SubmitRequest{
+			Name:    j.App,
+			Owner:   j.Owner + "@" + c.PBS.Name(),
+			Nodes:   j.Nodes,
+			PPN:     j.PPN,
+			Runtime: j.Runtime,
+			Rerun:   true, // campus jobs restart if a node is lost
+		})
+		if err != nil {
+			return "", err
+		}
+		c.track(pj.ID, j)
+		return pj.ID, nil
+	case osid.Windows:
+		spec := winhpc.JobSpec{
+			Name:    j.App,
+			Owner:   "HPC\\" + j.Owner,
+			Runtime: j.Runtime,
+			Rerun:   true,
+		}
+		if j.PPN >= c.cfg.CoresPerNode {
+			spec.Unit = winhpc.UnitNode
+			spec.Count = j.Nodes
+		} else {
+			spec.Unit = winhpc.UnitCore
+			spec.Count = j.CPUs()
+		}
+		wj, err := c.Win.SubmitJob(spec)
+		if err != nil {
+			return "", err
+		}
+		id := winJobID(wj.ID)
+		c.track(id, j)
+		return id, nil
+	default:
+		return "", fmt.Errorf("cluster: job %q has no valid OS", j.App)
+	}
+}
+
+func (c *Cluster) track(id string, j workload.Job) {
+	c.Rec.JobSubmitted(id, j.OS, j.App, j.CPUs())
+	c.submitted[id] = true
+	c.unfinished++
+}
+
+// ScheduleTrace arranges every job in the trace for submission at its
+// timestamp.
+func (c *Cluster) ScheduleTrace(trace workload.Trace) error {
+	if err := trace.Validate(); err != nil {
+		return err
+	}
+	for _, j := range trace {
+		j := j
+		c.toSubmit++
+		c.Eng.At(j.At, func() {
+			c.toSubmit--
+			if _, err := c.Submit(j); err != nil {
+				c.logf("submit %s failed: %v", j.App, err)
+			}
+		})
+	}
+	return nil
+}
+
+// Unfinished reports workload jobs not yet completed.
+func (c *Cluster) Unfinished() int { return c.unfinished }
+
+// PendingSubmissions reports trace jobs scheduled but not yet
+// submitted.
+func (c *Cluster) PendingSubmissions() int { return c.toSubmit }
+
+// RunTrace schedules a trace and advances virtual time until every
+// workload job completes, no switches are in flight, or maxHorizon is
+// reached. It returns the metrics summary.
+func (c *Cluster) RunTrace(trace workload.Trace, maxHorizon time.Duration) (metrics.Summary, error) {
+	if err := c.ScheduleTrace(trace); err != nil {
+		return metrics.Summary{}, err
+	}
+	c.RunUntilDrained(maxHorizon)
+	return c.Summary(), nil
+}
+
+// RunUntilDrained advances time in controller-cycle steps until the
+// cluster is quiescent or the horizon is hit.
+func (c *Cluster) RunUntilDrained(maxHorizon time.Duration) {
+	if maxHorizon <= 0 {
+		maxHorizon = simtime.MaxDuration / 2
+	}
+	step := c.cfg.Cycle
+	if step <= 0 {
+		step = 10 * time.Minute
+	}
+	for c.Eng.Now() < maxHorizon {
+		if c.toSubmit == 0 && c.unfinished == 0 && c.SwitchingCount() == 0 {
+			break
+		}
+		next := c.Eng.Now() + step
+		if next > maxHorizon {
+			next = maxHorizon
+		}
+		c.Eng.RunUntil(next)
+	}
+	if c.Mgr != nil {
+		c.Mgr.Stop()
+	}
+	// Drain any in-flight reboots so switch records close.
+	for i := 0; i < 1000 && c.SwitchingCount() > 0 && c.Eng.Now() < maxHorizon; i++ {
+		c.Eng.RunUntil(c.Eng.Now() + time.Minute)
+	}
+}
+
+// Summary digests the run so far.
+func (c *Cluster) Summary() metrics.Summary {
+	return c.Rec.Summarise(c.cfg.Nodes)
+}
+
+// Snapshot is a point-in-time view for time-series plots (the case
+// study's node-shift curve).
+type Snapshot struct {
+	At            time.Duration
+	LinuxNodes    int
+	WindowsNodes  int
+	Switching     int
+	Broken        int
+	LinuxRunning  int
+	LinuxQueued   int
+	WindowsQueued int
+	WindowsRun    int
+}
+
+// TakeSnapshot captures the current state.
+func (c *Cluster) TakeSnapshot() Snapshot {
+	winSnap := c.Win.Snapshot()
+	return Snapshot{
+		At:            c.Eng.Now(),
+		LinuxNodes:    c.NodesOn(osid.Linux),
+		WindowsNodes:  c.NodesOn(osid.Windows),
+		Switching:     c.SwitchingCount(),
+		Broken:        c.BrokenCount(),
+		LinuxRunning:  len(c.PBS.RunningJobs()),
+		LinuxQueued:   len(c.PBS.QueuedJobs()),
+		WindowsQueued: winSnap.Queued,
+		WindowsRun:    winSnap.Running,
+	}
+}
+
+// SampleSeries runs a trace while recording snapshots every interval,
+// returning the series and the final summary.
+func (c *Cluster) SampleSeries(trace workload.Trace, interval, horizon time.Duration) ([]Snapshot, metrics.Summary, error) {
+	if err := c.ScheduleTrace(trace); err != nil {
+		return nil, metrics.Summary{}, err
+	}
+	var series []Snapshot
+	for c.Eng.Now() < horizon {
+		next := c.Eng.Now() + interval
+		if next > horizon {
+			next = horizon
+		}
+		c.Eng.RunUntil(next)
+		series = append(series, c.TakeSnapshot())
+		if c.toSubmit == 0 && c.unfinished == 0 && c.SwitchingCount() == 0 {
+			break
+		}
+	}
+	if c.Mgr != nil {
+		c.Mgr.Stop()
+	}
+	return series, c.Summary(), nil
+}

@@ -1,0 +1,200 @@
+// Package comm implements the head-node communicators of
+// dualboot-oscar: the Windows head sends its queue state to the Linux
+// head over a TCP socket on a fixed cycle, and reboot orders flow back
+// (paper §IV-A3, Figure 11). The protocol is line-based text carrying
+// the Figure-5 detector wire format.
+//
+// Two transports share the same message codec:
+//
+//   - Bus: an in-memory transport driven by the simulation clock, used
+//     by all experiments (deterministic, optional link latency);
+//   - TCP (tcp.go): a real net-based transport used by cmd/dualbootd
+//     and the live-wire integration test.
+package comm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/osid"
+	"repro/internal/simtime"
+)
+
+// Kind enumerates the protocol messages.
+type Kind uint8
+
+const (
+	// KindState carries a detector report ("queue state").
+	KindState Kind = iota
+	// KindReboot orders the receiving head to submit reboot batch jobs
+	// for Count nodes, booting them into Target.
+	KindReboot
+	// KindAck acknowledges receipt.
+	KindAck
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindState:
+		return "STATE"
+	case KindReboot:
+		return "REBOOT"
+	case KindAck:
+		return "ACK"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Message is one protocol datagram.
+type Message struct {
+	Kind   Kind
+	From   osid.OS         // sending head node's side
+	Report detector.Report // KindState payload
+	Target osid.OS         // KindReboot: OS to boot into
+	Count  int             // KindReboot: node count
+}
+
+// Encode renders the wire line (without trailing newline).
+func (m Message) Encode() string {
+	switch m.Kind {
+	case KindState:
+		return fmt.Sprintf("STATE %s %s", m.From, m.Report.Encode())
+	case KindReboot:
+		return fmt.Sprintf("REBOOT %s %s %d", m.From, m.Target, m.Count)
+	case KindAck:
+		return "ACK"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ParseLine decodes a wire line.
+func ParseLine(line string) (Message, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return Message{}, fmt.Errorf("comm: empty message")
+	}
+	switch fields[0] {
+	case "STATE":
+		if len(fields) != 3 {
+			return Message{}, fmt.Errorf("comm: STATE wants 2 args, got %d", len(fields)-1)
+		}
+		from, err := osid.Parse(fields[1])
+		if err != nil || !from.Valid() {
+			return Message{}, fmt.Errorf("comm: STATE: bad side %q", fields[1])
+		}
+		rep, err := detector.Parse(fields[2])
+		if err != nil {
+			return Message{}, fmt.Errorf("comm: STATE: %w", err)
+		}
+		return Message{Kind: KindState, From: from, Report: rep}, nil
+	case "REBOOT":
+		if len(fields) != 4 {
+			return Message{}, fmt.Errorf("comm: REBOOT wants 3 args, got %d", len(fields)-1)
+		}
+		from, err := osid.Parse(fields[1])
+		if err != nil || !from.Valid() {
+			return Message{}, fmt.Errorf("comm: REBOOT: bad side %q", fields[1])
+		}
+		target, err := osid.Parse(fields[2])
+		if err != nil || !target.Valid() {
+			return Message{}, fmt.Errorf("comm: REBOOT: bad target %q", fields[2])
+		}
+		count, err := strconv.Atoi(fields[3])
+		if err != nil || count <= 0 {
+			return Message{}, fmt.Errorf("comm: REBOOT: bad count %q", fields[3])
+		}
+		return Message{Kind: KindReboot, From: from, Target: target, Count: count}, nil
+	case "ACK":
+		return Message{Kind: KindAck}, nil
+	default:
+		return Message{}, fmt.Errorf("comm: unknown verb %q", fields[0])
+	}
+}
+
+// Handler receives delivered messages; from is the sender's endpoint
+// name.
+type Handler func(from string, m Message)
+
+// Stats counts bus traffic.
+type Stats struct {
+	Sent      int
+	Delivered int
+	Dropped   int // sends to unregistered endpoints
+	ByKind    map[Kind]int
+}
+
+// Bus is the simulation transport: named endpoints, deliveries
+// scheduled on the engine after a configurable link latency. A
+// head-node LAN hop in the paper's cluster is sub-millisecond; the
+// default matches that but experiments can inflate it.
+type Bus struct {
+	eng      *simtime.Engine
+	latency  time.Duration
+	handlers map[string]Handler
+	stats    Stats
+}
+
+// NewBus creates an in-memory transport on the engine.
+func NewBus(eng *simtime.Engine, latency time.Duration) *Bus {
+	if latency < 0 {
+		latency = 0
+	}
+	return &Bus{
+		eng:      eng,
+		latency:  latency,
+		handlers: make(map[string]Handler),
+		stats:    Stats{ByKind: make(map[Kind]int)},
+	}
+}
+
+// Register attaches an endpoint; a second registration with the same
+// name replaces the handler (a daemon restart).
+func (b *Bus) Register(name string, h Handler) {
+	if h == nil {
+		delete(b.handlers, name)
+		return
+	}
+	b.handlers[name] = h
+}
+
+// Send encodes and delivers m to the named endpoint after the link
+// latency. Sends to unknown endpoints are counted and dropped — the
+// paper's daemons tolerate the peer being down and retry on the next
+// cycle.
+func (b *Bus) Send(from, to string, m Message) {
+	b.stats.Sent++
+	b.stats.ByKind[m.Kind]++
+	line := m.Encode()
+	b.eng.After(b.latency, func() {
+		h, ok := b.handlers[to]
+		if !ok {
+			b.stats.Dropped++
+			return
+		}
+		// Round-trip through the codec so both transports exercise the
+		// identical wire format.
+		parsed, err := ParseLine(line)
+		if err != nil {
+			b.stats.Dropped++
+			return
+		}
+		b.stats.Delivered++
+		h(from, parsed)
+	})
+}
+
+// Stats returns a copy of the traffic counters.
+func (b *Bus) Stats() Stats {
+	out := b.stats
+	out.ByKind = make(map[Kind]int, len(b.stats.ByKind))
+	for k, v := range b.stats.ByKind {
+		out.ByKind[k] = v
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package comm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/detector"
+	"repro/internal/osid"
+)
+
+// Robustness: the wire parser handles any byte sequence a peer (or a
+// port scanner hitting the head node) might send.
+func TestQuickParseLineNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		m, err := ParseLine(s)
+		if err == nil {
+			// Anything accepted must re-encode and re-parse to the
+			// same message.
+			back, err2 := ParseLine(m.Encode())
+			if err2 != nil || back != m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeState(b *testing.B) {
+	m := Message{Kind: KindState, From: osid.Windows,
+		Report: detector.Report{Stuck: true, NeededCPUs: 16, StuckJobID: "1191.eridani.qgg.hud.ac.uk"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(m.Encode()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkParseState(b *testing.B) {
+	line := Message{Kind: KindState, From: osid.Windows,
+		Report: detector.Report{Stuck: true, NeededCPUs: 16, StuckJobID: "1191.eridani.qgg.hud.ac.uk"}}.Encode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseLine(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package comm
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file is the live transport: the same codec as the Bus but over
+// real TCP sockets, mirroring the paper's Cygwin-compiled C++
+// communicator on the Windows head and the Perl communicator on the
+// Linux head. One message per connection: send a line, read an ACK.
+
+// TCPServer listens for protocol messages.
+type TCPServer struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// ListenTCP starts a server on addr (e.g. "127.0.0.1:0") delivering
+// messages to h from the connection's remote address.
+func ListenTCP(addr string, h Handler) (*TCPServer, error) {
+	if h == nil {
+		return nil, fmt.Errorf("comm: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{ln: ln, handler: h}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for in-flight connections.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *TCPServer) serve(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	m, err := ParseLine(line)
+	if err != nil {
+		fmt.Fprintf(conn, "ERR %v\n", err)
+		return
+	}
+	s.handler(conn.RemoteAddr().String(), m)
+	fmt.Fprintf(conn, "%s\n", Message{Kind: KindAck}.Encode())
+}
+
+// SendTCP delivers one message to a server and waits for the ACK.
+func SendTCP(addr string, m Message, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return fmt.Errorf("comm: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(conn, "%s\n", m.Encode()); err != nil {
+		return fmt.Errorf("comm: send: %w", err)
+	}
+	resp, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("comm: await ack: %w", err)
+	}
+	ack, err := ParseLine(resp)
+	if err != nil || ack.Kind != KindAck {
+		return fmt.Errorf("comm: bad ack %q", resp)
+	}
+	return nil
+}

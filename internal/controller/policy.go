@@ -1,0 +1,243 @@
+// Package controller implements the decision-making heart of
+// dualboot-oscar: the daemon programs on the two head nodes that
+// exchange queue states on a fixed cycle and decide when to reboot
+// idle compute nodes into the other operating system (paper §III-B3,
+// §IV-A, Figure 11).
+//
+// The paper's deployed rule is first-come first-served over stuck
+// queues; §V notes that "this could be improved to adapt the rules
+// from diverse administration requirements", so alongside the paper's
+// policy this package ships the threshold, hysteresis and fair-share
+// extensions exercised by the ablation benchmarks.
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/osid"
+)
+
+// SideState is everything the controller knows about one side of the
+// hybrid when deciding.
+type SideState struct {
+	OS     osid.OS
+	Report detector.Report
+
+	// Node accounting, maintained by the cluster:
+	TotalNodes   int // nodes booted into (or booting toward) this OS
+	IdleNodes    int // up with no busy CPUs
+	PendingAway  int // switch/reboot orders outstanding against this side
+	CoresPerNode int
+
+	// Richer demand info for the extension policies (the paper's
+	// detectors expose only the head of the queue; these come from the
+	// same scheduler interfaces).
+	RunningJobs int
+	QueuedJobs  int
+	QueuedCPUs  int
+}
+
+// DonatableNodes is how many nodes this side could give away right now
+// without touching running work.
+func (s SideState) DonatableNodes() int {
+	n := s.IdleNodes - s.PendingAway
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// nodesFor converts a CPU demand into node count on this side's
+// hardware.
+func (s SideState) nodesFor(cpus int) int {
+	cpn := s.CoresPerNode
+	if cpn <= 0 {
+		cpn = 4
+	}
+	n := (cpus + cpn - 1) / cpn
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Decision is a controller verdict for one cycle.
+type Decision struct {
+	Act    bool
+	Target osid.OS // side that gains nodes
+	Donor  osid.OS // side that loses nodes
+	Nodes  int
+	Reason string
+}
+
+// String renders the decision for logs.
+func (d Decision) String() string {
+	if !d.Act {
+		return "no-switch: " + d.Reason
+	}
+	return fmt.Sprintf("switch %d node(s) %s->%s: %s", d.Nodes, d.Donor, d.Target, d.Reason)
+}
+
+// Policy decides whether to move nodes given both sides' states.
+type Policy interface {
+	Name() string
+	Decide(now time.Duration, linux, windows SideState) Decision
+}
+
+// FCFS is the paper's deployed policy: if exactly one scheduler is
+// stuck and the other side has idle nodes, move enough nodes to run
+// the stuck job. When both are stuck, the Windows request wins the tie
+// because the control cycle begins with the Windows queue state
+// arriving at the Linux decision maker (Figure 11 steps 1–3).
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "fcfs" }
+
+// Decide implements Policy.
+func (FCFS) Decide(now time.Duration, linux, windows SideState) Decision {
+	order := [2]struct{ want, donor SideState }{
+		{windows, linux}, // Windows report arrives first in the cycle
+		{linux, windows},
+	}
+	for _, pair := range order {
+		if !pair.want.Report.Stuck {
+			continue
+		}
+		avail := pair.donor.DonatableNodes()
+		if avail == 0 {
+			continue
+		}
+		need := pair.donor.nodesFor(pair.want.Report.NeededCPUs)
+		n := min(need, avail)
+		return Decision{
+			Act:    true,
+			Target: pair.want.OS,
+			Donor:  pair.donor.OS,
+			Nodes:  n,
+			Reason: fmt.Sprintf("%s stuck on job %s needing %d CPUs", pair.want.OS, pair.want.Report.StuckJobID, pair.want.Report.NeededCPUs),
+		}
+	}
+	return Decision{Reason: "no stuck queue with donatable nodes"}
+}
+
+// Threshold is FCFS plus guard rails: the donor keeps at least Reserve
+// nodes, and a switch only happens when at least MinQueued jobs wait.
+// This is the "don't thrash on a single small job" rule administrators
+// asked for.
+type Threshold struct {
+	Reserve   int // nodes the donor side always keeps
+	MinQueued int // minimum queued jobs on the stuck side
+}
+
+// Name implements Policy.
+func (p Threshold) Name() string { return "threshold" }
+
+// Decide implements Policy.
+func (p Threshold) Decide(now time.Duration, linux, windows SideState) Decision {
+	base := FCFS{}.Decide(now, linux, windows)
+	if !base.Act {
+		return base
+	}
+	want, donor := linux, windows
+	if base.Target == osid.Windows {
+		want, donor = windows, linux
+	}
+	if want.QueuedJobs < p.MinQueued {
+		return Decision{Reason: fmt.Sprintf("only %d queued on %s (< %d)", want.QueuedJobs, want.OS, p.MinQueued)}
+	}
+	afterDonor := donor.TotalNodes - base.Nodes
+	if afterDonor < p.Reserve {
+		n := donor.TotalNodes - p.Reserve
+		if n <= 0 {
+			return Decision{Reason: fmt.Sprintf("%s at reserve floor (%d nodes)", donor.OS, p.Reserve)}
+		}
+		if n > base.Nodes {
+			n = base.Nodes
+		}
+		base.Nodes = n
+		base.Reason += fmt.Sprintf(" (capped by reserve %d)", p.Reserve)
+	}
+	return base
+}
+
+// Hysteresis wraps another policy and enforces a cooldown between
+// switches, preventing the reboot ping-pong the paper's five-minute
+// boot cost makes expensive.
+type Hysteresis struct {
+	Inner    Policy
+	Cooldown time.Duration
+
+	lastSwitch time.Duration
+	switched   bool
+}
+
+// Name implements Policy.
+func (p *Hysteresis) Name() string { return "hysteresis(" + p.Inner.Name() + ")" }
+
+// Decide implements Policy.
+func (p *Hysteresis) Decide(now time.Duration, linux, windows SideState) Decision {
+	d := p.Inner.Decide(now, linux, windows)
+	if !d.Act {
+		return d
+	}
+	if p.switched && now-p.lastSwitch < p.Cooldown {
+		return Decision{Reason: fmt.Sprintf("cooldown: %v since last switch < %v", now-p.lastSwitch, p.Cooldown)}
+	}
+	p.lastSwitch = now
+	p.switched = true
+	return d
+}
+
+// FairShare targets a node split proportional to total queued CPU
+// demand on each side, rather than reacting only to fully stuck
+// queues. It moves at most MaxStep nodes per cycle.
+type FairShare struct {
+	MaxStep int // per-cycle cap, default 2
+}
+
+// Name implements Policy.
+func (p FairShare) Name() string { return "fairshare" }
+
+// Decide implements Policy.
+func (p FairShare) Decide(now time.Duration, linux, windows SideState) Decision {
+	step := p.MaxStep
+	if step <= 0 {
+		step = 2
+	}
+	demandL := linux.QueuedCPUs + linux.RunningJobs // running jobs hold their side
+	demandW := windows.QueuedCPUs + windows.RunningJobs
+	total := linux.TotalNodes + windows.TotalNodes
+	if total == 0 || demandL+demandW == 0 {
+		return Decision{Reason: "no demand"}
+	}
+	wantL := total * demandL / (demandL + demandW)
+	// Keep at least one node on a side that has any demand at all.
+	if demandL > 0 && wantL == 0 {
+		wantL = 1
+	}
+	if demandW > 0 && wantL == total {
+		wantL = total - 1
+	}
+	delta := wantL - linux.TotalNodes
+	switch {
+	case delta > 0:
+		n := min(min(delta, step), windows.DonatableNodes())
+		if n <= 0 {
+			return Decision{Reason: "windows has nothing to donate"}
+		}
+		return Decision{Act: true, Target: osid.Linux, Donor: osid.Windows, Nodes: n,
+			Reason: fmt.Sprintf("fair split wants %d linux nodes, have %d", wantL, linux.TotalNodes)}
+	case delta < 0:
+		n := min(min(-delta, step), linux.DonatableNodes())
+		if n <= 0 {
+			return Decision{Reason: "linux has nothing to donate"}
+		}
+		return Decision{Act: true, Target: osid.Windows, Donor: osid.Linux, Nodes: n,
+			Reason: fmt.Sprintf("fair split wants %d linux nodes, have %d", wantL, linux.TotalNodes)}
+	default:
+		return Decision{Reason: "split already fair"}
+	}
+}

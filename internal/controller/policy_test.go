@@ -1,0 +1,327 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/osid"
+)
+
+func side(os osid.OS, total, idle int) SideState {
+	return SideState{OS: os, TotalNodes: total, IdleNodes: idle, CoresPerNode: 4}
+}
+
+func stuck(s SideState, cpus int, id string) SideState {
+	s.Report = detector.Report{Stuck: true, NeededCPUs: cpus, StuckJobID: id}
+	s.QueuedJobs = 1
+	s.QueuedCPUs = cpus
+	return s
+}
+
+func TestFCFSNoStuckNoAction(t *testing.T) {
+	d := FCFS{}.Decide(0, side(osid.Linux, 8, 2), side(osid.Windows, 8, 8))
+	if d.Act {
+		t.Fatalf("acted with nothing stuck: %+v", d)
+	}
+}
+
+func TestFCFSLinuxStuckTakesWindowsIdle(t *testing.T) {
+	lin := stuck(side(osid.Linux, 8, 0), 8, "5.eridani")
+	win := side(osid.Windows, 8, 6)
+	d := FCFS{}.Decide(0, lin, win)
+	if !d.Act || d.Target != osid.Linux || d.Donor != osid.Windows {
+		t.Fatalf("d = %+v", d)
+	}
+	if d.Nodes != 2 { // 8 CPUs / 4 per node
+		t.Fatalf("nodes = %d, want 2", d.Nodes)
+	}
+	if !strings.Contains(d.Reason, "5.eridani") {
+		t.Fatalf("reason = %q", d.Reason)
+	}
+}
+
+func TestFCFSWindowsStuckTakesLinuxIdle(t *testing.T) {
+	lin := side(osid.Linux, 10, 5)
+	win := stuck(side(osid.Windows, 6, 0), 4, "9.WINHEAD")
+	d := FCFS{}.Decide(0, lin, win)
+	if !d.Act || d.Target != osid.Windows || d.Donor != osid.Linux || d.Nodes != 1 {
+		t.Fatalf("d = %+v", d)
+	}
+}
+
+func TestFCFSCappedByDonatable(t *testing.T) {
+	lin := stuck(side(osid.Linux, 8, 0), 64, "big")
+	win := side(osid.Windows, 8, 3)
+	d := FCFS{}.Decide(0, lin, win)
+	if d.Nodes != 3 {
+		t.Fatalf("nodes = %d, want 3 (donor limit)", d.Nodes)
+	}
+}
+
+func TestFCFSPendingAwayReducesDonatable(t *testing.T) {
+	lin := stuck(side(osid.Linux, 8, 0), 64, "big")
+	win := side(osid.Windows, 8, 3)
+	win.PendingAway = 2
+	d := FCFS{}.Decide(0, lin, win)
+	if d.Nodes != 1 {
+		t.Fatalf("nodes = %d, want 1 (3 idle - 2 pending)", d.Nodes)
+	}
+	win.PendingAway = 3
+	d = FCFS{}.Decide(0, lin, win)
+	if d.Act {
+		t.Fatalf("acted with nothing donatable: %+v", d)
+	}
+}
+
+func TestFCFSBothStuckWindowsWinsTie(t *testing.T) {
+	// Both queues stuck with idle nodes on both sides (e.g. jobs just
+	// finished everywhere): the Windows request is served first because
+	// its report opens the control cycle.
+	lin := stuck(side(osid.Linux, 8, 4), 4, "L")
+	win := stuck(side(osid.Windows, 8, 4), 4, "W")
+	d := FCFS{}.Decide(0, lin, win)
+	if !d.Act || d.Target != osid.Windows {
+		t.Fatalf("tie break = %+v", d)
+	}
+}
+
+func TestFCFSZeroCPUStuckStillMovesOneNode(t *testing.T) {
+	// A stuck report with CPUs=0 (malformed or zero-core request) still
+	// moves one node rather than zero.
+	lin := stuck(side(osid.Linux, 8, 0), 0, "odd")
+	win := side(osid.Windows, 8, 2)
+	d := FCFS{}.Decide(0, lin, win)
+	if !d.Act || d.Nodes != 1 {
+		t.Fatalf("d = %+v", d)
+	}
+}
+
+func TestThresholdMinQueued(t *testing.T) {
+	p := Threshold{MinQueued: 3}
+	lin := stuck(side(osid.Linux, 8, 0), 4, "j")
+	lin.QueuedJobs = 1
+	win := side(osid.Windows, 8, 8)
+	if d := p.Decide(0, lin, win); d.Act {
+		t.Fatalf("acted below MinQueued: %+v", d)
+	}
+	lin.QueuedJobs = 3
+	if d := p.Decide(0, lin, win); !d.Act {
+		t.Fatalf("did not act at MinQueued: %+v", d)
+	}
+}
+
+func TestThresholdReserveCapsNodes(t *testing.T) {
+	p := Threshold{Reserve: 6}
+	lin := stuck(side(osid.Linux, 8, 0), 16, "j")
+	win := side(osid.Windows, 8, 8)
+	d := p.Decide(0, lin, win)
+	if !d.Act || d.Nodes != 2 {
+		t.Fatalf("d = %+v, want 2 nodes (8 total - 6 reserve)", d)
+	}
+}
+
+func TestThresholdReserveFloorBlocks(t *testing.T) {
+	p := Threshold{Reserve: 8}
+	lin := stuck(side(osid.Linux, 8, 0), 4, "j")
+	win := side(osid.Windows, 8, 8)
+	if d := p.Decide(0, lin, win); d.Act {
+		t.Fatalf("acted at reserve floor: %+v", d)
+	}
+}
+
+func TestThresholdPassThroughNoAction(t *testing.T) {
+	p := Threshold{Reserve: 1, MinQueued: 1}
+	if d := p.Decide(0, side(osid.Linux, 8, 8), side(osid.Windows, 8, 8)); d.Act {
+		t.Fatalf("acted with no stuck side: %+v", d)
+	}
+}
+
+func TestHysteresisCooldown(t *testing.T) {
+	p := &Hysteresis{Inner: FCFS{}, Cooldown: 30 * time.Minute}
+	lin := stuck(side(osid.Linux, 8, 0), 4, "j")
+	win := side(osid.Windows, 8, 8)
+
+	d := p.Decide(0, lin, win)
+	if !d.Act {
+		t.Fatalf("first switch blocked: %+v", d)
+	}
+	d = p.Decide(10*time.Minute, lin, win)
+	if d.Act {
+		t.Fatalf("switch inside cooldown: %+v", d)
+	}
+	d = p.Decide(31*time.Minute, lin, win)
+	if !d.Act {
+		t.Fatalf("switch after cooldown blocked: %+v", d)
+	}
+}
+
+func TestHysteresisNoActionDoesNotArmCooldown(t *testing.T) {
+	p := &Hysteresis{Inner: FCFS{}, Cooldown: time.Hour}
+	idle := side(osid.Linux, 8, 8)
+	win := side(osid.Windows, 8, 8)
+	p.Decide(0, idle, win) // nothing stuck, no switch
+	d := p.Decide(time.Minute, stuck(idle, 4, "j"), win)
+	if !d.Act {
+		t.Fatalf("cooldown armed by a no-op cycle: %+v", d)
+	}
+}
+
+func TestFairShareMovesTowardDemand(t *testing.T) {
+	p := FairShare{MaxStep: 4}
+	lin := side(osid.Linux, 8, 0)
+	lin.QueuedCPUs = 48
+	lin.QueuedJobs = 6
+	win := side(osid.Windows, 8, 8)
+	d := p.Decide(0, lin, win)
+	if !d.Act || d.Target != osid.Linux {
+		t.Fatalf("d = %+v", d)
+	}
+	if d.Nodes < 1 || d.Nodes > 4 {
+		t.Fatalf("nodes = %d outside step bound", d.Nodes)
+	}
+}
+
+func TestFairShareRespectsMaxStep(t *testing.T) {
+	p := FairShare{MaxStep: 1}
+	lin := side(osid.Linux, 2, 0)
+	lin.QueuedCPUs = 100
+	win := side(osid.Windows, 14, 14)
+	d := p.Decide(0, lin, win)
+	if !d.Act || d.Nodes != 1 {
+		t.Fatalf("d = %+v", d)
+	}
+}
+
+func TestFairShareBalancedNoMove(t *testing.T) {
+	p := FairShare{}
+	lin := side(osid.Linux, 8, 2)
+	lin.QueuedCPUs = 16
+	win := side(osid.Windows, 8, 2)
+	win.QueuedCPUs = 16
+	if d := p.Decide(0, lin, win); d.Act {
+		t.Fatalf("moved on balanced demand: %+v", d)
+	}
+}
+
+func TestFairShareNoDemand(t *testing.T) {
+	p := FairShare{}
+	if d := p.Decide(0, side(osid.Linux, 8, 8), side(osid.Windows, 8, 8)); d.Act {
+		t.Fatalf("moved with no demand: %+v", d)
+	}
+}
+
+func TestFairShareKeepsOneNodePerDemandingSide(t *testing.T) {
+	p := FairShare{MaxStep: 16}
+	lin := side(osid.Linux, 8, 0)
+	lin.QueuedCPUs = 1000
+	lin.QueuedJobs = 10
+	win := side(osid.Windows, 8, 8)
+	win.QueuedCPUs = 4
+	win.QueuedJobs = 1
+	d := p.Decide(0, lin, win)
+	if !d.Act {
+		t.Fatal("no move")
+	}
+	if win.TotalNodes-d.Nodes < 1 {
+		t.Fatalf("windows stripped to %d nodes despite demand", win.TotalNodes-d.Nodes)
+	}
+}
+
+func TestDonatableNodes(t *testing.T) {
+	s := SideState{IdleNodes: 3, PendingAway: 1}
+	if s.DonatableNodes() != 2 {
+		t.Fatalf("= %d", s.DonatableNodes())
+	}
+	s.PendingAway = 5
+	if s.DonatableNodes() != 0 {
+		t.Fatalf("= %d, want clamp at 0", s.DonatableNodes())
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	d := Decision{Act: true, Target: osid.Linux, Donor: osid.Windows, Nodes: 2, Reason: "r"}
+	if !strings.Contains(d.String(), "windows->linux") {
+		t.Fatalf("String() = %q", d.String())
+	}
+	n := Decision{Reason: "idle"}
+	if !strings.Contains(n.String(), "no-switch") {
+		t.Fatalf("String() = %q", n.String())
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (FCFS{}).Name() != "fcfs" {
+		t.Error("fcfs name")
+	}
+	if (Threshold{}).Name() != "threshold" {
+		t.Error("threshold name")
+	}
+	h := &Hysteresis{Inner: FCFS{}}
+	if h.Name() != "hysteresis(fcfs)" {
+		t.Errorf("hysteresis name = %q", h.Name())
+	}
+	if (FairShare{}).Name() != "fairshare" {
+		t.Error("fairshare name")
+	}
+}
+
+func TestNodesForRounding(t *testing.T) {
+	s := SideState{CoresPerNode: 4}
+	cases := map[int]int{0: 1, 1: 1, 4: 1, 5: 2, 8: 2, 9: 3}
+	for cpus, want := range cases {
+		if got := s.nodesFor(cpus); got != want {
+			t.Errorf("nodesFor(%d) = %d, want %d", cpus, got, want)
+		}
+	}
+	zero := SideState{}
+	if zero.nodesFor(8) != 2 {
+		t.Error("default cores-per-node not applied")
+	}
+}
+
+// Property: no policy ever orders more nodes than the donor can give,
+// targets an invalid OS, or acts without demand.
+func TestQuickPoliciesRespectDonatable(t *testing.T) {
+	policies := []Policy{FCFS{}, Threshold{Reserve: 1, MinQueued: 1}, FairShare{MaxStep: 3}}
+	f := func(linTotal, linIdle, winTotal, winIdle, cpus uint8, linStuck, winStuck bool) bool {
+		lin := SideState{OS: osid.Linux, CoresPerNode: 4,
+			TotalNodes: int(linTotal % 16), IdleNodes: int(linIdle % 16)}
+		if lin.IdleNodes > lin.TotalNodes {
+			lin.IdleNodes = lin.TotalNodes
+		}
+		win := SideState{OS: osid.Windows, CoresPerNode: 4,
+			TotalNodes: int(winTotal % 16), IdleNodes: int(winIdle % 16)}
+		if win.IdleNodes > win.TotalNodes {
+			win.IdleNodes = win.TotalNodes
+		}
+		if linStuck {
+			lin = stuck(lin, int(cpus), "L")
+		}
+		if winStuck {
+			win = stuck(win, int(cpus), "W")
+		}
+		for _, p := range policies {
+			d := p.Decide(0, lin, win)
+			if !d.Act {
+				continue
+			}
+			if !d.Target.Valid() || !d.Donor.Valid() || d.Target == d.Donor {
+				return false
+			}
+			donor := lin
+			if d.Donor == osid.Windows {
+				donor = win
+			}
+			if d.Nodes <= 0 || d.Nodes > donor.DonatableNodes() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package core is the dualboot-oscar middleware façade: it assembles
+// a hybrid cluster, drives a workload through it and digests the
+// outcome. The experiments in bench_test.go, the qsim CLI and the
+// examples all run through this package; the repository root package
+// re-exports it as the public API.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/metrics"
+	"repro/internal/osid"
+	"repro/internal/workload"
+)
+
+// Scenario is one configured run: a cluster organisation plus a job
+// trace.
+type Scenario struct {
+	Name    string
+	Cluster cluster.Config
+	Trace   workload.Trace
+	// Horizon bounds virtual time (default: trace span + 48h).
+	Horizon time.Duration
+	// SampleInterval, when positive, records a node-count time series.
+	SampleInterval time.Duration
+}
+
+// Result is a completed scenario.
+type Result struct {
+	Name           string
+	Mode           cluster.Mode
+	Summary        metrics.Summary
+	Series         []cluster.Snapshot
+	ControlActions int
+	Controller     controller.Stats
+	BrokenNodes    int
+	Events         []cluster.Event
+	AppStats       []metrics.AppStat
+}
+
+// Run executes a scenario from time zero.
+func Run(sc Scenario) (Result, error) {
+	if err := sc.Trace.Validate(); err != nil {
+		return Result{}, fmt.Errorf("core: %w", err)
+	}
+	horizon := sc.Horizon
+	if horizon <= 0 {
+		horizon = sc.Trace.Span() + 48*time.Hour
+	}
+	c, err := cluster.New(sc.Cluster)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Name: sc.Name, Mode: c.Config().Mode}
+	if sc.SampleInterval > 0 {
+		series, sum, err := c.SampleSeries(sc.Trace, sc.SampleInterval, horizon)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Series = series
+		res.Summary = sum
+	} else {
+		sum, err := c.RunTrace(sc.Trace, horizon)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Summary = sum
+	}
+	res.ControlActions = c.ControlActions()
+	res.BrokenNodes = c.BrokenCount()
+	res.Events = c.Events()
+	res.AppStats = c.Rec.AppStats()
+	if c.Mgr != nil {
+		res.Controller = c.Mgr.Stats()
+	}
+	return res, nil
+}
+
+// CompareModes runs the same trace through several cluster
+// organisations (fresh cluster per mode, identical seed) and returns
+// results in mode order — the harness behind the bi-stable vs
+// mono-stable vs static comparisons.
+func CompareModes(modes []cluster.Mode, base cluster.Config, trace workload.Trace, horizon time.Duration) ([]Result, error) {
+	var out []Result
+	for _, m := range modes {
+		cfg := base
+		cfg.Mode = m
+		r, err := Run(Scenario{
+			Name:    m.String(),
+			Cluster: cfg,
+			Trace:   trace,
+			Horizon: horizon,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: mode %v: %w", m, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ResultRow renders a result as a table row for the experiment
+// harness: mode, utilisation, per-OS waits, switches, completion.
+func ResultRow(r Result) []string {
+	s := r.Summary
+	completed := s.JobsCompleted[osid.Linux] + s.JobsCompleted[osid.Windows]
+	submitted := s.JobsSubmitted[osid.Linux] + s.JobsSubmitted[osid.Windows]
+	return []string{
+		r.Name,
+		metrics.Pct(s.Utilisation),
+		metrics.Dur(s.MeanWait[osid.Linux]),
+		metrics.Dur(s.MeanWait[osid.Windows]),
+		fmt.Sprintf("%d", s.Switches),
+		metrics.Dur(s.MeanSwitch),
+		fmt.Sprintf("%d/%d", completed, submitted),
+	}
+}
+
+// ResultHeader matches ResultRow.
+func ResultHeader() []string {
+	return []string{"scenario", "util", "wait(L)", "wait(W)", "switches", "mean-switch", "done/subm"}
+}
+
+// ComparisonTable renders results for display.
+func ComparisonTable(results []Result) string {
+	rows := make([][]string, len(results))
+	for i, r := range results {
+		rows[i] = ResultRow(r)
+	}
+	return metrics.Table(ResultHeader(), rows)
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/osid"
+	"repro/internal/workload"
+)
+
+func smallTrace() workload.Trace {
+	return workload.Trace{
+		{At: 0, App: "DL_POLY", OS: osid.Linux, Owner: "u1", Nodes: 2, PPN: 4, Runtime: time.Hour},
+		{At: 10 * time.Minute, App: "Backburner", OS: osid.Windows, Owner: "u2", Nodes: 1, PPN: 4, Runtime: 30 * time.Minute},
+	}
+}
+
+func TestRunScenario(t *testing.T) {
+	res, err := Run(Scenario{
+		Name:    "smoke",
+		Cluster: cluster.Config{Mode: cluster.HybridV2, Cycle: 5 * time.Minute},
+		Trace:   smallTrace(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != cluster.HybridV2 {
+		t.Fatalf("mode = %v", res.Mode)
+	}
+	s := res.Summary
+	if s.JobsCompleted[osid.Linux] != 1 || s.JobsCompleted[osid.Windows] != 1 {
+		t.Fatalf("completed = %v", s.JobsCompleted)
+	}
+	if s.Utilisation <= 0 {
+		t.Fatalf("utilisation = %v", s.Utilisation)
+	}
+	if res.Controller.Cycles == 0 {
+		t.Fatal("controller never cycled")
+	}
+}
+
+func TestRunScenarioWithSeries(t *testing.T) {
+	res, err := Run(Scenario{
+		Name:           "series",
+		Cluster:        cluster.Config{Mode: cluster.HybridV2, InitialLinux: 16, Cycle: 5 * time.Minute},
+		Trace:          smallTrace(),
+		SampleInterval: 10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("no series recorded")
+	}
+}
+
+func TestRunRejectsBadTrace(t *testing.T) {
+	bad := workload.Trace{{At: 0, App: "x", OS: osid.None, Nodes: 1, PPN: 1, Runtime: time.Minute}}
+	if _, err := Run(Scenario{Cluster: cluster.Config{Mode: cluster.Static}, Trace: bad}); err == nil {
+		t.Fatal("bad trace accepted")
+	}
+}
+
+func TestCompareModes(t *testing.T) {
+	modes := []cluster.Mode{cluster.Static, cluster.HybridV2}
+	results, err := CompareModes(modes, cluster.Config{Cycle: 5 * time.Minute, InitialLinux: 8}, smallTrace(), 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Name != "static-split" || results[1].Name != "hybrid-v2" {
+		t.Fatalf("names = %v, %v", results[0].Name, results[1].Name)
+	}
+	table := ComparisonTable(results)
+	for _, want := range []string{"scenario", "util", "static-split", "hybrid-v2"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestResultRowShape(t *testing.T) {
+	res, err := Run(Scenario{
+		Name:    "row",
+		Cluster: cluster.Config{Mode: cluster.Static, InitialLinux: 8},
+		Trace:   smallTrace(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := ResultRow(res)
+	if len(row) != len(ResultHeader()) {
+		t.Fatalf("row len %d != header len %d", len(row), len(ResultHeader()))
+	}
+	if row[0] != "row" {
+		t.Fatalf("row[0] = %q", row[0])
+	}
+	if !strings.HasSuffix(row[len(row)-1], "/2") {
+		t.Fatalf("completion cell = %q", row[len(row)-1])
+	}
+}

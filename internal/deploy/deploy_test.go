@@ -1,0 +1,351 @@
+package deploy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hardware"
+)
+
+func TestParseV2IdeDiskFigure14(t *testing.T) {
+	l, err := ParseIdeDisk(V2IdeDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := l.Partitions()
+	if len(parts) != 4 {
+		t.Fatalf("partitions = %d", len(parts))
+	}
+	if !parts[0].Skip() || parts[0].Index != 1 || parts[0].SizeMB != 16000 {
+		t.Fatalf("sda1 = %+v", parts[0])
+	}
+	if parts[1].TypeName != "ext3" || parts[1].MountPoint != "/boot" || !parts[1].Bootable {
+		t.Fatalf("sda2 = %+v", parts[1])
+	}
+	if parts[2].TypeName != "swap" || parts[2].Index != 5 {
+		t.Fatalf("sda5 = %+v", parts[2])
+	}
+	if parts[3].SizeMB != -1 || parts[3].MountPoint != "/" {
+		t.Fatalf("sda6 = %+v", parts[3])
+	}
+	if !l.HasSkip() {
+		t.Fatal("skip not detected")
+	}
+	if l.BootPartition() != 2 {
+		t.Fatalf("boot partition = %d", l.BootPartition())
+	}
+	// Virtual entries (tmpfs, nfs) parsed but not partitions.
+	if len(l.Entries) != 6 {
+		t.Fatalf("entries = %d", len(l.Entries))
+	}
+}
+
+func TestParseV1IdeDisk(t *testing.T) {
+	l, err := ParseIdeDisk(V1IdeDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.HasSkip() {
+		t.Fatal("v1 layout should not use skip")
+	}
+	var fat, ntfs bool
+	for _, e := range l.Partitions() {
+		if e.TypeName == "fat" {
+			fat = true
+		}
+		if e.TypeName == "ntfs" {
+			ntfs = true
+		}
+	}
+	if !fat || !ntfs {
+		t.Fatalf("v1 layout needs fat + ntfs: fat=%v ntfs=%v", fat, ntfs)
+	}
+}
+
+func TestIdeDiskRenderRoundTrip(t *testing.T) {
+	for _, src := range []string{V1IdeDisk, V2IdeDisk} {
+		l, err := ParseIdeDisk(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := ParseIdeDisk(l.Render())
+		if err != nil {
+			t.Fatalf("re-parse: %v\n%s", err, l.Render())
+		}
+		if len(again.Entries) != len(l.Entries) {
+			t.Fatalf("entries %d != %d", len(again.Entries), len(l.Entries))
+		}
+		for i := range l.Entries {
+			if again.Entries[i] != l.Entries[i] {
+				t.Fatalf("entry %d: %+v != %+v", i, again.Entries[i], l.Entries[i])
+			}
+		}
+	}
+}
+
+func TestParseIdeDiskErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"/dev/sda1\n",
+		"/dev/sda1 x ext3 /\n",
+		"/dev/sda1 -5 ext3 /\n",
+		"/dev/sda1 100 zfs /\n",
+		"/dev/sda1 - ext3 /\n",
+		"/dev/sda1 100 ext3 /\n/dev/sda1 100 swap\n",
+		"/dev/shm - tmpfs /dev/shm defaults\n", // no partitions at all
+	} {
+		if _, err := ParseIdeDisk(src); err == nil {
+			t.Errorf("ParseIdeDisk(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseIdeDiskComments(t *testing.T) {
+	l, err := ParseIdeDisk("# layout\n\n/dev/sda1 100 ext3 / defaults bootable\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Partitions()) != 1 || !l.Partitions()[0].Bootable {
+		t.Fatalf("parsed = %+v", l.Partitions())
+	}
+}
+
+func TestParseDiskpartFigures(t *testing.T) {
+	for name, src := range map[string]string{
+		"fig9": OriginalDiskpart, "fig10": V1Diskpart, "fig15": V2ReimageDiskpart,
+	} {
+		s, err := ParseDiskpart(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Ops[len(s.Ops)-1].Verb != "exit" {
+			t.Errorf("%s: last op = %q", name, s.Ops[len(s.Ops)-1].Verb)
+		}
+	}
+	s, _ := ParseDiskpart(V1Diskpart)
+	var create DiskpartOp
+	for _, op := range s.Ops {
+		if op.Verb == "create" {
+			create = op
+		}
+	}
+	if create.Args["size"] != "150000" {
+		t.Fatalf("create args = %v", create.Args)
+	}
+}
+
+func TestParseDiskpartErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"select disk\nexit\n",
+		"create volume primary\nexit\n",
+		"create partition primary size\nexit\n",
+		"defragment\nexit\n",
+	} {
+		if _, err := ParseDiskpart(src); err == nil {
+			t.Errorf("ParseDiskpart(%q) succeeded", src)
+		}
+	}
+}
+
+// linuxDisk builds a disk with a v1-era Linux install plus Windows.
+func linuxDisk(t *testing.T) *hardware.Disk {
+	t.Helper()
+	d := hardware.NewDisk(250000)
+	win, _ := d.AddPartition(1, 150000)
+	win.Format(hardware.FSNTFS)
+	win.WriteFile(WindowsBootFile, []byte("w"))
+	d.SetActive(1)
+	boot, _ := d.AddPartition(2, 100)
+	boot.Format(hardware.FSExt3)
+	boot.WriteFile("/grub/menu.lst", []byte("default 0"))
+	swap, _ := d.AddPartition(5, 512)
+	swap.Format(hardware.FSSwap)
+	fat, _ := d.AddPartition(6, 100)
+	fat.Format(hardware.FSFAT)
+	fat.WriteFile("/controlmenu.lst", []byte("default 0"))
+	root, _ := d.AddPartition(7, -1)
+	root.Format(hardware.FSExt3)
+	root.WriteFile("/etc/redhat-release", []byte("CentOS"))
+	d.InstallGRUB(2, "/grub/menu.lst")
+	return d
+}
+
+func TestExecuteOriginalDiskpartWipesDisk(t *testing.T) {
+	d := linuxDisk(t)
+	s, _ := ParseDiskpart(OriginalDiskpart)
+	res, err := s.Execute(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cleaned || res.PartitionsWiped != 5 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.FilesLost == 0 {
+		t.Fatal("no files counted lost")
+	}
+	parts := d.Partitions()
+	if len(parts) != 1 || parts[0].SizeMB != d.SizeMB {
+		t.Fatalf("post-clean table = %v", d)
+	}
+	if res.ActiveIndex != 1 {
+		t.Fatalf("active = %d", res.ActiveIndex)
+	}
+}
+
+func TestExecuteV1DiskpartReservesSpace(t *testing.T) {
+	d := hardware.NewDisk(250000)
+	s, _ := ParseDiskpart(V1Diskpart)
+	res, err := s.Execute(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Partition(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SizeMB != 150000 || p.Type != hardware.FSNTFS || p.Label != "Node" {
+		t.Fatalf("p = %+v", p)
+	}
+	if d.FreeMB() != 100000 {
+		t.Fatalf("free = %d, want 100000 left for Linux", d.FreeMB())
+	}
+	if len(res.FormattedIndexes) != 1 || res.FormattedIndexes[0] != 1 {
+		t.Fatalf("formatted = %v", res.FormattedIndexes)
+	}
+}
+
+func TestExecuteV2ReimagePreservesLinux(t *testing.T) {
+	d := linuxDisk(t)
+	s, _ := ParseDiskpart(V2ReimageDiskpart)
+	res, err := s.Execute(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cleaned {
+		t.Fatal("v2 reimage cleaned the disk")
+	}
+	// Linux partitions intact with their files.
+	for _, idx := range []int{2, 5, 6, 7} {
+		if !d.HasPartition(idx) {
+			t.Fatalf("partition %d lost", idx)
+		}
+	}
+	boot, _ := d.Partition(2)
+	if !boot.HasFile("/grub/menu.lst") {
+		t.Fatal("Linux /boot contents lost")
+	}
+	// Windows partition reformatted.
+	win, _ := d.Partition(1)
+	if win.FileCount() != 0 {
+		t.Fatal("windows partition not reformatted")
+	}
+}
+
+func TestExecuteDiskpartErrors(t *testing.T) {
+	cases := []string{
+		"clean\nexit\n",                         // no disk selected
+		"select disk 0\nselect partition 9\n",   // missing partition
+		"select disk 0\nformat FS=NTFS\nexit\n", // no partition selected
+		"select disk 0\nactive\nexit\n",
+		"select disk 0\nassign letter=c\nexit\n",
+		"select disk 0\nclean\ncreate partition primary size=999999999\nexit\n",
+		"select disk 0\nclean\ncreate partition primary\nformat FS=FOO\nexit\n",
+		"select partition x\nexit\n",
+		"select volume 1\nexit\n",
+		"select disk 0\nclean\ncreate partition logical\nexit\n",
+	}
+	for _, src := range cases {
+		s, err := ParseDiskpart(src)
+		if err != nil {
+			continue // parse-level rejection also fine
+		}
+		d := hardware.NewDisk(250000)
+		if _, err := s.Execute(d); err == nil {
+			t.Errorf("Execute(%q) succeeded", src)
+		}
+	}
+}
+
+func TestDeployWindowsFreshDisk(t *testing.T) {
+	n := hardware.NewNode(hardware.NodeSpec{Index: 1})
+	s, _ := ParseDiskpart(V1Diskpart)
+	rep, err := DeployWindows(n, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TargetPartition != 1 || !rep.MBRRewritten || rep.GRUBDestroyed {
+		t.Fatalf("rep = %+v", rep)
+	}
+	p, _ := n.Disk.Partition(1)
+	if !p.HasFile(WindowsBootFile) || !p.HasFile(WindowsSystemFile) {
+		t.Fatal("windows files missing")
+	}
+	if n.Disk.MBR.Loader != hardware.BootWindows {
+		t.Fatalf("MBR = %v", n.Disk.MBR.Loader)
+	}
+}
+
+func TestDeployWindowsV1ReimageDestroysLinux(t *testing.T) {
+	n := hardware.NewNode(hardware.NodeSpec{Index: 1})
+	n.Disk = linuxDisk(t)
+	s, _ := ParseDiskpart(V1Diskpart)
+	rep, err := DeployWindows(n, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.GRUBDestroyed {
+		t.Fatal("GRUB survived a clean-based reimage?")
+	}
+	if rep.LinuxPartitionsLost != 4 {
+		t.Fatalf("linux partitions lost = %d, want 4", rep.LinuxPartitionsLost)
+	}
+	if rep.FilesLost == 0 {
+		t.Fatal("no data loss recorded")
+	}
+}
+
+func TestDeployWindowsV2ReimageKeepsLinuxData(t *testing.T) {
+	n := hardware.NewNode(hardware.NodeSpec{Index: 1})
+	n.Disk = linuxDisk(t)
+	s, _ := ParseDiskpart(V2ReimageDiskpart)
+	rep, err := DeployWindows(n, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LinuxPartitionsLost != 0 {
+		t.Fatalf("linux partitions lost = %d", rep.LinuxPartitionsLost)
+	}
+	// The MBR is still rewritten (paper: "always rewrites MBR") — v2
+	// survives because boot moved to PXE, not because the MBR is safe.
+	if !rep.MBRRewritten || !rep.GRUBDestroyed {
+		t.Fatalf("rep = %+v", rep)
+	}
+	root, _ := n.Disk.Partition(7)
+	if !root.HasFile("/etc/redhat-release") {
+		t.Fatal("linux root lost")
+	}
+}
+
+func TestDeployWindowsNoActivePartition(t *testing.T) {
+	n := hardware.NewNode(hardware.NodeSpec{Index: 1})
+	s, err := ParseDiskpart("select disk 0\nclean\ncreate partition primary\nformat FS=NTFS LABEL=\"Node\" QUICK OVERRIDE\nexit\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DeployWindows(n, s); err == nil {
+		t.Fatal("deployment without active partition succeeded")
+	}
+}
+
+func TestDeployWindowsWrongFS(t *testing.T) {
+	n := hardware.NewNode(hardware.NodeSpec{Index: 1})
+	d := n.Disk
+	p, _ := d.AddPartition(1, 1000)
+	p.Format(hardware.FSExt3)
+	d.SetActive(1)
+	s, _ := ParseDiskpart("select disk 0\nselect partition 1\nactive\nexit\n")
+	if _, err := DeployWindows(n, s); err == nil || !strings.Contains(err.Error(), "ntfs") {
+		t.Fatalf("err = %v", err)
+	}
+}

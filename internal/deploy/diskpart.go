@@ -1,0 +1,227 @@
+package deploy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/hardware"
+)
+
+// This file implements the diskpart.txt scripts Windows HPC's
+// deployment tool feeds to diskpart.exe. The paper patches the stock
+// script (Figure 9: wipe the whole disk) into a size-limited variant
+// (Figure 10) and, for v2 reimaging, a format-partition-1-only variant
+// (Figure 15) that leaves the Linux partitions alone.
+
+// DiskpartOp is one parsed script statement.
+type DiskpartOp struct {
+	Verb string // select / clean / create / format / assign / active / exit
+	Args map[string]string
+}
+
+// DiskpartScript is a parsed diskpart.txt.
+type DiskpartScript struct {
+	Ops []DiskpartOp
+}
+
+// ParseDiskpart parses a diskpart.txt script. Figures 9, 10 and 15
+// parse verbatim.
+func ParseDiskpart(text string) (*DiskpartScript, error) {
+	s := &DiskpartScript{}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "rem") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		op := DiskpartOp{Verb: strings.ToLower(fields[0]), Args: map[string]string{}}
+		switch op.Verb {
+		case "select":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("deploy: diskpart line %d: select wants object and id", lineNo+1)
+			}
+			op.Args["object"] = strings.ToLower(fields[1])
+			op.Args["id"] = fields[2]
+		case "create":
+			if len(fields) < 3 || strings.ToLower(fields[1]) != "partition" {
+				return nil, fmt.Errorf("deploy: diskpart line %d: only 'create partition' supported", lineNo+1)
+			}
+			op.Args["type"] = strings.ToLower(fields[2])
+			for _, f := range fields[3:] {
+				k, v, ok := strings.Cut(f, "=")
+				if !ok {
+					return nil, fmt.Errorf("deploy: diskpart line %d: bad argument %q", lineNo+1, f)
+				}
+				op.Args[strings.ToLower(k)] = v
+			}
+		case "format":
+			for _, f := range fields[1:] {
+				if k, v, ok := strings.Cut(f, "="); ok {
+					op.Args[strings.ToLower(k)] = strings.Trim(v, `"`)
+				} else {
+					op.Args[strings.ToLower(f)] = "true"
+				}
+			}
+		case "assign":
+			for _, f := range fields[1:] {
+				if k, v, ok := strings.Cut(f, "="); ok {
+					op.Args[strings.ToLower(k)] = v
+				}
+			}
+		case "clean", "active", "exit":
+			// no arguments
+		default:
+			return nil, fmt.Errorf("deploy: diskpart line %d: unknown verb %q", lineNo+1, fields[0])
+		}
+		s.Ops = append(s.Ops, op)
+	}
+	if len(s.Ops) == 0 {
+		return nil, fmt.Errorf("deploy: empty diskpart script")
+	}
+	return s, nil
+}
+
+// DiskpartResult reports what a script execution did — the raw
+// material for the deployment experiments.
+type DiskpartResult struct {
+	Cleaned          bool
+	PartitionsWiped  int // pre-existing partitions destroyed (clean)
+	FormattedIndexes []int
+	CreatedIndexes   []int
+	ActiveIndex      int
+	FilesLost        int // files destroyed by clean/format
+}
+
+// Execute runs the script against a disk. It mirrors diskpart
+// semantics: an implicit current-partition cursor, "clean" destroying
+// the table and the MBR, "format" wiping the selected partition.
+func (s *DiskpartScript) Execute(disk *hardware.Disk) (DiskpartResult, error) {
+	var res DiskpartResult
+	var cur *hardware.Partition
+	diskSelected := false
+	for i, op := range s.Ops {
+		switch op.Verb {
+		case "select":
+			switch op.Args["object"] {
+			case "disk":
+				diskSelected = true
+			case "partition":
+				idx, err := strconv.Atoi(op.Args["id"])
+				if err != nil {
+					return res, fmt.Errorf("deploy: diskpart op %d: bad partition id %q", i+1, op.Args["id"])
+				}
+				p, err := disk.Partition(idx)
+				if err != nil {
+					return res, fmt.Errorf("deploy: diskpart op %d: %w", i+1, err)
+				}
+				cur = p
+			default:
+				return res, fmt.Errorf("deploy: diskpart op %d: cannot select %q", i+1, op.Args["object"])
+			}
+		case "clean":
+			if !diskSelected {
+				return res, fmt.Errorf("deploy: diskpart op %d: clean with no disk selected", i+1)
+			}
+			for _, p := range disk.Partitions() {
+				res.FilesLost += p.FileCount()
+			}
+			res.PartitionsWiped = len(disk.Partitions())
+			res.Cleaned = true
+			disk.Clean()
+			cur = nil
+		case "create":
+			if op.Args["type"] != "primary" {
+				return res, fmt.Errorf("deploy: diskpart op %d: only primary partitions supported", i+1)
+			}
+			size := int64(-1)
+			if v, ok := op.Args["size"]; ok {
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || n <= 0 {
+					return res, fmt.Errorf("deploy: diskpart op %d: bad size %q", i+1, v)
+				}
+				size = n
+			}
+			p, err := disk.CreateNextPrimary(size)
+			if err != nil {
+				return res, fmt.Errorf("deploy: diskpart op %d: %w", i+1, err)
+			}
+			cur = p
+			res.CreatedIndexes = append(res.CreatedIndexes, p.Index)
+		case "format":
+			if cur == nil {
+				return res, fmt.Errorf("deploy: diskpart op %d: format with no partition selected", i+1)
+			}
+			fsName := strings.ToLower(op.Args["fs"])
+			fs, err := hardware.ParseFSType(fsName)
+			if err != nil || fs == hardware.FSNone {
+				return res, fmt.Errorf("deploy: diskpart op %d: bad FS %q", i+1, op.Args["fs"])
+			}
+			res.FilesLost += cur.FileCount()
+			cur.Format(fs)
+			if label, ok := op.Args["label"]; ok {
+				cur.Label = label
+			}
+			res.FormattedIndexes = append(res.FormattedIndexes, cur.Index)
+		case "assign":
+			if cur == nil {
+				return res, fmt.Errorf("deploy: diskpart op %d: assign with no partition selected", i+1)
+			}
+			// drive letters have no observable effect in the model
+		case "active":
+			if cur == nil {
+				return res, fmt.Errorf("deploy: diskpart op %d: active with no partition selected", i+1)
+			}
+			if err := disk.SetActive(cur.Index); err != nil {
+				return res, fmt.Errorf("deploy: diskpart op %d: %w", i+1, err)
+			}
+			res.ActiveIndex = cur.Index
+		case "exit":
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// OriginalDiskpart is Figure 9: the stock Windows HPC script that
+// wipes the entire disk.
+const OriginalDiskpart = `select disk 0
+clean
+create partition primary
+assign letter=c
+format FS=NTFS LABEL="Node" QUICK OVERRIDE
+active
+exit
+`
+
+// V1Diskpart is Figure 10: dualboot-oscar 1.0's patch reserving only
+// part of the disk for Windows (150 GB of the 250 GB disks).
+const V1Diskpart = `select disk 0
+clean
+create partition primary size=150000
+assign letter=c
+format FS=NTFS LABEL="Node" QUICK OVERRIDE
+active
+exit
+`
+
+// V2ReimageDiskpart is Figure 15: the v2 reimaging script that only
+// reformats partition 1, leaving the Linux partitions and their data
+// untouched.
+const V2ReimageDiskpart = `select disk 0
+select partition 1
+format FS=NTFS LABEL="Node" QUICK OVERRIDE
+active
+exit
+`
+
+// V2InitialDiskpart sizes the Windows partition to match Figure 14's
+// ide.disk (16 GB) for a from-scratch v2 install.
+const V2InitialDiskpart = `select disk 0
+clean
+create partition primary size=16000
+assign letter=c
+format FS=NTFS LABEL="Node" QUICK OVERRIDE
+active
+exit
+`

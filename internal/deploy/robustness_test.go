@@ -1,0 +1,70 @@
+package deploy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hardware"
+)
+
+// Robustness: deployment file parsers and the diskpart interpreter
+// must never panic on arbitrary input.
+
+func TestQuickParseIdeDiskNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseIdeDisk(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParseDiskpartNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		script, err := ParseDiskpart(s)
+		if err == nil {
+			// Anything parsed must execute without panicking either
+			// (errors are fine).
+			d := hardware.NewDisk(1000)
+			_, _ = script.Execute(d)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParseIdeDiskV2(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseIdeDisk(V2IdeDisk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiskpartExecute(b *testing.B) {
+	script, err := ParseDiskpart(V1Diskpart)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := hardware.NewDisk(250000)
+		if _, err := script.Execute(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package deploy
+
+import (
+	"fmt"
+
+	"repro/internal/hardware"
+)
+
+// WindowsBootFile mirrors bootmgr.WindowsBootFile; deploy writes it,
+// bootmgr reads it. Kept as a separate constant to avoid an import
+// cycle through the boot chain.
+const WindowsBootFile = "/bootmgr"
+
+// WindowsSystemFile marks an installed Windows Server system root.
+const WindowsSystemFile = "/Windows/System32/ntoskrnl.exe"
+
+// WindowsReport describes what a Windows deployment did to a node.
+type WindowsReport struct {
+	Diskpart        DiskpartResult
+	TargetPartition int
+	MBRRewritten    bool
+	GRUBDestroyed   bool // an MBR GRUB was present and is now gone
+	// LinuxPartitionsLost counts ext3/swap/FAT partitions destroyed by
+	// the script (the v1 clean-based reimage kills them all; the v2
+	// partition-1 script kills none).
+	LinuxPartitionsLost int
+	FilesLost           int
+}
+
+// DeployWindows runs a diskpart script against the node's disk and
+// installs Windows Server onto the resulting active partition. As on
+// real hardware, Windows setup unconditionally rewrites the MBR — the
+// exact behaviour that wrecks GRUB under dualboot-oscar v1.
+func DeployWindows(node *hardware.Node, script *DiskpartScript) (WindowsReport, error) {
+	var rep WindowsReport
+	disk := node.Disk
+
+	hadGRUB := disk.MBR.Loader == hardware.BootGRUB
+	linuxBefore := countLinuxPartitions(disk)
+
+	res, err := script.Execute(disk)
+	if err != nil {
+		return rep, fmt.Errorf("deploy: windows: %w", err)
+	}
+	rep.Diskpart = res
+	rep.FilesLost = res.FilesLost
+	rep.LinuxPartitionsLost = linuxBefore - countLinuxPartitions(disk)
+	if rep.LinuxPartitionsLost < 0 {
+		rep.LinuxPartitionsLost = 0
+	}
+
+	target, ok := disk.ActivePartition()
+	if !ok {
+		return rep, fmt.Errorf("deploy: windows: script left no active partition")
+	}
+	if target.Type != hardware.FSNTFS {
+		return rep, fmt.Errorf("deploy: windows: active partition %d is %s, want ntfs", target.Index, target.Type)
+	}
+	rep.TargetPartition = target.Index
+	if err := target.WriteFile(WindowsBootFile, []byte("Windows Boot Manager")); err != nil {
+		return rep, err
+	}
+	if err := target.WriteFile(WindowsSystemFile, []byte("Windows Server 2008 R2")); err != nil {
+		return rep, err
+	}
+
+	disk.InstallWindowsMBR()
+	rep.MBRRewritten = true
+	rep.GRUBDestroyed = hadGRUB
+	return rep, nil
+}
+
+func countLinuxPartitions(disk *hardware.Disk) int {
+	n := 0
+	for _, p := range disk.Partitions() {
+		switch p.Type {
+		case hardware.FSExt3, hardware.FSSwap, hardware.FSFAT:
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,314 @@
+package detector
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/pbs"
+	"repro/internal/simtime"
+	"repro/internal/winhpc"
+)
+
+func TestEncodeNotStuck(t *testing.T) {
+	got := Report{}.Encode()
+	// Figure 6, first output: "00000none"
+	if got != "00000none" {
+		t.Fatalf("Encode = %q, want 00000none", got)
+	}
+}
+
+func TestEncodeStuckMatchesFigure6(t *testing.T) {
+	// Figure 6, third output: "100041191.eridani.qgg.hud.ac.uk"
+	r := Report{Stuck: true, NeededCPUs: 4, StuckJobID: "1191.eridani.qgg.hud.ac.uk"}
+	if got := r.Encode(); got != "100041191.eridani.qgg.hud.ac.uk" {
+		t.Fatalf("Encode = %q", got)
+	}
+}
+
+func TestParseFigure6Outputs(t *testing.T) {
+	r, err := Parse("00000none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stuck || r.NeededCPUs != 0 || r.StuckJobID != "none" {
+		t.Fatalf("r = %+v", r)
+	}
+
+	r, err = Parse("100041191.eridani.qgg.hud.ac.uk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Stuck || r.NeededCPUs != 4 || r.StuckJobID != "1191.eridani.qgg.hud.ac.uk" {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "1", "10004", "2000Xnone", "1abcdnone", "1-001none"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestEncodeClampsCPUs(t *testing.T) {
+	r := Report{Stuck: true, NeededCPUs: 123456, StuckJobID: "x"}
+	if got := r.Encode(); !strings.HasPrefix(got, "19999") {
+		t.Fatalf("Encode = %q", got)
+	}
+	r = Report{Stuck: true, NeededCPUs: -3, StuckJobID: "x"}
+	if got := r.Encode(); !strings.HasPrefix(got, "10000") {
+		t.Fatalf("Encode = %q", got)
+	}
+}
+
+func TestEncodeTruncatesLongID(t *testing.T) {
+	long := strings.Repeat("j", 100)
+	r := Report{Stuck: true, NeededCPUs: 4, StuckJobID: long}
+	enc := r.Encode()
+	if len(enc) != 5+63 {
+		t.Fatalf("len = %d, want 68", len(enc))
+	}
+	back, err := Parse(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.StuckJobID != long[:63] {
+		t.Fatalf("id = %q", back.StuckJobID)
+	}
+}
+
+// Property: Encode→Parse round-trips any report with in-range fields.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(stuck bool, cpus uint16, idBytes []byte) bool {
+		id := strings.Map(func(r rune) rune {
+			if r < 33 || r > 126 {
+				return 'x'
+			}
+			return r
+		}, string(idBytes))
+		if len(id) > 63 {
+			id = id[:63]
+		}
+		if id == "" {
+			id = "none"
+		}
+		r := Report{Stuck: stuck, NeededCPUs: int(cpus % 10000), StuckJobID: id}
+		back, err := Parse(r.Encode())
+		return err == nil && back == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newPBS(t *testing.T) (*simtime.Engine, *pbs.Server, *PBSDetector) {
+	t.Helper()
+	eng := simtime.NewEngine()
+	s := pbs.NewServer(eng, "eridani.qgg.hud.ac.uk")
+	for _, n := range []string{"enode01", "enode02"} {
+		if _, err := s.AddNode(n, 4, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng, s, NewPBSDetector(s)
+}
+
+func TestPBSDetectorOtherState(t *testing.T) {
+	_, _, d := newPBS(t)
+	rep, err := d.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stuck || rep.Encode() != "00000none" {
+		t.Fatalf("rep = %+v", rep)
+	}
+	desc, err := d.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"00000none", "Other state", "R=0 nR=0"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("describe missing %q:\n%s", want, desc)
+		}
+	}
+}
+
+func TestPBSDetectorRunningNoQueue(t *testing.T) {
+	eng, s, d := newPBS(t)
+	s.Qsub(pbs.SubmitRequest{Name: "sleep", Owner: "sliang@eridani.qgg.hud.ac.uk",
+		Nodes: 1, PPN: 4, Runtime: time.Hour})
+	eng.RunUntil(time.Second)
+	rep, err := d.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stuck {
+		t.Fatalf("rep = %+v", rep)
+	}
+	desc, _ := d.Describe()
+	for _, want := range []string{"00000none", "Job running, no queuing.", "R=1 nR=0",
+		"1.eridani.qgg.hud.ac.uk", "Job_Name=sleep", "state=R"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("describe missing %q:\n%s", want, desc)
+		}
+	}
+}
+
+func TestPBSDetectorStuck(t *testing.T) {
+	eng, s, d := newPBS(t)
+	// Both nodes are booted into Windows (down on the PBS side), so a
+	// feasible job wedges the queue with nothing running — the exact
+	// situation the dual-boot controller exists to resolve.
+	s.SetNodeAvailable("enode01", false)
+	s.SetNodeAvailable("enode02", false)
+	s.Qsub(pbs.SubmitRequest{Name: "big", Nodes: 2, PPN: 4, Runtime: time.Hour})
+	eng.RunUntil(time.Second)
+	rep, err := d.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Stuck || rep.NeededCPUs != 8 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	if rep.StuckJobID != "1.eridani.qgg.hud.ac.uk" {
+		t.Fatalf("id = %q", rep.StuckJobID)
+	}
+	desc, _ := d.Describe()
+	for _, want := range []string{"Queue stuck", "R=0 nR=1"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("describe missing %q:\n%s", want, desc)
+		}
+	}
+}
+
+func TestPBSDetectorRunningAndQueuedNotStuck(t *testing.T) {
+	eng, s, d := newPBS(t)
+	s.Qsub(pbs.SubmitRequest{Name: "a", Nodes: 2, PPN: 4, Runtime: time.Hour})
+	s.Qsub(pbs.SubmitRequest{Name: "b", Nodes: 1, PPN: 4, Runtime: time.Hour})
+	eng.RunUntil(time.Second)
+	rep, _ := d.Detect()
+	if rep.Stuck {
+		t.Fatalf("busy cluster misreported stuck: %+v", rep)
+	}
+	desc, _ := d.Describe()
+	if !strings.Contains(desc, "Job running, jobs queuing.") {
+		t.Errorf("describe:\n%s", desc)
+	}
+}
+
+func TestPBSDetectorScrapesTextNotInternals(t *testing.T) {
+	// Point the detector at canned Figure-6-era text to prove it is a
+	// pure text scraper.
+	d := &PBSDetector{
+		QstatF: func() string {
+			return "Job Id: 1191.eridani.qgg.hud.ac.uk\n    Job_Name = dlpoly\n    job_state = Q\n    Resource_List.nodes = 1:ppn=4\n"
+		},
+		PBSNodes: func() string { return "" },
+	}
+	rep, err := d.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Encode() != "100041191.eridani.qgg.hud.ac.uk" {
+		t.Fatalf("wire = %q", rep.Encode())
+	}
+}
+
+func TestPBSDetectorParseError(t *testing.T) {
+	d := &PBSDetector{
+		QstatF:   func() string { return "    orphan = line\n" },
+		PBSNodes: func() string { return "" },
+	}
+	if _, err := d.Detect(); err == nil {
+		t.Fatal("parse error not propagated")
+	}
+	if _, err := d.Describe(); err == nil {
+		t.Fatal("describe error not propagated")
+	}
+}
+
+func newWin(t *testing.T) (*simtime.Engine, *winhpc.Scheduler, *WinHPCDetector) {
+	t.Helper()
+	eng := simtime.NewEngine()
+	s := winhpc.NewScheduler(eng, "WINHEAD")
+	for _, n := range []string{"ENODE01", "ENODE02"} {
+		if _, err := s.AddNode(n, 4, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng, s, NewWinHPCDetector(s)
+}
+
+func TestWinDetectorStates(t *testing.T) {
+	eng, s, d := newWin(t)
+	rep, err := d.Detect()
+	if err != nil || rep.Stuck {
+		t.Fatalf("empty: %+v, %v", rep, err)
+	}
+
+	// Both nodes rebooted into Linux: feasible work wedges the queue.
+	s.SetNodeOnline("ENODE01", false)
+	s.SetNodeOnline("ENODE02", false)
+	s.SubmitJob(winhpc.JobSpec{Name: "backburner", Unit: winhpc.UnitNode, Count: 2, Runtime: time.Hour})
+	eng.RunUntil(time.Second)
+	rep, err = d.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Stuck || rep.NeededCPUs != 8 {
+		t.Fatalf("stuck rep = %+v", rep)
+	}
+	if !strings.HasSuffix(rep.StuckJobID, ".WINHEAD") {
+		t.Fatalf("id = %q", rep.StuckJobID)
+	}
+	if rep.Encode()[:5] != "10008" {
+		t.Fatalf("wire = %q", rep.Encode())
+	}
+}
+
+func TestWinDetectorDescribe(t *testing.T) {
+	eng, s, d := newWin(t)
+	s.SubmitJob(winhpc.JobSpec{Name: "matlab", Unit: winhpc.UnitCore, Count: 2, Runtime: time.Hour})
+	eng.RunUntil(time.Second)
+	desc, err := d.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"00000none", "Job running, no queuing.", "R=1 nR=0", "Job_Name=matlab", "state=Running"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("describe missing %q:\n%s", want, desc)
+		}
+	}
+}
+
+func TestDetectorsShareWireFormat(t *testing.T) {
+	// Both sides stuck with the same demand must produce wire strings
+	// that parse to equivalent reports (modulo the job-ID namespace).
+	engP, sp, dp := newPBS(t)
+	sp.SetNodeAvailable("enode01", false)
+	sp.SetNodeAvailable("enode02", false)
+	sp.Qsub(pbs.SubmitRequest{Name: "x", Nodes: 2, PPN: 4, Runtime: time.Hour})
+	engP.RunUntil(time.Second)
+	engW, sw, dw := newWin(t)
+	sw.SetNodeOnline("ENODE01", false)
+	sw.SetNodeOnline("ENODE02", false)
+	sw.SubmitJob(winhpc.JobSpec{Name: "x", Unit: winhpc.UnitNode, Count: 2, Runtime: time.Hour})
+	engW.RunUntil(time.Second)
+
+	rp, err := dp.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := dw.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, _ := Parse(rp.Encode())
+	pw, _ := Parse(rw.Encode())
+	if !pp.Stuck || !pw.Stuck || pp.NeededCPUs != pw.NeededCPUs {
+		t.Fatalf("pbs=%+v win=%+v", pp, pw)
+	}
+}

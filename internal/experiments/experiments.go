@@ -1,0 +1,69 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation as text tables: the same scenarios the
+// bench_test.go harness measures, digested for human reading. The
+// cmd/benchtab binary prints them; EXPERIMENTS.md records one run.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Table is one regenerated experiment artifact.
+type Table struct {
+	ID     string // "E1", "A3", ...
+	Title  string // paper artifact being reproduced
+	Header []string
+	Rows   [][]string
+	Notes  string // expected shape, caveats, substitutions
+}
+
+// Render formats the experiment for terminal output.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	b.WriteString(metrics.Table(t.Header, t.Rows))
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Runner produces one experiment table.
+type Runner struct {
+	ID  string
+	Run func() (Table, error)
+}
+
+// All returns every experiment in index order.
+func All() []Runner {
+	return []Runner{
+		{"E1", E1TableI},
+		{"E2", E2GrubArtifacts},
+		{"E3", E3SwitchJob},
+		{"E4", E4DetectorWire},
+		{"E5", E5PBSText},
+		{"E6", E6Diskpart},
+		{"E7", E7IdeDisk},
+		{"E8", E8ControlLoop},
+		{"E9", E9SwitchLatency},
+		{"E10", E10BiVsMono},
+		{"E11", E11MatlabGA},
+		{"E12", E12MixSweep},
+		{"A1", A1CycleInterval},
+		{"A2", A2Policies},
+		{"A3", A3SwitchCost},
+	}
+}
+
+// ByID finds a runner.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if strings.EqualFold(r.ID, id) {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

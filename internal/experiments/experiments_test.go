@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is slow")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tab, err := r.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.ID != r.ID {
+				t.Fatalf("table ID %q != runner ID %q", tab.ID, r.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Fatalf("row %d has %d cells, header %d", i, len(row), len(tab.Header))
+				}
+			}
+			out := tab.Render()
+			if !strings.Contains(out, tab.ID) || !strings.Contains(out, tab.Header[0]) {
+				t.Fatalf("render:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E1"); !ok {
+		t.Fatal("E1 not found")
+	}
+	if _, ok := ByID("e11"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("phantom experiment found")
+	}
+}
+
+func TestExpectedShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// E8: the v2 flag mechanism (row 2) uses fewer control actions
+	// than both v1 (row 0) and the per-MAC variant (row 1) for the
+	// same switch count.
+	tab, err := E8ControlLoop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("E8 rows = %d", len(tab.Rows))
+	}
+	flagActions := tab.Rows[2][2]
+	if tab.Rows[0][2] <= flagActions || tab.Rows[1][2] <= flagActions {
+		t.Fatalf("flag actions %s should undercut v1 %s and per-MAC %s",
+			flagActions, tab.Rows[0][2], tab.Rows[1][2])
+	}
+	// E9: every row reports under-5m = true.
+	tab, err = E9SwitchLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("switch exceeded 5m: %v", row)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bootmgr"
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/osid"
+	"repro/internal/workload"
+)
+
+// wideBurst is the canonical stuck-queue scenario: one wide Windows
+// job against an all-Linux cluster.
+func wideBurst() workload.Trace {
+	return workload.Burst(workload.BurstConfig{
+		Start: 0, Jobs: 1, Gap: time.Minute, App: "ANSYS FLUENT",
+		OS: osid.Windows, Nodes: 4, PPN: 4, Runtime: time.Hour, Owner: "cfd",
+	})
+}
+
+// alternating builds recurring Windows bursts over a Linux background.
+func alternating(seed int64) workload.Trace {
+	lin := workload.Poisson(workload.PoissonConfig{
+		Seed: seed, Duration: 24 * time.Hour, JobsPerHour: 2, WindowsFrac: 0, MaxNodes: 4,
+	})
+	var bursts workload.Trace
+	for i := 0; i < 4; i++ {
+		bursts = append(bursts, workload.Burst(workload.BurstConfig{
+			Start: time.Duration(i*6) * time.Hour, Jobs: 4, Gap: 2 * time.Minute,
+			App: "Backburner", OS: osid.Windows, Nodes: 2, PPN: 4,
+			Runtime: 45 * time.Minute, Owner: "render",
+		})...)
+	}
+	return workload.Merge(lin, bursts)
+}
+
+// E8ControlLoop compares the v1 and v2 control loops on the same
+// stuck-queue scenario.
+func E8ControlLoop() (Table, error) {
+	t := Table{
+		ID:     "E8",
+		Title:  "Figures 1/11–13 control loop: v1 FAT vs v2 per-MAC vs v2 flag",
+		Header: []string{"mechanism", "switches", "control-actions", "win-wait", "completed"},
+		Notes:  "v1 edits one FAT file per node; the Figure-12 per-MAC variant writes one menu per node; the final flag design (Figure 13) sets it once per direction change",
+	}
+	variants := []struct {
+		name string
+		cfg  cluster.Config
+	}{
+		{"v1 (FAT file)", cluster.Config{Mode: cluster.HybridV1, InitialLinux: 16, Cycle: 5 * time.Minute}},
+		{"v2 per-MAC (Fig 12)", cluster.Config{Mode: cluster.HybridV2, PerMACBoot: true, InitialLinux: 16, Cycle: 5 * time.Minute}},
+		{"v2 flag (Fig 13)", cluster.Config{Mode: cluster.HybridV2, InitialLinux: 16, Cycle: 5 * time.Minute}},
+	}
+	for _, v := range variants {
+		res, err := core.Run(core.Scenario{Name: v.name, Cluster: v.cfg, Trace: wideBurst()})
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			v.name,
+			fmt.Sprintf("%d", res.Summary.Switches),
+			fmt.Sprintf("%d", res.ControlActions),
+			metrics.Dur(res.Summary.MeanWait[osid.Windows]),
+			fmt.Sprintf("%d", res.Summary.JobsCompleted[osid.Windows]),
+		})
+	}
+	return t, nil
+}
+
+// E9SwitchLatency measures the switch-latency distribution against the
+// paper's five-minute bound.
+func E9SwitchLatency() (Table, error) {
+	t := Table{
+		ID:     "E9",
+		Title:  "OS switch latency (paper: \"no more than five minutes\")",
+		Header: []string{"version", "direction", "mean", "max", "samples", "under-5m"},
+	}
+	for _, mode := range []cluster.Mode{cluster.HybridV1, cluster.HybridV2} {
+		c, err := cluster.New(cluster.Config{Mode: mode, Nodes: 16, InitialLinux: 16, Seed: 7})
+		if err != nil {
+			return t, err
+		}
+		target := osid.Windows
+		for round := 0; round < 6; round++ {
+			for n := 1; n <= 16; n++ {
+				_ = c.ForceSwitch(fmt.Sprintf("enode%02d", n), target)
+			}
+			c.Eng.RunFor(time.Hour)
+			target = target.Other()
+		}
+		byDir := map[osid.OS][]time.Duration{}
+		for _, sw := range c.Rec.Switches() {
+			if sw.OK {
+				byDir[sw.To] = append(byDir[sw.To], sw.Duration())
+			}
+		}
+		for _, dir := range []osid.OS{osid.Linux, osid.Windows} {
+			samples := byDir[dir]
+			var sum, max time.Duration
+			for _, d := range samples {
+				sum += d
+				if d > max {
+					max = d
+				}
+			}
+			if len(samples) == 0 {
+				continue
+			}
+			mean := sum / time.Duration(len(samples))
+			t.Rows = append(t.Rows, []string{
+				mode.String(), "-> " + dir.String(),
+				metrics.Dur(mean), metrics.Dur(max),
+				fmt.Sprintf("%d", len(samples)),
+				fmt.Sprintf("%v", max <= 5*time.Minute),
+			})
+		}
+	}
+	return t, nil
+}
+
+// E10BiVsMono compares the bi-stable hybrid to the mono-stable
+// one-scheduler baseline on recurring Windows bursts.
+func E10BiVsMono() (Table, error) {
+	t := Table{
+		ID:     "E10",
+		Title:  "bi-stable vs mono-stable (§III-C, ref [5])",
+		Header: core.ResultHeader(),
+		Notes:  "bi-stable keeps a warm Windows pool: fewer reboots and faster Windows service",
+	}
+	results, err := core.CompareModes(
+		[]cluster.Mode{cluster.HybridV2, cluster.MonoStable},
+		cluster.Config{InitialLinux: 16, Cycle: 5 * time.Minute},
+		alternating(42), 72*time.Hour)
+	if err != nil {
+		return t, err
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, core.ResultRow(r))
+	}
+	return t, nil
+}
+
+// E11MatlabGA reproduces the Eridani MATLAB-MDCS case study with a
+// node-count time series.
+func E11MatlabGA() (Table, error) {
+	res, err := core.Run(core.Scenario{
+		Name:           "matlab-ga",
+		Cluster:        cluster.Config{Mode: cluster.HybridV2, InitialLinux: 16, Cycle: 5 * time.Minute},
+		Trace:          workload.MatlabGACase(7),
+		Horizon:        48 * time.Hour,
+		SampleInterval: time.Hour,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "E11",
+		Title:  "Eridani case study: MATLAB MDCS GA burst (§IV-B)",
+		Header: []string{"t", "linux-nodes", "win-nodes", "switching", "linQ", "winQ"},
+		Notes: fmt.Sprintf("GA jobs completed: %d/10; mean Windows wait %s; switches %d",
+			res.Summary.JobsCompleted[osid.Windows],
+			metrics.Dur(res.Summary.MeanWait[osid.Windows]),
+			res.Summary.Switches),
+	}
+	for _, s := range res.Series {
+		t.Rows = append(t.Rows, []string{
+			metrics.Dur(s.At),
+			fmt.Sprintf("%d", s.LinuxNodes),
+			fmt.Sprintf("%d", s.WindowsNodes),
+			fmt.Sprintf("%d", s.Switching),
+			fmt.Sprintf("%d", s.LinuxQueued),
+			fmt.Sprintf("%d", s.WindowsQueued),
+		})
+	}
+	return t, nil
+}
+
+// E12MixSweep sweeps the Windows demand share over the phased
+// wide-job workload: hybrid vs static utilisation.
+func E12MixSweep() (Table, error) {
+	t := Table{
+		ID:     "E12",
+		Title:  "utilisation: hybrid vs static split across demand mixes (§I)",
+		Header: []string{"windows-share", "hybrid-util", "static-util", "hybrid-done", "static-done"},
+		Notes:  "wide jobs exceed the 8-node static halves; the split strands them (Torque rejects as infeasible)",
+	}
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		trace := workload.PhasedWideMix(workload.PhasedConfig{Seed: 99, Phases: 8, WindowsFrac: frac})
+		results, err := core.CompareModes(
+			[]cluster.Mode{cluster.HybridV2, cluster.Static},
+			cluster.Config{InitialLinux: 8, Cycle: 5 * time.Minute},
+			trace, 96*time.Hour)
+		if err != nil {
+			return t, err
+		}
+		h, s := results[0].Summary, results[1].Summary
+		t.Rows = append(t.Rows, []string{
+			metrics.Pct(frac),
+			metrics.Pct(h.Utilisation),
+			metrics.Pct(s.Utilisation),
+			fmt.Sprintf("%d/%d", h.JobsCompleted[osid.Linux]+h.JobsCompleted[osid.Windows], len(trace)),
+			fmt.Sprintf("%d/%d", s.JobsCompleted[osid.Linux]+s.JobsCompleted[osid.Windows], len(trace)),
+		})
+	}
+	return t, nil
+}
+
+// A1CycleInterval ablates the detector reporting cycle.
+func A1CycleInterval() (Table, error) {
+	t := Table{
+		ID:     "A1",
+		Title:  "ablation: detector cycle interval (paper used 5–10 min)",
+		Header: []string{"cycle", "win-wait", "messages", "switches"},
+		Notes:  "shorter cycles cut queue wait at the cost of control traffic",
+	}
+	for _, cycle := range []time.Duration{time.Minute, 5 * time.Minute, 10 * time.Minute, 30 * time.Minute} {
+		res, err := core.Run(core.Scenario{
+			Name:    cycle.String(),
+			Cluster: cluster.Config{Mode: cluster.HybridV2, InitialLinux: 16, Cycle: cycle},
+			Trace: workload.Burst(workload.BurstConfig{
+				Start: 0, Jobs: 3, Gap: time.Minute, App: "Opera",
+				OS: osid.Windows, Nodes: 1, PPN: 4, Runtime: time.Hour, Owner: "u",
+			}),
+			Horizon: 72 * time.Hour,
+		})
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			cycle.String(),
+			metrics.Dur(res.Summary.MeanWait[osid.Windows]),
+			fmt.Sprintf("%d", res.Controller.StatesSent),
+			fmt.Sprintf("%d", res.Summary.Switches),
+		})
+	}
+	return t, nil
+}
+
+// A2Policies ablates the decision rule.
+func A2Policies() (Table, error) {
+	t := Table{
+		ID:     "A2",
+		Title:  "ablation: controller decision policy (§V future work)",
+		Header: []string{"policy", "util", "switches", "win-wait"},
+		Notes:  "the paper's stuck-only FCFS is conservative; demand-proportional fair-share moves earlier and lifts utilisation",
+	}
+	policies := []controller.Policy{
+		controller.FCFS{},
+		controller.Threshold{Reserve: 2, MinQueued: 1},
+		&controller.Hysteresis{Inner: controller.FCFS{}, Cooldown: 20 * time.Minute},
+		controller.FairShare{MaxStep: 2},
+	}
+	for _, p := range policies {
+		res, err := core.Run(core.Scenario{
+			Name:    p.Name(),
+			Cluster: cluster.Config{Mode: cluster.HybridV2, InitialLinux: 16, Cycle: 5 * time.Minute, Policy: p},
+			Trace:   alternating(11),
+			Horizon: 72 * time.Hour,
+		})
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Name(),
+			metrics.Pct(res.Summary.Utilisation),
+			fmt.Sprintf("%d", res.Summary.Switches),
+			metrics.Dur(res.Summary.MeanWait[osid.Windows]),
+		})
+	}
+	return t, nil
+}
+
+// A3SwitchCost scales the reboot cost.
+func A3SwitchCost() (Table, error) {
+	t := Table{
+		ID:     "A3",
+		Title:  "ablation: reboot cost vs hybrid benefit",
+		Header: []string{"boot-scale", "mean-switch", "hybrid-util", "static-util", "switch-overhead"},
+		Notes:  "the multi-boot con (§II) grows with boot time; the wide-job advantage persists but overhead climbs",
+	}
+	for _, scale := range []float64{0.5, 1, 4, 12} {
+		lat := bootmgr.DefaultLatencyModel()
+		lat.KernelLinux = time.Duration(float64(lat.KernelLinux) * scale)
+		lat.KernelWindows = time.Duration(float64(lat.KernelWindows) * scale)
+		lat.ServicesLinux = time.Duration(float64(lat.ServicesLinux) * scale)
+		lat.ServicesWindows = time.Duration(float64(lat.ServicesWindows) * scale)
+		lat.Shutdown = time.Duration(float64(lat.Shutdown) * scale)
+		trace := workload.PhasedWideMix(workload.PhasedConfig{Seed: 5, Phases: 8, WindowsFrac: 0.5})
+		results, err := core.CompareModes(
+			[]cluster.Mode{cluster.HybridV2, cluster.Static},
+			cluster.Config{InitialLinux: 8, Cycle: 5 * time.Minute, Latency: &lat},
+			trace, 200*time.Hour)
+		if err != nil {
+			return t, err
+		}
+		h, s := results[0].Summary, results[1].Summary
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("x%.1f", scale),
+			metrics.Dur(h.MeanSwitch),
+			metrics.Pct(h.Utilisation),
+			metrics.Pct(s.Utilisation),
+			metrics.Pct(h.SwitchOverhead),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,144 @@
+// Package export serialises experiment results for plotting: CSV for
+// spreadsheet/gnuplot workflows and JSON for everything else. The qsim
+// CLI exposes these through -csv/-json flags.
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/osid"
+)
+
+// WriteSeriesCSV writes a node-count time series as CSV with a header
+// row. Times are in seconds of virtual time.
+func WriteSeriesCSV(w io.Writer, series []cluster.Snapshot) error {
+	cw := csv.NewWriter(w)
+	header := []string{"t_sec", "linux_nodes", "windows_nodes", "switching", "broken",
+		"linux_running", "linux_queued", "windows_running", "windows_queued"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	for _, s := range series {
+		row := []string{
+			fmt.Sprintf("%.0f", s.At.Seconds()),
+			fmt.Sprintf("%d", s.LinuxNodes),
+			fmt.Sprintf("%d", s.WindowsNodes),
+			fmt.Sprintf("%d", s.Switching),
+			fmt.Sprintf("%d", s.Broken),
+			fmt.Sprintf("%d", s.LinuxRunning),
+			fmt.Sprintf("%d", s.LinuxQueued),
+			fmt.Sprintf("%d", s.WindowsRun),
+			fmt.Sprintf("%d", s.WindowsQueued),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("export: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// summaryJSON is the stable JSON shape for a run summary.
+type summaryJSON struct {
+	ElapsedSec      float64            `json:"elapsed_sec"`
+	TotalCores      int                `json:"total_cores"`
+	Utilisation     float64            `json:"utilisation"`
+	UtilisationByOS map[string]float64 `json:"utilisation_by_os"`
+	MeanWaitSec     map[string]float64 `json:"mean_wait_sec"`
+	MaxWaitSec      map[string]float64 `json:"max_wait_sec"`
+	JobsSubmitted   map[string]int     `json:"jobs_submitted"`
+	JobsCompleted   map[string]int     `json:"jobs_completed"`
+	Switches        int                `json:"switches"`
+	SwitchesOK      int                `json:"switches_ok"`
+	MeanSwitchSec   float64            `json:"mean_switch_sec"`
+	MaxSwitchSec    float64            `json:"max_switch_sec"`
+	SwitchOverhead  float64            `json:"switch_overhead"`
+	MakespanSec     float64            `json:"makespan_sec"`
+}
+
+// WriteSummaryJSON writes a metrics summary as indented JSON.
+func WriteSummaryJSON(w io.Writer, s metrics.Summary) error {
+	out := summaryJSON{
+		ElapsedSec:      s.Elapsed.Seconds(),
+		TotalCores:      s.TotalCores,
+		Utilisation:     s.Utilisation,
+		UtilisationByOS: map[string]float64{},
+		MeanWaitSec:     map[string]float64{},
+		MaxWaitSec:      map[string]float64{},
+		JobsSubmitted:   map[string]int{},
+		JobsCompleted:   map[string]int{},
+		Switches:        s.Switches,
+		SwitchesOK:      s.SwitchesOK,
+		MeanSwitchSec:   s.MeanSwitch.Seconds(),
+		MaxSwitchSec:    s.MaxSwitch.Seconds(),
+		SwitchOverhead:  s.SwitchOverhead,
+		MakespanSec:     s.Makespan.Seconds(),
+	}
+	for _, os := range []osid.OS{osid.Linux, osid.Windows} {
+		key := os.String()
+		out.UtilisationByOS[key] = s.UtilisationOS[os]
+		out.MeanWaitSec[key] = s.MeanWait[os].Seconds()
+		out.MaxWaitSec[key] = s.MaxWait[os].Seconds()
+		out.JobsSubmitted[key] = s.JobsSubmitted[os]
+		out.JobsCompleted[key] = s.JobsCompleted[os]
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteJobsCSV writes per-job lifecycle records.
+func WriteJobsCSV(w io.Writer, jobs []metrics.JobRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "os", "app", "cpus", "submitted_sec", "started_sec", "ended_sec", "wait_sec", "completed"}); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	for _, j := range jobs {
+		wait := time.Duration(0)
+		if j.Completed {
+			wait = j.Wait()
+		}
+		row := []string{
+			j.ID, j.OS.String(), j.App,
+			fmt.Sprintf("%d", j.CPUs),
+			fmt.Sprintf("%.0f", j.Submitted.Seconds()),
+			fmt.Sprintf("%.0f", j.Started.Seconds()),
+			fmt.Sprintf("%.0f", j.Ended.Seconds()),
+			fmt.Sprintf("%.0f", wait.Seconds()),
+			fmt.Sprintf("%v", j.Completed),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("export: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSwitchesCSV writes per-switch records.
+func WriteSwitchesCSV(w io.Writer, switches []metrics.SwitchRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"node", "from", "to", "started_sec", "finished_sec", "duration_sec", "ok"}); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	for _, s := range switches {
+		row := []string{
+			s.Node, s.From.String(), s.To.String(),
+			fmt.Sprintf("%.0f", s.Started.Seconds()),
+			fmt.Sprintf("%.0f", s.Finished.Seconds()),
+			fmt.Sprintf("%.0f", s.Duration().Seconds()),
+			fmt.Sprintf("%v", s.OK),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("export: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

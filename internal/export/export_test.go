@@ -1,0 +1,137 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/osid"
+)
+
+func TestWriteSeriesCSV(t *testing.T) {
+	series := []cluster.Snapshot{
+		{At: time.Hour, LinuxNodes: 14, WindowsNodes: 2, Switching: 0, WindowsQueued: 3},
+		{At: 2 * time.Hour, LinuxNodes: 12, WindowsNodes: 2, Switching: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("rows = %d", len(records))
+	}
+	if records[0][0] != "t_sec" {
+		t.Fatalf("header = %v", records[0])
+	}
+	if records[1][0] != "3600" || records[1][1] != "14" || records[1][2] != "2" {
+		t.Fatalf("row 1 = %v", records[1])
+	}
+	if records[2][3] != "2" {
+		t.Fatalf("switching cell = %v", records[2])
+	}
+}
+
+func TestWriteSeriesCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("expected header only, got %d lines", len(lines))
+	}
+}
+
+func TestWriteSummaryJSON(t *testing.T) {
+	s := metrics.Summary{
+		Elapsed:       2 * time.Hour,
+		TotalCores:    64,
+		Utilisation:   0.5,
+		UtilisationOS: map[osid.OS]float64{osid.Linux: 0.4, osid.Windows: 0.1},
+		MeanWait:      map[osid.OS]time.Duration{osid.Windows: 5 * time.Minute},
+		MaxWait:       map[osid.OS]time.Duration{},
+		JobsSubmitted: map[osid.OS]int{osid.Linux: 10},
+		JobsCompleted: map[osid.OS]int{osid.Linux: 9},
+		Switches:      3,
+		SwitchesOK:    3,
+		MeanSwitch:    4 * time.Minute,
+	}
+	var buf bytes.Buffer
+	if err := WriteSummaryJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["utilisation"] != 0.5 {
+		t.Fatalf("utilisation = %v", decoded["utilisation"])
+	}
+	if decoded["total_cores"] != float64(64) {
+		t.Fatalf("cores = %v", decoded["total_cores"])
+	}
+	waits := decoded["mean_wait_sec"].(map[string]any)
+	if waits["windows"] != float64(300) {
+		t.Fatalf("windows wait = %v", waits["windows"])
+	}
+	if decoded["mean_switch_sec"] != float64(240) {
+		t.Fatalf("switch = %v", decoded["mean_switch_sec"])
+	}
+}
+
+func TestWriteJobsCSV(t *testing.T) {
+	jobs := []metrics.JobRecord{
+		{ID: "1.e", OS: osid.Linux, App: "DL_POLY", CPUs: 8,
+			Submitted: 0, Started: time.Minute, Ended: time.Hour, Completed: true},
+		{ID: "W2", OS: osid.Windows, App: "Opera", CPUs: 4,
+			Submitted: time.Minute, Completed: false},
+	}
+	var buf bytes.Buffer
+	if err := WriteJobsCSV(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("rows = %d", len(records))
+	}
+	if records[1][7] != "60" { // wait_sec
+		t.Fatalf("wait = %v", records[1])
+	}
+	if records[2][8] != "false" {
+		t.Fatalf("completed = %v", records[2])
+	}
+}
+
+func TestWriteSwitchesCSV(t *testing.T) {
+	switches := []metrics.SwitchRecord{
+		{Node: "enode01", From: osid.Linux, To: osid.Windows,
+			Started: time.Hour, Finished: time.Hour + 4*time.Minute, OK: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteSwitchesCSV(&buf, switches); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("rows = %d", len(records))
+	}
+	row := records[1]
+	if row[0] != "enode01" || row[1] != "linux" || row[2] != "windows" || row[5] != "240" || row[6] != "true" {
+		t.Fatalf("row = %v", row)
+	}
+}

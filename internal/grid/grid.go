@@ -1,0 +1,298 @@
+// Package grid models the Queensgate Grid (QGG) context the paper
+// deploys into: "This hybrid cluster is utilised as part of the
+// University of Huddersfield campus grid." Several clusters — hybrid,
+// static Linux-only, static Windows-only — share one virtual clock,
+// and a campus router places incoming jobs on a member that can serve
+// their operating system, balancing by pending demand.
+package grid
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/osid"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// RoutingPolicy selects a member for a job.
+type RoutingPolicy uint8
+
+const (
+	// RouteLeastLoaded picks the capable member with the lowest
+	// pending CPU demand per core.
+	RouteLeastLoaded RoutingPolicy = iota
+	// RouteRoundRobin cycles through capable members.
+	RouteRoundRobin
+	// RouteHybridLast prefers single-OS members, keeping the flexible
+	// hybrid free to absorb overflow (a common campus-grid rule).
+	RouteHybridLast
+)
+
+// String names the policy.
+func (p RoutingPolicy) String() string {
+	switch p {
+	case RouteRoundRobin:
+		return "round-robin"
+	case RouteHybridLast:
+		return "hybrid-last"
+	default:
+		return "least-loaded"
+	}
+}
+
+// Member is one cluster on the grid.
+type Member struct {
+	Name    string
+	Cluster *cluster.Cluster
+}
+
+// CanServe reports whether the member can ever run a job on the given
+// OS: a static split only serves an OS if it has nodes on that side;
+// hybrids serve both.
+func (m *Member) CanServe(os osid.OS) bool {
+	if !os.Valid() {
+		return false
+	}
+	cfg := m.Cluster.Config()
+	if cfg.Mode != cluster.Static {
+		return true
+	}
+	switch os {
+	case osid.Linux:
+		return cfg.InitialLinux > 0
+	case osid.Windows:
+		return cfg.Nodes-cfg.InitialLinux > 0
+	default:
+		return false
+	}
+}
+
+// pendingPerCore estimates load: queued CPU demand over total cores.
+func (m *Member) pendingPerCore(os osid.OS) float64 {
+	cfg := m.Cluster.Config()
+	cores := cfg.Nodes * cfg.CoresPerNode
+	if cores == 0 {
+		return 0
+	}
+	side := m.Cluster.SideInfo(os)
+	return float64(side.QueuedCPUs+side.RunningJobs) / float64(cores)
+}
+
+// Grid is the campus fabric.
+type Grid struct {
+	Eng       *simtime.Engine
+	members   []*Member
+	policy    RoutingPolicy
+	rrNext    int
+	routed    map[string]int // jobs per member
+	dropped   int
+	scheduled int // grid-level submissions not yet routed
+}
+
+// MemberSpec configures one grid member.
+type MemberSpec struct {
+	Name   string
+	Config cluster.Config
+}
+
+// New assembles a grid; all members share the grid's engine.
+func New(policy RoutingPolicy, specs []MemberSpec) (*Grid, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("grid: no members")
+	}
+	g := &Grid{Eng: simtime.NewEngine(), policy: policy, routed: map[string]int{}}
+	seen := map[string]bool{}
+	for _, spec := range specs {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("grid: member needs a name")
+		}
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("grid: duplicate member %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		cfg := spec.Config
+		cfg.Engine = g.Eng
+		cfg.NamePrefix = spec.Name
+		c, err := cluster.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("grid: member %s: %w", spec.Name, err)
+		}
+		g.members = append(g.members, &Member{Name: spec.Name, Cluster: c})
+	}
+	return g, nil
+}
+
+// Members returns the member list.
+func (g *Grid) Members() []*Member { return append([]*Member(nil), g.members...) }
+
+// Member finds a member by name.
+func (g *Grid) Member(name string) (*Member, bool) {
+	for _, m := range g.members {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// RoutedCounts returns jobs routed per member.
+func (g *Grid) RoutedCounts() map[string]int {
+	out := make(map[string]int, len(g.routed))
+	for k, v := range g.routed {
+		out[k] = v
+	}
+	return out
+}
+
+// Dropped returns jobs no member could serve.
+func (g *Grid) Dropped() int { return g.dropped }
+
+// Route picks a member for a job and submits it there.
+func (g *Grid) Route(j workload.Job) (*Member, error) {
+	candidates := g.candidatesFor(j)
+	if len(candidates) == 0 {
+		g.dropped++
+		return nil, fmt.Errorf("grid: no member can serve %s job %q", j.OS, j.App)
+	}
+	m := g.pick(candidates, j)
+	if _, err := m.Cluster.Submit(j); err != nil {
+		// Capability said yes but the scheduler refused (e.g. job too
+		// wide for the member): try the remaining candidates.
+		for _, alt := range candidates {
+			if alt == m {
+				continue
+			}
+			if _, err2 := alt.Cluster.Submit(j); err2 == nil {
+				g.routed[alt.Name]++
+				return alt, nil
+			}
+		}
+		g.dropped++
+		return nil, fmt.Errorf("grid: no member accepted %q: %w", j.App, err)
+	}
+	g.routed[m.Name]++
+	return m, nil
+}
+
+func (g *Grid) candidatesFor(j workload.Job) []*Member {
+	var out []*Member
+	for _, m := range g.members {
+		if m.CanServe(j.OS) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (g *Grid) pick(candidates []*Member, j workload.Job) *Member {
+	switch g.policy {
+	case RouteRoundRobin:
+		m := candidates[g.rrNext%len(candidates)]
+		g.rrNext++
+		return m
+	case RouteHybridLast:
+		var statics []*Member
+		for _, m := range candidates {
+			if m.Cluster.Config().Mode == cluster.Static {
+				statics = append(statics, m)
+			}
+		}
+		if len(statics) > 0 {
+			return leastLoaded(statics, j.OS)
+		}
+		return leastLoaded(candidates, j.OS)
+	default:
+		return leastLoaded(candidates, j.OS)
+	}
+}
+
+func leastLoaded(members []*Member, os osid.OS) *Member {
+	best := members[0]
+	bestLoad := best.pendingPerCore(os)
+	for _, m := range members[1:] {
+		if load := m.pendingPerCore(os); load < bestLoad {
+			best, bestLoad = m, load
+		}
+	}
+	return best
+}
+
+// ScheduleTrace arranges routing for every job at its submission time.
+func (g *Grid) ScheduleTrace(trace workload.Trace) error {
+	if err := trace.Validate(); err != nil {
+		return err
+	}
+	for _, j := range trace {
+		j := j
+		g.scheduled++
+		g.Eng.At(j.At, func() {
+			g.scheduled--
+			_, _ = g.Route(j) // drops are counted
+		})
+	}
+	return nil
+}
+
+// RunUntilDrained advances the shared clock until every member is
+// quiescent or the horizon passes.
+func (g *Grid) RunUntilDrained(horizon time.Duration) {
+	step := 10 * time.Minute
+	pendingRoutes := func() bool {
+		// Routed submissions are scheduled on the grid's own events;
+		// members only learn of them when they fire.
+		for _, m := range g.members {
+			if m.Cluster.PendingSubmissions() > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for g.Eng.Now() < horizon {
+		busy := g.scheduled > 0 || pendingRoutes()
+		for _, m := range g.members {
+			if m.Cluster.Unfinished() > 0 || m.Cluster.SwitchingCount() > 0 {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			break
+		}
+		next := g.Eng.Now() + step
+		if next > horizon {
+			next = horizon
+		}
+		g.Eng.RunUntil(next)
+	}
+	for _, m := range g.members {
+		if m.Cluster.Mgr != nil {
+			m.Cluster.Mgr.Stop()
+		}
+	}
+}
+
+// Report summarises every member.
+func (g *Grid) Report() string {
+	header := []string{"member", "mode", "routed", "util", "done(L)", "done(W)", "switches"}
+	var rows [][]string
+	for _, m := range g.members {
+		s := m.Cluster.Summary()
+		rows = append(rows, []string{
+			m.Name,
+			m.Cluster.Config().Mode.String(),
+			fmt.Sprintf("%d", g.routed[m.Name]),
+			metrics.Pct(s.Utilisation),
+			fmt.Sprintf("%d", s.JobsCompleted[osid.Linux]),
+			fmt.Sprintf("%d", s.JobsCompleted[osid.Windows]),
+			fmt.Sprintf("%d", s.Switches),
+		})
+	}
+	out := metrics.Table(header, rows)
+	if g.dropped > 0 {
+		out += fmt.Sprintf("dropped: %d jobs no member could serve\n", g.dropped)
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/osid"
+	"repro/internal/workload"
+)
+
+func threeMemberSpecs() []MemberSpec {
+	return []MemberSpec{
+		{Name: "eridani", Config: cluster.Config{Mode: cluster.HybridV2, Nodes: 8, InitialLinux: 4, Cycle: 5 * time.Minute}},
+		{Name: "tauceti", Config: cluster.Config{Mode: cluster.Static, Nodes: 8, InitialLinux: 8}}, // Linux-only
+		{Name: "vega", Config: cluster.Config{Mode: cluster.Static, Nodes: 8, InitialLinux: 0}},    // Windows-only... but InitialLinux 0 defaults to half!
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(RouteLeastLoaded, nil); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	if _, err := New(RouteLeastLoaded, []MemberSpec{{Name: ""}}); err == nil {
+		t.Fatal("unnamed member accepted")
+	}
+	specs := []MemberSpec{
+		{Name: "a", Config: cluster.Config{Mode: cluster.Static, Nodes: 2}},
+		{Name: "a", Config: cluster.Config{Mode: cluster.Static, Nodes: 2}},
+	}
+	if _, err := New(RouteLeastLoaded, specs); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+func TestMembersShareOneClock(t *testing.T) {
+	g, err := New(RouteLeastLoaded, threeMemberSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range g.Members() {
+		if m.Cluster.Eng != g.Eng {
+			t.Fatalf("member %s has a private engine", m.Name)
+		}
+	}
+}
+
+func TestNodeNamesAndMACsDistinct(t *testing.T) {
+	g, err := New(RouteLeastLoaded, threeMemberSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	macs := map[string]bool{}
+	for _, m := range g.Members() {
+		for _, n := range m.Cluster.Nodes() {
+			if names[n.HW.Name] {
+				t.Fatalf("duplicate node name %s", n.HW.Name)
+			}
+			names[n.HW.Name] = true
+			if macs[n.HW.Addr.String()] {
+				t.Fatalf("duplicate MAC %s", n.HW.Addr)
+			}
+			macs[n.HW.Addr.String()] = true
+		}
+	}
+}
+
+func TestCanServe(t *testing.T) {
+	g, err := New(RouteLeastLoaded, []MemberSpec{
+		{Name: "hybrid", Config: cluster.Config{Mode: cluster.HybridV2, Nodes: 4, InitialLinux: 2}},
+		{Name: "linonly", Config: cluster.Config{Mode: cluster.Static, Nodes: 4, InitialLinux: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, _ := g.Member("hybrid")
+	linonly, _ := g.Member("linonly")
+	if !hybrid.CanServe(osid.Windows) || !hybrid.CanServe(osid.Linux) {
+		t.Fatal("hybrid should serve both")
+	}
+	if linonly.CanServe(osid.Windows) {
+		t.Fatal("linux-only cluster claims windows")
+	}
+	if !linonly.CanServe(osid.Linux) {
+		t.Fatal("linux-only cluster denies linux")
+	}
+	if hybrid.CanServe(osid.None) {
+		t.Fatal("CanServe(None)")
+	}
+}
+
+func TestRouteCapability(t *testing.T) {
+	g, err := New(RouteLeastLoaded, []MemberSpec{
+		{Name: "linonly", Config: cluster.Config{Mode: cluster.Static, Nodes: 4, InitialLinux: 4}},
+		{Name: "hybrid", Config: cluster.Config{Mode: cluster.HybridV2, Nodes: 4, InitialLinux: 2, Cycle: 5 * time.Minute}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	winJob := workload.Job{App: "Opera", OS: osid.Windows, Owner: "u", Nodes: 1, PPN: 4, Runtime: time.Hour}
+	m, err := g.Route(winJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "hybrid" {
+		t.Fatalf("windows job routed to %s", m.Name)
+	}
+}
+
+func TestRouteDropsUnservable(t *testing.T) {
+	g, err := New(RouteLeastLoaded, []MemberSpec{
+		{Name: "linonly", Config: cluster.Config{Mode: cluster.Static, Nodes: 4, InitialLinux: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	winJob := workload.Job{App: "Opera", OS: osid.Windows, Owner: "u", Nodes: 1, PPN: 4, Runtime: time.Hour}
+	if _, err := g.Route(winJob); err == nil {
+		t.Fatal("unservable job routed")
+	}
+	if g.Dropped() != 1 {
+		t.Fatalf("dropped = %d", g.Dropped())
+	}
+}
+
+func TestRouteFallsBackWhenTooWide(t *testing.T) {
+	// A 6-node job is too wide for the 4-node member but fits the
+	// 8-node one; capability filtering alone cannot know that, so the
+	// router must retry on submit failure.
+	g, err := New(RouteRoundRobin, []MemberSpec{
+		{Name: "small", Config: cluster.Config{Mode: cluster.Static, Nodes: 4, InitialLinux: 4}},
+		{Name: "large", Config: cluster.Config{Mode: cluster.Static, Nodes: 8, InitialLinux: 8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := workload.Job{App: "LAMMPS", OS: osid.Linux, Owner: "u", Nodes: 6, PPN: 4, Runtime: time.Hour}
+	m, err := g.Route(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "large" {
+		t.Fatalf("wide job routed to %s", m.Name)
+	}
+}
+
+func TestRoundRobinSpreads(t *testing.T) {
+	g, err := New(RouteRoundRobin, []MemberSpec{
+		{Name: "a", Config: cluster.Config{Mode: cluster.Static, Nodes: 4, InitialLinux: 4}},
+		{Name: "b", Config: cluster.Config{Mode: cluster.Static, Nodes: 4, InitialLinux: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		j := workload.Job{App: "GULP", OS: osid.Linux, Owner: "u", Nodes: 1, PPN: 1, Runtime: time.Hour}
+		if _, err := g.Route(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := g.RoutedCounts()
+	if counts["a"] != 2 || counts["b"] != 2 {
+		t.Fatalf("round robin = %v", counts)
+	}
+}
+
+func TestHybridLastPrefersStatics(t *testing.T) {
+	g, err := New(RouteHybridLast, []MemberSpec{
+		{Name: "hybrid", Config: cluster.Config{Mode: cluster.HybridV2, Nodes: 8, InitialLinux: 4, Cycle: 5 * time.Minute}},
+		{Name: "linonly", Config: cluster.Config{Mode: cluster.Static, Nodes: 8, InitialLinux: 8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := workload.Job{App: "GULP", OS: osid.Linux, Owner: "u", Nodes: 1, PPN: 1, Runtime: time.Hour}
+	m, err := g.Route(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "linonly" {
+		t.Fatalf("hybrid-last routed to %s", m.Name)
+	}
+	// Windows work has no static home here, so it overflows to the hybrid.
+	w := workload.Job{App: "Opera", OS: osid.Windows, Owner: "u", Nodes: 1, PPN: 4, Runtime: time.Hour}
+	m, err = g.Route(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "hybrid" {
+		t.Fatalf("windows overflow routed to %s", m.Name)
+	}
+}
+
+func TestGridEndToEnd(t *testing.T) {
+	g, err := New(RouteLeastLoaded, []MemberSpec{
+		{Name: "eridani", Config: cluster.Config{Mode: cluster.HybridV2, Nodes: 8, InitialLinux: 8, Cycle: 5 * time.Minute}},
+		{Name: "tauceti", Config: cluster.Config{Mode: cluster.Static, Nodes: 8, InitialLinux: 8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.Merge(
+		workload.Burst(workload.BurstConfig{Start: 0, Jobs: 4, Gap: time.Minute, App: "DL_POLY",
+			OS: osid.Linux, Nodes: 2, PPN: 4, Runtime: time.Hour, Owner: "md"}),
+		workload.Burst(workload.BurstConfig{Start: 10 * time.Minute, Jobs: 2, Gap: time.Minute, App: "Opera",
+			OS: osid.Windows, Nodes: 1, PPN: 4, Runtime: time.Hour, Owner: "em"}),
+	)
+	if err := g.ScheduleTrace(trace); err != nil {
+		t.Fatal(err)
+	}
+	g.RunUntilDrained(48 * time.Hour)
+
+	totalDone := 0
+	for _, m := range g.Members() {
+		s := m.Cluster.Summary()
+		totalDone += s.JobsCompleted[osid.Linux] + s.JobsCompleted[osid.Windows]
+	}
+	if totalDone != len(trace) {
+		t.Fatalf("grid completed %d of %d", totalDone, len(trace))
+	}
+	if g.Dropped() != 0 {
+		t.Fatalf("dropped = %d", g.Dropped())
+	}
+	report := g.Report()
+	for _, want := range []string{"eridani", "tauceti", "hybrid-v2", "static-split"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if RouteLeastLoaded.String() != "least-loaded" || RouteRoundRobin.String() != "round-robin" ||
+		RouteHybridLast.String() != "hybrid-last" {
+		t.Fatal("policy strings wrong")
+	}
+}

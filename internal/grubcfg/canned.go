@@ -1,0 +1,144 @@
+package grubcfg
+
+import (
+	"fmt"
+
+	"repro/internal/osid"
+)
+
+// The builders below generate the exact configuration artifacts the
+// paper deploys: the MBR-side redirect menu (Figure 2), the FAT-side
+// control menu (Figure 3), and the pre-staged controlmenu_to_<os>.lst
+// variants that the v1 batch scripts rename into place.
+
+// LinuxEntrySpec describes the installed Linux system for menu
+// generation.
+type LinuxEntrySpec struct {
+	Title      string
+	BootDev    DeviceRef // partition holding /vmlinuz (the /boot partition)
+	KernelPath string
+	KernelArgs string
+	InitrdPath string
+}
+
+// DefaultLinuxEntry matches the Eridani install: CentOS 5.4 with
+// OSCAR 5.1b2, /boot on /dev/sda2, root filesystem on /dev/sda7.
+func DefaultLinuxEntry() LinuxEntrySpec {
+	return LinuxEntrySpec{
+		Title:      "CentOS-5.4_Oscar-5b2-linux",
+		BootDev:    DeviceRef{Disk: 0, Partition: 1},
+		KernelPath: "/vmlinuz-2.6.18-164.el5",
+		KernelArgs: "ro root=/dev/sda7 enforcing=0",
+		InitrdPath: "/sc-initrd-2.6.18-164.el5.gz",
+	}
+}
+
+// Entry builds the menu entry for the spec.
+func (s LinuxEntrySpec) Entry() *Entry {
+	kernel := s.KernelPath
+	if s.KernelArgs != "" {
+		kernel += " " + s.KernelArgs
+	}
+	cmds := []Command{
+		{Name: "root", Args: s.BootDev.String()},
+		{Name: "kernel", Args: kernel},
+	}
+	if s.InitrdPath != "" {
+		cmds = append(cmds, Command{Name: "initrd", Args: s.InitrdPath})
+	}
+	return &Entry{Title: s.Title, Commands: cmds}
+}
+
+// WindowsEntrySpec describes the chainloaded Windows system.
+type WindowsEntrySpec struct {
+	Title   string
+	BootDev DeviceRef // the NTFS partition, normally (hd0,0)
+}
+
+// DefaultWindowsEntry matches the Eridani install: Windows Server 2008
+// R2 on the first primary partition.
+func DefaultWindowsEntry() WindowsEntrySpec {
+	return WindowsEntrySpec{
+		Title:   "Win_Server_2K8_R2-windows",
+		BootDev: DeviceRef{Disk: 0, Partition: 0},
+	}
+}
+
+// Entry builds the chainload entry for the spec.
+func (s WindowsEntrySpec) Entry() *Entry {
+	return &Entry{Title: s.Title, Commands: []Command{
+		{Name: "rootnoverify", Args: s.BootDev.String()},
+		{Name: "chainloader", Args: "+1"},
+	}}
+}
+
+// ControlMenu builds the Figure-3 controlmenu.lst: both OS entries
+// with the default pointing at the requested side.
+func ControlMenu(linux LinuxEntrySpec, windows WindowsEntrySpec, defaultOS osid.OS) (*Config, error) {
+	cfg := New()
+	cfg.HasDefault = true
+	cfg.Timeout = 10
+	cfg.SplashImage = "(hd0,1)/grub/splash.xpm.gz"
+	cfg.Entries = []*Entry{linux.Entry(), windows.Entry()}
+	if err := cfg.SetDefaultOS(defaultOS); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// RedirectMenu builds the Figure-2 menu.lst that lives in the Linux
+// /boot partition and immediately hands control to the shared FAT
+// partition's control file.
+func RedirectMenu(fatDev DeviceRef, controlPath string) *Config {
+	cfg := New()
+	cfg.HasDefault = true
+	cfg.Default = 0
+	cfg.Timeout = 5
+	cfg.SplashImage = "(hd0,1)/grub/splash.xpm.gz"
+	cfg.HiddenMenu = true
+	cfg.Entries = []*Entry{{
+		Title: "changing to control file",
+		Commands: []Command{
+			{Name: "root", Args: fatDev.String()},
+			{Name: "configfile", Args: controlPath},
+		},
+	}}
+	return cfg
+}
+
+// PXEMenu builds the v2 network menu served by GRUB4DOS from the head
+// node. Linux boots over TFTP; Windows chainloads the local disk.
+func PXEMenu(linux LinuxEntrySpec, windows WindowsEntrySpec, defaultOS osid.OS) (*Config, error) {
+	cfg := New()
+	cfg.HasDefault = true
+	cfg.Timeout = 3
+	net := linux
+	net.KernelPath = "(pd)" + linux.KernelPath // GRUB4DOS PXE device syntax
+	if net.InitrdPath != "" {
+		net.InitrdPath = "(pd)" + linux.InitrdPath
+	}
+	// The PXE Linux entry still uses a local root filesystem; only the
+	// kernel/initrd come from TFTP. GRUB4DOS resolves (pd) itself, so
+	// the entry needs no root command.
+	e := &Entry{Title: net.Title, Commands: []Command{
+		{Name: "kernel", Args: net.KernelPath + " " + linux.KernelArgs},
+	}}
+	if net.InitrdPath != "" {
+		e.Commands = append(e.Commands, Command{Name: "initrd", Args: net.InitrdPath})
+	}
+	cfg.Entries = []*Entry{e, windows.Entry()}
+	if err := cfg.SetDefaultOS(defaultOS); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// ControlFileName is the live GRUB control file on the FAT partition.
+const ControlFileName = "/controlmenu.lst"
+
+// StagedControlFileName returns the pre-staged variant name for an OS
+// ("/controlmenu_to_linux.lst"), the files the v1 batch scripts rename
+// into place to avoid running Perl on Windows nodes.
+func StagedControlFileName(os osid.OS) string {
+	return fmt.Sprintf("/controlmenu_to_%s.lst", os)
+}

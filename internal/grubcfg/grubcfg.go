@@ -1,0 +1,330 @@
+// Package grubcfg parses and renders GRUB 0.97 / GRUB4DOS menu.lst
+// configuration files — the control surface of dualboot-oscar. The
+// middleware decides which operating system a node boots purely by
+// rewriting these files, so the parser accepts the paper's artifacts
+// (Figures 2 and 3) verbatim and the renderer produces files GRUB
+// would accept back.
+package grubcfg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/osid"
+)
+
+// DeviceRef is a GRUB device reference such as "(hd0,5)". GRUB counts
+// both disks and partitions from zero, so (hd0,5) is Linux /dev/sda6.
+type DeviceRef struct {
+	Disk      int
+	Partition int // -1 for a whole-disk reference like (hd0)
+}
+
+// String renders the reference in GRUB syntax.
+func (d DeviceRef) String() string {
+	if d.Partition < 0 {
+		return fmt.Sprintf("(hd%d)", d.Disk)
+	}
+	return fmt.Sprintf("(hd%d,%d)", d.Disk, d.Partition)
+}
+
+// LinuxPartition converts GRUB's 0-based partition number to the
+// 1-based index used by the Linux kernel and this repository's
+// hardware model.
+func (d DeviceRef) LinuxPartition() int { return d.Partition + 1 }
+
+// DeviceForLinuxPartition builds a reference to a 1-based partition
+// index on disk 0.
+func DeviceForLinuxPartition(part int) DeviceRef {
+	return DeviceRef{Disk: 0, Partition: part - 1}
+}
+
+// ParseDevice parses "(hdD,P)" or "(hdD)".
+func ParseDevice(s string) (DeviceRef, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return DeviceRef{}, fmt.Errorf("grubcfg: device %q: missing parentheses", s)
+	}
+	body := s[1 : len(s)-1]
+	if !strings.HasPrefix(body, "hd") {
+		return DeviceRef{}, fmt.Errorf("grubcfg: device %q: only hd devices supported", s)
+	}
+	body = body[2:]
+	diskStr, partStr, hasPart := strings.Cut(body, ",")
+	disk, err := strconv.Atoi(strings.TrimSpace(diskStr))
+	if err != nil || disk < 0 {
+		return DeviceRef{}, fmt.Errorf("grubcfg: device %q: bad disk number", s)
+	}
+	if !hasPart {
+		return DeviceRef{Disk: disk, Partition: -1}, nil
+	}
+	part, err := strconv.Atoi(strings.TrimSpace(partStr))
+	if err != nil || part < 0 {
+		return DeviceRef{}, fmt.Errorf("grubcfg: device %q: bad partition number", s)
+	}
+	return DeviceRef{Disk: disk, Partition: part}, nil
+}
+
+// Command is one line of an entry body: a command name and its raw
+// argument string (e.g. "kernel", "/vmlinuz-2.6.18-164.el5 ro
+// root=/dev/sda7 enforcing=0").
+type Command struct {
+	Name string
+	Args string
+}
+
+// String renders the command as a menu.lst line.
+func (c Command) String() string {
+	if c.Args == "" {
+		return c.Name
+	}
+	return c.Name + " " + c.Args
+}
+
+// Entry is a bootable menu entry introduced by a "title" line.
+type Entry struct {
+	Title    string
+	Commands []Command
+}
+
+// Lookup returns the argument string of the first command with the
+// given name.
+func (e *Entry) Lookup(name string) (string, bool) {
+	for _, c := range e.Commands {
+		if c.Name == name {
+			return c.Args, true
+		}
+	}
+	return "", false
+}
+
+// Root returns the entry's root or rootnoverify device.
+func (e *Entry) Root() (DeviceRef, bool) {
+	for _, name := range []string{"root", "rootnoverify"} {
+		if args, ok := e.Lookup(name); ok {
+			dev, err := ParseDevice(args)
+			if err == nil {
+				return dev, true
+			}
+		}
+	}
+	return DeviceRef{}, false
+}
+
+// HasKernel reports whether the entry loads a Linux kernel.
+func (e *Entry) HasKernel() bool {
+	_, ok := e.Lookup("kernel")
+	return ok
+}
+
+// HasChainloader reports whether the entry chainloads another boot
+// sector ("chainloader +1" boots the root partition's own loader).
+func (e *Entry) HasChainloader() bool {
+	_, ok := e.Lookup("chainloader")
+	return ok
+}
+
+// ConfigFile returns the path of a "configfile" redirection, the
+// mechanism Figure 2 uses to hand control from the read-only Linux
+// /boot to the shared FAT partition.
+func (e *Entry) ConfigFile() (string, bool) {
+	return e.Lookup("configfile")
+}
+
+// KernelPath returns the kernel image path (first kernel argument).
+func (e *Entry) KernelPath() (string, bool) {
+	args, ok := e.Lookup("kernel")
+	if !ok {
+		return "", false
+	}
+	fields := strings.Fields(args)
+	if len(fields) == 0 {
+		return "", false
+	}
+	return fields[0], true
+}
+
+// OS infers which operating system the entry boots: a kernel command
+// means Linux, a chainloader means Windows (on this cluster the only
+// chainloaded system is Windows Server), and otherwise the title
+// suffix convention decides.
+func (e *Entry) OS() osid.OS {
+	if e.HasKernel() {
+		return osid.Linux
+	}
+	if byTitle := osid.FromTitleSuffix(e.Title); byTitle.Valid() {
+		return byTitle
+	}
+	if e.HasChainloader() {
+		return osid.Windows
+	}
+	return osid.None
+}
+
+// Config is a parsed menu.lst: global directives followed by entries.
+type Config struct {
+	Default     int  // index of the default entry
+	HasDefault  bool // whether a default directive was present
+	Timeout     int  // seconds; -1 when absent
+	HiddenMenu  bool
+	SplashImage string
+	Fallback    int       // -1 when absent
+	Preamble    []Command // unrecognised global commands, preserved in order
+	Entries     []*Entry
+}
+
+// New returns an empty config with unset optional fields.
+func New() *Config {
+	return &Config{Timeout: -1, Fallback: -1}
+}
+
+// Parse reads a menu.lst. Directive syntax follows GRUB legacy: global
+// directives accept both "name value" and "name=value" spellings
+// ("default=0" in Figure 2, "default 0" in Figure 3).
+func Parse(data []byte) (*Config, error) {
+	cfg := New()
+	var cur *Entry
+	for lineNo, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, args := splitDirective(line)
+		if name == "title" {
+			cur = &Entry{Title: args}
+			cfg.Entries = append(cfg.Entries, cur)
+			continue
+		}
+		if cur != nil {
+			cur.Commands = append(cur.Commands, Command{Name: name, Args: args})
+			continue
+		}
+		if err := cfg.applyGlobal(name, args); err != nil {
+			return nil, fmt.Errorf("grubcfg: line %d: %w", lineNo+1, err)
+		}
+	}
+	if cfg.HasDefault && len(cfg.Entries) > 0 && cfg.Default >= len(cfg.Entries) {
+		return nil, fmt.Errorf("grubcfg: default %d out of range (%d entries)", cfg.Default, len(cfg.Entries))
+	}
+	return cfg, nil
+}
+
+// splitDirective splits a line into a command name and argument
+// string, treating "name=value" and "name value" alike.
+func splitDirective(line string) (name, args string) {
+	// GRUB treats '=' as a separator only for the first token.
+	i := strings.IndexAny(line, " \t=")
+	if i < 0 {
+		return line, ""
+	}
+	return line[:i], strings.TrimSpace(line[i+1:])
+}
+
+func (c *Config) applyGlobal(name, args string) error {
+	switch name {
+	case "default":
+		if args == "saved" {
+			// "default saved" defers to a stored value; model as 0.
+			c.Default = 0
+			c.HasDefault = true
+			return nil
+		}
+		n, err := strconv.Atoi(args)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad default %q", args)
+		}
+		c.Default = n
+		c.HasDefault = true
+	case "timeout":
+		n, err := strconv.Atoi(args)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad timeout %q", args)
+		}
+		c.Timeout = n
+	case "hiddenmenu":
+		c.HiddenMenu = true
+	case "splashimage":
+		c.SplashImage = args
+	case "fallback":
+		n, err := strconv.Atoi(args)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad fallback %q", args)
+		}
+		c.Fallback = n
+	default:
+		c.Preamble = append(c.Preamble, Command{Name: name, Args: args})
+	}
+	return nil
+}
+
+// Render writes the config back out as a menu.lst.
+func (c *Config) Render() []byte {
+	var b strings.Builder
+	if c.HasDefault {
+		fmt.Fprintf(&b, "default %d\n", c.Default)
+	}
+	if c.Timeout >= 0 {
+		fmt.Fprintf(&b, "timeout %d\n", c.Timeout)
+	}
+	if c.SplashImage != "" {
+		fmt.Fprintf(&b, "splashimage %s\n", c.SplashImage)
+	}
+	if c.Fallback >= 0 {
+		fmt.Fprintf(&b, "fallback %d\n", c.Fallback)
+	}
+	if c.HiddenMenu {
+		b.WriteString("hiddenmenu\n")
+	}
+	for _, cmd := range c.Preamble {
+		b.WriteString(cmd.String())
+		b.WriteByte('\n')
+	}
+	for _, e := range c.Entries {
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "title %s\n", e.Title)
+		for _, cmd := range e.Commands {
+			b.WriteString(cmd.String())
+			b.WriteByte('\n')
+		}
+	}
+	return []byte(b.String())
+}
+
+// DefaultEntry resolves the entry GRUB would boot.
+func (c *Config) DefaultEntry() (*Entry, error) {
+	if len(c.Entries) == 0 {
+		return nil, fmt.Errorf("grubcfg: no menu entries")
+	}
+	idx := 0
+	if c.HasDefault {
+		idx = c.Default
+	}
+	if idx >= len(c.Entries) {
+		return nil, fmt.Errorf("grubcfg: default %d out of range", idx)
+	}
+	return c.Entries[idx], nil
+}
+
+// EntryIndexForOS finds the first entry booting the given OS.
+func (c *Config) EntryIndexForOS(os osid.OS) (int, bool) {
+	for i, e := range c.Entries {
+		if e.OS() == os {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// SetDefaultOS points the default directive at the first entry for the
+// given OS — the core of what Carter's bootcontrol.pl does to a
+// dual-boot machine.
+func (c *Config) SetDefaultOS(os osid.OS) error {
+	idx, ok := c.EntryIndexForOS(os)
+	if !ok {
+		return fmt.Errorf("grubcfg: no entry boots %v", os)
+	}
+	c.Default = idx
+	c.HasDefault = true
+	return nil
+}

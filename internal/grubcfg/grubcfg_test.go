@@ -1,0 +1,440 @@
+package grubcfg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/osid"
+)
+
+// figure2 is the paper's modified menu.lst verbatim (Figure 2).
+const figure2 = `default=0
+timeout=5
+splashimage=(hd0,1)/grub/splash.xpm.gz
+hiddenmenu
+
+title changing to control file
+root (hd0,5)
+configfile /controlmenu.lst
+`
+
+// figure3 is the paper's controlmenu.lst verbatim (Figure 3). Note the
+// space-separated "default 0" versus Figure 2's "default=0".
+const figure3 = `default 0
+timeout=10
+splashimage=(hd0,1)/grub/splash.xpm.gz
+
+title CentOS-5.4_Oscar-5b2-linux
+root (hd0,1)
+kernel /vmlinuz-2.6.18-164.el5 ro root=/dev/sda7 enforcing=0
+initrd /sc-initrd-2.6.18-164.el5.gz
+
+title Win_Server_2K8_R2-windows
+rootnoverify (hd0,0)
+chainloader +1
+`
+
+func TestParseFigure2(t *testing.T) {
+	cfg, err := Parse([]byte(figure2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.HasDefault || cfg.Default != 0 {
+		t.Errorf("default = %d/%v", cfg.Default, cfg.HasDefault)
+	}
+	if cfg.Timeout != 5 {
+		t.Errorf("timeout = %d", cfg.Timeout)
+	}
+	if !cfg.HiddenMenu {
+		t.Error("hiddenmenu not parsed")
+	}
+	if cfg.SplashImage != "(hd0,1)/grub/splash.xpm.gz" {
+		t.Errorf("splashimage = %q", cfg.SplashImage)
+	}
+	if len(cfg.Entries) != 1 {
+		t.Fatalf("entries = %d", len(cfg.Entries))
+	}
+	e := cfg.Entries[0]
+	if e.Title != "changing to control file" {
+		t.Errorf("title = %q", e.Title)
+	}
+	dev, ok := e.Root()
+	if !ok || dev != (DeviceRef{Disk: 0, Partition: 5}) {
+		t.Errorf("root = %v, %v", dev, ok)
+	}
+	if dev.LinuxPartition() != 6 {
+		t.Errorf("LinuxPartition = %d, want 6 (/dev/sda6)", dev.LinuxPartition())
+	}
+	cf, ok := e.ConfigFile()
+	if !ok || cf != "/controlmenu.lst" {
+		t.Errorf("configfile = %q, %v", cf, ok)
+	}
+}
+
+func TestParseFigure3(t *testing.T) {
+	cfg, err := Parse([]byte(figure3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Timeout != 10 {
+		t.Errorf("timeout = %d", cfg.Timeout)
+	}
+	if len(cfg.Entries) != 2 {
+		t.Fatalf("entries = %d", len(cfg.Entries))
+	}
+	lin, win := cfg.Entries[0], cfg.Entries[1]
+
+	if lin.OS() != osid.Linux {
+		t.Errorf("entry 0 OS = %v", lin.OS())
+	}
+	if !lin.HasKernel() {
+		t.Error("linux entry has no kernel")
+	}
+	kp, _ := lin.KernelPath()
+	if kp != "/vmlinuz-2.6.18-164.el5" {
+		t.Errorf("kernel path = %q", kp)
+	}
+	if args, _ := lin.Lookup("kernel"); !strings.Contains(args, "root=/dev/sda7") {
+		t.Errorf("kernel args = %q", args)
+	}
+	if ird, ok := lin.Lookup("initrd"); !ok || ird != "/sc-initrd-2.6.18-164.el5.gz" {
+		t.Errorf("initrd = %q", ird)
+	}
+
+	if win.OS() != osid.Windows {
+		t.Errorf("entry 1 OS = %v", win.OS())
+	}
+	if !win.HasChainloader() {
+		t.Error("windows entry has no chainloader")
+	}
+	dev, ok := win.Root()
+	if !ok || dev != (DeviceRef{Disk: 0, Partition: 0}) {
+		t.Errorf("windows root = %v", dev)
+	}
+
+	def, err := cfg.DefaultEntry()
+	if err != nil || def != lin {
+		t.Errorf("default entry = %v, %v", def, err)
+	}
+}
+
+func TestSemanticRoundTripFigures(t *testing.T) {
+	for name, src := range map[string]string{"fig2": figure2, "fig3": figure3} {
+		cfg, err := Parse([]byte(src))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		again, err := Parse(cfg.Render())
+		if err != nil {
+			t.Fatalf("%s re-parse: %v", name, err)
+		}
+		if again.Default != cfg.Default || again.Timeout != cfg.Timeout ||
+			again.HiddenMenu != cfg.HiddenMenu || again.SplashImage != cfg.SplashImage ||
+			len(again.Entries) != len(cfg.Entries) {
+			t.Fatalf("%s: round trip mismatch:\n%s", name, cfg.Render())
+		}
+		for i := range cfg.Entries {
+			if again.Entries[i].Title != cfg.Entries[i].Title {
+				t.Errorf("%s entry %d title mismatch", name, i)
+			}
+			if len(again.Entries[i].Commands) != len(cfg.Entries[i].Commands) {
+				t.Errorf("%s entry %d command count mismatch", name, i)
+			}
+		}
+	}
+}
+
+func TestParseDevice(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    DeviceRef
+		wantErr bool
+	}{
+		{"(hd0,0)", DeviceRef{0, 0}, false},
+		{"(hd0,5)", DeviceRef{0, 5}, false},
+		{"(hd1,3)", DeviceRef{1, 3}, false},
+		{"(hd0)", DeviceRef{0, -1}, false},
+		{" (hd0,1) ", DeviceRef{0, 1}, false},
+		{"hd0,0", DeviceRef{}, true},
+		{"(fd0)", DeviceRef{}, true},
+		{"(hd0,-1)", DeviceRef{}, true},
+		{"(hdx,1)", DeviceRef{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseDevice(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseDevice(%q) err = %v, wantErr = %v", c.in, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("ParseDevice(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDeviceRoundTrip(t *testing.T) {
+	f := func(disk, part uint8) bool {
+		d := DeviceRef{Disk: int(disk), Partition: int(part)}
+		got, err := ParseDevice(d.String())
+		return err == nil && got == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceForLinuxPartition(t *testing.T) {
+	d := DeviceForLinuxPartition(6)
+	if d.Partition != 5 {
+		t.Fatalf("partition = %d, want 5", d.Partition)
+	}
+	if d.LinuxPartition() != 6 {
+		t.Fatalf("round trip = %d", d.LinuxPartition())
+	}
+}
+
+func TestSetDefaultOS(t *testing.T) {
+	cfg, err := Parse([]byte(figure3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.SetDefaultOS(osid.Windows); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Default != 1 {
+		t.Fatalf("default = %d, want 1", cfg.Default)
+	}
+	def, _ := cfg.DefaultEntry()
+	if def.OS() != osid.Windows {
+		t.Fatalf("default OS = %v", def.OS())
+	}
+	if err := cfg.SetDefaultOS(osid.Linux); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Default != 0 {
+		t.Fatalf("default = %d, want 0", cfg.Default)
+	}
+	if err := cfg.SetDefaultOS(osid.None); err == nil {
+		t.Fatal("SetDefaultOS(None) succeeded")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"default x\n",
+		"default -1\n",
+		"timeout x\n",
+		"fallback x\n",
+		"default 5\n\ntitle a\nroot (hd0,0)\n", // out of range
+	}
+	for _, src := range cases {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	src := "# a comment\n\n  \ndefault 0\n# another\ntitle x\nroot (hd0,0)\n# inside entry\nchainloader +1\n"
+	cfg, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Entries) != 1 {
+		t.Fatalf("entries = %d", len(cfg.Entries))
+	}
+	// comments inside entries are skipped, not recorded as commands
+	if len(cfg.Entries[0].Commands) != 2 {
+		t.Fatalf("commands = %v", cfg.Entries[0].Commands)
+	}
+}
+
+func TestDefaultSaved(t *testing.T) {
+	cfg, err := Parse([]byte("default saved\ntitle a\nroot (hd0,0)\nchainloader +1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.HasDefault || cfg.Default != 0 {
+		t.Fatalf("default saved handled wrong: %d/%v", cfg.Default, cfg.HasDefault)
+	}
+}
+
+func TestUnknownGlobalsPreserved(t *testing.T) {
+	src := "color black/cyan yellow/cyan\ndefault 0\ntitle a\nroot (hd0,0)\n"
+	cfg, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Preamble) != 1 || cfg.Preamble[0].Name != "color" {
+		t.Fatalf("preamble = %v", cfg.Preamble)
+	}
+	if !strings.Contains(string(cfg.Render()), "color black/cyan yellow/cyan") {
+		t.Fatal("preamble lost in render")
+	}
+}
+
+func TestDefaultEntryNoEntries(t *testing.T) {
+	cfg := New()
+	if _, err := cfg.DefaultEntry(); err == nil {
+		t.Fatal("DefaultEntry on empty config succeeded")
+	}
+}
+
+func TestEntryOSFallbacks(t *testing.T) {
+	// title suffix wins over chainloader heuristic
+	e := &Entry{Title: "weird-linux", Commands: []Command{{Name: "chainloader", Args: "+1"}}}
+	if e.OS() != osid.Linux {
+		t.Errorf("title suffix should dominate: %v", e.OS())
+	}
+	// bare chainloader with neutral title → Windows
+	e2 := &Entry{Title: "other system", Commands: []Command{{Name: "chainloader", Args: "+1"}}}
+	if e2.OS() != osid.Windows {
+		t.Errorf("chainloader heuristic = %v", e2.OS())
+	}
+	// nothing at all
+	e3 := &Entry{Title: "mystery"}
+	if e3.OS() != osid.None {
+		t.Errorf("empty entry OS = %v", e3.OS())
+	}
+}
+
+func TestControlMenuCanned(t *testing.T) {
+	for _, os := range []osid.OS{osid.Linux, osid.Windows} {
+		cfg, err := ControlMenu(DefaultLinuxEntry(), DefaultWindowsEntry(), os)
+		if err != nil {
+			t.Fatal(err)
+		}
+		def, err := cfg.DefaultEntry()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if def.OS() != os {
+			t.Errorf("ControlMenu(%v) default boots %v", os, def.OS())
+		}
+		// must re-parse cleanly
+		if _, err := Parse(cfg.Render()); err != nil {
+			t.Errorf("ControlMenu(%v) render unparseable: %v", os, err)
+		}
+	}
+	if _, err := ControlMenu(DefaultLinuxEntry(), DefaultWindowsEntry(), osid.None); err == nil {
+		t.Error("ControlMenu(None) succeeded")
+	}
+}
+
+func TestControlMenuMatchesFigure3Shape(t *testing.T) {
+	cfg, err := ControlMenu(DefaultLinuxEntry(), DefaultWindowsEntry(), osid.Linux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Parse([]byte(figure3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Entries) != len(want.Entries) {
+		t.Fatalf("entry count %d != %d", len(cfg.Entries), len(want.Entries))
+	}
+	for i := range want.Entries {
+		if cfg.Entries[i].Title != want.Entries[i].Title {
+			t.Errorf("entry %d title %q != %q", i, cfg.Entries[i].Title, want.Entries[i].Title)
+		}
+		for _, cmd := range want.Entries[i].Commands {
+			got, ok := cfg.Entries[i].Lookup(cmd.Name)
+			if !ok || got != cmd.Args {
+				t.Errorf("entry %d %s = %q, want %q", i, cmd.Name, got, cmd.Args)
+			}
+		}
+	}
+}
+
+func TestRedirectMenuMatchesFigure2Shape(t *testing.T) {
+	cfg := RedirectMenu(DeviceRef{Disk: 0, Partition: 5}, "/controlmenu.lst")
+	want, err := Parse([]byte(figure2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Timeout != want.Timeout || cfg.HiddenMenu != want.HiddenMenu {
+		t.Errorf("globals: timeout %d/%d hidden %v/%v", cfg.Timeout, want.Timeout, cfg.HiddenMenu, want.HiddenMenu)
+	}
+	e, we := cfg.Entries[0], want.Entries[0]
+	if e.Title != we.Title {
+		t.Errorf("title %q != %q", e.Title, we.Title)
+	}
+	gotCF, _ := e.ConfigFile()
+	wantCF, _ := we.ConfigFile()
+	if gotCF != wantCF {
+		t.Errorf("configfile %q != %q", gotCF, wantCF)
+	}
+}
+
+func TestPXEMenu(t *testing.T) {
+	cfg, err := PXEMenu(DefaultLinuxEntry(), DefaultWindowsEntry(), osid.Windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, _ := cfg.DefaultEntry()
+	if def.OS() != osid.Windows {
+		t.Fatalf("PXE default = %v", def.OS())
+	}
+	lin := cfg.Entries[0]
+	kp, _ := lin.KernelPath()
+	if !strings.HasPrefix(kp, "(pd)") {
+		t.Errorf("PXE kernel path %q lacks (pd) prefix", kp)
+	}
+	if _, err := Parse(cfg.Render()); err != nil {
+		t.Errorf("PXE menu render unparseable: %v", err)
+	}
+}
+
+func TestStagedControlFileName(t *testing.T) {
+	if StagedControlFileName(osid.Linux) != "/controlmenu_to_linux.lst" {
+		t.Error("linux staged name wrong")
+	}
+	if StagedControlFileName(osid.Windows) != "/controlmenu_to_windows.lst" {
+		t.Error("windows staged name wrong")
+	}
+}
+
+// Property: any config built from random valid entries survives a
+// render/parse cycle with entry structure intact.
+func TestQuickRenderParse(t *testing.T) {
+	f := func(titles []string, def uint8, timeout uint8) bool {
+		cfg := New()
+		for _, title := range titles {
+			title = strings.Map(func(r rune) rune {
+				if r == '\n' || r == '\r' {
+					return ' '
+				}
+				return r
+			}, title)
+			if strings.TrimSpace(title) == "" {
+				continue
+			}
+			cfg.Entries = append(cfg.Entries, &Entry{
+				Title:    title,
+				Commands: []Command{{Name: "root", Args: "(hd0,0)"}, {Name: "chainloader", Args: "+1"}},
+			})
+		}
+		if len(cfg.Entries) > 0 {
+			cfg.HasDefault = true
+			cfg.Default = int(def) % len(cfg.Entries)
+		}
+		cfg.Timeout = int(timeout)
+		again, err := Parse(cfg.Render())
+		if err != nil {
+			return false
+		}
+		if len(again.Entries) != len(cfg.Entries) || again.Default != cfg.Default || again.Timeout != cfg.Timeout {
+			return false
+		}
+		for i := range cfg.Entries {
+			if again.Entries[i].Title != strings.TrimSpace(cfg.Entries[i].Title) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

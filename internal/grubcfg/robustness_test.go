@@ -1,0 +1,67 @@
+package grubcfg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: the parser must never panic, whatever bytes it is fed —
+// a corrupted FAT partition hands GRUB (and us) arbitrary garbage.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		cfg, err := Parse(data)
+		if err == nil && cfg != nil {
+			// Anything accepted must render and re-parse.
+			if _, err := Parse(cfg.Render()); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParseDeviceNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseDevice(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParseFigure3(b *testing.B) {
+	src := []byte(figure3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRenderControlMenu(b *testing.B) {
+	cfg, err := ControlMenu(DefaultLinuxEntry(), DefaultWindowsEntry(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out := cfg.Render(); len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package hardware
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/osid"
+)
+
+// MAC is a 6-byte Ethernet hardware address. PXE menu files in
+// dualboot-oscar v2 are named after it.
+type MAC [6]byte
+
+// String renders the address in the colon-separated form used for
+// logging ("00:16:3e:00:00:01").
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// MenuFileName renders the address the way GRUB4DOS names PXE menu
+// files under /tftpboot/menu.lst/: dash-separated, upper-case, with a
+// leading "01-" ARP hardware type prefix.
+func (m MAC) MenuFileName() string {
+	return fmt.Sprintf("01-%02X-%02X-%02X-%02X-%02X-%02X", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// ParseMAC accepts colon- or dash-separated addresses, with or without
+// the "01-" PXE prefix, case-insensitive.
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	s = strings.TrimSpace(s)
+	norm := strings.ReplaceAll(strings.ToLower(s), "-", ":")
+	parts := strings.Split(norm, ":")
+	if len(parts) == 7 && parts[0] == "01" {
+		parts = parts[1:]
+	}
+	if len(parts) != 6 {
+		return m, fmt.Errorf("hardware: malformed MAC %q", s)
+	}
+	for i, p := range parts {
+		var b int
+		if _, err := fmt.Sscanf(p, "%x", &b); err != nil || b < 0 || b > 255 || len(p) != 2 {
+			return m, fmt.Errorf("hardware: malformed MAC octet %q in %q", p, s)
+		}
+		m[i] = byte(b)
+	}
+	return m, nil
+}
+
+// MACForIndex returns a deterministic locally-administered address for
+// compute node i, so simulations are reproducible.
+func MACForIndex(i int) MAC {
+	return MAC{0x02, 0x00, 0x5e, byte(i >> 16), byte(i >> 8), byte(i)}
+}
+
+// PowerState describes a node's power/boot lifecycle.
+type PowerState uint8
+
+const (
+	PowerOff PowerState = iota
+	PowerBooting
+	PowerOn
+	PowerShuttingDown
+)
+
+// String names the power state.
+func (p PowerState) String() string {
+	switch p {
+	case PowerBooting:
+		return "booting"
+	case PowerOn:
+		return "on"
+	case PowerShuttingDown:
+		return "shutting-down"
+	default:
+		return "off"
+	}
+}
+
+// BootSource is an entry in the BIOS boot order.
+type BootSource uint8
+
+const (
+	BootFromDisk BootSource = iota
+	BootFromPXE
+)
+
+// String names the boot source.
+func (b BootSource) String() string {
+	if b == BootFromPXE {
+		return "pxe"
+	}
+	return "disk"
+}
+
+// Node is one commodity compute PC: the paper's machines were re-used
+// laboratory computers with Intel Core 2 Quad Q8200 processors (4
+// cores) and no hardware virtualisation support — hence the whole
+// dual-boot design.
+type Node struct {
+	Name      string
+	Addr      MAC
+	Cores     int
+	MemMB     int64
+	Disk      *Disk
+	BootOrder []BootSource
+
+	Power    PowerState
+	BootedOS osid.OS
+}
+
+// NodeSpec configures NewNode.
+type NodeSpec struct {
+	Name       string
+	Index      int // used to derive a deterministic MAC
+	Cores      int
+	MemMB      int64
+	DiskSizeMB int64
+	PXEFirst   bool // v2 nodes boot PXE before disk
+}
+
+// NewNode builds a powered-off node. Defaults follow the Eridani
+// cluster: 4 cores, 8 GB RAM, 250 GB disk.
+func NewNode(spec NodeSpec) *Node {
+	if spec.Cores <= 0 {
+		spec.Cores = 4
+	}
+	if spec.MemMB <= 0 {
+		spec.MemMB = 8 * 1024
+	}
+	if spec.DiskSizeMB <= 0 {
+		spec.DiskSizeMB = 250 * 1000
+	}
+	if spec.Name == "" {
+		spec.Name = fmt.Sprintf("enode%02d", spec.Index)
+	}
+	order := []BootSource{BootFromDisk}
+	if spec.PXEFirst {
+		order = []BootSource{BootFromPXE, BootFromDisk}
+	}
+	return &Node{
+		Name:      spec.Name,
+		Addr:      MACForIndex(spec.Index),
+		Cores:     spec.Cores,
+		MemMB:     spec.MemMB,
+		Disk:      NewDisk(spec.DiskSizeMB),
+		BootOrder: order,
+		Power:     PowerOff,
+		BootedOS:  osid.None,
+	}
+}
+
+// Running reports whether the node is up with an OS.
+func (n *Node) Running() bool { return n.Power == PowerOn && n.BootedOS.Valid() }
+
+// String summarises the node.
+func (n *Node) String() string {
+	return fmt.Sprintf("%s(%s, %d cores, %s, %s)", n.Name, n.Addr, n.Cores, n.Power, n.BootedOS)
+}

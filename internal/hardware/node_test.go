@@ -1,0 +1,130 @@
+package hardware
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/osid"
+)
+
+func TestMACString(t *testing.T) {
+	m := MAC{0x02, 0x00, 0x5e, 0x00, 0x00, 0x10}
+	if got := m.String(); got != "02:00:5e:00:00:10" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestMACMenuFileName(t *testing.T) {
+	m := MAC{0xaa, 0xbb, 0xcc, 0x01, 0x02, 0x03}
+	if got := m.MenuFileName(); got != "01-AA-BB-CC-01-02-03" {
+		t.Fatalf("MenuFileName() = %q", got)
+	}
+}
+
+func TestParseMAC(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    MAC
+		wantErr bool
+	}{
+		{"02:00:5e:00:00:10", MAC{2, 0, 0x5e, 0, 0, 0x10}, false},
+		{"02-00-5E-00-00-10", MAC{2, 0, 0x5e, 0, 0, 0x10}, false},
+		{"01-AA-BB-CC-01-02-03", MAC{0xaa, 0xbb, 0xcc, 1, 2, 3}, false}, // PXE prefix stripped
+		{" 02:00:5e:00:00:10 ", MAC{2, 0, 0x5e, 0, 0, 0x10}, false},
+		{"02:00:5e:00:00", MAC{}, true},
+		{"gg:00:5e:00:00:10", MAC{}, true},
+		{"", MAC{}, true},
+		{"02:00:5e:00:00:10:99", MAC{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseMAC(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseMAC(%q) err = %v, wantErr = %v", c.in, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("ParseMAC(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMACRoundTrip(t *testing.T) {
+	f := func(a, b, c, d, e, g byte) bool {
+		m := MAC{a, b, c, d, e, g}
+		p1, err1 := ParseMAC(m.String())
+		p2, err2 := ParseMAC(m.MenuFileName())
+		return err1 == nil && err2 == nil && p1 == m && p2 == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMACForIndexDistinct(t *testing.T) {
+	seen := map[MAC]bool{}
+	for i := 0; i < 256; i++ {
+		m := MACForIndex(i)
+		if seen[m] {
+			t.Fatalf("duplicate MAC for index %d: %v", i, m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestNewNodeDefaults(t *testing.T) {
+	n := NewNode(NodeSpec{Index: 3})
+	if n.Name != "enode03" {
+		t.Errorf("Name = %q", n.Name)
+	}
+	if n.Cores != 4 {
+		t.Errorf("Cores = %d", n.Cores)
+	}
+	if n.MemMB != 8192 {
+		t.Errorf("MemMB = %d", n.MemMB)
+	}
+	if n.Disk.SizeMB != 250000 {
+		t.Errorf("DiskSizeMB = %d", n.Disk.SizeMB)
+	}
+	if n.Power != PowerOff || n.BootedOS != osid.None {
+		t.Errorf("initial state = %v/%v", n.Power, n.BootedOS)
+	}
+	if len(n.BootOrder) != 1 || n.BootOrder[0] != BootFromDisk {
+		t.Errorf("BootOrder = %v", n.BootOrder)
+	}
+	if n.Running() {
+		t.Error("powered-off node reports Running")
+	}
+}
+
+func TestNewNodePXEFirst(t *testing.T) {
+	n := NewNode(NodeSpec{Index: 1, PXEFirst: true})
+	if len(n.BootOrder) != 2 || n.BootOrder[0] != BootFromPXE || n.BootOrder[1] != BootFromDisk {
+		t.Fatalf("BootOrder = %v", n.BootOrder)
+	}
+}
+
+func TestNodeRunning(t *testing.T) {
+	n := NewNode(NodeSpec{Index: 1})
+	n.Power = PowerOn
+	n.BootedOS = osid.Linux
+	if !n.Running() {
+		t.Error("booted node not Running")
+	}
+	n.BootedOS = osid.None
+	if n.Running() {
+		t.Error("node with no OS reports Running")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if PowerOff.String() != "off" || PowerBooting.String() != "booting" ||
+		PowerOn.String() != "on" || PowerShuttingDown.String() != "shutting-down" {
+		t.Error("PowerState strings wrong")
+	}
+	if BootFromDisk.String() != "disk" || BootFromPXE.String() != "pxe" {
+		t.Error("BootSource strings wrong")
+	}
+	if BootGRUB.String() != "grub" || BootWindows.String() != "windows-mbr" || BootNone.String() != "none" {
+		t.Error("BootloaderKind strings wrong")
+	}
+}

@@ -1,0 +1,389 @@
+// Package metrics collects the quantities the paper's evaluation
+// argues about: cluster utilisation ("better utilisation of the HPC
+// resources"), per-side queue waits, OS-switch counts and durations,
+// and job completion statistics. Integration is event-driven against
+// the virtual clock, so results are exact rather than sampled.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/osid"
+)
+
+// JobRecord is one job's lifecycle summary.
+type JobRecord struct {
+	ID        string
+	OS        osid.OS
+	App       string
+	CPUs      int
+	Submitted time.Duration
+	Started   time.Duration
+	Ended     time.Duration
+	Completed bool
+}
+
+// Wait returns queue wait (start - submit).
+func (j JobRecord) Wait() time.Duration { return j.Started - j.Submitted }
+
+// SwitchRecord is one OS switch of one node.
+type SwitchRecord struct {
+	Node     string
+	From, To osid.OS
+	Started  time.Duration
+	Finished time.Duration
+	OK       bool
+}
+
+// Duration returns the switch latency.
+func (s SwitchRecord) Duration() time.Duration { return s.Finished - s.Started }
+
+// Recorder accumulates cluster state over virtual time.
+type Recorder struct {
+	now func() time.Duration
+
+	totalCores int
+
+	last       time.Duration
+	busyCores  map[osid.OS]int
+	upNodes    map[osid.OS]int
+	switching  int
+	busyCoreNS map[osid.OS]float64 // ∫ busy cores dt
+	upNodeNS   map[osid.OS]float64 // ∫ nodes-up dt
+	switchNS   float64             // ∫ nodes-switching dt
+
+	jobs       map[string]*JobRecord
+	order      []string
+	switches   []SwitchRecord
+	inFlight   map[string]*SwitchRecord
+	seenSwitch int
+}
+
+// NewRecorder creates a recorder over a virtual clock. totalCores is
+// the whole machine's core count (utilisation denominator).
+func NewRecorder(now func() time.Duration, totalCores int) *Recorder {
+	return &Recorder{
+		now:        now,
+		totalCores: totalCores,
+		busyCores:  map[osid.OS]int{},
+		upNodes:    map[osid.OS]int{},
+		busyCoreNS: map[osid.OS]float64{},
+		upNodeNS:   map[osid.OS]float64{},
+		jobs:       map[string]*JobRecord{},
+		inFlight:   map[string]*SwitchRecord{},
+	}
+}
+
+// advance integrates state up to the current instant.
+func (r *Recorder) advance() {
+	now := r.now()
+	dt := float64(now - r.last)
+	if dt < 0 {
+		panic("metrics: clock went backwards")
+	}
+	for os, c := range r.busyCores {
+		r.busyCoreNS[os] += float64(c) * dt
+	}
+	for os, n := range r.upNodes {
+		r.upNodeNS[os] += float64(n) * dt
+	}
+	r.switchNS += float64(r.switching) * dt
+	r.last = now
+}
+
+// JobSubmitted records a submission.
+func (r *Recorder) JobSubmitted(id string, os osid.OS, app string, cpus int) {
+	r.advance()
+	if _, dup := r.jobs[id]; dup {
+		return
+	}
+	r.jobs[id] = &JobRecord{ID: id, OS: os, App: app, CPUs: cpus, Submitted: r.now()}
+	r.order = append(r.order, id)
+}
+
+// JobStarted records a start and begins busy-core integration.
+func (r *Recorder) JobStarted(id string) {
+	r.advance()
+	j, ok := r.jobs[id]
+	if !ok {
+		return
+	}
+	j.Started = r.now()
+	r.busyCores[j.OS] += j.CPUs
+}
+
+// JobEnded records completion and releases busy cores.
+func (r *Recorder) JobEnded(id string, completed bool) {
+	r.advance()
+	j, ok := r.jobs[id]
+	if !ok {
+		return
+	}
+	if j.Started == 0 && j.Submitted != 0 && !completed {
+		// never started (cancelled in queue)
+		j.Ended = r.now()
+		return
+	}
+	j.Ended = r.now()
+	j.Completed = completed
+	r.busyCores[j.OS] -= j.CPUs
+	if r.busyCores[j.OS] < 0 {
+		r.busyCores[j.OS] = 0
+	}
+}
+
+// NodeUp marks a node available on a side.
+func (r *Recorder) NodeUp(os osid.OS) {
+	r.advance()
+	r.upNodes[os]++
+}
+
+// NodeDown marks a node unavailable on a side.
+func (r *Recorder) NodeDown(os osid.OS) {
+	r.advance()
+	if r.upNodes[os] > 0 {
+		r.upNodes[os]--
+	}
+}
+
+// SwitchStarted begins tracking an OS switch.
+func (r *Recorder) SwitchStarted(node string, from, to osid.OS) {
+	r.advance()
+	r.switching++
+	r.seenSwitch++
+	rec := &SwitchRecord{Node: node, From: from, To: to, Started: r.now()}
+	r.inFlight[node] = rec
+}
+
+// SwitchFinished completes a switch record.
+func (r *Recorder) SwitchFinished(node string, ok bool) {
+	r.advance()
+	if r.switching > 0 {
+		r.switching--
+	}
+	rec, found := r.inFlight[node]
+	if !found {
+		return
+	}
+	delete(r.inFlight, node)
+	rec.Finished = r.now()
+	rec.OK = ok
+	r.switches = append(r.switches, *rec)
+}
+
+// Summary is the digested result of a run.
+type Summary struct {
+	Elapsed        time.Duration
+	TotalCores     int
+	Utilisation    float64 // busy core-time / (total cores × elapsed)
+	UtilisationOS  map[osid.OS]float64
+	MeanWait       map[osid.OS]time.Duration
+	MaxWait        map[osid.OS]time.Duration
+	JobsSubmitted  map[osid.OS]int
+	JobsCompleted  map[osid.OS]int
+	Switches       int
+	SwitchesOK     int
+	MeanSwitch     time.Duration
+	MaxSwitch      time.Duration
+	SwitchOverhead float64 // node-time spent switching / (nodes × elapsed)
+	Makespan       time.Duration
+}
+
+// Summarise integrates to now and digests.
+func (r *Recorder) Summarise(totalNodes int) Summary {
+	r.advance()
+	elapsed := r.last
+	s := Summary{
+		Elapsed:       elapsed,
+		TotalCores:    r.totalCores,
+		UtilisationOS: map[osid.OS]float64{},
+		MeanWait:      map[osid.OS]time.Duration{},
+		MaxWait:       map[osid.OS]time.Duration{},
+		JobsSubmitted: map[osid.OS]int{},
+		JobsCompleted: map[osid.OS]int{},
+	}
+	if elapsed <= 0 || r.totalCores <= 0 {
+		return s
+	}
+	denom := float64(r.totalCores) * float64(elapsed)
+	var busyTotal float64
+	waitSums := map[osid.OS]time.Duration{}
+	waitCounts := map[osid.OS]int{}
+	for _, os := range []osid.OS{osid.Linux, osid.Windows} {
+		busyTotal += r.busyCoreNS[os]
+		s.UtilisationOS[os] = r.busyCoreNS[os] / denom
+	}
+	s.Utilisation = busyTotal / denom
+	for _, id := range r.order {
+		j := r.jobs[id]
+		s.JobsSubmitted[j.OS]++
+		if j.Completed {
+			s.JobsCompleted[j.OS]++
+			waitSums[j.OS] += j.Wait()
+			waitCounts[j.OS]++
+			if j.Wait() > s.MaxWait[j.OS] {
+				s.MaxWait[j.OS] = j.Wait()
+			}
+			if j.Ended > s.Makespan {
+				s.Makespan = j.Ended
+			}
+		}
+	}
+	for os, sum := range waitSums {
+		s.MeanWait[os] = sum / time.Duration(waitCounts[os])
+	}
+	s.Switches = len(r.switches)
+	var switchSum time.Duration
+	for _, sw := range r.switches {
+		if sw.OK {
+			s.SwitchesOK++
+		}
+		d := sw.Duration()
+		switchSum += d
+		if d > s.MaxSwitch {
+			s.MaxSwitch = d
+		}
+	}
+	if len(r.switches) > 0 {
+		s.MeanSwitch = switchSum / time.Duration(len(r.switches))
+	}
+	if totalNodes > 0 {
+		s.SwitchOverhead = r.switchNS / (float64(totalNodes) * float64(elapsed))
+	}
+	return s
+}
+
+// Jobs returns job records in submission order.
+func (r *Recorder) Jobs() []JobRecord {
+	out := make([]JobRecord, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, *r.jobs[id])
+	}
+	return out
+}
+
+// Switches returns completed switch records.
+func (r *Recorder) Switches() []SwitchRecord {
+	return append([]SwitchRecord(nil), r.switches...)
+}
+
+// AppStat aggregates completed jobs of one application.
+type AppStat struct {
+	App          string
+	OS           osid.OS
+	Completed    int
+	MeanWait     time.Duration
+	CPUHours     float64 // cores × runtime, in hours
+	LongestWait  time.Duration
+	ShortestWait time.Duration
+}
+
+// AppStats digests completed jobs per application — the Table-I view
+// of a run. Results are sorted by application name.
+func (r *Recorder) AppStats() []AppStat {
+	acc := map[string]*AppStat{}
+	waitSums := map[string]time.Duration{}
+	for _, id := range r.order {
+		j := r.jobs[id]
+		if !j.Completed {
+			continue
+		}
+		key := j.App + "/" + j.OS.String()
+		st, ok := acc[key]
+		if !ok {
+			st = &AppStat{App: j.App, OS: j.OS, ShortestWait: time.Duration(1<<62 - 1)}
+			acc[key] = st
+		}
+		st.Completed++
+		w := j.Wait()
+		waitSums[key] += w
+		if w > st.LongestWait {
+			st.LongestWait = w
+		}
+		if w < st.ShortestWait {
+			st.ShortestWait = w
+		}
+		st.CPUHours += float64(j.CPUs) * (j.Ended - j.Started).Hours()
+	}
+	out := make([]AppStat, 0, len(acc))
+	for key, st := range acc {
+		st.MeanWait = waitSums[key] / time.Duration(st.Completed)
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].App != out[j].App {
+			return out[i].App < out[j].App
+		}
+		return out[i].OS < out[j].OS
+	})
+	return out
+}
+
+// WaitPercentile computes the p-th percentile queue wait over
+// completed jobs on a side (p in [0,100]).
+func (r *Recorder) WaitPercentile(os osid.OS, p float64) time.Duration {
+	var waits []time.Duration
+	for _, id := range r.order {
+		j := r.jobs[id]
+		if j.Completed && (os == osid.None || j.OS == os) {
+			waits = append(waits, j.Wait())
+		}
+	}
+	if len(waits) == 0 {
+		return 0
+	}
+	sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+	idx := int(p / 100 * float64(len(waits)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(waits) {
+		idx = len(waits) - 1
+	}
+	return waits[idx]
+}
+
+// Table renders rows as an aligned text table; the benchmark harness
+// and CLI share it.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// Dur formats a duration at seconds resolution.
+func Dur(d time.Duration) string { return d.Round(time.Second).String() }

@@ -1,0 +1,99 @@
+package osid
+
+import "testing"
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		os   OS
+		want string
+	}{
+		{None, "none"},
+		{Linux, "linux"},
+		{Windows, "windows"},
+		{OS(99), "none"},
+	}
+	for _, c := range cases {
+		if got := c.os.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", c.os, got, c.want)
+		}
+	}
+}
+
+func TestOther(t *testing.T) {
+	if Linux.Other() != Windows {
+		t.Error("Linux.Other() != Windows")
+	}
+	if Windows.Other() != Linux {
+		t.Error("Windows.Other() != Linux")
+	}
+	if None.Other() != None {
+		t.Error("None.Other() != None")
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Linux.Valid() || !Windows.Valid() {
+		t.Error("Linux/Windows should be valid")
+	}
+	if None.Valid() {
+		t.Error("None should not be valid")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    OS
+		wantErr bool
+	}{
+		{"linux", Linux, false},
+		{"LINUX", Linux, false},
+		{"l", Linux, false},
+		{"lin", Linux, false},
+		{"windows", Windows, false},
+		{"Win", Windows, false},
+		{"W", Windows, false},
+		{" windows ", Windows, false},
+		{"none", None, false},
+		{"", None, false},
+		{"solaris", None, true},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("Parse(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFromTitleSuffix(t *testing.T) {
+	cases := []struct {
+		title string
+		want  OS
+	}{
+		{"CentOS-5.4_Oscar-5b2-linux", Linux},
+		{"Win_Server_2K8_R2-windows", Windows},
+		{"changing to control file", None},
+		{"something-LINUX", Linux},
+		{"  x-windows  ", Windows},
+		{"", None},
+	}
+	for _, c := range cases {
+		if got := FromTitleSuffix(c.title); got != c.want {
+			t.Errorf("FromTitleSuffix(%q) = %v, want %v", c.title, got, c.want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, o := range []OS{None, Linux, Windows} {
+		got, err := Parse(o.String())
+		if err != nil || got != o {
+			t.Errorf("Parse(%v.String()) = %v, %v", o, got, err)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package pbs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements the scraping side: the paper's Perl detector
+// parses the text of `qstat -f` and `pbsnodes` because the Torque of
+// the day "does not provide APIs for other programs". The parsers are
+// deliberately tolerant the way the Perl was: they key on the
+// "Name\n    attr = value" shape and ignore attributes they do not
+// know.
+
+// JobStatus is one scraped qstat -f record.
+type JobStatus struct {
+	ID       string
+	Name     string
+	Owner    string
+	State    JobState
+	Queue    string
+	ExecHost string
+	Nodes    int
+	PPN      int
+}
+
+// CPUs returns the scraped CPU request.
+func (j JobStatus) CPUs() int { return j.Nodes * j.PPN }
+
+// NodeStatus is one scraped pbsnodes record.
+type NodeStatus struct {
+	Name  string
+	State NodeState
+	NP    int
+	Jobs  []string
+}
+
+// ParseQstatF scrapes `qstat -f` output into job records.
+func ParseQstatF(text string) ([]JobStatus, error) {
+	var out []JobStatus
+	var cur *JobStatus
+	flush := func() {
+		if cur != nil {
+			out = append(out, *cur)
+			cur = nil
+		}
+	}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimRight(raw, "\r")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if after, ok := strings.CutPrefix(trimmed, "Job Id:"); ok && !isIndented(line) {
+			flush()
+			cur = &JobStatus{ID: strings.TrimSpace(after), Nodes: 1, PPN: 1}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("pbs: qstat parse: line %d: attribute outside record: %q", lineNo+1, trimmed)
+		}
+		key, val, ok := strings.Cut(trimmed, "=")
+		if !ok {
+			// continuation lines (wrapped values) are appended to
+			// nothing we track; skip
+			continue
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "Job_Name":
+			cur.Name = val
+		case "Job_Owner":
+			cur.Owner = val
+		case "job_state":
+			if len(val) == 1 {
+				cur.State = JobState(val[0])
+			}
+		case "queue":
+			cur.Queue = val
+		case "exec_host":
+			cur.ExecHost = val
+		case "Resource_List.nodes":
+			nodes, ppn, err := parseNodesSpec(val)
+			if err == nil {
+				cur.Nodes, cur.PPN = nodes, ppn
+			}
+		}
+	}
+	flush()
+	return out, nil
+}
+
+// ParsePBSNodes scrapes `pbsnodes` output into node records.
+func ParsePBSNodes(text string) ([]NodeStatus, error) {
+	var out []NodeStatus
+	var cur *NodeStatus
+	flush := func() {
+		if cur != nil {
+			out = append(out, *cur)
+			cur = nil
+		}
+	}
+	for _, raw := range strings.Split(text, "\n") {
+		line := strings.TrimRight(raw, "\r")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if !isIndented(line) {
+			flush()
+			cur = &NodeStatus{Name: trimmed}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("pbs: pbsnodes parse: attribute before any node: %q", trimmed)
+		}
+		key, val, ok := strings.Cut(trimmed, "=")
+		if !ok {
+			continue
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "state":
+			cur.State = NodeState(val)
+		case "np":
+			np, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("pbs: pbsnodes parse: node %s: bad np %q", cur.Name, val)
+			}
+			cur.NP = np
+		case "jobs":
+			for _, item := range strings.Split(val, ",") {
+				item = strings.TrimSpace(item)
+				if item != "" {
+					cur.Jobs = append(cur.Jobs, item)
+				}
+			}
+		}
+	}
+	flush()
+	return out, nil
+}
+
+func isIndented(line string) bool {
+	return strings.HasPrefix(line, " ") || strings.HasPrefix(line, "\t")
+}

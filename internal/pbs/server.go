@@ -1,0 +1,535 @@
+package pbs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// NodeState mirrors pbsnodes state values.
+type NodeState string
+
+const (
+	NodeFree      NodeState = "free"
+	NodeExclusive NodeState = "job-exclusive"
+	NodeOffline   NodeState = "offline"
+	NodeDown      NodeState = "down"
+)
+
+// Node is a pbs_mom as seen by the server.
+type Node struct {
+	Name       string
+	NP         int
+	Properties []string
+	state      NodeState
+	// busy[cpu] holds the job occupying that virtual processor.
+	busy map[int]*Job
+}
+
+// State derives the reported state: offline/down are administrative or
+// connectivity conditions; otherwise free vs job-exclusive depends on
+// occupancy.
+func (n *Node) State() NodeState {
+	if n.state == NodeOffline || n.state == NodeDown {
+		return n.state
+	}
+	if len(n.busy) >= n.NP {
+		return NodeExclusive
+	}
+	return NodeFree
+}
+
+// FreeCPUs counts unoccupied virtual processors (0 when offline/down).
+func (n *Node) FreeCPUs() int {
+	if n.state == NodeOffline || n.state == NodeDown {
+		return 0
+	}
+	return n.NP - len(n.busy)
+}
+
+// UsedCPUs counts occupied virtual processors.
+func (n *Node) UsedCPUs() int { return len(n.busy) }
+
+// Jobs lists IDs of jobs with slots on this node, PBS-style
+// "cpu/jobid" pairs sorted by CPU.
+func (n *Node) Jobs() []string {
+	cpus := make([]int, 0, len(n.busy))
+	for c := range n.busy {
+		cpus = append(cpus, c)
+	}
+	sort.Ints(cpus)
+	out := make([]string, len(cpus))
+	for i, c := range cpus {
+		out[i] = fmt.Sprintf("%d/%s", c, n.busy[c].ID)
+	}
+	return out
+}
+
+// Server is the pbs_server plus a strict-FCFS scheduler (the paper's
+// deployment ran stock OSCAR scheduling: first-come first-served, no
+// backfill — which is exactly what lets the head of the queue wedge
+// the whole system and makes the "stuck" signal meaningful).
+type Server struct {
+	eng *simtime.Engine
+	// domain is the cluster FQDN ("eridani.qgg.hud.ac.uk"): the head
+	// node's own name, the suffix of job IDs, and the domain compute
+	// node names are qualified with.
+	domain string
+
+	seq       int
+	jobs      map[string]*Job
+	order     []string // submission order of job IDs
+	nodes     map[string]*Node
+	nodeOrder []string
+
+	queues       map[string]*Queue
+	defaultQueue string
+
+	// Backfill enables the out-of-order placement extension used by
+	// the policy ablation; the paper's system has it off.
+	Backfill bool
+
+	// Hooks for the metrics recorder and the controller.
+	OnJobStart func(*Job)
+	OnJobEnd   func(*Job)
+
+	schedPending bool
+
+	// BaseDate maps virtual time zero to a wall-clock date for the
+	// qstat/pbsnodes renderings. The default matches the paper's
+	// trace captures (April 2010).
+	BaseDate time.Time
+}
+
+// NewServer creates a PBS server on the simulation engine. fqdn is the
+// cluster name used in job IDs and node qualification
+// ("eridani.qgg.hud.ac.uk").
+func NewServer(eng *simtime.Engine, fqdn string) *Server {
+	s := &Server{
+		eng:          eng,
+		domain:       fqdn,
+		jobs:         make(map[string]*Job),
+		nodes:        make(map[string]*Node),
+		queues:       make(map[string]*Queue),
+		defaultQueue: "default",
+		BaseDate:     time.Date(2010, time.April, 16, 8, 0, 0, 0, time.UTC),
+	}
+	if _, err := s.CreateQueue("default"); err != nil {
+		panic(err) // cannot happen: fresh map
+	}
+	return s
+}
+
+// Name returns the server's FQDN ("eridani.qgg.hud.ac.uk").
+func (s *Server) Name() string { return s.domain }
+
+// Domain returns the FQDN suffix.
+func (s *Server) Domain() string { return s.domain }
+
+// AddNode registers a compute node. Nodes join offline when avail is
+// false (e.g. they are currently booted into Windows).
+func (s *Server) AddNode(name string, np int, avail bool) (*Node, error) {
+	if _, ok := s.nodes[name]; ok {
+		return nil, fmt.Errorf("pbs: node %s already registered", name)
+	}
+	if np <= 0 {
+		return nil, fmt.Errorf("pbs: node %s: bad np %d", name, np)
+	}
+	n := &Node{Name: name, NP: np, Properties: []string{"all"}, busy: make(map[int]*Job)}
+	if !avail {
+		n.state = NodeDown
+	}
+	s.nodes[name] = n
+	s.nodeOrder = append(s.nodeOrder, name)
+	if avail {
+		s.kick()
+	}
+	return n, nil
+}
+
+// Node returns a registered node.
+func (s *Server) Node(name string) (*Node, error) {
+	n, ok := s.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("pbs: unknown node %s", name)
+	}
+	return n, nil
+}
+
+// Nodes lists nodes in registration order.
+func (s *Server) Nodes() []*Node {
+	out := make([]*Node, len(s.nodeOrder))
+	for i, name := range s.nodeOrder {
+		out[i] = s.nodes[name]
+	}
+	return out
+}
+
+// SetNodeAvailable brings a node up (it re-registered after booting
+// Linux) or marks it down (it rebooted away). Jobs running on a node
+// that goes down are requeued if rerunnable, otherwise killed.
+func (s *Server) SetNodeAvailable(name string, avail bool) error {
+	n, ok := s.nodes[name]
+	if !ok {
+		return fmt.Errorf("pbs: unknown node %s", name)
+	}
+	if avail {
+		n.state = NodeFree
+		s.kick()
+		return nil
+	}
+	n.state = NodeDown
+	// Collect affected jobs before mutating.
+	affected := map[string]*Job{}
+	for _, j := range n.busy {
+		affected[j.ID] = j
+	}
+	for _, j := range affected {
+		s.interruptJob(j)
+	}
+	return nil
+}
+
+// SetNodeOffline administratively drains a node without killing jobs;
+// no new work is placed on it.
+func (s *Server) SetNodeOffline(name string, offline bool) error {
+	n, ok := s.nodes[name]
+	if !ok {
+		return fmt.Errorf("pbs: unknown node %s", name)
+	}
+	if offline {
+		n.state = NodeOffline
+	} else {
+		n.state = NodeFree
+		s.kick()
+	}
+	return nil
+}
+
+// interruptJob handles a running job losing a node.
+func (s *Server) interruptJob(j *Job) {
+	s.releaseSlots(j)
+	if j.Rerunnable {
+		j.State = StateQueued
+		j.ExecHost = nil
+		s.kick()
+		return
+	}
+	j.State = StateComplete
+	j.EndTime = s.eng.Now()
+	if s.OnJobEnd != nil {
+		s.OnJobEnd(j)
+	}
+	if j.OnEnd != nil {
+		j.OnEnd(j)
+	}
+	s.kick()
+}
+
+// Qsub submits a job. Requests that could never run on the configured
+// node table are rejected, as Torque does ("cannot locate feasible
+// nodes") — down nodes still count as configured, because a hybrid
+// cluster's missing nodes may boot back at any time.
+func (s *Server) Qsub(req SubmitRequest) (*Job, error) {
+	if err := req.normalise(); err != nil {
+		return nil, err
+	}
+	feasible := 0
+	for _, n := range s.nodes {
+		if n.NP >= req.PPN {
+			feasible++
+		}
+	}
+	if feasible < req.Nodes {
+		return nil, fmt.Errorf("pbs: qsub: cannot locate feasible nodes (nodes=%d:ppn=%d, %d candidates)",
+			req.Nodes, req.PPN, feasible)
+	}
+	if req.Queue == "" {
+		req.Queue = s.defaultQueue
+	}
+	q, ok := s.queues[req.Queue]
+	if !ok {
+		return nil, fmt.Errorf("pbs: qsub: unknown queue %q", req.Queue)
+	}
+	if !q.enabled {
+		return nil, fmt.Errorf("pbs: qsub: queue %q is not enabled", req.Queue)
+	}
+	s.seq++
+	j := &Job{
+		ID:         fmt.Sprintf("%d.%s", s.seq, s.Name()),
+		SeqNo:      s.seq,
+		Name:       req.Name,
+		Owner:      req.Owner,
+		State:      StateQueued,
+		Queue:      req.Queue,
+		Server:     s.Name(),
+		Nodes:      req.Nodes,
+		PPN:        req.PPN,
+		Runtime:    req.Runtime,
+		Walltime:   req.Walltime,
+		Priority:   req.Priority,
+		Rerunnable: req.Rerun,
+		JoinOE:     req.JoinOE,
+		OutputPath: req.Output,
+		QTime:      s.eng.Now(),
+		Exec:       req.Exec,
+		OnEnd:      req.OnEnd,
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.kick()
+	return j, nil
+}
+
+// QsubScript parses a job script and submits it; owner is the
+// submitting user. The script's commands are not interpreted — the
+// Exec callback carries simulated behaviour.
+func (s *Server) QsubScript(script, owner string, runtime time.Duration, exec func(hosts []string)) (*Job, error) {
+	parsed, err := ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	req := parsed.Request
+	req.Owner = owner
+	req.Runtime = runtime
+	req.Exec = exec
+	return s.Qsub(req)
+}
+
+// Qdel removes a queued job or kills a running one.
+func (s *Server) Qdel(id string) error {
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("pbs: unknown job %s", id)
+	}
+	switch j.State {
+	case StateQueued, StateHeld:
+		j.State = StateComplete
+		j.EndTime = s.eng.Now()
+	case StateRunning:
+		s.finishJob(j, true)
+	}
+	return nil
+}
+
+// Qhold places a user hold on a queued job (state H); held jobs are
+// not scheduled. Running jobs cannot be held in this model.
+func (s *Server) Qhold(id string) error {
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("pbs: unknown job %s", id)
+	}
+	if j.State != StateQueued {
+		return fmt.Errorf("pbs: qhold: job %s is %s, not queued", id, j.State)
+	}
+	j.State = StateHeld
+	return nil
+}
+
+// Qrls releases a held job back to the queue.
+func (s *Server) Qrls(id string) error {
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("pbs: unknown job %s", id)
+	}
+	if j.State != StateHeld {
+		return fmt.Errorf("pbs: qrls: job %s is %s, not held", id, j.State)
+	}
+	j.State = StateQueued
+	s.kick()
+	return nil
+}
+
+// Job returns a job by ID.
+func (s *Server) Job(id string) (*Job, error) {
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("pbs: unknown job %s", id)
+	}
+	return j, nil
+}
+
+// Jobs returns all jobs in submission order.
+func (s *Server) Jobs() []*Job {
+	out := make([]*Job, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.jobs[id]
+	}
+	return out
+}
+
+// QueuedJobs returns jobs waiting to run, in submission order.
+func (s *Server) QueuedJobs() []*Job {
+	var out []*Job
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.State == StateQueued {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// RunningJobs returns jobs currently executing.
+func (s *Server) RunningJobs() []*Job {
+	var out []*Job
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.State == StateRunning {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// TotalCPUs sums np over nodes that are not down.
+func (s *Server) TotalCPUs() int {
+	total := 0
+	for _, n := range s.Nodes() {
+		if n.state != NodeDown {
+			total += n.NP
+		}
+	}
+	return total
+}
+
+// AvailableNodes counts nodes that are up (free or busy).
+func (s *Server) AvailableNodes() int {
+	c := 0
+	for _, n := range s.Nodes() {
+		if n.state != NodeDown && n.state != NodeOffline {
+			c++
+		}
+	}
+	return c
+}
+
+// kick coalesces scheduling passes into a single immediate event.
+func (s *Server) kick() {
+	if s.schedPending {
+		return
+	}
+	s.schedPending = true
+	s.eng.After(0, func() {
+		s.schedPending = false
+		s.schedule()
+	})
+}
+
+// schedule runs one FCFS pass: place the head of the queue; stop at
+// the first job that does not fit (unless Backfill is enabled, in
+// which case later jobs may jump the blocked head). Jobs in stopped or
+// capped queues are skipped without blocking the rest.
+func (s *Server) schedule() {
+	for _, j := range s.QueuedJobs() {
+		if !s.schedulable(j) {
+			continue
+		}
+		placed := s.tryPlace(j)
+		if !placed && !s.Backfill {
+			return
+		}
+	}
+}
+
+// tryPlace attempts to allocate nodes for a job and start it.
+func (s *Server) tryPlace(j *Job) bool {
+	type cand struct {
+		node *Node
+		cpus []int
+	}
+	var chosen []cand
+	for _, name := range s.nodeOrder {
+		n := s.nodes[name]
+		if n.State() == NodeOffline || n.State() == NodeDown {
+			continue
+		}
+		if n.FreeCPUs() < j.PPN {
+			continue
+		}
+		var cpus []int
+		for c := n.NP - 1; c >= 0 && len(cpus) < j.PPN; c-- {
+			if _, used := n.busy[c]; !used {
+				cpus = append(cpus, c)
+			}
+		}
+		chosen = append(chosen, cand{n, cpus})
+		if len(chosen) == j.Nodes {
+			break
+		}
+	}
+	if len(chosen) < j.Nodes {
+		return false
+	}
+	for _, c := range chosen {
+		for _, cpu := range c.cpus {
+			c.node.busy[cpu] = j
+			j.ExecHost = append(j.ExecHost, ExecSlot{Node: c.node.Name, CPU: cpu})
+		}
+	}
+	s.startJob(j)
+	return true
+}
+
+func (s *Server) startJob(j *Job) {
+	j.State = StateRunning
+	j.StartTime = s.eng.Now()
+	if s.OnJobStart != nil {
+		s.OnJobStart(j)
+	}
+	if j.Exec != nil {
+		hosts := make([]string, 0, len(j.ExecHost))
+		seen := map[string]bool{}
+		for _, slot := range j.ExecHost {
+			if !seen[slot.Node] {
+				seen[slot.Node] = true
+				hosts = append(hosts, slot.Node)
+			}
+		}
+		j.Exec(hosts)
+	}
+	dur := j.Runtime
+	killed := false
+	if j.Walltime > 0 && dur > j.Walltime {
+		dur = j.Walltime
+		killed = true
+	}
+	s.eng.After(dur, func() {
+		if j.State != StateRunning {
+			return // interrupted in the meantime (node went down)
+		}
+		j.killedAtLimit = killed
+		s.finishJob(j, false)
+	})
+}
+
+func (s *Server) finishJob(j *Job, killed bool) {
+	if killed {
+		j.killedAtLimit = true
+	}
+	s.releaseSlots(j)
+	j.State = StateComplete
+	j.EndTime = s.eng.Now()
+	if s.OnJobEnd != nil {
+		s.OnJobEnd(j)
+	}
+	if j.OnEnd != nil {
+		j.OnEnd(j)
+	}
+	s.kick()
+}
+
+func (s *Server) releaseSlots(j *Job) {
+	for _, slot := range j.ExecHost {
+		if n, ok := s.nodes[slot.Node]; ok {
+			if n.busy[slot.CPU] == j {
+				delete(n.busy, slot.CPU)
+			}
+		}
+	}
+}
+
+// stamp renders a virtual time as the wall-clock string PBS prints.
+func (s *Server) stamp(t time.Duration) string {
+	return s.BaseDate.Add(t).Format(time.ANSIC)
+}

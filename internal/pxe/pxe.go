@@ -1,0 +1,281 @@
+// Package pxe simulates the network-boot services dualboot-oscar v2
+// moves boot control into: a DHCP responder that hands nodes the
+// GRUB4DOS PXE ROM and a TFTP tree rooted at /tftpboot from which the
+// ROM fetches its menu file.
+//
+// GRUB4DOS looks for a menu named after the requesting NIC's MAC
+// address under /tftpboot/menu.lst/ and falls back to a default menu.
+// The paper's v2 design initially wrote one menu per MAC (Figure 12)
+// and was then simplified to a single cluster-wide "flag" menu
+// (Figure 13): all rebooting nodes land in the same target OS. Both
+// modes are implemented here.
+package pxe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/grubcfg"
+	"repro/internal/hardware"
+	"repro/internal/osid"
+)
+
+// MenuDir is the TFTP directory GRUB4DOS searches for menus.
+const MenuDir = "/tftpboot/menu.lst"
+
+// DefaultMenuPath is the fallback menu, used when no per-MAC file
+// exists; in flag mode it is the only menu.
+const DefaultMenuPath = MenuDir + "/default"
+
+// RomPath is the GRUB4DOS PXE ROM the DHCP response points at.
+const RomPath = "/tftpboot/grldr"
+
+// Mode selects between the two v2 boot-control designs.
+type Mode uint8
+
+const (
+	// ModePerMAC writes one menu file per compute-node MAC
+	// (Figure 12: the initial v2 approach).
+	ModePerMAC Mode = iota
+	// ModeFlag maintains a single default menu whose default entry is
+	// the cluster-wide target OS (Figure 13: the final v2 approach).
+	ModeFlag
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeFlag {
+		return "flag"
+	}
+	return "per-mac"
+}
+
+// Stats counts protocol activity for the experiments.
+type Stats struct {
+	DHCPOffers  int
+	TFTPFetches int
+	MenuWrites  int
+}
+
+// Service is the head-node side of PXE: DHCP + TFTP + menu management.
+// It is safe for concurrent use because the live-TCP demo drives it
+// from multiple goroutines.
+type Service struct {
+	mu      sync.Mutex
+	enabled bool
+	mode    Mode
+	flag    osid.OS
+	files   map[string][]byte
+	linux   grubcfg.LinuxEntrySpec
+	windows grubcfg.WindowsEntrySpec
+	stats   Stats
+}
+
+// Config configures a new Service.
+type Config struct {
+	Mode    Mode
+	Linux   grubcfg.LinuxEntrySpec   // zero value → grubcfg defaults
+	Windows grubcfg.WindowsEntrySpec // zero value → grubcfg defaults
+	// InitialOS is the flag value / per-MAC default at start-up.
+	InitialOS osid.OS
+}
+
+// NewService starts an enabled PXE service with the GRUB4DOS ROM and
+// kernel images staged in the TFTP tree.
+func NewService(cfg Config) (*Service, error) {
+	if cfg.Linux.Title == "" {
+		cfg.Linux = grubcfg.DefaultLinuxEntry()
+	}
+	if cfg.Windows.Title == "" {
+		cfg.Windows = grubcfg.DefaultWindowsEntry()
+	}
+	if cfg.InitialOS == osid.None {
+		cfg.InitialOS = osid.Linux
+	}
+	s := &Service{
+		enabled: true,
+		mode:    cfg.Mode,
+		flag:    cfg.InitialOS,
+		files:   make(map[string][]byte),
+		linux:   cfg.Linux,
+		windows: cfg.Windows,
+	}
+	s.files[RomPath] = []byte("GRUB4DOS-0.4.4 PXE ROM")
+	// Kernel and initrd served over TFTP for the (pd) entries.
+	s.files["/tftpboot"+cfg.Linux.KernelPath] = []byte("bzImage")
+	if cfg.Linux.InitrdPath != "" {
+		s.files["/tftpboot"+cfg.Linux.InitrdPath] = []byte("initrd")
+	}
+	if err := s.writeMenuLocked(DefaultMenuPath, cfg.InitialOS); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Enabled reports whether the service answers DHCP.
+func (s *Service) Enabled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enabled
+}
+
+// SetEnabled turns the DHCP responder on or off (off models a head
+// node outage; nodes then fall through to local-disk boot).
+func (s *Service) SetEnabled(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enabled = v
+}
+
+// Mode returns the boot-control mode.
+func (s *Service) Mode() Mode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mode
+}
+
+// Stats returns a snapshot of protocol counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Flag returns the cluster-wide target OS.
+func (s *Service) Flag() osid.OS {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flag
+}
+
+// SetFlag flips the cluster-wide target OS flag: the single write that
+// v2's "current way" (Figure 13) needs to redirect every subsequent
+// reboot.
+func (s *Service) SetFlag(os osid.OS) error {
+	if !os.Valid() {
+		return fmt.Errorf("pxe: invalid flag OS %v", os)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flag = os
+	return s.writeMenuLocked(DefaultMenuPath, os)
+}
+
+// RegisterNode creates the per-MAC menu for a node (ModePerMAC). In
+// flag mode registration is a no-op because all nodes share the
+// default menu.
+func (s *Service) RegisterNode(mac hardware.MAC) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mode == ModeFlag {
+		return nil
+	}
+	return s.writeMenuLocked(menuPathFor(mac), s.flag)
+}
+
+// SetNodeOS rewrites one node's menu (ModePerMAC). In flag mode it
+// returns an error: per-node targeting is exactly what the flag design
+// gave up, and callers must use SetFlag.
+func (s *Service) SetNodeOS(mac hardware.MAC, os osid.OS) error {
+	if !os.Valid() {
+		return fmt.Errorf("pxe: invalid OS %v", os)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mode == ModeFlag {
+		return fmt.Errorf("pxe: per-node OS targeting unavailable in flag mode")
+	}
+	return s.writeMenuLocked(menuPathFor(mac), os)
+}
+
+func (s *Service) writeMenuLocked(path string, os osid.OS) error {
+	cfg, err := grubcfg.PXEMenu(s.linux, s.windows, os)
+	if err != nil {
+		return err
+	}
+	s.files[path] = cfg.Render()
+	s.stats.MenuWrites++
+	return nil
+}
+
+// OfferROM is the DHCP exchange: it reports whether PXE boot is
+// available and returns the boot ROM path.
+func (s *Service) OfferROM(mac hardware.MAC) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.enabled {
+		return "", false
+	}
+	s.stats.DHCPOffers++
+	return RomPath, true
+}
+
+// FetchMenu is the ROM's TFTP menu lookup: the per-MAC file when
+// present, else the default menu.
+func (s *Service) FetchMenu(mac hardware.MAC) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.enabled {
+		return nil, fmt.Errorf("pxe: service disabled")
+	}
+	s.stats.TFTPFetches++
+	if data, ok := s.files[menuPathFor(mac)]; ok {
+		return append([]byte(nil), data...), nil
+	}
+	if data, ok := s.files[DefaultMenuPath]; ok {
+		return append([]byte(nil), data...), nil
+	}
+	return nil, fmt.Errorf("pxe: no menu for %s and no default", mac)
+}
+
+// FetchFile serves an arbitrary TFTP file (kernel, initrd, images).
+func (s *Service) FetchFile(path string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.enabled {
+		return nil, fmt.Errorf("pxe: service disabled")
+	}
+	data, ok := s.files[path]
+	if !ok {
+		return nil, fmt.Errorf("pxe: %s: no such TFTP file", path)
+	}
+	s.stats.TFTPFetches++
+	return append([]byte(nil), data...), nil
+}
+
+// PutFile stages a file into the TFTP tree (deployment images etc.).
+func (s *Service) PutFile(path string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files[path] = append([]byte(nil), data...)
+}
+
+// HasKernelFor reports whether the TFTP tree can serve a network Linux
+// boot (kernel present).
+func (s *Service) HasKernelFor() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.files["/tftpboot"+s.linux.KernelPath]
+	return ok
+}
+
+// MenuFiles lists the menu files currently in the tree, sorted, for
+// inspection in tests and the qsim CLI.
+func (s *Service) MenuFiles() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for p := range s.files {
+		if strings.HasPrefix(p, MenuDir+"/") {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func menuPathFor(mac hardware.MAC) string {
+	return MenuDir + "/" + mac.MenuFileName()
+}

@@ -1,0 +1,277 @@
+package pxe
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/grubcfg"
+	"repro/internal/hardware"
+	"repro/internal/osid"
+)
+
+func newFlagService(t *testing.T) *Service {
+	t.Helper()
+	s, err := NewService(Config{Mode: ModeFlag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newPerMACService(t *testing.T) *Service {
+	t.Helper()
+	s, err := NewService(Config{Mode: ModePerMAC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func menuDefaultOS(t *testing.T, data []byte) osid.OS {
+	t.Helper()
+	cfg, err := grubcfg.Parse(data)
+	if err != nil {
+		t.Fatalf("menu unparseable: %v\n%s", err, data)
+	}
+	e, err := cfg.DefaultEntry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.OS()
+}
+
+func TestNewServiceDefaults(t *testing.T) {
+	s := newFlagService(t)
+	if !s.Enabled() {
+		t.Error("service starts disabled")
+	}
+	if s.Flag() != osid.Linux {
+		t.Errorf("initial flag = %v, want linux", s.Flag())
+	}
+	if !s.HasKernelFor() {
+		t.Error("kernel not staged in TFTP tree")
+	}
+	if s.Mode() != ModeFlag {
+		t.Errorf("mode = %v", s.Mode())
+	}
+}
+
+func TestOfferROM(t *testing.T) {
+	s := newFlagService(t)
+	mac := hardware.MACForIndex(1)
+	rom, ok := s.OfferROM(mac)
+	if !ok || rom != RomPath {
+		t.Fatalf("OfferROM = %q, %v", rom, ok)
+	}
+	s.SetEnabled(false)
+	if _, ok := s.OfferROM(mac); ok {
+		t.Fatal("disabled service still offers ROM")
+	}
+	if s.Stats().DHCPOffers != 1 {
+		t.Fatalf("DHCPOffers = %d", s.Stats().DHCPOffers)
+	}
+}
+
+func TestFlagModeMenuFollowsFlag(t *testing.T) {
+	s := newFlagService(t)
+	mac := hardware.MACForIndex(7)
+	if err := s.RegisterNode(mac); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.FetchMenu(mac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := menuDefaultOS(t, data); got != osid.Linux {
+		t.Fatalf("menu boots %v, want linux", got)
+	}
+	if err := s.SetFlag(osid.Windows); err != nil {
+		t.Fatal(err)
+	}
+	data, err = s.FetchMenu(mac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := menuDefaultOS(t, data); got != osid.Windows {
+		t.Fatalf("after SetFlag menu boots %v, want windows", got)
+	}
+}
+
+func TestFlagModeSingleMenuFile(t *testing.T) {
+	s := newFlagService(t)
+	for i := 0; i < 16; i++ {
+		if err := s.RegisterNode(hardware.MACForIndex(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files := s.MenuFiles()
+	if len(files) != 1 || files[0] != DefaultMenuPath {
+		t.Fatalf("flag mode menu files = %v, want only default", files)
+	}
+}
+
+func TestFlagModeRejectsPerNodeTargeting(t *testing.T) {
+	s := newFlagService(t)
+	if err := s.SetNodeOS(hardware.MACForIndex(1), osid.Windows); err == nil {
+		t.Fatal("SetNodeOS succeeded in flag mode")
+	}
+}
+
+func TestPerMACMode(t *testing.T) {
+	s := newPerMACService(t)
+	macA, macB := hardware.MACForIndex(1), hardware.MACForIndex(2)
+	if err := s.RegisterNode(macA); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterNode(macB); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetNodeOS(macA, osid.Windows); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := s.FetchMenu(macA)
+	db, _ := s.FetchMenu(macB)
+	if menuDefaultOS(t, da) != osid.Windows {
+		t.Error("macA menu not switched to windows")
+	}
+	if menuDefaultOS(t, db) != osid.Linux {
+		t.Error("macB menu affected by macA switch")
+	}
+	// one menu per MAC plus the default
+	if got := len(s.MenuFiles()); got != 3 {
+		t.Fatalf("menu files = %d, want 3 (%v)", got, s.MenuFiles())
+	}
+}
+
+func TestPerMACMenuFileNaming(t *testing.T) {
+	s := newPerMACService(t)
+	mac := hardware.MACForIndex(3)
+	s.RegisterNode(mac)
+	found := false
+	for _, f := range s.MenuFiles() {
+		if strings.HasSuffix(f, mac.MenuFileName()) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no menu named after MAC: %v", s.MenuFiles())
+	}
+}
+
+func TestUnregisteredNodeFallsBackToDefault(t *testing.T) {
+	s := newPerMACService(t)
+	data, err := s.FetchMenu(hardware.MACForIndex(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if menuDefaultOS(t, data) != osid.Linux {
+		t.Fatal("default menu wrong")
+	}
+}
+
+func TestFetchMenuDisabled(t *testing.T) {
+	s := newFlagService(t)
+	s.SetEnabled(false)
+	if _, err := s.FetchMenu(hardware.MACForIndex(1)); err == nil {
+		t.Fatal("FetchMenu succeeded while disabled")
+	}
+}
+
+func TestSetFlagInvalid(t *testing.T) {
+	s := newFlagService(t)
+	if err := s.SetFlag(osid.None); err == nil {
+		t.Fatal("SetFlag(None) succeeded")
+	}
+}
+
+func TestSetNodeOSInvalid(t *testing.T) {
+	s := newPerMACService(t)
+	if err := s.SetNodeOS(hardware.MACForIndex(1), osid.None); err == nil {
+		t.Fatal("SetNodeOS(None) succeeded")
+	}
+}
+
+func TestFetchFile(t *testing.T) {
+	s := newFlagService(t)
+	if _, err := s.FetchFile(RomPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FetchFile("/tftpboot/nope"); err == nil {
+		t.Fatal("missing file fetch succeeded")
+	}
+	s.PutFile("/tftpboot/images/node.img", []byte("image"))
+	data, err := s.FetchFile("/tftpboot/images/node.img")
+	if err != nil || string(data) != "image" {
+		t.Fatalf("PutFile/FetchFile = %q, %v", data, err)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	s := newFlagService(t)
+	mac := hardware.MACForIndex(1)
+	s.OfferROM(mac)
+	s.FetchMenu(mac)
+	s.FetchMenu(mac)
+	st := s.Stats()
+	if st.DHCPOffers != 1 || st.TFTPFetches != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MenuWrites == 0 {
+		t.Fatal("MenuWrites not counted")
+	}
+}
+
+func TestInitialOSWindows(t *testing.T) {
+	s, err := NewService(Config{Mode: ModeFlag, InitialOS: osid.Windows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.FetchMenu(hardware.MACForIndex(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if menuDefaultOS(t, data) != osid.Windows {
+		t.Fatal("InitialOS not honoured")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeFlag.String() != "flag" || ModePerMAC.String() != "per-mac" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	// The live-TCP demo drives the service from connection goroutines;
+	// exercise the mutex under the race detector's eye.
+	s := newFlagService(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mac := hardware.MACForIndex(i)
+			for j := 0; j < 50; j++ {
+				s.OfferROM(mac)
+				if _, err := s.FetchMenu(mac); err != nil {
+					t.Error(err)
+					return
+				}
+				os := osid.Linux
+				if j%2 == 0 {
+					os = osid.Windows
+				}
+				if err := s.SetFlag(os); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Stats().TFTPFetches != 8*50 {
+		t.Fatalf("fetches = %d", s.Stats().TFTPFetches)
+	}
+}

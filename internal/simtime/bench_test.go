@@ -1,0 +1,39 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		count := 0
+		// A chain of 10k events, each scheduling the next — the
+		// dominant pattern in the cluster simulation.
+		var step func()
+		step = func() {
+			count++
+			if count < 10_000 {
+				e.After(time.Second, step)
+			}
+		}
+		e.After(time.Second, step)
+		e.Run()
+		if count != 10_000 {
+			b.Fatalf("count = %d", count)
+		}
+	}
+}
+
+func BenchmarkEngineWideHeap(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 10_000; j++ {
+			e.At(time.Duration(j%977)*time.Millisecond, func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,260 @@
+// Package simtime provides a deterministic discrete-event simulation
+// engine. All cluster components in this repository are driven by a
+// shared virtual clock so that experiments are reproducible and run in
+// milliseconds of wall time regardless of how many simulated hours they
+// cover.
+//
+// Virtual time is a time.Duration measured from the start of the
+// simulation (epoch zero). Events scheduled for the same instant fire
+// in the order they were scheduled, which makes every run with the same
+// inputs bit-for-bit identical.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Event is a scheduled callback. The callback runs with the engine's
+// clock set to exactly the event's due time.
+type event struct {
+	due  time.Duration
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the timer was still
+// pending; a false return means the callback already ran (or the timer
+// was stopped earlier).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	t.ev.fn = nil
+	return true
+}
+
+// eventQueue is a min-heap ordered by (due, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].due != q[j].due {
+		return q[i].due < q[j].due
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; all simulated components run inside engine
+// callbacks, mirroring the single-box deployment of the paper's
+// daemons.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	ran     uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// EventsRun returns the number of callbacks executed so far, which is
+// useful for progress assertions in tests.
+func (e *Engine) EventsRun() uint64 { return e.ran }
+
+// Pending returns the number of events still queued (including
+// cancelled-but-unreaped timers).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// (t < Now) panics: it indicates a logic error in the caller, and
+// silently reordering time would destroy determinism.
+func (e *Engine) At(t time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("simtime: nil callback")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("simtime: scheduling at %v before now %v", t, e.now))
+	}
+	ev := &event{due: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn d after the current virtual time. Negative d is
+// clamped to zero.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Every schedules fn every interval, first firing one interval from
+// now, until the returned Ticker is stopped or the engine runs out of
+// other events; a ticker alone does not keep the engine alive past
+// RunUntil deadlines.
+type Ticker struct {
+	stopped bool
+	timer   *Timer
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// Every arranges for fn to run every interval of virtual time. The
+// interval must be positive.
+func (e *Engine) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("simtime: non-positive ticker interval")
+	}
+	tk := &Ticker{}
+	var schedule func()
+	schedule = func() {
+		tk.timer = e.After(interval, func() {
+			if tk.stopped {
+				return
+			}
+			fn()
+			if !tk.stopped {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return tk
+}
+
+// Stop halts the run loop after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step executes the next pending live event, returning false when the
+// queue is exhausted.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.due < e.now {
+			panic("simtime: event queue went backwards")
+		}
+		e.now = ev.due
+		fn := ev.fn
+		ev.dead = true
+		ev.fn = nil
+		e.ran++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+}
+
+// RunUntil executes events with due time <= deadline, then sets the
+// clock to the deadline. Events after the deadline remain queued.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	e.stopped = false
+	for !e.stopped {
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the clock by d, executing everything due in between.
+func (e *Engine) RunFor(d time.Duration) {
+	if d < 0 {
+		panic("simtime: negative RunFor duration")
+	}
+	e.RunUntil(e.now + d)
+}
+
+// peek returns the due time of the next live event.
+func (e *Engine) peek() (time.Duration, bool) {
+	for len(e.queue) > 0 {
+		if e.queue[0].dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0].due, true
+	}
+	return 0, false
+}
+
+// NextEventAt reports when the next live event is due. ok is false when
+// the queue is empty.
+func (e *Engine) NextEventAt() (t time.Duration, ok bool) { return e.peek() }
+
+// MaxDuration is a convenient "end of time" for RunUntil.
+const MaxDuration = time.Duration(math.MaxInt64)
+
+// Stamp formats a virtual time as D+HH:MM:SS for logs and tables.
+func Stamp(t time.Duration) string {
+	if t < 0 {
+		return "-" + Stamp(-t)
+	}
+	d := t / (24 * time.Hour)
+	t -= d * 24 * time.Hour
+	h := t / time.Hour
+	t -= h * time.Hour
+	m := t / time.Minute
+	t -= m * time.Minute
+	s := t / time.Second
+	if d > 0 {
+		return fmt.Sprintf("%d+%02d:%02d:%02d", d, h, m, s)
+	}
+	return fmt.Sprintf("%02d:%02d:%02d", h, m, s)
+}

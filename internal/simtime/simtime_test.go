@@ -1,0 +1,306 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestAfterOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.After(3*time.Second, func() { got = append(got, 3) })
+	e.After(1*time.Second, func() { got = append(got, 1) })
+	e.After(2*time.Second, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events reordered: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	e.After(time.Second, func() {
+		fired = append(fired, e.Now())
+		e.After(time.Second, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 2*time.Second {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	tm := e.After(time.Second, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("cancelled timer still ran")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := NewEngine()
+	tm := e.After(time.Second, func() {})
+	e.Run()
+	if tm.Stop() {
+		t.Fatal("Stop() = true after timer fired")
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.After(1*time.Second, func() { fired = append(fired, 1) })
+	e.After(5*time.Second, func() { fired = append(fired, 5) })
+	e.RunUntil(2 * time.Second)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now() = %v, want 2s", e.Now())
+	}
+	e.Run()
+	if len(fired) != 2 {
+		t.Fatalf("later event lost: fired = %v", fired)
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(2*time.Second, func() { ran = true })
+	e.RunUntil(2 * time.Second)
+	if !ran {
+		t.Fatal("event exactly at deadline did not run")
+	}
+}
+
+func TestRunForAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	e.RunFor(90 * time.Second)
+	if e.Now() != 90*time.Second {
+		t.Fatalf("Now() = %v", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(10*time.Second, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At() in the past did not panic")
+		}
+	}()
+	e.At(time.Second, func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback did not panic")
+		}
+	}()
+	e.After(time.Second, nil)
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	tk := e.Every(time.Minute, func() {
+		count++
+		if count == 5 {
+			e.Stop()
+		}
+	})
+	defer tk.Stop()
+	e.Run()
+	if count != 5 {
+		t.Fatalf("ticks = %d, want 5", count)
+	}
+	if e.Now() != 5*time.Minute {
+		t.Fatalf("Now() = %v, want 5m", e.Now())
+	}
+}
+
+func TestEveryStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = e.Every(time.Minute, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.After(10*time.Minute, func() {}) // keep engine alive past tick 3
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ticks after Stop = %d, want 3", count)
+	}
+}
+
+func TestEveryNonPositivePanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	e.Every(0, func() {})
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.After(1*time.Second, func() { fired = append(fired, 1); e.Stop() })
+	e.After(2*time.Second, func() { fired = append(fired, 2) })
+	e.Run()
+	if len(fired) != 1 {
+		t.Fatalf("Stop did not halt run: %v", fired)
+	}
+	e.Run() // resumes
+	if len(fired) != 2 {
+		t.Fatalf("resume after Stop lost events: %v", fired)
+	}
+}
+
+func TestEventsRunCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.After(time.Duration(i)*time.Second, func() {})
+	}
+	e.Run()
+	if e.EventsRun() != 7 {
+		t.Fatalf("EventsRun() = %d, want 7", e.EventsRun())
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("NextEventAt ok on empty queue")
+	}
+	tm := e.After(4*time.Second, func() {})
+	e.After(9*time.Second, func() {})
+	if at, ok := e.NextEventAt(); !ok || at != 4*time.Second {
+		t.Fatalf("NextEventAt = %v,%v", at, ok)
+	}
+	tm.Stop()
+	if at, ok := e.NextEventAt(); !ok || at != 9*time.Second {
+		t.Fatalf("NextEventAt after cancel = %v,%v", at, ok)
+	}
+}
+
+func TestStamp(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "00:00:00"},
+		{90 * time.Second, "00:01:30"},
+		{3*time.Hour + 4*time.Minute + 5*time.Second, "03:04:05"},
+		{26*time.Hour + 30*time.Minute, "1+02:30:00"},
+		{-time.Minute, "-00:01:00"},
+	}
+	for _, c := range cases {
+		if got := Stamp(c.d); got != c.want {
+			t.Errorf("Stamp(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing time order and the engine ends at the max delay.
+func TestQuickOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []time.Duration
+		var max time.Duration
+		for _, d := range delays {
+			due := time.Duration(d) * time.Millisecond
+			if due > max {
+				max = due
+			}
+			e.At(due, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || e.Now() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunUntil never executes events due after the deadline.
+func TestQuickRunUntilBoundary(t *testing.T) {
+	f := func(delays []uint16, deadline uint16) bool {
+		e := NewEngine()
+		late := 0
+		dl := time.Duration(deadline) * time.Millisecond
+		for _, d := range delays {
+			due := time.Duration(d) * time.Millisecond
+			e.At(due, func() {
+				if e.Now() > dl {
+					late++
+				}
+			})
+		}
+		e.RunUntil(dl)
+		return late == 0 && e.Now() == dl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,651 @@
+// Package winhpc simulates the Microsoft Windows HPC Server 2008 R2
+// job scheduler that runs the Windows side of the hybrid cluster.
+// Unlike Torque (which the paper's detector scrapes as text), Windows
+// HPC ships an SDK, so this package exposes a programmatic API —
+// mirroring how the paper's Windows-side detector and communicator
+// were built against the HPC Pack SDK.
+//
+// Scheduling follows the product's "Queued" policy: first-come
+// first-served over resource units, with an optional backfill switch.
+// The default resource unit is the core; node-exclusive jobs take
+// whole nodes, which is what MPI and the MATLAB MDCS case study use.
+package winhpc
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// JobState follows the HPC Pack state machine (condensed to the states
+// the middleware observes).
+type JobState uint8
+
+const (
+	JobQueued JobState = iota
+	JobRunning
+	JobFinished
+	JobFailed
+	JobCanceled
+)
+
+// String names the state like the HPC Pack UI.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "Queued"
+	case JobRunning:
+		return "Running"
+	case JobFinished:
+		return "Finished"
+	case JobFailed:
+		return "Failed"
+	case JobCanceled:
+		return "Canceled"
+	default:
+		return "Unknown"
+	}
+}
+
+// ResourceUnit selects what a job's Min/Max counts mean.
+type ResourceUnit uint8
+
+const (
+	// UnitCore schedules individual cores anywhere in the cluster.
+	UnitCore ResourceUnit = iota
+	// UnitNode schedules whole nodes exclusively.
+	UnitNode
+)
+
+// String names the unit.
+func (u ResourceUnit) String() string {
+	if u == UnitNode {
+		return "Node"
+	}
+	return "Core"
+}
+
+// Allocation records cores granted on one node.
+type Allocation struct {
+	Node  string
+	Cores int
+}
+
+// Job is a Windows HPC job. The simulation uses a single required
+// resource count rather than the product's min–max range; grow/shrink
+// is out of scope for the middleware's behaviour.
+type Job struct {
+	ID       int
+	Name     string
+	Owner    string
+	Template string
+	State    JobState
+	Unit     ResourceUnit
+	Count    int // cores (UnitCore) or nodes (UnitNode)
+
+	Runtime    time.Duration
+	SubmitTime time.Duration
+	StartTime  time.Duration
+	EndTime    time.Duration
+
+	Rerunnable bool
+	Priority   Priority
+	Alloc      []Allocation
+
+	// Exec runs at job start with the allocated node names; OnEnd
+	// fires at completion, failure or cancellation.
+	Exec  func(nodes []string)
+	OnEnd func(*Job)
+}
+
+// Cores returns the total cores the job occupies once allocated, or
+// would occupy given 0 knowledge of node sizes for UnitNode jobs.
+func (j *Job) Cores(coresPerNode int) int {
+	if j.Unit == UnitCore {
+		return j.Count
+	}
+	return j.Count * coresPerNode
+}
+
+// AllocatedNodes lists distinct node names in allocation order.
+func (j *Job) AllocatedNodes() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, a := range j.Alloc {
+		if !seen[a.Node] {
+			seen[a.Node] = true
+			out = append(out, a.Node)
+		}
+	}
+	return out
+}
+
+// NodeState follows the HPC Pack node states the middleware cares
+// about.
+type NodeState uint8
+
+const (
+	NodeOnline NodeState = iota
+	NodeOffline
+	NodeUnreachable
+)
+
+// String names the state.
+func (s NodeState) String() string {
+	switch s {
+	case NodeOffline:
+		return "Offline"
+	case NodeUnreachable:
+		return "Unreachable"
+	default:
+		return "Online"
+	}
+}
+
+// Node is a compute node from the scheduler's perspective.
+type Node struct {
+	Name     string
+	Cores    int
+	Template string
+	state    NodeState
+	used     int
+}
+
+// State returns the node state.
+func (n *Node) State() NodeState { return n.state }
+
+// FreeCores returns schedulable cores (0 unless online).
+func (n *Node) FreeCores() int {
+	if n.state != NodeOnline {
+		return 0
+	}
+	return n.Cores - n.used
+}
+
+// UsedCores returns cores currently allocated.
+func (n *Node) UsedCores() int { return n.used }
+
+// Priority follows the HPC Pack five-level job priority.
+type Priority int8
+
+const (
+	PriorityLowest      Priority = -2
+	PriorityBelowNormal Priority = -1
+	PriorityNormal      Priority = 0
+	PriorityAboveNormal Priority = 1
+	PriorityHighest     Priority = 2
+)
+
+// String names the priority level.
+func (p Priority) String() string {
+	switch p {
+	case PriorityLowest:
+		return "Lowest"
+	case PriorityBelowNormal:
+		return "BelowNormal"
+	case PriorityAboveNormal:
+		return "AboveNormal"
+	case PriorityHighest:
+		return "Highest"
+	default:
+		return "Normal"
+	}
+}
+
+// JobSpec is the submission request (a subset of the SDK's
+// ISchedulerJob properties).
+type JobSpec struct {
+	Name     string
+	Owner    string
+	Template string
+	Unit     ResourceUnit
+	Count    int
+	Runtime  time.Duration
+	Rerun    bool
+	Priority Priority
+	Exec     func(nodes []string)
+	OnEnd    func(*Job)
+}
+
+// Scheduler is the head-node scheduler service.
+type Scheduler struct {
+	eng     *simtime.Engine
+	cluster string
+
+	seq       int
+	jobs      map[int]*Job
+	order     []int
+	nodes     map[string]*Node
+	nodeOrder []string
+
+	// Backfill enables out-of-order placement behind a blocked queue
+	// head (the product's "backfilling" option; off in the paper's
+	// deployment).
+	Backfill bool
+
+	OnJobStart func(*Job)
+	OnJobEnd   func(*Job)
+
+	schedPending bool
+}
+
+// NewScheduler creates the scheduler for a named cluster.
+func NewScheduler(eng *simtime.Engine, cluster string) *Scheduler {
+	return &Scheduler{
+		eng:     eng,
+		cluster: cluster,
+		jobs:    make(map[int]*Job),
+		nodes:   make(map[string]*Node),
+	}
+}
+
+// ClusterName returns the head node name.
+func (s *Scheduler) ClusterName() string { return s.cluster }
+
+// AddNode registers a compute node; online=false models a node
+// currently booted into the other OS.
+func (s *Scheduler) AddNode(name string, cores int, online bool) (*Node, error) {
+	if _, ok := s.nodes[name]; ok {
+		return nil, fmt.Errorf("winhpc: node %s already exists", name)
+	}
+	if cores <= 0 {
+		return nil, fmt.Errorf("winhpc: node %s: bad core count %d", name, cores)
+	}
+	n := &Node{Name: name, Cores: cores, Template: "Default ComputeNode Template"}
+	if !online {
+		n.state = NodeUnreachable
+	}
+	s.nodes[name] = n
+	s.nodeOrder = append(s.nodeOrder, name)
+	if online {
+		s.kick()
+	}
+	return n, nil
+}
+
+// Node returns a node by name.
+func (s *Scheduler) Node(name string) (*Node, error) {
+	n, ok := s.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("winhpc: unknown node %s", name)
+	}
+	return n, nil
+}
+
+// Nodes lists nodes in registration order.
+func (s *Scheduler) Nodes() []*Node {
+	out := make([]*Node, len(s.nodeOrder))
+	for i, name := range s.nodeOrder {
+		out[i] = s.nodes[name]
+	}
+	return out
+}
+
+// SetNodeOnline flips a node between Online and Unreachable (the state
+// a node shows when it has rebooted into Linux). Running jobs lose
+// their cores; rerunnable jobs requeue, others fail.
+func (s *Scheduler) SetNodeOnline(name string, online bool) error {
+	n, ok := s.nodes[name]
+	if !ok {
+		return fmt.Errorf("winhpc: unknown node %s", name)
+	}
+	if online {
+		n.state = NodeOnline
+		s.kick()
+		return nil
+	}
+	n.state = NodeUnreachable
+	var victims []*Job
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.State != JobRunning {
+			continue
+		}
+		for _, a := range j.Alloc {
+			if a.Node == name {
+				victims = append(victims, j)
+				break
+			}
+		}
+	}
+	for _, j := range victims {
+		s.release(j)
+		if j.Rerunnable {
+			j.State = JobQueued
+			j.Alloc = nil
+		} else {
+			j.State = JobFailed
+			j.EndTime = s.eng.Now()
+			s.notifyEnd(j)
+		}
+	}
+	s.kick()
+	return nil
+}
+
+// SetNodeOffline administratively drains a node (no new allocations,
+// running jobs continue).
+func (s *Scheduler) SetNodeOffline(name string, offline bool) error {
+	n, ok := s.nodes[name]
+	if !ok {
+		return fmt.Errorf("winhpc: unknown node %s", name)
+	}
+	if offline {
+		n.state = NodeOffline
+	} else {
+		n.state = NodeOnline
+		s.kick()
+	}
+	return nil
+}
+
+// SubmitJob validates and enqueues a job. Requests exceeding the
+// configured node table are rejected at submission (HPC Pack validates
+// resource requests against the cluster's node groups); unreachable
+// nodes still count, since they may come back.
+func (s *Scheduler) SubmitJob(spec JobSpec) (*Job, error) {
+	if spec.Count <= 0 {
+		spec.Count = 1
+	}
+	if spec.Name == "" {
+		spec.Name = "Job"
+	}
+	if spec.Owner == "" {
+		spec.Owner = "HPC\\user"
+	}
+	if spec.Runtime < 0 {
+		return nil, fmt.Errorf("winhpc: negative runtime")
+	}
+	switch spec.Unit {
+	case UnitNode:
+		if spec.Count > len(s.nodes) {
+			return nil, fmt.Errorf("winhpc: job needs %d nodes, cluster has %d", spec.Count, len(s.nodes))
+		}
+	default:
+		total := 0
+		for _, n := range s.nodes {
+			total += n.Cores
+		}
+		if spec.Count > total {
+			return nil, fmt.Errorf("winhpc: job needs %d cores, cluster has %d", spec.Count, total)
+		}
+	}
+	s.seq++
+	j := &Job{
+		ID:         s.seq,
+		Name:       spec.Name,
+		Owner:      spec.Owner,
+		Template:   spec.Template,
+		State:      JobQueued,
+		Unit:       spec.Unit,
+		Count:      spec.Count,
+		Runtime:    spec.Runtime,
+		SubmitTime: s.eng.Now(),
+		Rerunnable: spec.Rerun,
+		Priority:   spec.Priority,
+		Exec:       spec.Exec,
+		OnEnd:      spec.OnEnd,
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.kick()
+	return j, nil
+}
+
+// CancelJob cancels a queued or running job.
+func (s *Scheduler) CancelJob(id int) error {
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("winhpc: unknown job %d", id)
+	}
+	switch j.State {
+	case JobQueued:
+		j.State = JobCanceled
+		j.EndTime = s.eng.Now()
+		s.notifyEnd(j)
+	case JobRunning:
+		s.release(j)
+		j.State = JobCanceled
+		j.EndTime = s.eng.Now()
+		s.notifyEnd(j)
+		s.kick()
+	default:
+		return fmt.Errorf("winhpc: job %d already %s", id, j.State)
+	}
+	return nil
+}
+
+// Job returns a job by ID.
+func (s *Scheduler) Job(id int) (*Job, error) {
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("winhpc: unknown job %d", id)
+	}
+	return j, nil
+}
+
+// Jobs returns all jobs in submission order.
+func (s *Scheduler) Jobs() []*Job {
+	out := make([]*Job, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.jobs[id]
+	}
+	return out
+}
+
+// QueuedJobs returns waiting jobs in scheduling order: priority
+// descending (the HPC Pack "Queued" policy), submission order within
+// a level.
+func (s *Scheduler) QueuedJobs() []*Job {
+	var out []*Job
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.State == JobQueued {
+			out = append(out, j)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Priority > out[j].Priority })
+	return out
+}
+
+// RunningJobs returns executing jobs in submission order.
+func (s *Scheduler) RunningJobs() []*Job {
+	var out []*Job
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.State == JobRunning {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// TotalCores sums cores over nodes that are not unreachable.
+func (s *Scheduler) TotalCores() int {
+	total := 0
+	for _, n := range s.Nodes() {
+		if n.state != NodeUnreachable {
+			total += n.Cores
+		}
+	}
+	return total
+}
+
+// OnlineNodes counts online nodes.
+func (s *Scheduler) OnlineNodes() int {
+	c := 0
+	for _, n := range s.Nodes() {
+		if n.state == NodeOnline {
+			c++
+		}
+	}
+	return c
+}
+
+// QueueSnapshot is the condensed queue view the detector polls through
+// the SDK (job counts plus the head-of-queue demand).
+type QueueSnapshot struct {
+	Running      int
+	Queued       int
+	FirstQueued  int    // job ID, 0 when the queue is empty
+	FirstName    string // job name of the queue head
+	NeededCores  int    // cores the queue head requires
+	OnlineCores  int
+	PendingCores int // total cores requested by all queued jobs
+}
+
+// Snapshot builds the queue view.
+func (s *Scheduler) Snapshot() QueueSnapshot {
+	snap := QueueSnapshot{OnlineCores: 0}
+	for _, n := range s.Nodes() {
+		if n.state == NodeOnline {
+			snap.OnlineCores += n.Cores
+		}
+	}
+	cpn := s.typicalCores()
+	snap.Running = len(s.RunningJobs())
+	// The queue head follows scheduling order (priority first), since
+	// that is the job whose demand a dual-boot controller must satisfy.
+	for i, j := range s.QueuedJobs() {
+		snap.Queued++
+		snap.PendingCores += j.Cores(cpn)
+		if i == 0 {
+			snap.FirstQueued = j.ID
+			snap.FirstName = j.Name
+			snap.NeededCores = j.Cores(cpn)
+		}
+	}
+	return snap
+}
+
+// typicalCores returns the modal node size for UnitNode→core
+// conversion; the Eridani nodes are uniform quad-cores.
+func (s *Scheduler) typicalCores() int {
+	counts := map[int]int{}
+	for _, n := range s.nodes {
+		counts[n.Cores]++
+	}
+	best, bestCount := 4, 0
+	keys := make([]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		if counts[k] > bestCount {
+			best, bestCount = k, counts[k]
+		}
+	}
+	return best
+}
+
+func (s *Scheduler) kick() {
+	if s.schedPending {
+		return
+	}
+	s.schedPending = true
+	s.eng.After(0, func() {
+		s.schedPending = false
+		s.schedule()
+	})
+}
+
+func (s *Scheduler) schedule() {
+	for _, j := range s.QueuedJobs() {
+		placed := s.tryPlace(j)
+		if !placed && !s.Backfill {
+			return
+		}
+	}
+}
+
+func (s *Scheduler) tryPlace(j *Job) bool {
+	switch j.Unit {
+	case UnitNode:
+		var chosen []*Node
+		for _, name := range s.nodeOrder {
+			n := s.nodes[name]
+			if n.state == NodeOnline && n.used == 0 {
+				chosen = append(chosen, n)
+				if len(chosen) == j.Count {
+					break
+				}
+			}
+		}
+		if len(chosen) < j.Count {
+			return false
+		}
+		for _, n := range chosen {
+			n.used = n.Cores
+			j.Alloc = append(j.Alloc, Allocation{Node: n.Name, Cores: n.Cores})
+		}
+	default: // UnitCore
+		free := 0
+		for _, name := range s.nodeOrder {
+			free += s.nodes[name].FreeCores()
+		}
+		if free < j.Count {
+			return false
+		}
+		need := j.Count
+		for _, name := range s.nodeOrder {
+			n := s.nodes[name]
+			take := n.FreeCores()
+			if take == 0 {
+				continue
+			}
+			if take > need {
+				take = need
+			}
+			n.used += take
+			j.Alloc = append(j.Alloc, Allocation{Node: n.Name, Cores: take})
+			need -= take
+			if need == 0 {
+				break
+			}
+		}
+	}
+	s.start(j)
+	return true
+}
+
+func (s *Scheduler) start(j *Job) {
+	j.State = JobRunning
+	j.StartTime = s.eng.Now()
+	if s.OnJobStart != nil {
+		s.OnJobStart(j)
+	}
+	if j.Exec != nil {
+		j.Exec(j.AllocatedNodes())
+	}
+	s.eng.After(j.Runtime, func() {
+		if j.State != JobRunning {
+			return
+		}
+		s.release(j)
+		j.State = JobFinished
+		j.EndTime = s.eng.Now()
+		s.notifyEnd(j)
+		s.kick()
+	})
+}
+
+func (s *Scheduler) release(j *Job) {
+	for _, a := range j.Alloc {
+		if n, ok := s.nodes[a.Node]; ok {
+			n.used -= a.Cores
+			if n.used < 0 {
+				n.used = 0
+			}
+		}
+	}
+}
+
+func (s *Scheduler) notifyEnd(j *Job) {
+	if s.OnJobEnd != nil {
+		s.OnJobEnd(j)
+	}
+	if j.OnEnd != nil {
+		j.OnEnd(j)
+	}
+}

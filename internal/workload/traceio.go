@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"repro/internal/osid"
+)
+
+// This file adds the campus diurnal generator and trace serialisation,
+// so recorded or hand-written job streams can be replayed through the
+// simulator (`qsim -trace file -tracefile jobs.csv`).
+
+// DiurnalConfig parameterises the day/night campus pattern: submission
+// rates peak in working hours and fall overnight.
+type DiurnalConfig struct {
+	Seed        int64
+	Days        int     // default 1
+	PeakPerHour float64 // daytime submission rate (default 6)
+	NightFrac   float64 // night rate as a fraction of peak (default 0.15)
+	WindowsFrac float64
+	MaxNodes    int
+}
+
+// Diurnal draws submissions from the catalog with a sinusoidal-ish
+// day/night rate: full rate 09:00–17:00, NightFrac of it 21:00–07:00,
+// linear shoulders between.
+func Diurnal(cfg DiurnalConfig) Trace {
+	if cfg.Days <= 0 {
+		cfg.Days = 1
+	}
+	if cfg.PeakPerHour <= 0 {
+		cfg.PeakPerHour = 6
+	}
+	if cfg.NightFrac <= 0 {
+		cfg.NightFrac = 0.15
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	winApps := append(CatalogByPlatform(WindowsOnly), CatalogByPlatform(Both)...)
+	linApps := append(CatalogByPlatform(LinuxOnly), CatalogByPlatform(Both)...)
+
+	var trace Trace
+	end := time.Duration(cfg.Days) * 24 * time.Hour
+	// Thinning: draw candidate arrivals at the peak rate, accept with
+	// probability rate(t)/peak.
+	meanGap := time.Duration(float64(time.Hour) / cfg.PeakPerHour)
+	now := time.Duration(0)
+	for {
+		now += time.Duration(rng.ExpFloat64() * float64(meanGap))
+		if now > end {
+			break
+		}
+		if rng.Float64() > diurnalFactor(now, cfg.NightFrac) {
+			continue
+		}
+		var app App
+		var os osid.OS
+		if rng.Float64() < cfg.WindowsFrac {
+			app = winApps[rng.Intn(len(winApps))]
+			os = osid.Windows
+		} else {
+			app = linApps[rng.Intn(len(linApps))]
+			os = osid.Linux
+		}
+		nodes := app.TypicalNodes
+		if cfg.MaxNodes > 0 && nodes > cfg.MaxNodes {
+			nodes = cfg.MaxNodes
+		}
+		trace = append(trace, Job{
+			At: now, App: app.Name, OS: os,
+			Owner: fmt.Sprintf("user%02d", rng.Intn(12)+1),
+			Nodes: nodes, PPN: app.TypicalPPN,
+			Runtime: app.TypicalRuntime,
+		})
+	}
+	trace.Sort()
+	return trace
+}
+
+// diurnalFactor returns the acceptance probability at time-of-day t.
+func diurnalFactor(t time.Duration, nightFrac float64) float64 {
+	hour := float64(t%(24*time.Hour)) / float64(time.Hour)
+	switch {
+	case hour >= 9 && hour < 17:
+		return 1
+	case hour >= 21 || hour < 7:
+		return nightFrac
+	case hour >= 7 && hour < 9: // morning ramp
+		return nightFrac + (1-nightFrac)*(hour-7)/2
+	default: // 17–21 evening decay
+		return 1 - (1-nightFrac)*(hour-17)/4
+	}
+}
+
+// WriteCSV serialises a trace.
+func WriteCSV(w io.Writer, trace Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at_sec", "app", "os", "owner", "nodes", "ppn", "runtime_sec"}); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	for _, j := range trace {
+		row := []string{
+			strconv.FormatFloat(j.At.Seconds(), 'f', 0, 64),
+			j.App, j.OS.String(), j.Owner,
+			strconv.Itoa(j.Nodes), strconv.Itoa(j.PPN),
+			strconv.FormatFloat(j.Runtime.Seconds(), 'f', 0, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("workload: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or by hand; the header
+// row is required, field order fixed).
+func ReadCSV(r io.Reader) (Trace, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("workload: empty trace file")
+	}
+	if len(records[0]) != 7 || records[0][0] != "at_sec" {
+		return nil, fmt.Errorf("workload: bad header %v", records[0])
+	}
+	var trace Trace
+	for i, rec := range records[1:] {
+		at, err1 := strconv.ParseFloat(rec[0], 64)
+		os, err2 := osid.Parse(rec[2])
+		nodes, err3 := strconv.Atoi(rec[4])
+		ppn, err4 := strconv.Atoi(rec[5])
+		runSec, err5 := strconv.ParseFloat(rec[6], 64)
+		for _, e := range []error{err1, err2, err3, err4, err5} {
+			if e != nil {
+				return nil, fmt.Errorf("workload: row %d: %v", i+2, e)
+			}
+		}
+		j := Job{
+			At:      time.Duration(at * float64(time.Second)),
+			App:     rec[1],
+			OS:      os,
+			Owner:   rec[3],
+			Nodes:   nodes,
+			PPN:     ppn,
+			Runtime: time.Duration(runSec * float64(time.Second)),
+		}
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: row %d: %w", i+2, err)
+		}
+		trace = append(trace, j)
+	}
+	trace.Sort()
+	return trace, nil
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/osid"
+)
+
+func TestDiurnalValidAndDeterministic(t *testing.T) {
+	cfg := DiurnalConfig{Seed: 5, Days: 3, PeakPerHour: 8, WindowsFrac: 0.3, MaxNodes: 4}
+	a := Diurnal(cfg)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	b := Diurnal(cfg)
+	if len(a) != len(b) {
+		t.Fatal("not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+}
+
+func TestDiurnalDayNightShape(t *testing.T) {
+	trace := Diurnal(DiurnalConfig{Seed: 9, Days: 20, PeakPerHour: 10, WindowsFrac: 0.3})
+	day, night := 0, 0
+	for _, j := range trace {
+		hour := float64(j.At%(24*time.Hour)) / float64(time.Hour)
+		switch {
+		case hour >= 9 && hour < 17:
+			day++
+		case hour >= 21 || hour < 7:
+			night++
+		}
+	}
+	// Day window (8h) at full rate vs night window (10h) at 15%:
+	// expect day >> night.
+	if day < 3*night {
+		t.Fatalf("day=%d night=%d, no diurnal shape", day, night)
+	}
+}
+
+func TestDiurnalFactorBounds(t *testing.T) {
+	for h := 0; h < 24; h++ {
+		f := diurnalFactor(time.Duration(h)*time.Hour, 0.15)
+		if f < 0.149 || f > 1.001 {
+			t.Fatalf("factor(%dh) = %v out of range", h, f)
+		}
+	}
+	if diurnalFactor(12*time.Hour, 0.15) != 1 {
+		t.Fatal("noon not at peak")
+	}
+	if diurnalFactor(2*time.Hour, 0.15) != 0.15 {
+		t.Fatal("2am not at night rate")
+	}
+	// Shoulders are monotone.
+	if diurnalFactor(8*time.Hour, 0.15) <= diurnalFactor(7*time.Hour, 0.15) {
+		t.Fatal("morning ramp not rising")
+	}
+	if diurnalFactor(19*time.Hour, 0.15) >= diurnalFactor(17*time.Hour, 0.15) {
+		t.Fatal("evening decay not falling")
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	orig := Poisson(PoissonConfig{Seed: 2, Duration: 10 * time.Hour, JobsPerHour: 5, WindowsFrac: 0.4})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("len %d != %d", len(back), len(orig))
+	}
+	for i := range orig {
+		// At and Runtime round to whole seconds in CSV.
+		if back[i].App != orig[i].App || back[i].OS != orig[i].OS ||
+			back[i].Nodes != orig[i].Nodes || back[i].PPN != orig[i].PPN ||
+			back[i].Owner != orig[i].Owner {
+			t.Fatalf("job %d: %+v != %+v", i, back[i], orig[i])
+		}
+		if d := back[i].At - orig[i].At; d < -time.Second || d > time.Second {
+			t.Fatalf("job %d At drift %v", i, d)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong,header\n1,2\n",
+		"at_sec,app,os,owner,nodes,ppn,runtime_sec\nx,a,linux,u,1,1,60\n",
+		"at_sec,app,os,owner,nodes,ppn,runtime_sec\n0,a,mars,u,1,1,60\n",
+		"at_sec,app,os,owner,nodes,ppn,runtime_sec\n0,a,linux,u,0,1,60\n",
+		"at_sec,app,os,owner,nodes,ppn,runtime_sec\n0,a,linux,u,1,1,0\n",
+	}
+	for _, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadCSV(%q) succeeded", src)
+		}
+	}
+}
+
+func TestReadCSVHandWritten(t *testing.T) {
+	src := `at_sec,app,os,owner,nodes,ppn,runtime_sec
+3600,DL_POLY,linux,alice,2,4,7200
+0,Backburner,windows,bob,1,4,1800
+`
+	trace, err := ReadCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2 {
+		t.Fatalf("jobs = %d", len(trace))
+	}
+	// Sorted on read.
+	if trace[0].App != "Backburner" || trace[0].OS != osid.Windows {
+		t.Fatalf("first = %+v", trace[0])
+	}
+	if trace[1].At != time.Hour || trace[1].Runtime != 2*time.Hour {
+		t.Fatalf("second = %+v", trace[1])
+	}
+}
