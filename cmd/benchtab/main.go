@@ -1,6 +1,6 @@
 // Command benchtab regenerates every table and figure of the paper's
-// evaluation (DESIGN.md §4) and prints them as text tables — the rows
-// EXPERIMENTS.md records.
+// evaluation (see README.md for the map) and prints them as text
+// tables — the rows EXPERIMENTS.md records.
 //
 // Usage:
 //

@@ -8,12 +8,18 @@
 //	qsim -mode hybrid-v2 -trace matlabga -series
 //	qsim -mode static -trace phased -winfrac 0.5
 //	qsim -compare -trace poisson -winfrac 0.3 -hours 24
+//
+// The sweep subcommand runs a whole parameter grid concurrently with
+// deterministic per-cell seeding (identical output for any -workers):
+//
+//	qsim sweep -grid "modes=hybrid-v2,static-split;nodes=8,16;winfracs=0.25,0.5" -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/cluster"
@@ -22,12 +28,17 @@ import (
 	"repro/internal/export"
 	"repro/internal/metrics"
 	"repro/internal/osid"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		runSweep(os.Args[2:])
+		return
+	}
 	var (
-		modeName = flag.String("mode", "hybrid-v2", "cluster mode: hybrid-v1 | hybrid-v2 | static | mono-stable")
+		modeName = flag.String("mode", "hybrid-v2", "cluster mode: hybrid-v1 | hybrid-v2 | static-split | mono-stable")
 		traceGen = flag.String("trace", "poisson", "workload: poisson | diurnal | phased | matlabga | burst | file")
 		traceIn  = flag.String("tracefile", "", "CSV trace to replay (with -trace file)")
 		nodes    = flag.Int("nodes", 16, "compute nodes")
@@ -148,6 +159,61 @@ func main() {
 	}
 }
 
+// runSweep is the sweep subcommand: expand -grid, run the cells on
+// -workers goroutines, print the ranked comparison table.
+func runSweep(args []string) {
+	fs := flag.NewFlagSet("qsim sweep", flag.ExitOnError)
+	var (
+		gridSpec = fs.String("grid", "modes=hybrid-v2,static-split,mono-stable;nodes=16;rates=4;winfracs=0.3",
+			"grid spec: 'key=v,v;...' with keys modes|policies|nodes|rates|winfracs|hours|traces|failrates|seed|cycle")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent scenario workers")
+		csvPath  = fs.String("csv", "", "write per-cell results as CSV to this file")
+		jsonPath = fs.String("json", "", "write per-cell results as JSON to this file")
+	)
+	fs.Parse(args)
+
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	g, err := sweep.ParseGridSpec(*gridSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("sweep: %s, %d workers\n\n", g.Describe(), *workers)
+	out, err := sweep.Run(sweep.Config{Grid: g, Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out.Table())
+	failed := len(out.Errs())
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "qsim: %d cell(s) failed\n", failed)
+	}
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, func(w *os.File) error {
+			return export.WriteSweepCSV(w, out.Rows())
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "qsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *csvPath)
+	}
+	if *jsonPath != "" {
+		if err := writeFile(*jsonPath, func(w *os.File) error {
+			return export.WriteSweepJSON(w, out.Rows())
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "qsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *jsonPath)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
 func writeFile(path string, fn func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -196,26 +262,18 @@ func buildTrace(name, traceFile string, seed int64, winfrac, hours, rate float64
 	}
 }
 
+// parsePolicy and parseMode delegate to the sweep package's name
+// registries so the single-run flags and the sweep grid spec accept
+// exactly the same vocabulary.
 func parsePolicy(name string) (controller.Policy, error) {
-	switch name {
-	case "fcfs", "":
-		return controller.FCFS{}, nil
-	case "threshold":
-		return controller.Threshold{Reserve: 2, MinQueued: 1}, nil
-	case "hysteresis":
-		return &controller.Hysteresis{Inner: controller.FCFS{}, Cooldown: 20 * time.Minute}, nil
-	case "fairshare":
-		return controller.FairShare{MaxStep: 2}, nil
-	default:
+	if name == "" {
+		name = "fcfs"
+	}
+	spec, ok := sweep.PolicyByName(name)
+	if !ok {
 		return nil, fmt.Errorf("unknown policy %q", name)
 	}
+	return spec.New(), nil
 }
 
-func parseMode(name string) (cluster.Mode, error) {
-	for _, m := range []cluster.Mode{cluster.HybridV1, cluster.HybridV2, cluster.Static, cluster.MonoStable} {
-		if m.String() == name {
-			return m, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown mode %q", name)
-}
+func parseMode(name string) (cluster.Mode, error) { return sweep.ParseMode(name) }

@@ -16,9 +16,27 @@
 //		Trace:   trace,
 //	})
 //
+// Beyond single runs, Sweep executes whole parameter grids — cluster
+// modes × controller policies × node counts × trace shapes ×
+// boot-failure rates — on a bounded worker pool:
+//
+//	out, err := hybridcluster.Sweep(hybridcluster.SweepConfig{
+//		Grid: hybridcluster.SweepGrid{
+//			Modes:      []hybridcluster.ClusterMode{hybridcluster.HybridV2, hybridcluster.Static},
+//			NodeCounts: []int{8, 16},
+//		},
+//		Workers: 8,
+//	})
+//
+// Sweeps are deterministic by construction: every cell derives its
+// seeds from its grid coordinates (never from execution order), owns a
+// private simulation engine, and lands its result at its expansion
+// index — so the aggregate output is bit-identical for any worker
+// count. See the sweep package doc for the full contract.
+//
 // Lower-level building blocks (the PBS and Windows HPC simulators, the
 // GRUB/PXE boot chain, the detector wire format, deployment tooling)
-// live in the internal packages; see DESIGN.md for the map.
+// live in the internal packages; see README.md for the map.
 package hybridcluster
 
 import (
@@ -30,6 +48,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/osid"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -140,3 +159,32 @@ const (
 func NewGrid(policy GridRouting, members []GridMemberSpec) (*Grid, error) {
 	return grid.New(policy, members)
 }
+
+// Scenario-sweep layer: expand a parameter grid into scenarios, run
+// them concurrently with deterministic per-cell seeding, and rank the
+// outcomes.
+type (
+	// SweepConfig is a grid plus the worker-pool bound.
+	SweepConfig = sweep.Config
+	// SweepGrid spans the scenario space (modes × policies × node
+	// counts × trace shapes × failure rates).
+	SweepGrid = sweep.Grid
+	// SweepCell is one concrete grid point with its derived seeds.
+	SweepCell = sweep.Cell
+	// SweepOutcome aggregates cell results; see Ranked/Table/Rows.
+	SweepOutcome = sweep.Outcome
+	// SweepCellResult pairs a cell with its run result.
+	SweepCellResult = sweep.CellResult
+	// SweepTraceSpec is one point on the trace-shape axis.
+	SweepTraceSpec = sweep.TraceSpec
+	// SweepPolicySpec names a controller-policy constructor.
+	SweepPolicySpec = sweep.PolicySpec
+)
+
+// Sweep runs every cell of a parameter grid on a bounded worker pool.
+// The outcome is bit-identical regardless of Workers.
+func Sweep(cfg SweepConfig) (*SweepOutcome, error) { return sweep.Run(cfg) }
+
+// ParseSweepGrid parses the qsim CLI's compact grid notation, e.g.
+// "modes=hybrid-v2,static-split;nodes=8,16;winfracs=0.25,0.5".
+func ParseSweepGrid(spec string) (SweepGrid, error) { return sweep.ParseGridSpec(spec) }

@@ -60,6 +60,39 @@ func TestPublicMatlabGATrace(t *testing.T) {
 	}
 }
 
+func TestPublicSweep(t *testing.T) {
+	out, err := Sweep(SweepConfig{
+		Grid: SweepGrid{
+			Modes:      []ClusterMode{HybridV2, Static},
+			NodeCounts: []int{8},
+			Traces: []SweepTraceSpec{
+				{JobsPerHour: 3, WindowsFrac: 0.4, Duration: 6 * time.Hour},
+			},
+			BaseSeed: 1,
+			Horizon:  48 * time.Hour,
+		},
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("cells = %d", len(out.Results))
+	}
+	for _, r := range out.Results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Cell.Name(), r.Err)
+		}
+	}
+	table := out.Table()
+	if !strings.Contains(table, "hybrid-v2") || !strings.Contains(table, "static-split") {
+		t.Fatalf("table:\n%s", table)
+	}
+	if _, err := ParseSweepGrid("modes=hybrid-v2;nodes=8"); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPublicPolicies(t *testing.T) {
 	trace := BurstTrace(BurstConfig{Start: 0, Jobs: 2, Gap: time.Minute, App: "Opera",
 		OS: Windows, Nodes: 1, PPN: 4, Runtime: 30 * time.Minute, Owner: "u"})

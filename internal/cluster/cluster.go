@@ -89,6 +89,12 @@ type Config struct {
 	// SwitchJobRuntime is the switch job's occupancy (the paper's
 	// script sleeps 10 seconds so the reboot outruns job exit).
 	SwitchJobRuntime time.Duration
+	// BootFailureProb is the probability that any one OS switch's
+	// boot attempt suffers a hardware fault, leaving the node broken
+	// and out of service (0 = the seed's fault-free behaviour). Drawn
+	// from the cluster's seeded RNG, so runs stay deterministic; the
+	// sweep subsystem uses it as its failure-rate axis.
+	BootFailureProb float64
 	// PerMACBoot selects v2's *initial* design (Figure 12): one PXE
 	// menu per node MAC, written when the switch job learns which
 	// machine it booked. The default is the final single-flag design

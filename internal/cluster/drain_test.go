@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/osid"
+	"repro/internal/workload"
+)
+
+// A switch that never completes must not hang RunUntilDrained: the
+// drain is bounded by the horizon, not by an iteration count.
+func TestRunUntilDrainedStuckSwitchStopsAtHorizon(t *testing.T) {
+	c, err := New(Config{Mode: HybridV2, Nodes: 4, InitialLinux: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wedge a node mid-switch with no pending event to release it —
+	// the permanently-stuck case (e.g. a machine that powers off
+	// during reboot and never reports back).
+	c.nodes[0].Switching = true
+
+	const horizon = 2 * time.Hour
+	done := make(chan struct{})
+	go func() {
+		c.RunUntilDrained(horizon)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunUntilDrained did not terminate with a stuck switch")
+	}
+	if got := c.Eng.Now(); got != horizon {
+		t.Fatalf("clock stopped at %v, want horizon %v", got, horizon)
+	}
+	if c.SwitchingCount() != 1 {
+		t.Fatalf("stuck switch count = %d, want 1", c.SwitchingCount())
+	}
+}
+
+// BootFailureProb must break nodes deterministically: the same seed
+// yields the same casualties, and a zero probability never breaks
+// anything.
+func TestBootFailureInjection(t *testing.T) {
+	trace := workload.Burst(workload.BurstConfig{
+		Start: 0, Jobs: 6, Gap: time.Minute, App: "Backburner",
+		OS: osid.Windows, Nodes: 2, PPN: 4, Runtime: 30 * time.Minute, Owner: "render",
+	})
+	run := func(prob float64) (broken int, summarySwitches int) {
+		c, err := New(Config{
+			Mode: HybridV2, Nodes: 8, InitialLinux: 8,
+			Cycle: 5 * time.Minute, Seed: 11, BootFailureProb: prob,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := c.RunTrace(trace, 24*time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.BrokenCount(), sum.Switches
+	}
+
+	if broken, _ := run(0); broken != 0 {
+		t.Fatalf("fault-free run broke %d nodes", broken)
+	}
+	b1, s1 := run(1)
+	if b1 == 0 {
+		t.Fatal("probability-1 faults broke no nodes")
+	}
+	b2, s2 := run(1)
+	if b1 != b2 || s1 != s2 {
+		t.Fatalf("same seed diverged: broken %d vs %d, switches %d vs %d", b1, b2, s1, s2)
+	}
+}

@@ -200,17 +200,17 @@ func (c *Cluster) beginSwitch(name string, target osid.OS) {
 
 	c.Eng.After(c.cfg.Latency.Shutdown, func() {
 		n.HW.Power = hardware.PowerBooting
+		if c.cfg.BootFailureProb > 0 && c.rng.Float64() < c.cfg.BootFailureProb {
+			c.markBootFailed(n, "switch", fmt.Errorf("injected hardware fault"))
+			return
+		}
 		res, err := bootmgr.Boot(n.HW, bootmgr.Env{
 			PXE:     c.PXE,
 			Latency: *c.cfg.Latency,
 			Rand:    c.rng,
 		})
 		if err != nil {
-			n.Switching = false
-			n.Broken = true
-			n.HW.Power = hardware.PowerOff
-			c.Rec.SwitchFinished(name, false)
-			c.logf("switch: %s boot FAILED: %v", name, err)
+			c.markBootFailed(n, "switch", err)
 			return
 		}
 		c.Eng.After(res.Latency, func() {
@@ -230,6 +230,18 @@ func (c *Cluster) beginSwitch(name string, target osid.OS) {
 			c.logf("switch: %s up in %s after %v", name, res.OS, c.cfg.Latency.Shutdown+res.Latency)
 		})
 	})
+}
+
+// markBootFailed records a boot-chain casualty: the node leaves the
+// switching state broken and powered off, out of service until an
+// administrator intervenes. Injected faults and real boot-chain
+// errors share this bookkeeping so the two paths cannot diverge.
+func (c *Cluster) markBootFailed(n *Node, context string, err error) {
+	n.Switching = false
+	n.Broken = true
+	n.HW.Power = hardware.PowerOff
+	c.Rec.SwitchFinished(n.HW.Name, false)
+	c.logf("%s: %s boot FAILED: %v", context, n.HW.Name, err)
 }
 
 // ForceSwitch reboots a specific idle node immediately (administrative

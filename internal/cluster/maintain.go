@@ -141,11 +141,7 @@ func (c *Cluster) beginReimageBoot(n *Node) {
 			Rand:    c.rng,
 		})
 		if err != nil {
-			n.Switching = false
-			n.Broken = true
-			n.HW.Power = hardware.PowerOff
-			c.Rec.SwitchFinished(n.HW.Name, false)
-			c.logf("reimage: %s boot FAILED: %v", n.HW.Name, err)
+			c.markBootFailed(n, "reimage", err)
 			return
 		}
 		c.Eng.After(res.Latency, func() {

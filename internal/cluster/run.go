@@ -106,6 +106,13 @@ func (c *Cluster) RunTrace(trace workload.Trace, maxHorizon time.Duration) (metr
 	return c.Summary(), nil
 }
 
+// rebootDrainStep is the granularity at which RunUntilDrained waits
+// for in-flight reboots to land after the controller stops. The drain
+// is bounded by the horizon, never by an iteration count: a node whose
+// switch never completes must not hang the run, it just rides the
+// clock to the horizon.
+const rebootDrainStep = time.Minute
+
 // RunUntilDrained advances time in controller-cycle steps until the
 // cluster is quiescent or the horizon is hit.
 func (c *Cluster) RunUntilDrained(maxHorizon time.Duration) {
@@ -129,9 +136,15 @@ func (c *Cluster) RunUntilDrained(maxHorizon time.Duration) {
 	if c.Mgr != nil {
 		c.Mgr.Stop()
 	}
-	// Drain any in-flight reboots so switch records close.
-	for i := 0; i < 1000 && c.SwitchingCount() > 0 && c.Eng.Now() < maxHorizon; i++ {
-		c.Eng.RunUntil(c.Eng.Now() + time.Minute)
+	// Drain any in-flight reboots so switch records close. RunUntil
+	// advances the clock even with an empty queue, so this terminates
+	// at maxHorizon in the worst case.
+	for c.SwitchingCount() > 0 && c.Eng.Now() < maxHorizon {
+		next := c.Eng.Now() + rebootDrainStep
+		if next > maxHorizon {
+			next = maxHorizon
+		}
+		c.Eng.RunUntil(next)
 	}
 }
 

@@ -52,6 +52,7 @@ func All() []Runner {
 		{"E10", E10BiVsMono},
 		{"E11", E11MatlabGA},
 		{"E12", E12MixSweep},
+		{"E13", E13SweepModes},
 		{"A1", A1CycleInterval},
 		{"A2", A2Policies},
 		{"A3", A3SwitchCost},

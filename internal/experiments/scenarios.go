@@ -6,10 +6,10 @@ import (
 
 	"repro/internal/bootmgr"
 	"repro/internal/cluster"
-	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/osid"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -180,7 +180,10 @@ func E11MatlabGA() (Table, error) {
 }
 
 // E12MixSweep sweeps the Windows demand share over the phased
-// wide-job workload: hybrid vs static utilisation.
+// wide-job workload: hybrid vs static utilisation. The mode × share
+// grid fans out through the sweep subsystem — both modes of each share
+// replay the identical trace (paired comparison), and the cells run
+// concurrently.
 func E12MixSweep() (Table, error) {
 	t := Table{
 		ID:     "E12",
@@ -188,23 +191,99 @@ func E12MixSweep() (Table, error) {
 		Header: []string{"windows-share", "hybrid-util", "static-util", "hybrid-done", "static-done"},
 		Notes:  "wide jobs exceed the 8-node static halves; the split strands them (Torque rejects as infeasible)",
 	}
-	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
-		trace := workload.PhasedWideMix(workload.PhasedConfig{Seed: 99, Phases: 8, WindowsFrac: frac})
-		results, err := core.CompareModes(
-			[]cluster.Mode{cluster.HybridV2, cluster.Static},
-			cluster.Config{InitialLinux: 8, Cycle: 5 * time.Minute},
-			trace, 96*time.Hour)
+	fracs := []float64{0, 0.25, 0.5, 0.75, 1}
+	g := sweep.Grid{
+		Modes:    []cluster.Mode{cluster.HybridV2, cluster.Static},
+		BaseSeed: 99,
+		Cycle:    5 * time.Minute,
+		Horizon:  96 * time.Hour,
+	}
+	for _, frac := range fracs {
+		g.Traces = append(g.Traces, sweep.TraceSpec{
+			Name: fmt.Sprintf("phased-w%g", frac),
+			Kind: sweep.TracePhased, WindowsFrac: frac,
+		})
+	}
+	out, err := sweep.Run(sweep.Config{Grid: g})
+	if err != nil {
+		return t, err
+	}
+	for i, frac := range fracs {
+		row, err := hybridVsStaticRow(out, g.Traces[i].Name, frac)
 		if err != nil {
 			return t, err
 		}
-		h, s := results[0].Summary, results[1].Summary
-		t.Rows = append(t.Rows, []string{
-			metrics.Pct(frac),
-			metrics.Pct(h.Utilisation),
-			metrics.Pct(s.Utilisation),
-			fmt.Sprintf("%d/%d", h.JobsCompleted[osid.Linux]+h.JobsCompleted[osid.Windows], len(trace)),
-			fmt.Sprintf("%d/%d", s.JobsCompleted[osid.Linux]+s.JobsCompleted[osid.Windows], len(trace)),
-		})
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// hybridVsStaticRow digests one trace shape's hybrid and static cells
+// into an E12-style comparison row. The completion denominator is the
+// full trace length, not the submitted count: the static split's
+// stranded wide jobs are rejected at submission (Torque deems them
+// infeasible), and hiding them would erase exactly the effect the
+// table demonstrates.
+func hybridVsStaticRow(out *sweep.Outcome, traceName string, frac float64) ([]string, error) {
+	pick := func(mode cluster.Mode) (sweep.CellResult, error) {
+		for _, r := range out.Select(func(c sweep.Cell) bool {
+			return c.Mode == mode && c.Trace.Name == traceName
+		}) {
+			return r, r.Err
+		}
+		return sweep.CellResult{}, fmt.Errorf("experiments: no %v cell for trace %s", mode, traceName)
+	}
+	h, err := pick(cluster.HybridV2)
+	if err != nil {
+		return nil, err
+	}
+	s, err := pick(cluster.Static)
+	if err != nil {
+		return nil, err
+	}
+	traceLen := len(h.Cell.Trace.Build(h.Cell.TraceSeed))
+	total := func(m map[osid.OS]int) int { return m[osid.Linux] + m[osid.Windows] }
+	return []string{
+		metrics.Pct(frac),
+		metrics.Pct(h.Res.Summary.Utilisation),
+		metrics.Pct(s.Res.Summary.Utilisation),
+		fmt.Sprintf("%d/%d", total(h.Res.Summary.JobsCompleted), traceLen),
+		fmt.Sprintf("%d/%d", total(s.Res.Summary.JobsCompleted), traceLen),
+	}, nil
+}
+
+// E13SweepModes regenerates the mode-vs-load comparison through the
+// sweep subsystem: every cluster organisation against rising Poisson
+// arrival rates, ranked by utilisation. One sweep call replaces the
+// mode-by-mode core.Run loops the earlier experiments hand-rolled.
+func E13SweepModes() (Table, error) {
+	g := sweep.Grid{
+		Modes: []cluster.Mode{cluster.HybridV1, cluster.HybridV2, cluster.Static, cluster.MonoStable},
+		Traces: []sweep.TraceSpec{
+			{JobsPerHour: 2, WindowsFrac: 0.3, Duration: 24 * time.Hour},
+			{JobsPerHour: 4, WindowsFrac: 0.3, Duration: 24 * time.Hour},
+			{JobsPerHour: 8, WindowsFrac: 0.3, Duration: 24 * time.Hour},
+		},
+		BaseSeed: 13,
+		Cycle:    5 * time.Minute,
+		Horizon:  96 * time.Hour,
+	}
+	out, err := sweep.Run(sweep.Config{Grid: g})
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "E13",
+		Title:  "sweep: cluster mode vs offered load, ranked by utilisation",
+		Header: sweep.Header(),
+		Notes: fmt.Sprintf("%s; deterministic per-cell seeds, identical table for any worker count",
+			g.Describe()),
+	}
+	for i, r := range out.Ranked() {
+		if r.Err != nil {
+			return t, r.Err
+		}
+		t.Rows = append(t.Rows, sweep.Row(i+1, r))
 	}
 	return t, nil
 }
@@ -240,7 +319,10 @@ func A1CycleInterval() (Table, error) {
 	return t, nil
 }
 
-// A2Policies ablates the decision rule.
+// A2Policies ablates the decision rule. The policy axis fans out
+// through the sweep subsystem; each cell constructs its own policy
+// instance (hysteresis carries state), and every policy faces the
+// identical alternating trace.
 func A2Policies() (Table, error) {
 	t := Table{
 		ID:     "A2",
@@ -248,27 +330,30 @@ func A2Policies() (Table, error) {
 		Header: []string{"policy", "util", "switches", "win-wait"},
 		Notes:  "the paper's stuck-only FCFS is conservative; demand-proportional fair-share moves earlier and lifts utilisation",
 	}
-	policies := []controller.Policy{
-		controller.FCFS{},
-		controller.Threshold{Reserve: 2, MinQueued: 1},
-		&controller.Hysteresis{Inner: controller.FCFS{}, Cooldown: 20 * time.Minute},
-		controller.FairShare{MaxStep: 2},
+	g := sweep.Grid{
+		Modes:    []cluster.Mode{cluster.HybridV2},
+		Policies: sweep.DefaultPolicies(),
+		Traces: []sweep.TraceSpec{{
+			Name:   "alternating",
+			Custom: func(int64) workload.Trace { return alternating(11) },
+		}},
+		Cycle:        5 * time.Minute,
+		InitialLinux: 16,
+		Horizon:      72 * time.Hour,
 	}
-	for _, p := range policies {
-		res, err := core.Run(core.Scenario{
-			Name:    p.Name(),
-			Cluster: cluster.Config{Mode: cluster.HybridV2, InitialLinux: 16, Cycle: 5 * time.Minute, Policy: p},
-			Trace:   alternating(11),
-			Horizon: 72 * time.Hour,
-		})
-		if err != nil {
-			return t, err
+	out, err := sweep.Run(sweep.Config{Grid: g})
+	if err != nil {
+		return t, err
+	}
+	for _, r := range out.Results {
+		if r.Err != nil {
+			return t, r.Err
 		}
 		t.Rows = append(t.Rows, []string{
-			p.Name(),
-			metrics.Pct(res.Summary.Utilisation),
-			fmt.Sprintf("%d", res.Summary.Switches),
-			metrics.Dur(res.Summary.MeanWait[osid.Windows]),
+			r.Cell.Policy.Name,
+			metrics.Pct(r.Res.Summary.Utilisation),
+			fmt.Sprintf("%d", r.Res.Summary.Switches),
+			metrics.Dur(r.Res.Summary.MeanWait[osid.Windows]),
 		})
 	}
 	return t, nil

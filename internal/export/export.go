@@ -93,6 +93,76 @@ func WriteSummaryJSON(w io.Writer, s metrics.Summary) error {
 	return enc.Encode(out)
 }
 
+// SweepRow is one parameter-grid cell flattened for export. The sweep
+// package produces these; keeping the type here lets the exporters
+// stay free of a dependency on the sweep machinery.
+type SweepRow struct {
+	Cell               string  `json:"cell"`
+	Mode               string  `json:"mode"`
+	Policy             string  `json:"policy"`
+	Nodes              int     `json:"nodes"`
+	Trace              string  `json:"trace"`
+	FailureRate        float64 `json:"failure_rate"`
+	Seed               int64   `json:"seed"`
+	Utilisation        float64 `json:"utilisation"`
+	MeanWaitLinuxSec   float64 `json:"mean_wait_linux_sec"`
+	MeanWaitWindowsSec float64 `json:"mean_wait_windows_sec"`
+	Switches           int     `json:"switches"`
+	SwitchesOK         int     `json:"switches_ok"`
+	MeanSwitchSec      float64 `json:"mean_switch_sec"`
+	JobsSubmitted      int     `json:"jobs_submitted"`
+	JobsCompleted      int     `json:"jobs_completed"`
+	BrokenNodes        int     `json:"broken_nodes"`
+	MakespanSec        float64 `json:"makespan_sec"`
+	Err                string  `json:"err,omitempty"`
+}
+
+// WriteSweepCSV writes sweep rows as CSV with a header. Output is a
+// pure function of the rows — fixed column order, fixed float
+// formatting — so two identical sweeps serialise byte-identically.
+func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{"cell", "mode", "policy", "nodes", "trace", "failure_rate", "seed",
+		"utilisation", "mean_wait_linux_sec", "mean_wait_windows_sec",
+		"switches", "switches_ok", "mean_switch_sec",
+		"jobs_submitted", "jobs_completed", "broken_nodes", "makespan_sec", "err"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Cell, r.Mode, r.Policy,
+			fmt.Sprintf("%d", r.Nodes),
+			r.Trace,
+			fmt.Sprintf("%g", r.FailureRate),
+			fmt.Sprintf("%d", r.Seed),
+			fmt.Sprintf("%.6f", r.Utilisation),
+			fmt.Sprintf("%.0f", r.MeanWaitLinuxSec),
+			fmt.Sprintf("%.0f", r.MeanWaitWindowsSec),
+			fmt.Sprintf("%d", r.Switches),
+			fmt.Sprintf("%d", r.SwitchesOK),
+			fmt.Sprintf("%.0f", r.MeanSwitchSec),
+			fmt.Sprintf("%d", r.JobsSubmitted),
+			fmt.Sprintf("%d", r.JobsCompleted),
+			fmt.Sprintf("%d", r.BrokenNodes),
+			fmt.Sprintf("%.0f", r.MakespanSec),
+			r.Err,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("export: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSweepJSON writes sweep rows as an indented JSON array.
+func WriteSweepJSON(w io.Writer, rows []SweepRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
 // WriteJobsCSV writes per-job lifecycle records.
 func WriteJobsCSV(w io.Writer, jobs []metrics.JobRecord) error {
 	cw := csv.NewWriter(w)

@@ -88,6 +88,66 @@ func TestWriteSummaryJSON(t *testing.T) {
 	}
 }
 
+func TestWriteSweepCSV(t *testing.T) {
+	rows := []SweepRow{
+		{Cell: "hybrid-v2/fcfs/n16/poisson-4jph-w30%/f0", Mode: "hybrid-v2", Policy: "fcfs",
+			Nodes: 16, Trace: "poisson-4jph-w30%", Seed: 42,
+			Utilisation: 0.4251, MeanWaitWindowsSec: 300, Switches: 6, SwitchesOK: 6,
+			JobsSubmitted: 96, JobsCompleted: 96, MakespanSec: 90000},
+		{Cell: "static-split/fcfs/n16/poisson-4jph-w30%/f0.1", Mode: "static-split", Policy: "fcfs",
+			Nodes: 16, Trace: "poisson-4jph-w30%", FailureRate: 0.1, Seed: 43,
+			Err: "boom"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("rows = %d", len(records))
+	}
+	if records[0][0] != "cell" || records[0][5] != "failure_rate" {
+		t.Fatalf("header = %v", records[0])
+	}
+	if records[1][7] != "0.425100" { // fixed-width float formatting
+		t.Fatalf("utilisation cell = %q", records[1][7])
+	}
+	if records[2][5] != "0.1" || records[2][17] != "boom" {
+		t.Fatalf("failed-cell row = %v", records[2])
+	}
+
+	// Byte-for-byte reproducible on identical input.
+	var again bytes.Buffer
+	if err := WriteSweepCSV(&again, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, again.Bytes()) {
+		t.Fatal("sweep CSV not reproducible")
+	}
+}
+
+func TestWriteSweepJSON(t *testing.T) {
+	rows := []SweepRow{{Cell: "c", Mode: "hybrid-v2", Utilisation: 0.5, JobsCompleted: 12}}
+	var buf bytes.Buffer
+	if err := WriteSweepJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 || decoded[0]["utilisation"] != 0.5 {
+		t.Fatalf("decoded = %v", decoded)
+	}
+	if _, present := decoded[0]["err"]; present {
+		t.Fatal("empty err serialised")
+	}
+}
+
 func TestWriteJobsCSV(t *testing.T) {
 	jobs := []metrics.JobRecord{
 		{ID: "1.e", OS: osid.Linux, App: "DL_POLY", CPUs: 8,

@@ -1,0 +1,176 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// ParseGridSpec builds a Grid from the qsim CLI's compact grid
+// notation: semicolon-separated key=comma-list pairs, e.g.
+//
+//	modes=hybrid-v2,static-split;nodes=8,16;winfracs=0.25,0.5;failrates=0,0.05
+//
+// Keys:
+//
+//	modes     cluster organisations (hybrid-v1|hybrid-v2|static-split|mono-stable)
+//	policies  controller policies (fcfs|threshold|hysteresis|fairshare)
+//	nodes     compute-node counts
+//	rates     Poisson arrival rates, jobs/hour (one trace shape per rate×winfrac)
+//	winfracs  Windows demand shares (0..1)
+//	hours     Poisson submission window in hours (single value)
+//	traces    trace kinds (poisson|phased|matlabga); crossed with rates/winfracs
+//	failrates per-boot failure probabilities (0..1)
+//	seed      base seed (single value)
+//	cycle     controller cycle, Go duration (single value)
+//
+// Unknown keys are errors; omitted keys take the Grid defaults.
+func ParseGridSpec(spec string) (Grid, error) {
+	var g Grid
+	rates := []float64{4}
+	winfracs := []float64{0.3}
+	kinds := []TraceKind{TracePoisson}
+	hours := 24.0
+	for _, field := range strings.Split(spec, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, vals, ok := strings.Cut(field, "=")
+		if !ok {
+			return g, fmt.Errorf("sweep: grid field %q is not key=values", field)
+		}
+		key = strings.TrimSpace(key)
+		list := strings.Split(vals, ",")
+		switch key {
+		case "modes":
+			for _, v := range list {
+				m, err := ParseMode(strings.TrimSpace(v))
+				if err != nil {
+					return g, err
+				}
+				g.Modes = append(g.Modes, m)
+			}
+		case "policies":
+			for _, v := range list {
+				p, ok := PolicyByName(strings.TrimSpace(v))
+				if !ok {
+					return g, fmt.Errorf("sweep: unknown policy %q", v)
+				}
+				g.Policies = append(g.Policies, p)
+			}
+		case "nodes":
+			for _, v := range list {
+				n, err := strconv.Atoi(strings.TrimSpace(v))
+				if err != nil || n <= 0 {
+					return g, fmt.Errorf("sweep: bad node count %q", v)
+				}
+				g.NodeCounts = append(g.NodeCounts, n)
+			}
+		case "rates":
+			var err error
+			if rates, err = parseFloats(list, 0); err != nil {
+				return g, fmt.Errorf("sweep: rates: %w", err)
+			}
+			for _, r := range rates {
+				// Zero would silently fall through to the 4 jobs/hour
+				// default; reject it instead of sweeping a phantom cell.
+				if r <= 0 {
+					return g, fmt.Errorf("sweep: rates must be positive, got %g", r)
+				}
+			}
+		case "winfracs":
+			var err error
+			if winfracs, err = parseFloats(list, 1); err != nil {
+				return g, fmt.Errorf("sweep: winfracs: %w", err)
+			}
+		case "traces":
+			kinds = kinds[:0]
+			for _, v := range list {
+				switch strings.TrimSpace(v) {
+				case "poisson":
+					kinds = append(kinds, TracePoisson)
+				case "phased":
+					kinds = append(kinds, TracePhased)
+				case "matlabga":
+					kinds = append(kinds, TraceMatlabGA)
+				default:
+					return g, fmt.Errorf("sweep: unknown trace kind %q", v)
+				}
+			}
+		case "hours":
+			h, err := strconv.ParseFloat(strings.TrimSpace(vals), 64)
+			if err != nil || h <= 0 {
+				return g, fmt.Errorf("sweep: bad hours %q", vals)
+			}
+			hours = h
+		case "failrates":
+			var err error
+			if g.FailureRates, err = parseFloats(list, 1); err != nil {
+				return g, fmt.Errorf("sweep: failrates: %w", err)
+			}
+		case "seed":
+			s, err := strconv.ParseInt(strings.TrimSpace(vals), 10, 64)
+			if err != nil {
+				return g, fmt.Errorf("sweep: bad seed %q", vals)
+			}
+			g.BaseSeed = s
+		case "cycle":
+			d, err := time.ParseDuration(strings.TrimSpace(vals))
+			if err != nil || d <= 0 {
+				return g, fmt.Errorf("sweep: bad cycle %q", vals)
+			}
+			g.Cycle = d
+		default:
+			return g, fmt.Errorf("sweep: unknown grid key %q", key)
+		}
+	}
+	seen := map[string]bool{}
+	for _, kind := range kinds {
+		for _, rate := range rates {
+			for _, wf := range winfracs {
+				t := TraceSpec{
+					Kind:        kind,
+					JobsPerHour: rate,
+					WindowsFrac: wf,
+					Duration:    time.Duration(hours * float64(time.Hour)),
+				}.withDefaults()
+				// Non-poisson kinds ignore some parameters, so crossing
+				// the axes can repeat a shape; keep each name once.
+				if seen[t.Name] {
+					continue
+				}
+				seen[t.Name] = true
+				g.Traces = append(g.Traces, t)
+			}
+		}
+	}
+	return g, nil
+}
+
+// ParseMode resolves a cluster mode by its String name. The qsim CLI
+// shares this registry so the -mode flag and the sweep grid spec can
+// never drift apart.
+func ParseMode(name string) (cluster.Mode, error) {
+	for _, m := range []cluster.Mode{cluster.HybridV1, cluster.HybridV2, cluster.Static, cluster.MonoStable} {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("sweep: unknown mode %q", name)
+}
+
+func parseFloats(list []string, max float64) ([]float64, error) {
+	var out []float64
+	for _, v := range list {
+		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil || f < 0 || (max > 0 && f > max) {
+			return nil, fmt.Errorf("bad value %q", v)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

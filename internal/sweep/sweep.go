@@ -1,0 +1,512 @@
+// Package sweep runs whole parameter grids of hybrid-cluster
+// scenarios instead of one hand-picked run at a time. A Grid spans
+// five axes — cluster modes × controller policies × node counts ×
+// trace shapes × boot-failure rates — and expands into concrete cells,
+// each a self-contained core.Scenario. Run executes the cells on a
+// bounded worker pool and aggregates their metrics summaries into
+// ranked comparison tables and flat export rows.
+//
+// Determinism contract: every cell derives its random seeds from the
+// grid coordinates alone (FNV-1a over BaseSeed plus the cell's axis
+// values), never from execution order, wall clock, or worker identity.
+// Seeds pair comparisons: the trace seed depends only on the trace
+// axis and the cluster seed only on the environment axes (node count,
+// trace, failure rate), so cells compared across the mode and policy
+// treatment axes face identical job streams and RNG draws.
+// Each cell builds its own simtime.Engine, its own cluster, and a
+// fresh controller policy instance, so no simulation state is shared
+// across workers. Results land at the cell's expansion index. The
+// aggregate output of a sweep is therefore bit-identical regardless of
+// worker count or completion order.
+package sweep
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/metrics"
+	"repro/internal/osid"
+	"repro/internal/workload"
+)
+
+// TraceKind selects a workload generator family for one trace axis
+// entry.
+type TraceKind uint8
+
+const (
+	// TracePoisson draws the mixed campus workload (the default).
+	TracePoisson TraceKind = iota
+	// TracePhased generates the alternating wide-job demand phases.
+	TracePhased
+	// TraceMatlabGA replays the §IV-B MATLAB-MDCS case study.
+	TraceMatlabGA
+)
+
+// String names the kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TracePhased:
+		return "phased"
+	case TraceMatlabGA:
+		return "matlabga"
+	default:
+		return "poisson"
+	}
+}
+
+// TraceSpec is one point on the trace-shape axis. The zero value is a
+// 24-hour Poisson trace at 4 jobs/hour with a 30% Windows share.
+type TraceSpec struct {
+	// Name labels the shape in cell names and tables; when empty a
+	// name is derived from the parameters.
+	Name string
+	Kind TraceKind
+	// Poisson / phased shape parameters.
+	JobsPerHour float64       // default 4 (poisson)
+	WindowsFrac float64       // Windows share of jobs (poisson) or phases (phased)
+	Duration    time.Duration // submission window, default 24h (poisson)
+	MaxNodes    int           // job width cap, default 4 (poisson)
+	Phases      int           // default 8 (phased)
+	// Custom, when non-nil, overrides Kind entirely: the sweep calls
+	// it with the cell's trace seed. Experiments use this to fan
+	// bespoke traces through the grid machinery.
+	Custom func(seed int64) workload.Trace
+}
+
+func (t TraceSpec) withDefaults() TraceSpec {
+	if t.JobsPerHour <= 0 {
+		t.JobsPerHour = 4
+	}
+	if t.Duration <= 0 {
+		t.Duration = 24 * time.Hour
+	}
+	if t.MaxNodes <= 0 {
+		t.MaxNodes = 4
+	}
+	if t.Phases <= 0 {
+		t.Phases = 8
+	}
+	if t.Name == "" {
+		// %g keeps derived names lossless: distinct parameters must
+		// never collide, because the name keys both the trace seed and
+		// the spec parser's dedup.
+		switch {
+		case t.Custom != nil:
+			t.Name = "custom"
+		case t.Kind == TracePhased:
+			t.Name = fmt.Sprintf("phased-w%g", t.WindowsFrac)
+		case t.Kind == TraceMatlabGA:
+			t.Name = "matlabga"
+		default:
+			t.Name = fmt.Sprintf("poisson-%gjph-w%g", t.JobsPerHour, t.WindowsFrac)
+		}
+	}
+	return t
+}
+
+// Build materialises the trace with the given seed. Cells sharing a
+// TraceSpec receive the same seed, so every mode/policy/failure-rate
+// variant replays the identical job stream — comparisons are paired.
+func (t TraceSpec) Build(seed int64) workload.Trace {
+	t = t.withDefaults()
+	if t.Custom != nil {
+		return t.Custom(seed)
+	}
+	switch t.Kind {
+	case TracePhased:
+		return workload.PhasedWideMix(workload.PhasedConfig{
+			Seed: seed, Phases: t.Phases, WindowsFrac: t.WindowsFrac,
+		})
+	case TraceMatlabGA:
+		return workload.MatlabGACase(seed)
+	default:
+		return workload.Poisson(workload.PoissonConfig{
+			Seed: seed, Duration: t.Duration, JobsPerHour: t.JobsPerHour,
+			WindowsFrac: t.WindowsFrac, MaxNodes: t.MaxNodes,
+		})
+	}
+}
+
+// PolicySpec is one point on the controller-policy axis. New must
+// return a fresh instance on every call: policies such as Hysteresis
+// carry mutable state, and sharing one instance across concurrently
+// running cells would be both a data race and a determinism leak.
+type PolicySpec struct {
+	Name string
+	New  func() controller.Policy
+}
+
+// DefaultPolicies returns the named policy constructors the CLI and
+// grid-spec parser understand.
+func DefaultPolicies() []PolicySpec {
+	return []PolicySpec{
+		{"fcfs", func() controller.Policy { return controller.FCFS{} }},
+		{"threshold", func() controller.Policy { return controller.Threshold{Reserve: 2, MinQueued: 1} }},
+		{"hysteresis", func() controller.Policy {
+			return &controller.Hysteresis{Inner: controller.FCFS{}, Cooldown: 20 * time.Minute}
+		}},
+		{"fairshare", func() controller.Policy { return controller.FairShare{MaxStep: 2} }},
+	}
+}
+
+// PolicyByName finds a default policy constructor.
+func PolicyByName(name string) (PolicySpec, bool) {
+	for _, p := range DefaultPolicies() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PolicySpec{}, false
+}
+
+// Grid spans the scenario space to sweep. Empty axes collapse to a
+// single default point, so the zero Grid is one hybrid-v2 FCFS cell.
+type Grid struct {
+	Modes        []cluster.Mode
+	Policies     []PolicySpec
+	NodeCounts   []int
+	Traces       []TraceSpec
+	FailureRates []float64 // per-boot probability of a node breaking
+
+	// BaseSeed perturbs every derived seed; two sweeps with different
+	// BaseSeeds are independent replications of the same grid.
+	BaseSeed int64
+	// Cycle is the controller reporting interval for every cell
+	// (default 5m).
+	Cycle time.Duration
+	// InitialLinux is the number of nodes booted into Linux at time
+	// zero in every cell (0 = half; clamped to the cell's node count
+	// by the cluster defaults).
+	InitialLinux int
+	// Horizon bounds each cell's virtual time (default: trace span +
+	// 48h, as core.Run).
+	Horizon time.Duration
+}
+
+func (g Grid) withDefaults() Grid {
+	if len(g.Modes) == 0 {
+		g.Modes = []cluster.Mode{cluster.HybridV2}
+	}
+	if len(g.Policies) == 0 {
+		g.Policies = []PolicySpec{{"fcfs", nil}} // nil: manager default (FCFS)
+	}
+	if len(g.NodeCounts) == 0 {
+		g.NodeCounts = []int{16}
+	}
+	// Normalise into a fresh slice: withDefaults has value-receiver
+	// semantics, so the caller's Grid must not be written through.
+	src := g.Traces
+	if len(src) == 0 {
+		src = []TraceSpec{{}}
+	}
+	traces := make([]TraceSpec, len(src))
+	counts := map[string]int{}
+	for i, t := range src {
+		traces[i] = t.withDefaults()
+		// Names key both the trace seed and result lookups, so they
+		// must be unique; duplicates (e.g. several unnamed Custom
+		// traces) get a deterministic position suffix.
+		counts[traces[i].Name]++
+		if n := counts[traces[i].Name]; n > 1 {
+			traces[i].Name = fmt.Sprintf("%s#%d", traces[i].Name, n)
+		}
+	}
+	g.Traces = traces
+	if len(g.FailureRates) == 0 {
+		g.FailureRates = []float64{0}
+	}
+	if g.Cycle <= 0 {
+		g.Cycle = 5 * time.Minute
+	}
+	return g
+}
+
+// Cell is one concrete point of the grid: a scenario plus the seeds
+// derived from its coordinates.
+type Cell struct {
+	Index       int // position in expansion order
+	Mode        cluster.Mode
+	Policy      PolicySpec
+	Nodes       int
+	Trace       TraceSpec
+	FailureRate float64
+
+	// Seed drives the cell's cluster (boot jitter, failure draws). It
+	// is derived from the environment axes only — node count, trace
+	// shape, failure rate — never from mode or policy, so cells
+	// compared across those treatment axes share their RNG stream
+	// exactly as core.CompareModes runs every mode on one seed.
+	Seed int64
+	// TraceSeed drives the workload generator. It depends only on the
+	// trace axis, so cells differing in mode, policy, node count or
+	// failure rate replay the identical trace.
+	TraceSeed int64
+
+	cycle        time.Duration
+	horizon      time.Duration
+	initialLinux int
+}
+
+// Name renders the cell's coordinates as a stable slash-joined label.
+func (c Cell) Name() string {
+	return fmt.Sprintf("%s/%s/n%d/%s/f%g",
+		c.Mode, c.Policy.Name, c.Nodes, c.Trace.Name, c.FailureRate)
+}
+
+// Scenario materialises the cell into a runnable core.Scenario.
+func (c Cell) Scenario() core.Scenario {
+	var pol controller.Policy
+	if c.Policy.New != nil {
+		pol = c.Policy.New()
+	}
+	return core.Scenario{
+		Name: c.Name(),
+		Cluster: cluster.Config{
+			Mode:            c.Mode,
+			Nodes:           c.Nodes,
+			InitialLinux:    c.initialLinux,
+			Cycle:           c.cycle,
+			Policy:          pol,
+			Seed:            c.Seed,
+			BootFailureProb: c.FailureRate,
+		},
+		Trace:   c.Trace.Build(c.TraceSeed),
+		Horizon: c.horizon,
+	}
+}
+
+// deriveSeed hashes coordinate strings into a seed with FNV-1a.
+// Deterministic across runs, platforms and Go versions.
+func deriveSeed(base int64, parts ...string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", base)
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return int64(h.Sum64() &^ (1 << 63)) // keep it non-negative
+}
+
+// Expand enumerates every cell in fixed axis order: mode (outermost),
+// policy, node count, trace shape, failure rate (innermost).
+func (g Grid) Expand() []Cell {
+	g = g.withDefaults()
+	var cells []Cell
+	for _, mode := range g.Modes {
+		for _, pol := range g.Policies {
+			for _, nodes := range g.NodeCounts {
+				for _, tr := range g.Traces {
+					for _, fr := range g.FailureRates {
+						c := Cell{
+							Index:        len(cells),
+							Mode:         mode,
+							Policy:       pol,
+							Nodes:        nodes,
+							Trace:        tr,
+							FailureRate:  fr,
+							TraceSeed:    deriveSeed(g.BaseSeed, "trace", tr.Name),
+							cycle:        g.Cycle,
+							horizon:      g.Horizon,
+							initialLinux: g.InitialLinux,
+						}
+						c.Seed = deriveSeed(g.BaseSeed, "cluster",
+							fmt.Sprintf("n%d", nodes), tr.Name, fmt.Sprintf("f%g", fr))
+						cells = append(cells, c)
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Config configures one sweep execution.
+type Config struct {
+	Grid Grid
+	// Workers bounds concurrent cell runs (default 4). Each worker
+	// owns the engine of whichever cell it is running; workers share
+	// nothing but the work queue and the result slots.
+	Workers int
+}
+
+// CellResult pairs a cell with its outcome. Err is non-nil when the
+// scenario failed to run; the sweep continues past failed cells.
+type CellResult struct {
+	Cell Cell
+	Res  core.Result
+	Err  error
+}
+
+// Outcome aggregates a completed sweep. Results is in expansion order.
+type Outcome struct {
+	Results []CellResult
+}
+
+// Run expands the grid and executes every cell on a bounded worker
+// pool. The outcome is deterministic in the sense documented on the
+// package: identical for any Workers value.
+func Run(cfg Config) (*Outcome, error) {
+	cells := cfg.Grid.Expand()
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("sweep: empty grid")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	results := make([]CellResult, len(cells))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				// Scenario() builds a private engine, cluster and
+				// policy instance per cell; the only shared write is
+				// this cell's own result slot.
+				res, err := core.Run(cells[i].Scenario())
+				results[i] = CellResult{Cell: cells[i], Res: res, Err: err}
+			}
+		}()
+	}
+	for i := range cells {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return &Outcome{Results: results}, nil
+}
+
+// Select returns the results whose cells satisfy pred, in expansion
+// order.
+func (o *Outcome) Select(pred func(Cell) bool) []CellResult {
+	var out []CellResult
+	for _, r := range o.Results {
+		if pred(r.Cell) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Errs returns the failed cells.
+func (o *Outcome) Errs() []CellResult {
+	var out []CellResult
+	for _, r := range o.Results {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Ranked orders results best-first: by utilisation, then completed
+// jobs, with the expansion index as the final tie-break so the order
+// is total and reproducible. Failed cells sink to the bottom.
+func (o *Outcome) Ranked() []CellResult {
+	out := append([]CellResult(nil), o.Results...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if (out[i].Err == nil) != (out[j].Err == nil) {
+			return out[i].Err == nil
+		}
+		si, sj := out[i].Res.Summary, out[j].Res.Summary
+		if si.Utilisation != sj.Utilisation {
+			return si.Utilisation > sj.Utilisation
+		}
+		ci := si.JobsCompleted[osid.Linux] + si.JobsCompleted[osid.Windows]
+		cj := sj.JobsCompleted[osid.Linux] + sj.JobsCompleted[osid.Windows]
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i].Cell.Index < out[j].Cell.Index
+	})
+	return out
+}
+
+// Header matches the rows of Table.
+func Header() []string {
+	return []string{"rank", "cell", "util", "wait(L)", "wait(W)", "switches", "broken", "done/subm"}
+}
+
+// Row renders one ranked result.
+func Row(rank int, r CellResult) []string {
+	if r.Err != nil {
+		return []string{fmt.Sprintf("%d", rank), r.Cell.Name(), "-", "-", "-", "-", "-", "error: " + r.Err.Error()}
+	}
+	s := r.Res.Summary
+	done := s.JobsCompleted[osid.Linux] + s.JobsCompleted[osid.Windows]
+	subm := s.JobsSubmitted[osid.Linux] + s.JobsSubmitted[osid.Windows]
+	return []string{
+		fmt.Sprintf("%d", rank),
+		r.Cell.Name(),
+		metrics.Pct(s.Utilisation),
+		metrics.Dur(s.MeanWait[osid.Linux]),
+		metrics.Dur(s.MeanWait[osid.Windows]),
+		fmt.Sprintf("%d", s.Switches),
+		fmt.Sprintf("%d", r.Res.BrokenNodes),
+		fmt.Sprintf("%d/%d", done, subm),
+	}
+}
+
+// Table renders the ranked comparison table.
+func (o *Outcome) Table() string {
+	ranked := o.Ranked()
+	rows := make([][]string, len(ranked))
+	for i, r := range ranked {
+		rows[i] = Row(i+1, r)
+	}
+	return metrics.Table(Header(), rows)
+}
+
+// Rows flattens the outcome (in expansion order) for CSV/JSON export.
+func (o *Outcome) Rows() []export.SweepRow {
+	rows := make([]export.SweepRow, len(o.Results))
+	for i, r := range o.Results {
+		row := export.SweepRow{
+			Cell:        r.Cell.Name(),
+			Mode:        r.Cell.Mode.String(),
+			Policy:      r.Cell.Policy.Name,
+			Nodes:       r.Cell.Nodes,
+			Trace:       r.Cell.Trace.Name,
+			FailureRate: r.Cell.FailureRate,
+			Seed:        r.Cell.Seed,
+		}
+		if r.Err != nil {
+			row.Err = r.Err.Error()
+		} else {
+			s := r.Res.Summary
+			row.Utilisation = s.Utilisation
+			row.MeanWaitLinuxSec = s.MeanWait[osid.Linux].Seconds()
+			row.MeanWaitWindowsSec = s.MeanWait[osid.Windows].Seconds()
+			row.Switches = s.Switches
+			row.SwitchesOK = s.SwitchesOK
+			row.MeanSwitchSec = s.MeanSwitch.Seconds()
+			row.JobsSubmitted = s.JobsSubmitted[osid.Linux] + s.JobsSubmitted[osid.Windows]
+			row.JobsCompleted = s.JobsCompleted[osid.Linux] + s.JobsCompleted[osid.Windows]
+			row.BrokenNodes = r.Res.BrokenNodes
+			row.MakespanSec = s.Makespan.Seconds()
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// Describe summarises the grid axes ("2 modes × ... = 24 cells").
+func (g Grid) Describe() string {
+	g = g.withDefaults()
+	return fmt.Sprintf("%d modes × %d policies × %d node counts × %d traces × %d failure rates = %d cells",
+		len(g.Modes), len(g.Policies), len(g.NodeCounts), len(g.Traces), len(g.FailureRates),
+		len(g.Modes)*len(g.Policies)*len(g.NodeCounts)*len(g.Traces)*len(g.FailureRates))
+}

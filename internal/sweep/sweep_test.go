@@ -1,0 +1,317 @@
+package sweep
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/export"
+	"repro/internal/workload"
+)
+
+// smallGrid is cheap enough to run repeatedly: 2×1×1×1×2 = 4 cells of
+// a short Poisson day on a small cluster.
+func smallGrid() Grid {
+	return Grid{
+		Modes:        []cluster.Mode{cluster.HybridV2, cluster.Static},
+		NodeCounts:   []int{8},
+		Traces:       []TraceSpec{{JobsPerHour: 3, WindowsFrac: 0.4, Duration: 8 * time.Hour}},
+		FailureRates: []float64{0, 0.2},
+		BaseSeed:     7,
+		Horizon:      48 * time.Hour,
+	}
+}
+
+// wideGrid crosses enough axes for the byte-identical-CSV acceptance
+// criterion: 2 modes × 2 node counts × 3 traces × 2 failure rates =
+// 24 cells.
+func wideGrid() Grid {
+	return Grid{
+		Modes:      []cluster.Mode{cluster.HybridV2, cluster.Static},
+		NodeCounts: []int{8, 16},
+		Traces: []TraceSpec{
+			{JobsPerHour: 2, WindowsFrac: 0.2, Duration: 6 * time.Hour},
+			{JobsPerHour: 3, WindowsFrac: 0.5, Duration: 6 * time.Hour},
+			{JobsPerHour: 4, WindowsFrac: 0.8, Duration: 6 * time.Hour},
+		},
+		FailureRates: []float64{0, 0.1},
+		BaseSeed:     42,
+		Horizon:      48 * time.Hour,
+	}
+}
+
+func TestExpandProducesExactCellSet(t *testing.T) {
+	g := Grid{
+		Modes:        []cluster.Mode{cluster.HybridV1, cluster.MonoStable},
+		Policies:     []PolicySpec{{Name: "fcfs"}, {Name: "fairshare"}},
+		NodeCounts:   []int{4},
+		Traces:       []TraceSpec{{Name: "day"}, {Name: "night"}},
+		FailureRates: []float64{0, 0.5},
+	}
+	cells := g.Expand()
+	// Fixed axis order: mode ≻ policy ≻ nodes ≻ trace ≻ failure rate.
+	want := []struct {
+		mode   cluster.Mode
+		policy string
+		nodes  int
+		trace  string
+		fail   float64
+	}{
+		{cluster.HybridV1, "fcfs", 4, "day", 0},
+		{cluster.HybridV1, "fcfs", 4, "day", 0.5},
+		{cluster.HybridV1, "fcfs", 4, "night", 0},
+		{cluster.HybridV1, "fcfs", 4, "night", 0.5},
+		{cluster.HybridV1, "fairshare", 4, "day", 0},
+		{cluster.HybridV1, "fairshare", 4, "day", 0.5},
+		{cluster.HybridV1, "fairshare", 4, "night", 0},
+		{cluster.HybridV1, "fairshare", 4, "night", 0.5},
+		{cluster.MonoStable, "fcfs", 4, "day", 0},
+		{cluster.MonoStable, "fcfs", 4, "day", 0.5},
+		{cluster.MonoStable, "fcfs", 4, "night", 0},
+		{cluster.MonoStable, "fcfs", 4, "night", 0.5},
+		{cluster.MonoStable, "fairshare", 4, "day", 0},
+		{cluster.MonoStable, "fairshare", 4, "day", 0.5},
+		{cluster.MonoStable, "fairshare", 4, "night", 0},
+		{cluster.MonoStable, "fairshare", 4, "night", 0.5},
+	}
+	if len(cells) != len(want) {
+		t.Fatalf("expanded %d cells, want %d", len(cells), len(want))
+	}
+	for i, w := range want {
+		c := cells[i]
+		if c.Index != i {
+			t.Errorf("cell %d: index %d", i, c.Index)
+		}
+		if c.Mode != w.mode || c.Policy.Name != w.policy || c.Nodes != w.nodes ||
+			c.Trace.Name != w.trace || c.FailureRate != w.fail {
+			t.Errorf("cell %d = %s, want %v/%v/n%d/%v/f%g", i, c.Name(),
+				w.mode, w.policy, w.nodes, w.trace, w.fail)
+		}
+	}
+}
+
+func TestCellSeedsAreCoordinateDerived(t *testing.T) {
+	g := smallGrid()
+	a, b := g.Expand(), g.Expand()
+	for i := range a {
+		// Stable across expansions.
+		if a[i].Seed != b[i].Seed || a[i].TraceSeed != b[i].TraceSeed {
+			t.Fatalf("cell %d seeds differ between expansions", i)
+		}
+		for j := range a {
+			if i == j {
+				continue
+			}
+			// The cluster seed depends only on the environment axes
+			// (nodes, trace, failure rate): mode and policy are
+			// treatments and must face identical RNG draws.
+			sameEnv := a[i].Nodes == a[j].Nodes &&
+				a[i].Trace.Name == a[j].Trace.Name &&
+				a[i].FailureRate == a[j].FailureRate
+			if sameEnv != (a[i].Seed == a[j].Seed) {
+				t.Fatalf("cells %s and %s: same environment %v but seed equality %v",
+					a[i].Name(), a[j].Name(), sameEnv, a[i].Seed == a[j].Seed)
+			}
+			// The trace seed depends only on the trace axis: every cell
+			// sharing a shape replays the identical job stream.
+			if (a[i].Trace.Name == a[j].Trace.Name) != (a[i].TraceSeed == a[j].TraceSeed) {
+				t.Fatalf("cells %s and %s: trace-seed pairing broken", a[i].Name(), a[j].Name())
+			}
+		}
+	}
+	// A different base seed re-seeds everything.
+	g.BaseSeed = 8
+	c := g.Expand()
+	if c[0].Seed == a[0].Seed {
+		t.Fatal("base seed change did not change cell seeds")
+	}
+}
+
+// The aggregated outcome must be identical however many workers run
+// the grid. Hysteresis is deliberately on the policy axis: it carries
+// mutable state, so a shared instance would both race and diverge.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := smallGrid()
+	g.Policies = []PolicySpec{
+		{"fcfs", nil},
+		PolicyByNameMust("hysteresis"),
+	}
+	var first *Outcome
+	for _, workers := range []int{1, 4, 16} {
+		out, err := Run(Config{Grid: g, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range out.Errs() {
+			t.Fatalf("cell %s: %v", r.Cell.Name(), r.Err)
+		}
+		if first == nil {
+			first = out
+			continue
+		}
+		for i := range out.Results {
+			a, b := first.Results[i], out.Results[i]
+			if !reflect.DeepEqual(a.Res.Summary, b.Res.Summary) {
+				t.Fatalf("workers=%d: cell %s summary diverged:\n%+v\nvs\n%+v",
+					workers, b.Cell.Name(), a.Res.Summary, b.Res.Summary)
+			}
+			if !reflect.DeepEqual(a.Res.Events, b.Res.Events) {
+				t.Fatalf("workers=%d: cell %s event log diverged", workers, b.Cell.Name())
+			}
+		}
+		if first.Table() != out.Table() {
+			t.Fatalf("workers=%d: ranked table diverged", workers)
+		}
+	}
+}
+
+// Acceptance criterion: a ≥24-cell sweep at -workers=8 serialises to
+// byte-identical CSV against the same sweep at -workers=1.
+func TestSweepCSVByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24-cell sweep is slow")
+	}
+	g := wideGrid()
+	csv := func(workers int) []byte {
+		out, err := Run(Config{Grid: g, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := len(out.Results); n < 24 {
+			t.Fatalf("grid has %d cells, want >= 24", n)
+		}
+		var buf bytes.Buffer
+		if err := export.WriteSweepCSV(&buf, out.Rows()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, parallel := csv(1), csv(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("CSV diverged between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// PolicyByNameMust is a test helper; panics on unknown names.
+func PolicyByNameMust(name string) PolicySpec {
+	p, ok := PolicyByName(name)
+	if !ok {
+		panic("unknown policy " + name)
+	}
+	return p
+}
+
+func TestPolicySpecsReturnFreshInstances(t *testing.T) {
+	spec := PolicyByNameMust("hysteresis")
+	a, b := spec.New(), spec.New()
+	if a == b {
+		t.Fatal("hysteresis constructor returned a shared instance")
+	}
+}
+
+func TestRankedIsTotalOrder(t *testing.T) {
+	out, err := Run(Config{Grid: smallGrid(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := out.Ranked()
+	if len(ranked) != len(out.Results) {
+		t.Fatalf("ranked %d of %d results", len(ranked), len(out.Results))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].Res.Summary.Utilisation < ranked[i].Res.Summary.Utilisation {
+			t.Fatalf("rank %d util %.3f below rank %d util %.3f",
+				i, ranked[i-1].Res.Summary.Utilisation, i+1, ranked[i].Res.Summary.Utilisation)
+		}
+	}
+	// Expansion order must be untouched by ranking.
+	for i, r := range out.Results {
+		if r.Cell.Index != i {
+			t.Fatalf("result %d holds cell index %d", i, r.Cell.Index)
+		}
+	}
+}
+
+func TestExpandDoesNotMutateCallerGrid(t *testing.T) {
+	g := Grid{Traces: []TraceSpec{{JobsPerHour: 2}}}
+	_ = g.Expand()
+	if g.Traces[0].Name != "" || g.Traces[0].Duration != 0 {
+		t.Fatalf("Expand wrote defaults through to the caller's trace spec: %+v", g.Traces[0])
+	}
+}
+
+func TestDuplicateTraceNamesGetUniqueSuffixes(t *testing.T) {
+	g := Grid{Traces: []TraceSpec{
+		{Custom: func(int64) workload.Trace { return nil }},
+		{Custom: func(int64) workload.Trace { return nil }},
+	}}
+	cells := g.Expand()
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	if cells[0].Trace.Name == cells[1].Trace.Name {
+		t.Fatalf("duplicate custom traces share name %q", cells[0].Trace.Name)
+	}
+	if cells[0].TraceSeed == cells[1].TraceSeed {
+		t.Fatal("duplicate custom traces share a trace seed")
+	}
+}
+
+func TestDerivedTraceNamesAreLossless(t *testing.T) {
+	a := TraceSpec{WindowsFrac: 0.333}.withDefaults()
+	b := TraceSpec{WindowsFrac: 0.335}.withDefaults()
+	if a.Name == b.Name {
+		t.Fatalf("distinct winfracs collide on name %q", a.Name)
+	}
+	g, err := ParseGridSpec("winfracs=0.333,0.335")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Traces) != 2 {
+		t.Fatalf("dedup dropped a distinct winfrac: %d traces", len(g.Traces))
+	}
+}
+
+func TestParseGridSpec(t *testing.T) {
+	g, err := ParseGridSpec("modes=hybrid-v2,static-split;policies=fcfs,fairshare;nodes=8,16;rates=2,4;winfracs=0.25,0.5;hours=6;failrates=0,0.05;seed=9;cycle=5m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Modes) != 2 || len(g.Policies) != 2 || len(g.NodeCounts) != 2 ||
+		len(g.Traces) != 4 || len(g.FailureRates) != 2 {
+		t.Fatalf("axes: %s", g.Describe())
+	}
+	if g.BaseSeed != 9 || g.Cycle != 5*time.Minute {
+		t.Fatalf("seed %d cycle %v", g.BaseSeed, g.Cycle)
+	}
+	if got := len(g.Expand()); got != 64 {
+		t.Fatalf("expanded %d cells, want 64", got)
+	}
+	for _, tr := range g.Traces {
+		if tr.Duration != 6*time.Hour {
+			t.Fatalf("trace %s duration %v", tr.Name, tr.Duration)
+		}
+	}
+
+	for _, bad := range []string{
+		"modes=plan9", "policies=dictator", "nodes=0", "winfracs=2",
+		"failrates=-1", "bogus=1", "rates", "rates=0", "cycle=never",
+	} {
+		if _, err := ParseGridSpec(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+
+	// Non-poisson kinds collapse the rate axis instead of duplicating
+	// identical shapes.
+	g, err = ParseGridSpec("traces=phased;rates=2,4;winfracs=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Traces) != 1 {
+		t.Fatalf("phased traces = %d, want 1 (deduped)", len(g.Traces))
+	}
+}
