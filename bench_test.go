@@ -518,10 +518,12 @@ func BenchmarkA2_Policies(b *testing.B) {
 	// Hysteresis carries state, so every iteration builds its policy
 	// fresh.
 	makers := map[string]func() controller.Policy{
-		"fcfs":             func() controller.Policy { return controller.FCFS{} },
-		"threshold":        func() controller.Policy { return controller.Threshold{Reserve: 2, MinQueued: 1} },
-		"hysteresis(fcfs)": func() controller.Policy { return &controller.Hysteresis{Inner: controller.FCFS{}, Cooldown: 20 * time.Minute} },
-		"fairshare":        func() controller.Policy { return controller.FairShare{MaxStep: 2} },
+		"fcfs":      func() controller.Policy { return controller.FCFS{} },
+		"threshold": func() controller.Policy { return controller.Threshold{Reserve: 2, MinQueued: 1} },
+		"hysteresis(fcfs)": func() controller.Policy {
+			return &controller.Hysteresis{Inner: controller.FCFS{}, Cooldown: 20 * time.Minute}
+		},
+		"fairshare": func() controller.Policy { return controller.FairShare{MaxStep: 2} },
 	}
 	for _, name := range []string{"fcfs", "threshold", "hysteresis(fcfs)", "fairshare"} {
 		make := makers[name]

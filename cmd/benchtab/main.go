@@ -1,24 +1,46 @@
 // Command benchtab regenerates every table and figure of the paper's
 // evaluation (see README.md for the map) and prints them as text
-// tables — the rows EXPERIMENTS.md records.
+// tables — the rows EXPERIMENTS.md records. Full-suite runs also
+// write BENCH_sim.json, a machine-readable perf record (wall ns plus
+// simulation wakeups per experiment) so the repository's performance
+// trajectory can be tracked across commits; subset runs leave the
+// record alone unless -benchjson is passed explicitly.
 //
 // Usage:
 //
 //	benchtab            # run every experiment
 //	benchtab E8 A2      # run selected experiments
 //	benchtab -list      # list experiment IDs
+//	benchtab -benchjson ""  # skip the perf record
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 )
 
+// benchRecord is one experiment's perf sample in BENCH_sim.json.
+type benchRecord struct {
+	ID string `json:"id"`
+	// NsPerOp is the wall-clock nanoseconds of one full experiment
+	// regeneration (the only nondeterministic number this repository
+	// emits — everything else is simulated time).
+	NsPerOp int64 `json:"ns_per_op"`
+	// EventsRun counts the simulation wakeups (engine callbacks)
+	// behind the experiment; zero for pure-artifact tables. With the
+	// event-driven quiescence driver this is the number the drain
+	// refactor optimises.
+	EventsRun uint64 `json:"events_run"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	benchJSON := flag.String("benchjson", "BENCH_sim.json", "write the per-experiment perf record here (empty to disable)")
 	flag.Parse()
 
 	if *list {
@@ -29,9 +51,10 @@ func main() {
 	}
 
 	runners := experiments.All()
-	if args := flag.Args(); len(args) > 0 {
+	subset := len(flag.Args()) > 0
+	if subset {
 		runners = runners[:0]
-		for _, id := range args {
+		for _, id := range flag.Args() {
 			r, ok := experiments.ByID(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (try -list)\n", id)
@@ -40,18 +63,63 @@ func main() {
 			runners = append(runners, r)
 		}
 	}
+	// The default perf record tracks the whole suite; a subset run
+	// must not truncate it to a partial array. Writing a subset record
+	// still works when -benchjson is given explicitly.
+	explicitJSON := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "benchjson" {
+			explicitJSON = true
+		}
+	})
+	writeJSON := *benchJSON != "" && (!subset || explicitJSON)
 
 	failed := 0
+	var records []benchRecord
 	for _, r := range runners {
+		start := time.Now()
 		tab, err := r.Run()
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", r.ID, err)
 			failed++
 			continue
 		}
+		records = append(records, benchRecord{
+			ID:        r.ID,
+			NsPerOp:   elapsed.Nanoseconds(),
+			EventsRun: tab.EventsRun,
+		})
 		fmt.Println(tab.Render())
+	}
+	switch {
+	case writeJSON && failed > 0:
+		// A failed experiment would leave a partial array — the same
+		// truncation the subset guard prevents. Keep the old record.
+		fmt.Fprintf(os.Stderr, "benchtab: %d experiment(s) failed; not writing %s\n", failed, *benchJSON)
+	case writeJSON && len(records) > 0:
+		if err := writeBenchJSON(*benchJSON, records); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			failed++
+		} else {
+			fmt.Printf("perf record written to %s\n", *benchJSON)
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+func writeBenchJSON(path string, records []benchRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -10,9 +10,12 @@
 //	qsim -compare -trace poisson -winfrac 0.3 -hours 24
 //
 // The sweep subcommand runs a whole parameter grid concurrently with
-// deterministic per-cell seeding (identical output for any -workers):
+// deterministic per-cell seeding (identical output for any -workers),
+// including whole campus fabrics behind a routing policy:
 //
 //	qsim sweep -grid "modes=hybrid-v2,static-split;nodes=8,16;winfracs=0.25,0.5" -workers 8
+//	qsim sweep -grid "modes=hybrid-v2,static-split;rates=8" \
+//	  -topologies campus -routings least-loaded,round-robin,hybrid-last
 package main
 
 import (
@@ -20,12 +23,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/export"
+	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/osid"
 	"repro/internal/sweep"
@@ -165,7 +170,11 @@ func runSweep(args []string) {
 	fs := flag.NewFlagSet("qsim sweep", flag.ExitOnError)
 	var (
 		gridSpec = fs.String("grid", "modes=hybrid-v2,static-split,mono-stable;nodes=16;rates=4;winfracs=0.3",
-			"grid spec: 'key=v,v;...' with keys modes|policies|nodes|rates|winfracs|hours|traces|failrates|seed|cycle")
+			"grid spec: 'key=v,v;...' with keys modes|policies|nodes|rates|winfracs|hours|traces|failrates|topologies|routings|seed|cycle")
+		topologies = fs.String("topologies", "",
+			"comma list of fabric presets (single|campus|twin-hybrid); overrides the grid spec's topologies key")
+		routings = fs.String("routings", "",
+			"comma list of campus routing policies (least-loaded|round-robin|hybrid-last); overrides the grid spec's routings key")
 		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent scenario workers")
 		csvPath  = fs.String("csv", "", "write per-cell results as CSV to this file")
 		jsonPath = fs.String("json", "", "write per-cell results as JSON to this file")
@@ -179,6 +188,28 @@ func runSweep(args []string) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qsim:", err)
 		os.Exit(2)
+	}
+	if *topologies != "" {
+		g.Topologies = g.Topologies[:0]
+		for _, name := range strings.Split(*topologies, ",") {
+			t, ok := sweep.TopologyByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "qsim: unknown topology %q\n", name)
+				os.Exit(2)
+			}
+			g.Topologies = append(g.Topologies, t)
+		}
+	}
+	if *routings != "" {
+		g.Routings = g.Routings[:0]
+		for _, name := range strings.Split(*routings, ",") {
+			r, err := grid.ParsePolicy(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qsim:", err)
+				os.Exit(2)
+			}
+			g.Routings = append(g.Routings, r)
+		}
 	}
 	fmt.Printf("sweep: %s, %d workers\n\n", g.Describe(), *workers)
 	out, err := sweep.Run(sweep.Config{Grid: g, Workers: *workers})

@@ -18,7 +18,10 @@
 //
 // Beyond single runs, Sweep executes whole parameter grids — cluster
 // modes × controller policies × node counts × trace shapes ×
-// boot-failure rates — on a bounded worker pool:
+// boot-failure rates × topologies × routing policies — on a bounded
+// worker pool. A topology cell runs a whole campus fabric (several
+// clusters on one clock behind a job router) and its Result carries
+// per-member summaries:
 //
 //	out, err := hybridcluster.Sweep(hybridcluster.SweepConfig{
 //		Grid: hybridcluster.SweepGrid{
@@ -160,6 +163,23 @@ func NewGrid(policy GridRouting, members []GridMemberSpec) (*Grid, error) {
 	return grid.New(policy, members)
 }
 
+// ParseGridRouting resolves a routing policy by name
+// ("least-loaded" | "round-robin" | "hybrid-last").
+func ParseGridRouting(name string) (GridRouting, error) { return grid.ParsePolicy(name) }
+
+// Topology-aware runs: a Scenario whose Topology has members executes
+// across a whole campus fabric on one clock, and the Result carries
+// per-member summaries plus the fabric aggregate.
+type (
+	// Topology selects single-cluster or campus-grid execution.
+	Topology = core.Topology
+	// MemberResult is one grid member's share of a topology run.
+	MemberResult = core.MemberResult
+	// ClusterHooks observe cluster lifecycle transitions (job
+	// completions, switch landings, submit failures).
+	ClusterHooks = cluster.Hooks
+)
+
 // Scenario-sweep layer: expand a parameter grid into scenarios, run
 // them concurrently with deterministic per-cell seeding, and rank the
 // outcomes.
@@ -179,7 +199,26 @@ type (
 	SweepTraceSpec = sweep.TraceSpec
 	// SweepPolicySpec names a controller-policy constructor.
 	SweepPolicySpec = sweep.PolicySpec
+	// SweepTopologySpec is one point on the topology axis: a single
+	// cluster or a campus fabric of members.
+	SweepTopologySpec = sweep.TopologySpec
+	// SweepTopologyMember configures one member of a topology spec.
+	SweepTopologyMember = sweep.TopologyMember
 )
+
+// Topology member splits.
+const (
+	SplitHalf       = sweep.SplitHalf
+	SplitAllLinux   = sweep.SplitAllLinux
+	SplitAllWindows = sweep.SplitAllWindows
+)
+
+// DefaultTopologies returns the named fabric presets ("single",
+// "campus", "twin-hybrid") the sweep CLI understands.
+func DefaultTopologies() []SweepTopologySpec { return sweep.DefaultTopologies() }
+
+// TopologyByName finds a fabric preset.
+func TopologyByName(name string) (SweepTopologySpec, bool) { return sweep.TopologyByName(name) }
 
 // Sweep runs every cell of a parameter grid on a bounded worker pool.
 // The outcome is bit-identical regardless of Workers.

@@ -76,7 +76,8 @@ type Config struct {
 	Nodes        int // default 16
 	CoresPerNode int // default 4
 	// InitialLinux nodes boot into Linux at time zero; the rest run
-	// Windows. Default: half.
+	// Windows. Zero means half; a negative value pins every node to
+	// Windows (the only way to express a Windows-only static split).
 	InitialLinux int
 	// Cycle is the controller's reporting interval (default 10m).
 	Cycle time.Duration
@@ -117,7 +118,10 @@ func (c *Config) applyDefaults() {
 	if c.CoresPerNode <= 0 {
 		c.CoresPerNode = 4
 	}
-	if c.InitialLinux <= 0 || c.InitialLinux > c.Nodes {
+	switch {
+	case c.InitialLinux < 0:
+		c.InitialLinux = 0 // all-Windows split
+	case c.InitialLinux == 0 || c.InitialLinux > c.Nodes:
 		c.InitialLinux = c.Nodes / 2
 	}
 	if c.Cycle <= 0 {
@@ -174,7 +178,8 @@ type Cluster struct {
 	events         []Event
 	submitted      map[string]bool // workload job IDs awaiting completion
 	unfinished     int
-	toSubmit       int // trace jobs scheduled but not yet submitted
+	toSubmit       int     // trace jobs scheduled but not yet submitted
+	hooks          []Hooks // lifecycle observers (see run.go)
 }
 
 // New builds and provisions a cluster. Every node's disk is actually
@@ -378,13 +383,15 @@ func (c *Cluster) v1FATPartition(hw *hardware.Node) (*hardware.Partition, error)
 func (c *Cluster) wireSchedulers() {
 	c.PBS.OnJobStart = func(j *pbs.Job) { c.Rec.JobStarted(j.ID) }
 	c.PBS.OnJobEnd = func(j *pbs.Job) {
-		c.Rec.JobEnded(j.ID, !j.KilledAtWalltime())
-		c.markDone(j.ID)
+		ok := !j.KilledAtWalltime()
+		c.Rec.JobEnded(j.ID, ok)
+		c.markDone(j.ID, ok)
 	}
 	c.Win.OnJobStart = func(j *winhpc.Job) { c.Rec.JobStarted(winJobID(j.ID)) }
 	c.Win.OnJobEnd = func(j *winhpc.Job) {
-		c.Rec.JobEnded(winJobID(j.ID), j.State == winhpc.JobFinished)
-		c.markDone(winJobID(j.ID))
+		ok := j.State == winhpc.JobFinished
+		c.Rec.JobEnded(winJobID(j.ID), ok)
+		c.markDone(winJobID(j.ID), ok)
 		if c.cfg.Mode == MonoStable {
 			c.returnNodesHome()
 		}
@@ -393,10 +400,11 @@ func (c *Cluster) wireSchedulers() {
 
 func winJobID(id int) string { return fmt.Sprintf("W%d", id) }
 
-func (c *Cluster) markDone(id string) {
+func (c *Cluster) markDone(id string, completed bool) {
 	if c.submitted[id] {
 		delete(c.submitted, id)
 		c.unfinished--
+		c.notifyJobCompleted(id, completed)
 	}
 }
 

@@ -448,3 +448,85 @@ func TestSwitchLatencyEstimate(t *testing.T) {
 		}
 	}
 }
+
+// A trace job the scheduler rejects must not vanish from the books:
+// the run drains (the job never entered the system) but the failure
+// is counted in the summary and fires the SubmitFailed hook.
+func TestSubmitFailuresSurfaceInSummary(t *testing.T) {
+	// 40 nodes exceed the 16-node machine: Torque rejects at qsub.
+	c := newCluster(t, Config{Mode: HybridV2, InitialLinux: 16, Cycle: 5 * time.Minute})
+	var hooked []string
+	c.AddHooks(Hooks{SubmitFailed: func(j workload.Job, err error) {
+		if err == nil {
+			t.Error("SubmitFailed hook fired without an error")
+		}
+		hooked = append(hooked, j.App)
+	}})
+	trace := workload.Trace{
+		linJob(0, 2, time.Hour),
+		{At: time.Minute, App: "LAMMPS", OS: osid.Linux, Owner: "u", Nodes: 40, PPN: 4, Runtime: time.Hour},
+	}
+	sum, err := c.RunTrace(trace, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.SubmitFailures != 1 {
+		t.Fatalf("SubmitFailures = %d, want 1", sum.SubmitFailures)
+	}
+	if len(hooked) != 1 || hooked[0] != "LAMMPS" {
+		t.Fatalf("hook saw %v", hooked)
+	}
+	if sum.JobsCompleted[osid.Linux] != 1 {
+		t.Fatalf("completed = %v", sum.JobsCompleted)
+	}
+	if c.Unfinished() != 0 || c.PendingSubmissions() != 0 {
+		t.Fatalf("accounting dirty: unfinished=%d pending=%d", c.Unfinished(), c.PendingSubmissions())
+	}
+}
+
+// The lifecycle hooks observe completions and switch landings as they
+// happen on the virtual clock — the event-driven alternative to
+// polling the summary.
+func TestHooksObserveCompletionsAndSwitches(t *testing.T) {
+	c := newCluster(t, Config{Mode: HybridV2, InitialLinux: 16, Cycle: 5 * time.Minute})
+	var completions, landings int
+	var landedOS osid.OS
+	c.AddHooks(Hooks{
+		JobCompleted: func(id string, completed bool) {
+			if !completed {
+				t.Errorf("job %s reported incomplete", id)
+			}
+			completions++
+		},
+		SwitchLanded: func(node string, os osid.OS, ok bool) {
+			if !ok {
+				t.Errorf("switch on %s reported failed", node)
+			}
+			landings++
+			landedOS = os
+		},
+	})
+	sum, err := c.RunTrace(workload.Trace{winJob(0, 2, 30*time.Minute)}, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if completions != 1 {
+		t.Fatalf("completion hooks = %d, want 1", completions)
+	}
+	if landings != sum.Switches {
+		t.Fatalf("landing hooks = %d, switches = %d", landings, sum.Switches)
+	}
+	if landedOS != osid.Windows {
+		t.Fatalf("last landing OS = %v", landedOS)
+	}
+}
+
+// A negative InitialLinux pins every node to Windows — the only way
+// to express a Windows-only static split.
+func TestNegativeInitialLinuxMeansAllWindows(t *testing.T) {
+	c := newCluster(t, Config{Mode: Static, Nodes: 4, InitialLinux: -1})
+	if c.NodesOn(osid.Windows) != 4 || c.NodesOn(osid.Linux) != 0 {
+		t.Fatalf("split = %d linux / %d windows",
+			c.NodesOn(osid.Linux), c.NodesOn(osid.Windows))
+	}
+}

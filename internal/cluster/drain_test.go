@@ -74,3 +74,123 @@ func TestBootFailureInjection(t *testing.T) {
 		t.Fatalf("same seed diverged: broken %d vs %d, switches %d vs %d", b1, b2, s1, s2)
 	}
 }
+
+// steppedDrain replicates the fixed-step polling loop this package
+// used before the event-driven quiescence driver, kept here as the
+// wakeup baseline the acceptance benchmark compares against.
+func steppedDrain(c *Cluster, maxHorizon time.Duration) {
+	step := c.cfg.Cycle
+	if step <= 0 {
+		step = 10 * time.Minute
+	}
+	for c.Eng.Now() < maxHorizon {
+		if c.toSubmit == 0 && c.unfinished == 0 && c.SwitchingCount() == 0 {
+			break
+		}
+		next := c.Eng.Now() + step
+		if next > maxHorizon {
+			next = maxHorizon
+		}
+		c.Eng.RunUntil(next)
+	}
+	c.Quiesce()
+	const rebootDrainStep = time.Minute
+	for c.SwitchingCount() > 0 && c.Eng.Now() < maxHorizon {
+		next := c.Eng.Now() + rebootDrainStep
+		if next > maxHorizon {
+			next = maxHorizon
+		}
+		c.Eng.RunUntil(next)
+	}
+}
+
+// idleTailTrace is a 24h trace whose work is front-loaded: a Windows
+// burst at time zero, then nothing until a single straggler at the
+// 24h mark — the long idle tail the stepped loop polled through.
+func idleTailTrace() workload.Trace {
+	burst := workload.Burst(workload.BurstConfig{
+		Start: 0, Jobs: 3, Gap: time.Minute, App: "Backburner",
+		OS: osid.Windows, Nodes: 2, PPN: 4, Runtime: time.Hour, Owner: "render",
+	})
+	return append(burst, workload.Job{
+		At: 24 * time.Hour, App: "Opera", OS: osid.Windows, Owner: "em",
+		Nodes: 1, PPN: 4, Runtime: 30 * time.Minute,
+	})
+}
+
+func idleTailConfig() Config {
+	return Config{Mode: HybridV2, InitialLinux: 16, Cycle: 10 * time.Minute, Seed: 3}
+}
+
+// Acceptance criterion: on a 24h trace with a long idle tail the
+// event-driven driver executes strictly fewer engine callbacks than
+// the stepped baseline (which overshoots quiescence to its next step
+// boundary, waking the controller once more for nothing) while
+// completing the identical work.
+func TestDriverFewerWakeupsThanSteppedBaseline(t *testing.T) {
+	trace := idleTailTrace()
+	const horizon = 72 * time.Hour
+
+	base, err := New(idleTailConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.ScheduleTrace(trace); err != nil {
+		t.Fatal(err)
+	}
+	steppedDrain(base, horizon)
+	baseSum := base.Summary()
+
+	drv, err := New(idleTailConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.ScheduleTrace(trace); err != nil {
+		t.Fatal(err)
+	}
+	drv.RunUntilDrained(horizon)
+	drvSum := drv.Summary()
+
+	if got, want := drvSum.JobsCompleted[osid.Windows], baseSum.JobsCompleted[osid.Windows]; got != want {
+		t.Fatalf("driver completed %d windows jobs, baseline %d", got, want)
+	}
+	if drvSum.JobsCompleted[osid.Windows] != len(trace) {
+		t.Fatalf("completed %d of %d", drvSum.JobsCompleted[osid.Windows], len(trace))
+	}
+	if drv.Eng.EventsRun() >= base.Eng.EventsRun() {
+		t.Fatalf("driver wakeups %d not below stepped baseline %d",
+			drv.Eng.EventsRun(), base.Eng.EventsRun())
+	}
+	// The driver stops at the exact quiescence instant; the baseline
+	// overshoots to a step boundary.
+	if drv.Eng.Now() > base.Eng.Now() {
+		t.Fatalf("driver stopped at %v, after baseline %v", drv.Eng.Now(), base.Eng.Now())
+	}
+}
+
+// BenchmarkDrainWakeups reports the wakeup counts of both drain
+// strategies on the idle-tailed trace; BENCH_sim.json tracks the
+// driver numbers per experiment.
+func BenchmarkDrainWakeups(b *testing.B) {
+	run := func(b *testing.B, drain func(*Cluster, time.Duration)) {
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			c, err := New(idleTailConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := c.ScheduleTrace(idleTailTrace()); err != nil {
+				b.Fatal(err)
+			}
+			drain(c, 72*time.Hour)
+			events = c.Eng.EventsRun()
+		}
+		b.ReportMetric(float64(events), "events-run")
+	}
+	b.Run("stepped-baseline", func(b *testing.B) {
+		run(b, steppedDrain)
+	})
+	b.Run("event-driven", func(b *testing.B) {
+		run(b, func(c *Cluster, h time.Duration) { c.RunUntilDrained(h) })
+	})
+}

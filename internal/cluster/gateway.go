@@ -228,6 +228,7 @@ func (c *Cluster) beginSwitch(name string, target osid.OS) {
 			c.Rec.NodeUp(res.OS)
 			c.Rec.SwitchFinished(name, res.OS == target)
 			c.logf("switch: %s up in %s after %v", name, res.OS, c.cfg.Latency.Shutdown+res.Latency)
+			c.notifySwitchLanded(name, res.OS, res.OS == target)
 		})
 	})
 }
@@ -242,6 +243,7 @@ func (c *Cluster) markBootFailed(n *Node, context string, err error) {
 	n.HW.Power = hardware.PowerOff
 	c.Rec.SwitchFinished(n.HW.Name, false)
 	c.logf("%s: %s boot FAILED: %v", context, n.HW.Name, err)
+	c.notifySwitchLanded(n.HW.Name, osid.None, false)
 }
 
 // ForceSwitch reboots a specific idle node immediately (administrative

@@ -158,6 +158,7 @@ func (c *Cluster) beginReimageBoot(n *Node) {
 			c.Rec.NodeUp(res.OS)
 			c.Rec.SwitchFinished(n.HW.Name, true)
 			c.logf("reimage: %s back up in %s", n.HW.Name, res.OS)
+			c.notifySwitchLanded(n.HW.Name, res.OS, true)
 		})
 	})
 }

@@ -4,16 +4,65 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/driver"
 	"repro/internal/metrics"
 	"repro/internal/osid"
 	"repro/internal/pbs"
-	"repro/internal/simtime"
 	"repro/internal/winhpc"
 	"repro/internal/workload"
 )
 
 // This file runs workload traces through the cluster and exposes the
-// snapshot/summary views the experiments and examples consume.
+// snapshot/summary views the experiments and examples consume. The
+// drain loop lives in internal/driver: the cluster only answers Busy
+// and shuts its controller down on Quiesce.
+
+// Hooks observe cluster lifecycle transitions. They fire inside engine
+// callbacks, so handlers run on the deterministic virtual clock and
+// must not block. The grid layer uses them to track per-member
+// completions without polling; tests and reactive controllers can
+// subscribe the same way.
+type Hooks struct {
+	// JobCompleted fires when a tracked workload job leaves the
+	// system; completed is false when the job died (walltime kill,
+	// cancellation).
+	JobCompleted func(id string, completed bool)
+	// SwitchLanded fires when an OS switch (or maintenance reboot)
+	// ends: os is the side the node came up on (None for a boot-chain
+	// casualty) and ok whether it matched the intent.
+	SwitchLanded func(node string, os osid.OS, ok bool)
+	// SubmitFailed fires when a trace submission is rejected by the
+	// target scheduler (e.g. a job too wide for the machine).
+	SubmitFailed func(j workload.Job, err error)
+}
+
+// AddHooks subscribes an observer. Multiple observers fire in
+// registration order.
+func (c *Cluster) AddHooks(h Hooks) { c.hooks = append(c.hooks, h) }
+
+func (c *Cluster) notifyJobCompleted(id string, completed bool) {
+	for _, h := range c.hooks {
+		if h.JobCompleted != nil {
+			h.JobCompleted(id, completed)
+		}
+	}
+}
+
+func (c *Cluster) notifySwitchLanded(node string, os osid.OS, ok bool) {
+	for _, h := range c.hooks {
+		if h.SwitchLanded != nil {
+			h.SwitchLanded(node, os, ok)
+		}
+	}
+}
+
+func (c *Cluster) notifySubmitFailed(j workload.Job, err error) {
+	for _, h := range c.hooks {
+		if h.SubmitFailed != nil {
+			h.SubmitFailed(j, err)
+		}
+	}
+}
 
 // Submit routes one workload job to the appropriate scheduler now.
 // The returned ID is the metrics key ("<seq>.<fqdn>" for PBS, "W<id>"
@@ -70,7 +119,9 @@ func (c *Cluster) track(id string, j workload.Job) {
 }
 
 // ScheduleTrace arranges every job in the trace for submission at its
-// timestamp.
+// timestamp. A submission the scheduler rejects is counted — it
+// surfaces in Summary.SubmitFailures and fires the SubmitFailed hook —
+// so a run that "drains cleanly" cannot silently lose jobs.
 func (c *Cluster) ScheduleTrace(trace workload.Trace) error {
 	if err := trace.Validate(); err != nil {
 		return err
@@ -81,6 +132,8 @@ func (c *Cluster) ScheduleTrace(trace workload.Trace) error {
 		c.Eng.At(j.At, func() {
 			c.toSubmit--
 			if _, err := c.Submit(j); err != nil {
+				c.Rec.SubmitFailed()
+				c.notifySubmitFailed(j, err)
 				c.logf("submit %s failed: %v", j.App, err)
 			}
 		})
@@ -95,6 +148,19 @@ func (c *Cluster) Unfinished() int { return c.unfinished }
 // submitted.
 func (c *Cluster) PendingSubmissions() int { return c.toSubmit }
 
+// Busy implements driver.Workload: outstanding trace submissions,
+// unfinished jobs, or switches in flight.
+func (c *Cluster) Busy() bool {
+	return c.toSubmit > 0 || c.unfinished > 0 || c.SwitchingCount() > 0
+}
+
+// Quiesce implements driver.Workload: stop the controller daemons.
+func (c *Cluster) Quiesce() {
+	if c.Mgr != nil {
+		c.Mgr.Stop()
+	}
+}
+
 // RunTrace schedules a trace and advances virtual time until every
 // workload job completes, no switches are in flight, or maxHorizon is
 // reached. It returns the metrics summary.
@@ -106,46 +172,14 @@ func (c *Cluster) RunTrace(trace workload.Trace, maxHorizon time.Duration) (metr
 	return c.Summary(), nil
 }
 
-// rebootDrainStep is the granularity at which RunUntilDrained waits
-// for in-flight reboots to land after the controller stops. The drain
-// is bounded by the horizon, never by an iteration count: a node whose
-// switch never completes must not hang the run, it just rides the
-// clock to the horizon.
-const rebootDrainStep = time.Minute
-
-// RunUntilDrained advances time in controller-cycle steps until the
-// cluster is quiescent or the horizon is hit.
+// RunUntilDrained advances time on the shared quiescence driver: the
+// engine hops event-to-event and stops at the exact instant the
+// cluster goes quiet (the controller's background ticker never keeps
+// the run alive). A wedged cluster — a switch that never lands — rides
+// the clock to the horizon, exactly as before, just without the
+// fixed-step polling.
 func (c *Cluster) RunUntilDrained(maxHorizon time.Duration) {
-	if maxHorizon <= 0 {
-		maxHorizon = simtime.MaxDuration / 2
-	}
-	step := c.cfg.Cycle
-	if step <= 0 {
-		step = 10 * time.Minute
-	}
-	for c.Eng.Now() < maxHorizon {
-		if c.toSubmit == 0 && c.unfinished == 0 && c.SwitchingCount() == 0 {
-			break
-		}
-		next := c.Eng.Now() + step
-		if next > maxHorizon {
-			next = maxHorizon
-		}
-		c.Eng.RunUntil(next)
-	}
-	if c.Mgr != nil {
-		c.Mgr.Stop()
-	}
-	// Drain any in-flight reboots so switch records close. RunUntil
-	// advances the clock even with an empty queue, so this terminates
-	// at maxHorizon in the worst case.
-	for c.SwitchingCount() > 0 && c.Eng.Now() < maxHorizon {
-		next := c.Eng.Now() + rebootDrainStep
-		if next > maxHorizon {
-			next = maxHorizon
-		}
-		c.Eng.RunUntil(next)
-	}
+	driver.Drain(c.Eng, maxHorizon, c)
 }
 
 // Summary digests the run so far.
@@ -184,25 +218,22 @@ func (c *Cluster) TakeSnapshot() Snapshot {
 }
 
 // SampleSeries runs a trace while recording snapshots every interval,
-// returning the series and the final summary.
+// returning the series and the final summary. Sampling rides a
+// background ticker, so an exhausted workload stops the run even with
+// samples still scheduled; a final snapshot at the stop instant closes
+// the series.
 func (c *Cluster) SampleSeries(trace workload.Trace, interval, horizon time.Duration) ([]Snapshot, metrics.Summary, error) {
 	if err := c.ScheduleTrace(trace); err != nil {
 		return nil, metrics.Summary{}, err
 	}
 	var series []Snapshot
-	for c.Eng.Now() < horizon {
-		next := c.Eng.Now() + interval
-		if next > horizon {
-			next = horizon
-		}
-		c.Eng.RunUntil(next)
+	tk := c.Eng.EveryBackground(interval, func() {
 		series = append(series, c.TakeSnapshot())
-		if c.toSubmit == 0 && c.unfinished == 0 && c.SwitchingCount() == 0 {
-			break
-		}
-	}
-	if c.Mgr != nil {
-		c.Mgr.Stop()
+	})
+	driver.Drain(c.Eng, horizon, c)
+	tk.Stop()
+	if len(series) == 0 || series[len(series)-1].At != c.Eng.Now() {
+		series = append(series, c.TakeSnapshot())
 	}
 	return series, c.Summary(), nil
 }

@@ -7,28 +7,58 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/controller"
+	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/osid"
 	"repro/internal/workload"
 )
 
-// Scenario is one configured run: a cluster organisation plus a job
-// trace.
+// Topology describes the fabric a scenario runs on. With no members
+// it is a single cluster (Scenario.Cluster, the classic path); with
+// members the run assembles a campus grid on one shared clock and the
+// trace flows through the routing policy.
+type Topology struct {
+	// Routing selects the campus router's placement policy.
+	Routing grid.RoutingPolicy
+	// Members configures the grid's clusters; empty means single.
+	Members []grid.MemberSpec
+}
+
+// IsGrid reports whether the topology is a multi-cluster fabric.
+func (t Topology) IsGrid() bool { return len(t.Members) > 0 }
+
+// Scenario is one configured run: a cluster organisation (or a grid
+// of them) plus a job trace.
 type Scenario struct {
 	Name    string
 	Cluster cluster.Config
 	Trace   workload.Trace
 	// Horizon bounds virtual time (default: trace span + 48h).
 	Horizon time.Duration
-	// SampleInterval, when positive, records a node-count time series.
+	// SampleInterval, when positive, records a node-count time series
+	// (single-cluster topologies only).
 	SampleInterval time.Duration
+	// Topology, when it has members, runs the trace across a campus
+	// grid instead of Scenario.Cluster.
+	Topology Topology
 }
 
-// Result is a completed scenario.
+// MemberResult is one grid member's share of a topology run.
+type MemberResult struct {
+	Name        string
+	Mode        cluster.Mode
+	Routed      int // jobs the campus router placed here
+	BrokenNodes int
+	Summary     metrics.Summary
+}
+
+// Result is a completed scenario. For grid topologies Summary is the
+// fabric-wide aggregate and Members holds the per-member digests.
 type Result struct {
 	Name           string
 	Mode           cluster.Mode
@@ -39,6 +69,12 @@ type Result struct {
 	BrokenNodes    int
 	Events         []cluster.Event
 	AppStats       []metrics.AppStat
+	// Members carries per-member summaries for grid topologies.
+	Members []MemberResult
+	// Dropped counts jobs no grid member could serve.
+	Dropped int
+	// EventsRun is the engine's callback count — the run's wakeups.
+	EventsRun uint64
 }
 
 // Run executes a scenario from time zero.
@@ -49,6 +85,9 @@ func Run(sc Scenario) (Result, error) {
 	horizon := sc.Horizon
 	if horizon <= 0 {
 		horizon = sc.Trace.Span() + 48*time.Hour
+	}
+	if sc.Topology.IsGrid() {
+		return runGrid(sc, horizon)
 	}
 	c, err := cluster.New(sc.Cluster)
 	if err != nil {
@@ -73,9 +112,51 @@ func Run(sc Scenario) (Result, error) {
 	res.BrokenNodes = c.BrokenCount()
 	res.Events = c.Events()
 	res.AppStats = c.Rec.AppStats()
+	res.EventsRun = c.Eng.EventsRun()
 	if c.Mgr != nil {
 		res.Controller = c.Mgr.Stats()
 	}
+	return res, nil
+}
+
+// runGrid executes a scenario across a campus fabric: every member on
+// one clock, the trace flowing through the routing policy, the whole
+// grid drained by the shared quiescence driver.
+func runGrid(sc Scenario, horizon time.Duration) (Result, error) {
+	if sc.SampleInterval > 0 {
+		return Result{}, fmt.Errorf("core: time-series sampling is not supported on grid topologies")
+	}
+	g, err := grid.New(sc.Topology.Routing, sc.Topology.Members)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := g.ScheduleTrace(sc.Trace); err != nil {
+		return Result{}, err
+	}
+	g.RunUntilDrained(horizon)
+
+	res := Result{Name: sc.Name, Mode: sc.Cluster.Mode, Dropped: g.Dropped()}
+	routed := g.RoutedCounts()
+	var sums []metrics.Summary
+	for _, m := range g.Members() {
+		s := m.Cluster.Summary()
+		sums = append(sums, s)
+		res.Members = append(res.Members, MemberResult{
+			Name:        m.Name,
+			Mode:        m.Cluster.Config().Mode,
+			Routed:      routed[m.Name],
+			BrokenNodes: m.Cluster.BrokenCount(),
+			Summary:     s,
+		})
+		res.ControlActions += m.Cluster.ControlActions()
+		res.BrokenNodes += m.Cluster.BrokenCount()
+		for _, e := range m.Cluster.Events() {
+			res.Events = append(res.Events, cluster.Event{At: e.At, What: m.Name + ": " + e.What})
+		}
+	}
+	sort.SliceStable(res.Events, func(i, j int) bool { return res.Events[i].At < res.Events[j].At })
+	res.Summary = metrics.Aggregate(sums)
+	res.EventsRun = g.Eng.EventsRun()
 	return res, nil
 }
 

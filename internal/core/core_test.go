@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/grid"
 	"repro/internal/osid"
 	"repro/internal/workload"
 )
@@ -101,5 +102,76 @@ func TestResultRowShape(t *testing.T) {
 	}
 	if !strings.HasSuffix(row[len(row)-1], "/2") {
 		t.Fatalf("completion cell = %q", row[len(row)-1])
+	}
+}
+
+// A scenario with a grid topology runs every member on one clock,
+// routes the trace, and reports per-member summaries plus the fabric
+// aggregate.
+func TestRunGridTopology(t *testing.T) {
+	sc := Scenario{
+		Name:    "campus",
+		Cluster: cluster.Config{Mode: cluster.HybridV2},
+		Trace:   smallTrace(),
+		Horizon: 24 * time.Hour,
+		Topology: Topology{
+			Routing: grid.RouteLeastLoaded,
+			Members: []grid.MemberSpec{
+				{Name: "eridani", Config: cluster.Config{Mode: cluster.HybridV2, Nodes: 4, InitialLinux: 2, Cycle: 5 * time.Minute}},
+				{Name: "tauceti", Config: cluster.Config{Mode: cluster.Static, Nodes: 4, InitialLinux: 4}},
+			},
+		},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Members) != 2 {
+		t.Fatalf("members = %d", len(res.Members))
+	}
+	if res.Members[0].Name != "eridani" || res.Members[1].Name != "tauceti" {
+		t.Fatalf("member order = %v, %v", res.Members[0].Name, res.Members[1].Name)
+	}
+	s := res.Summary
+	if s.JobsCompleted[osid.Linux]+s.JobsCompleted[osid.Windows] != len(sc.Trace) {
+		t.Fatalf("aggregate completed = %v", s.JobsCompleted)
+	}
+	if s.TotalCores != 32 { // 2 members × 4 nodes × 4 cores
+		t.Fatalf("aggregate cores = %d", s.TotalCores)
+	}
+	var routedTotal int
+	var memberDone int
+	for _, m := range res.Members {
+		routedTotal += m.Routed
+		memberDone += m.Summary.JobsCompleted[osid.Linux] + m.Summary.JobsCompleted[osid.Windows]
+	}
+	if routedTotal != len(sc.Trace) || res.Dropped != 0 {
+		t.Fatalf("routed = %d, dropped = %d", routedTotal, res.Dropped)
+	}
+	if memberDone != len(sc.Trace) {
+		t.Fatalf("member completions = %d", memberDone)
+	}
+	if res.EventsRun == 0 {
+		t.Fatal("EventsRun not recorded")
+	}
+	for _, e := range res.Events {
+		if !strings.Contains(e.What, ": ") {
+			t.Fatalf("merged event missing member prefix: %+v", e)
+		}
+	}
+}
+
+// Sampling is a single-cluster feature; a grid topology rejects it
+// explicitly rather than silently dropping the series.
+func TestRunGridTopologyRejectsSampling(t *testing.T) {
+	_, err := Run(Scenario{
+		Trace:          smallTrace(),
+		SampleInterval: time.Hour,
+		Topology: Topology{Members: []grid.MemberSpec{
+			{Name: "a", Config: cluster.Config{Mode: cluster.Static, Nodes: 4, InitialLinux: 2}},
+		}},
+	})
+	if err == nil {
+		t.Fatal("sampling on a grid topology accepted")
 	}
 }

@@ -1,0 +1,41 @@
+// Package driver advances a simulation to quiescence. It is the one
+// run loop behind every drain in the repository: the cluster and the
+// campus grid both implement Workload, and the driver hops the shared
+// engine event-to-event until the workload reports no outstanding
+// work or the horizon passes. Replacing the former fixed-step polling
+// loops, it wakes only when an event is actually due and stops at the
+// exact quiescence instant — no 10-minute overshoot inflating elapsed
+// time, no per-step predicate polling while the fabric idles.
+package driver
+
+import (
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Workload is a simulation that knows whether it still has work
+// outstanding. Implementations must answer Busy from state that only
+// changes inside engine callbacks, so the answer is stable between
+// events.
+type Workload interface {
+	// Busy reports outstanding work: pending submissions, unfinished
+	// jobs, switches in flight.
+	Busy() bool
+	// Quiesce is called once after the run stops — the hook for
+	// shutting down controllers and detaching bus endpoints.
+	Quiesce()
+}
+
+// Drain runs the engine until the workload quiesces or the horizon is
+// reached, then quiesces the workload. A non-positive horizon means
+// effectively unbounded. A workload that wedges (Busy forever, with
+// nothing scheduled that can unwedge it) rides the clock to the
+// horizon and returns; it can never hang the caller.
+func Drain(eng *simtime.Engine, horizon time.Duration, w Workload) {
+	if horizon <= 0 {
+		horizon = simtime.MaxDuration / 2
+	}
+	eng.RunWhile(horizon, w.Busy)
+	w.Quiesce()
+}

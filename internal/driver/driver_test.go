@@ -1,0 +1,55 @@
+package driver
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// fakeWorkload counts down outstanding work as its events fire.
+type fakeWorkload struct {
+	outstanding int
+	quiesced    int
+}
+
+func (w *fakeWorkload) Busy() bool { return w.outstanding > 0 }
+func (w *fakeWorkload) Quiesce()   { w.quiesced++ }
+
+func TestDrainStopsAtQuiescence(t *testing.T) {
+	eng := simtime.NewEngine()
+	w := &fakeWorkload{outstanding: 2}
+	eng.After(10*time.Minute, func() { w.outstanding-- })
+	eng.After(45*time.Minute, func() { w.outstanding-- })
+	tk := eng.EveryBackground(time.Minute, func() {})
+	defer tk.Stop()
+	Drain(eng, 24*time.Hour, w)
+	if w.quiesced != 1 {
+		t.Fatalf("Quiesce called %d times", w.quiesced)
+	}
+	if eng.Now() != 45*time.Minute {
+		t.Fatalf("stopped at %v, want exactly 45m", eng.Now())
+	}
+}
+
+func TestDrainRidesWedgedWorkloadToHorizon(t *testing.T) {
+	eng := simtime.NewEngine()
+	w := &fakeWorkload{outstanding: 1} // nothing scheduled can clear it
+	Drain(eng, 3*time.Hour, w)
+	if eng.Now() != 3*time.Hour {
+		t.Fatalf("wedged drain ended at %v", eng.Now())
+	}
+	if w.quiesced != 1 {
+		t.Fatal("Quiesce not called on a wedged drain")
+	}
+}
+
+func TestDrainNonPositiveHorizonIsUnbounded(t *testing.T) {
+	eng := simtime.NewEngine()
+	w := &fakeWorkload{outstanding: 1}
+	eng.After(100*24*time.Hour, func() { w.outstanding-- })
+	Drain(eng, 0, w)
+	if eng.Now() != 100*24*time.Hour {
+		t.Fatalf("unbounded drain ended at %v", eng.Now())
+	}
+}

@@ -43,9 +43,10 @@ func E1TableI() (Table, error) {
 		return Table{}, err
 	}
 	t := Table{
-		ID:     "E1",
-		Title:  "Table I application catalog placement",
-		Header: []string{"application", "platform", "side-run", "completed"},
+		ID:        "E1",
+		Title:     "Table I application catalog placement",
+		Header:    []string{"application", "platform", "side-run", "completed"},
+		EventsRun: res.EventsRun,
 		Notes: fmt.Sprintf("%d/%d catalog applications completed on the hybrid",
 			res.Summary.JobsCompleted[osid.Linux]+res.Summary.JobsCompleted[osid.Windows], len(workload.Catalog)),
 	}
@@ -112,9 +113,10 @@ func E3SwitchJob() (Table, error) {
 		return Table{}, fmt.Errorf("no switch recorded")
 	}
 	return Table{
-		ID:     "E3",
-		Title:  "Figure 4 PBS OS-switch batch job",
-		Header: []string{"property", "value"},
+		ID:        "E3",
+		Title:     "Figure 4 PBS OS-switch batch job",
+		Header:    []string{"property", "value"},
+		EventsRun: c.Eng.EventsRun(),
 		Rows: [][]string{
 			{"request", fmt.Sprintf("nodes=%d:ppn=%d", parsed.Request.Nodes, parsed.Request.PPN)},
 			{"job name", parsed.Request.Name},
@@ -166,6 +168,7 @@ func E4DetectorWire() (Table, error) {
 	if err := record("queue stuck"); err != nil {
 		return t, err
 	}
+	t.EventsRun = eng.EventsRun()
 	return t, nil
 }
 
@@ -208,9 +211,10 @@ func E5PBSText() (Table, error) {
 		}
 	}
 	return Table{
-		ID:     "E5",
-		Title:  "Figures 7–8 qstat -f / pbsnodes text round-trip",
-		Header: []string{"artifact", "records", "detail"},
+		ID:        "E5",
+		Title:     "Figures 7–8 qstat -f / pbsnodes text round-trip",
+		Header:    []string{"artifact", "records", "detail"},
+		EventsRun: eng.EventsRun(),
 		Rows: [][]string{
 			{"qstat -f", fmt.Sprintf("%d jobs", len(jobs)), fmt.Sprintf("R=%d Q=%d", running, queued)},
 			{"pbsnodes", fmt.Sprintf("%d nodes", len(nodes)), fmt.Sprintf("free=%d job-exclusive=%d", free, excl)},

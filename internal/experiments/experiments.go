@@ -18,6 +18,11 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  string // expected shape, caveats, substitutions
+	// EventsRun totals the simulation wakeups (engine callbacks)
+	// behind the table — zero for pure-artifact experiments. The
+	// cmd/benchtab BENCH_sim.json perf record tracks it per
+	// experiment.
+	EventsRun uint64
 }
 
 // Render formats the experiment for terminal output.
@@ -53,6 +58,7 @@ func All() []Runner {
 		{"E11", E11MatlabGA},
 		{"E12", E12MixSweep},
 		{"E13", E13SweepModes},
+		{"E14", E14RoutingPolicies},
 		{"A1", A1CycleInterval},
 		{"A2", A2Policies},
 		{"A3", A3SwitchCost},

@@ -7,11 +7,21 @@ import (
 	"repro/internal/bootmgr"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/osid"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
+
+// sumEvents totals the wakeups of a sweep outcome for Table.EventsRun.
+func sumEvents(out *sweep.Outcome) uint64 {
+	var n uint64
+	for _, r := range out.Results {
+		n += r.Res.EventsRun
+	}
+	return n
+}
 
 // wideBurst is the canonical stuck-queue scenario: one wide Windows
 // job against an all-Linux cluster.
@@ -60,6 +70,7 @@ func E8ControlLoop() (Table, error) {
 		if err != nil {
 			return t, err
 		}
+		t.EventsRun += res.EventsRun
 		t.Rows = append(t.Rows, []string{
 			v.name,
 			fmt.Sprintf("%d", res.Summary.Switches),
@@ -92,6 +103,7 @@ func E9SwitchLatency() (Table, error) {
 			c.Eng.RunFor(time.Hour)
 			target = target.Other()
 		}
+		t.EventsRun += c.Eng.EventsRun()
 		byDir := map[osid.OS][]time.Duration{}
 		for _, sw := range c.Rec.Switches() {
 			if sw.OK {
@@ -139,6 +151,7 @@ func E10BiVsMono() (Table, error) {
 		return t, err
 	}
 	for _, r := range results {
+		t.EventsRun += r.EventsRun
 		t.Rows = append(t.Rows, core.ResultRow(r))
 	}
 	return t, nil
@@ -158,9 +171,10 @@ func E11MatlabGA() (Table, error) {
 		return Table{}, err
 	}
 	t := Table{
-		ID:     "E11",
-		Title:  "Eridani case study: MATLAB MDCS GA burst (§IV-B)",
-		Header: []string{"t", "linux-nodes", "win-nodes", "switching", "linQ", "winQ"},
+		ID:        "E11",
+		EventsRun: res.EventsRun,
+		Title:     "Eridani case study: MATLAB MDCS GA burst (§IV-B)",
+		Header:    []string{"t", "linux-nodes", "win-nodes", "switching", "linQ", "winQ"},
 		Notes: fmt.Sprintf("GA jobs completed: %d/10; mean Windows wait %s; switches %d",
 			res.Summary.JobsCompleted[osid.Windows],
 			metrics.Dur(res.Summary.MeanWait[osid.Windows]),
@@ -208,6 +222,7 @@ func E12MixSweep() (Table, error) {
 	if err != nil {
 		return t, err
 	}
+	t.EventsRun = sumEvents(out)
 	for i, frac := range fracs {
 		row, err := hybridVsStaticRow(out, g.Traces[i].Name, frac)
 		if err != nil {
@@ -273,9 +288,10 @@ func E13SweepModes() (Table, error) {
 		return Table{}, err
 	}
 	t := Table{
-		ID:     "E13",
-		Title:  "sweep: cluster mode vs offered load, ranked by utilisation",
-		Header: sweep.Header(),
+		ID:        "E13",
+		Title:     "sweep: cluster mode vs offered load, ranked by utilisation",
+		Header:    sweep.Header(),
+		EventsRun: sumEvents(out),
 		Notes: fmt.Sprintf("%s; deterministic per-cell seeds, identical table for any worker count",
 			g.Describe()),
 	}
@@ -309,6 +325,7 @@ func A1CycleInterval() (Table, error) {
 		if err != nil {
 			return t, err
 		}
+		t.EventsRun += res.EventsRun
 		t.Rows = append(t.Rows, []string{
 			cycle.String(),
 			metrics.Dur(res.Summary.MeanWait[osid.Windows]),
@@ -345,6 +362,7 @@ func A2Policies() (Table, error) {
 	if err != nil {
 		return t, err
 	}
+	t.EventsRun = sumEvents(out)
 	for _, r := range out.Results {
 		if r.Err != nil {
 			return t, r.Err
@@ -383,12 +401,74 @@ func A3SwitchCost() (Table, error) {
 			return t, err
 		}
 		h, s := results[0].Summary, results[1].Summary
+		t.EventsRun += results[0].EventsRun + results[1].EventsRun
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("x%.1f", scale),
 			metrics.Dur(h.MeanSwitch),
 			metrics.Pct(h.Utilisation),
 			metrics.Pct(s.Utilisation),
 			metrics.Pct(h.SwitchOverhead),
+		})
+	}
+	return t, nil
+}
+
+// E14RoutingPolicies ranks the campus router's placement policies on
+// the Queensgate-like fabric: a flexible member (the cell's mode)
+// between a Linux-only and a Windows-only static, all on one clock.
+// The mode axis flips the flexible member between hybrid-v2 and
+// static, so the table also shows whether a hybrid in the fabric pays
+// for itself under each routing rule.
+func E14RoutingPolicies() (Table, error) {
+	t := Table{
+		ID:     "E14",
+		Title:  "campus-grid routing policies across the QGG fabric",
+		Header: []string{"fabric-member", "routing", "util", "wait(L)", "wait(W)", "switches", "dropped", "done/subm"},
+		Notes:  "campus topology: flexible member + linux-only static + windows-only static, 16 nodes each; when the router lands a 10-node lead job on the flexible member its 8-node half wedges and dualboot shifts nodes across (switches, nothing dropped), while hybrid-last keeps wide work on the 16-node statics and avoids the churn entirely",
+	}
+	campus, ok := sweep.TopologyByName("campus")
+	if !ok {
+		return t, fmt.Errorf("experiments: campus topology preset missing")
+	}
+	g := sweep.Grid{
+		Modes:      []cluster.Mode{cluster.HybridV2, cluster.Static},
+		Topologies: []sweep.TopologySpec{campus},
+		Routings: []grid.RoutingPolicy{
+			grid.RouteLeastLoaded, grid.RouteRoundRobin, grid.RouteHybridLast,
+		},
+		// The phased wide-job mix: each phase leads with a 10-node job
+		// that wedges the flexible member's 8-node half whenever the
+		// router places it there, so the paper's stuck-only FCFS
+		// actually fires and the hybrid fabric separates from the
+		// all-static one.
+		Traces: []sweep.TraceSpec{{
+			Kind: sweep.TracePhased, WindowsFrac: 0.5,
+		}},
+		BaseSeed: 17,
+		Cycle:    5 * time.Minute,
+		Horizon:  200 * time.Hour,
+	}
+	out, err := sweep.Run(sweep.Config{Grid: g})
+	if err != nil {
+		return t, err
+	}
+	t.EventsRun = sumEvents(out)
+	for _, r := range out.Results {
+		if r.Err != nil {
+			return t, r.Err
+		}
+		s := r.Res.Summary
+		done := s.JobsCompleted[osid.Linux] + s.JobsCompleted[osid.Windows]
+		subm := s.JobsSubmitted[osid.Linux] + s.JobsSubmitted[osid.Windows]
+		t.Rows = append(t.Rows, []string{
+			r.Cell.Mode.String(),
+			r.Cell.Routing.String(),
+			metrics.Pct(s.Utilisation),
+			metrics.Dur(s.MeanWait[osid.Linux]),
+			metrics.Dur(s.MeanWait[osid.Windows]),
+			fmt.Sprintf("%d", s.Switches),
+			fmt.Sprintf("%d", r.Res.Dropped),
+			fmt.Sprintf("%d/%d", done, subm),
 		})
 	}
 	return t, nil

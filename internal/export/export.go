@@ -103,6 +103,8 @@ type SweepRow struct {
 	Nodes              int     `json:"nodes"`
 	Trace              string  `json:"trace"`
 	FailureRate        float64 `json:"failure_rate"`
+	Topology           string  `json:"topology"`
+	Routing            string  `json:"routing,omitempty"` // empty for single-cluster cells
 	Seed               int64   `json:"seed"`
 	Utilisation        float64 `json:"utilisation"`
 	MeanWaitLinuxSec   float64 `json:"mean_wait_linux_sec"`
@@ -112,7 +114,9 @@ type SweepRow struct {
 	MeanSwitchSec      float64 `json:"mean_switch_sec"`
 	JobsSubmitted      int     `json:"jobs_submitted"`
 	JobsCompleted      int     `json:"jobs_completed"`
+	SubmitFailures     int     `json:"submit_failures"`
 	BrokenNodes        int     `json:"broken_nodes"`
+	Dropped            int     `json:"dropped"` // grid jobs no member could serve
 	MakespanSec        float64 `json:"makespan_sec"`
 	Err                string  `json:"err,omitempty"`
 }
@@ -122,10 +126,12 @@ type SweepRow struct {
 // formatting — so two identical sweeps serialise byte-identically.
 func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 	cw := csv.NewWriter(w)
-	header := []string{"cell", "mode", "policy", "nodes", "trace", "failure_rate", "seed",
+	header := []string{"cell", "mode", "policy", "nodes", "trace", "failure_rate",
+		"topology", "routing", "seed",
 		"utilisation", "mean_wait_linux_sec", "mean_wait_windows_sec",
 		"switches", "switches_ok", "mean_switch_sec",
-		"jobs_submitted", "jobs_completed", "broken_nodes", "makespan_sec", "err"}
+		"jobs_submitted", "jobs_completed", "submit_failures", "broken_nodes",
+		"dropped", "makespan_sec", "err"}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("export: %w", err)
 	}
@@ -135,6 +141,7 @@ func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 			fmt.Sprintf("%d", r.Nodes),
 			r.Trace,
 			fmt.Sprintf("%g", r.FailureRate),
+			r.Topology, r.Routing,
 			fmt.Sprintf("%d", r.Seed),
 			fmt.Sprintf("%.6f", r.Utilisation),
 			fmt.Sprintf("%.0f", r.MeanWaitLinuxSec),
@@ -144,7 +151,9 @@ func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 			fmt.Sprintf("%.0f", r.MeanSwitchSec),
 			fmt.Sprintf("%d", r.JobsSubmitted),
 			fmt.Sprintf("%d", r.JobsCompleted),
+			fmt.Sprintf("%d", r.SubmitFailures),
 			fmt.Sprintf("%d", r.BrokenNodes),
+			fmt.Sprintf("%d", r.Dropped),
 			fmt.Sprintf("%.0f", r.MakespanSec),
 			r.Err,
 		}

@@ -110,13 +110,13 @@ func TestWriteSweepCSV(t *testing.T) {
 	if len(records) != 3 {
 		t.Fatalf("rows = %d", len(records))
 	}
-	if records[0][0] != "cell" || records[0][5] != "failure_rate" {
+	if records[0][0] != "cell" || records[0][5] != "failure_rate" || records[0][6] != "topology" || records[0][7] != "routing" {
 		t.Fatalf("header = %v", records[0])
 	}
-	if records[1][7] != "0.425100" { // fixed-width float formatting
-		t.Fatalf("utilisation cell = %q", records[1][7])
+	if records[1][9] != "0.425100" { // fixed-width float formatting
+		t.Fatalf("utilisation cell = %q", records[1][9])
 	}
-	if records[2][5] != "0.1" || records[2][17] != "boom" {
+	if records[2][5] != "0.1" || records[2][21] != "boom" {
 		t.Fatalf("failed-cell row = %v", records[2])
 	}
 

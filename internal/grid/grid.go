@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/driver"
 	"repro/internal/metrics"
 	"repro/internal/osid"
 	"repro/internal/simtime"
@@ -41,6 +42,17 @@ func (p RoutingPolicy) String() string {
 	default:
 		return "least-loaded"
 	}
+}
+
+// ParsePolicy resolves a routing policy by its String name; the qsim
+// CLI and the sweep grid-spec parser share this registry.
+func ParsePolicy(name string) (RoutingPolicy, error) {
+	for _, p := range []RoutingPolicy{RouteLeastLoaded, RouteRoundRobin, RouteHybridLast} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("grid: unknown routing policy %q", name)
 }
 
 // Member is one cluster on the grid.
@@ -81,13 +93,18 @@ func (m *Member) pendingPerCore(os osid.OS) float64 {
 	return float64(side.QueuedCPUs+side.RunningJobs) / float64(cores)
 }
 
-// Grid is the campus fabric.
+// Grid is the campus fabric. Routing is deterministic by
+// construction: members keep their spec order in g.members, every
+// candidate set preserves that order, and all tie-breaks resolve to
+// the earliest member — so grid cells honour the sweep's
+// bit-identical-output contract.
 type Grid struct {
 	Eng       *simtime.Engine
 	members   []*Member
 	policy    RoutingPolicy
 	rrNext    int
 	routed    map[string]int // jobs per member
+	completed map[string]int // jobs finished per member (via cluster hooks)
 	dropped   int
 	scheduled int // grid-level submissions not yet routed
 }
@@ -98,12 +115,18 @@ type MemberSpec struct {
 	Config cluster.Config
 }
 
-// New assembles a grid; all members share the grid's engine.
+// New assembles a grid; all members share the grid's engine. Member
+// order follows the spec order and is the routing tie-break order.
 func New(policy RoutingPolicy, specs []MemberSpec) (*Grid, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("grid: no members")
 	}
-	g := &Grid{Eng: simtime.NewEngine(), policy: policy, routed: map[string]int{}}
+	g := &Grid{
+		Eng:       simtime.NewEngine(),
+		policy:    policy,
+		routed:    map[string]int{},
+		completed: map[string]int{},
+	}
 	seen := map[string]bool{}
 	for _, spec := range specs {
 		if spec.Name == "" {
@@ -120,6 +143,15 @@ func New(policy RoutingPolicy, specs []MemberSpec) (*Grid, error) {
 		if err != nil {
 			return nil, fmt.Errorf("grid: member %s: %w", spec.Name, err)
 		}
+		name := spec.Name
+		// Completion observer instead of polling: the member tells the
+		// grid when a routed job leaves the system. Walltime kills and
+		// failures report completed=false and are not counted.
+		c.AddHooks(cluster.Hooks{JobCompleted: func(_ string, completed bool) {
+			if completed {
+				g.completed[name]++
+			}
+		}})
 		g.members = append(g.members, &Member{Name: spec.Name, Cluster: c})
 	}
 	return g, nil
@@ -142,6 +174,16 @@ func (g *Grid) Member(name string) (*Member, bool) {
 func (g *Grid) RoutedCounts() map[string]int {
 	out := make(map[string]int, len(g.routed))
 	for k, v := range g.routed {
+		out[k] = v
+	}
+	return out
+}
+
+// CompletedCounts returns jobs finished per member, maintained by the
+// members' completion hooks rather than by polling their summaries.
+func (g *Grid) CompletedCounts() map[string]int {
+	out := make(map[string]int, len(g.completed))
+	for k, v := range g.completed {
 		out[k] = v
 	}
 	return out
@@ -187,6 +229,11 @@ func (g *Grid) candidatesFor(j workload.Job) []*Member {
 	return out
 }
 
+// pick selects among candidates, which arrive in member (spec) order.
+// Every branch is order-stable: round-robin advances a counter over
+// that order, and the load-based policies break ties toward the
+// earliest member, so repeated runs of the same grid route every job
+// identically.
 func (g *Grid) pick(candidates []*Member, j workload.Job) *Member {
 	switch g.policy {
 	case RouteRoundRobin:
@@ -209,6 +256,10 @@ func (g *Grid) pick(candidates []*Member, j workload.Job) *Member {
 	}
 }
 
+// leastLoaded returns the member with the lowest pending demand per
+// core. The strict `<` keeps the earliest member on equal load — the
+// explicit deterministic tie-break the sweep's bit-identical contract
+// relies on.
 func leastLoaded(members []*Member, os osid.OS) *Member {
 	best := members[0]
 	bestLoad := best.pendingPerCore(os)
@@ -236,42 +287,33 @@ func (g *Grid) ScheduleTrace(trace workload.Trace) error {
 	return nil
 }
 
-// RunUntilDrained advances the shared clock until every member is
-// quiescent or the horizon passes.
-func (g *Grid) RunUntilDrained(horizon time.Duration) {
-	step := 10 * time.Minute
-	pendingRoutes := func() bool {
-		// Routed submissions are scheduled on the grid's own events;
-		// members only learn of them when they fire.
-		for _, m := range g.members {
-			if m.Cluster.PendingSubmissions() > 0 {
-				return true
-			}
-		}
-		return false
-	}
-	for g.Eng.Now() < horizon {
-		busy := g.scheduled > 0 || pendingRoutes()
-		for _, m := range g.members {
-			if m.Cluster.Unfinished() > 0 || m.Cluster.SwitchingCount() > 0 {
-				busy = true
-				break
-			}
-		}
-		if !busy {
-			break
-		}
-		next := g.Eng.Now() + step
-		if next > horizon {
-			next = horizon
-		}
-		g.Eng.RunUntil(next)
+// Busy implements driver.Workload: grid-level submissions not yet
+// routed, or any member with outstanding work.
+func (g *Grid) Busy() bool {
+	if g.scheduled > 0 {
+		return true
 	}
 	for _, m := range g.members {
-		if m.Cluster.Mgr != nil {
-			m.Cluster.Mgr.Stop()
+		if m.Cluster.Busy() {
+			return true
 		}
 	}
+	return false
+}
+
+// Quiesce implements driver.Workload: stop every member's controller.
+func (g *Grid) Quiesce() {
+	for _, m := range g.members {
+		m.Cluster.Quiesce()
+	}
+}
+
+// RunUntilDrained advances the shared clock on the same quiescence
+// driver the single cluster uses: event-to-event hops across every
+// member, stopping the instant the whole fabric goes quiet or riding
+// to the horizon when a member wedges.
+func (g *Grid) RunUntilDrained(horizon time.Duration) {
+	driver.Drain(g.Eng, horizon, g)
 }
 
 // Report summarises every member.

@@ -55,11 +55,12 @@ type Recorder struct {
 	upNodeNS   map[osid.OS]float64 // ∫ nodes-up dt
 	switchNS   float64             // ∫ nodes-switching dt
 
-	jobs       map[string]*JobRecord
-	order      []string
-	switches   []SwitchRecord
-	inFlight   map[string]*SwitchRecord
-	seenSwitch int
+	jobs        map[string]*JobRecord
+	order       []string
+	switches    []SwitchRecord
+	inFlight    map[string]*SwitchRecord
+	seenSwitch  int
+	submitFails int
 }
 
 // NewRecorder creates a recorder over a virtual clock. totalCores is
@@ -135,6 +136,11 @@ func (r *Recorder) JobEnded(id string, completed bool) {
 	}
 }
 
+// SubmitFailed counts a submission the target scheduler rejected. The
+// job never enters the lifecycle records, but the failure must not
+// vanish from the run's books: Summary.SubmitFailures surfaces it.
+func (r *Recorder) SubmitFailed() { r.submitFails++ }
+
 // NodeUp marks a node available on a side.
 func (r *Recorder) NodeUp(os osid.OS) {
 	r.advance()
@@ -178,6 +184,7 @@ func (r *Recorder) SwitchFinished(node string, ok bool) {
 type Summary struct {
 	Elapsed        time.Duration
 	TotalCores     int
+	TotalNodes     int     // SwitchOverhead denominator (Aggregate weights by it)
 	Utilisation    float64 // busy core-time / (total cores × elapsed)
 	UtilisationOS  map[osid.OS]float64
 	MeanWait       map[osid.OS]time.Duration
@@ -190,6 +197,10 @@ type Summary struct {
 	MaxSwitch      time.Duration
 	SwitchOverhead float64 // node-time spent switching / (nodes × elapsed)
 	Makespan       time.Duration
+	// SubmitFailures counts jobs the scheduler rejected at submission
+	// — they never ran, and without this counter a drained run would
+	// hide them entirely.
+	SubmitFailures int
 }
 
 // Summarise integrates to now and digests.
@@ -197,13 +208,15 @@ func (r *Recorder) Summarise(totalNodes int) Summary {
 	r.advance()
 	elapsed := r.last
 	s := Summary{
-		Elapsed:       elapsed,
-		TotalCores:    r.totalCores,
-		UtilisationOS: map[osid.OS]float64{},
-		MeanWait:      map[osid.OS]time.Duration{},
-		MaxWait:       map[osid.OS]time.Duration{},
-		JobsSubmitted: map[osid.OS]int{},
-		JobsCompleted: map[osid.OS]int{},
+		Elapsed:        elapsed,
+		TotalCores:     r.totalCores,
+		TotalNodes:     totalNodes,
+		UtilisationOS:  map[osid.OS]float64{},
+		MeanWait:       map[osid.OS]time.Duration{},
+		MaxWait:        map[osid.OS]time.Duration{},
+		JobsSubmitted:  map[osid.OS]int{},
+		JobsCompleted:  map[osid.OS]int{},
+		SubmitFailures: r.submitFails,
 	}
 	if elapsed <= 0 || r.totalCores <= 0 {
 		return s
@@ -254,6 +267,75 @@ func (r *Recorder) Summarise(totalNodes int) Summary {
 		s.SwitchOverhead = r.switchNS / (float64(totalNodes) * float64(elapsed))
 	}
 	return s
+}
+
+// Aggregate combines the summaries of several clusters sharing one
+// virtual clock — grid members — into a fabric-wide digest.
+// Utilisation is core-weighted (members share the same elapsed time on
+// a common engine, so core-weighting equals busy-time weighting),
+// switch overhead node-weighted (it is a per-node fraction), mean
+// waits are weighted by completed jobs, mean switch time by switch
+// count; maxima take the max, counters sum.
+func Aggregate(parts []Summary) Summary {
+	out := Summary{
+		UtilisationOS: map[osid.OS]float64{},
+		MeanWait:      map[osid.OS]time.Duration{},
+		MaxWait:       map[osid.OS]time.Duration{},
+		JobsSubmitted: map[osid.OS]int{},
+		JobsCompleted: map[osid.OS]int{},
+	}
+	var busyCores, overheadNodes float64
+	busyByOS := map[osid.OS]float64{}
+	waitSums := map[osid.OS]time.Duration{}
+	waitCounts := map[osid.OS]int{}
+	var switchSum time.Duration
+	for _, p := range parts {
+		out.TotalCores += p.TotalCores
+		out.TotalNodes += p.TotalNodes
+		if p.Elapsed > out.Elapsed {
+			out.Elapsed = p.Elapsed
+		}
+		busyCores += p.Utilisation * float64(p.TotalCores)
+		overheadNodes += p.SwitchOverhead * float64(p.TotalNodes)
+		for _, os := range []osid.OS{osid.Linux, osid.Windows} {
+			busyByOS[os] += p.UtilisationOS[os] * float64(p.TotalCores)
+			out.JobsSubmitted[os] += p.JobsSubmitted[os]
+			out.JobsCompleted[os] += p.JobsCompleted[os]
+			waitSums[os] += p.MeanWait[os] * time.Duration(p.JobsCompleted[os])
+			waitCounts[os] += p.JobsCompleted[os]
+			if p.MaxWait[os] > out.MaxWait[os] {
+				out.MaxWait[os] = p.MaxWait[os]
+			}
+		}
+		out.Switches += p.Switches
+		out.SwitchesOK += p.SwitchesOK
+		switchSum += p.MeanSwitch * time.Duration(p.Switches)
+		if p.MaxSwitch > out.MaxSwitch {
+			out.MaxSwitch = p.MaxSwitch
+		}
+		if p.Makespan > out.Makespan {
+			out.Makespan = p.Makespan
+		}
+		out.SubmitFailures += p.SubmitFailures
+	}
+	if out.TotalCores > 0 {
+		out.Utilisation = busyCores / float64(out.TotalCores)
+		for _, os := range []osid.OS{osid.Linux, osid.Windows} {
+			out.UtilisationOS[os] = busyByOS[os] / float64(out.TotalCores)
+		}
+	}
+	if out.TotalNodes > 0 {
+		out.SwitchOverhead = overheadNodes / float64(out.TotalNodes)
+	}
+	for os, n := range waitCounts {
+		if n > 0 {
+			out.MeanWait[os] = waitSums[os] / time.Duration(n)
+		}
+	}
+	if out.Switches > 0 {
+		out.MeanSwitch = switchSum / time.Duration(out.Switches)
+	}
+	return out
 }
 
 // Jobs returns job records in submission order.

@@ -280,3 +280,70 @@ func TestAppStatsEmpty(t *testing.T) {
 		t.Fatalf("stats = %+v", stats)
 	}
 }
+
+func TestAggregateCombinesMemberSummaries(t *testing.T) {
+	a := Summary{
+		Elapsed: 10 * time.Hour, TotalCores: 32, TotalNodes: 8, Utilisation: 0.5, SwitchOverhead: 0.5,
+		UtilisationOS: map[osid.OS]float64{osid.Linux: 0.5},
+		MeanWait:      map[osid.OS]time.Duration{osid.Linux: 10 * time.Minute},
+		MaxWait:       map[osid.OS]time.Duration{osid.Linux: 30 * time.Minute},
+		JobsSubmitted: map[osid.OS]int{osid.Linux: 10},
+		JobsCompleted: map[osid.OS]int{osid.Linux: 10},
+		Switches:      4, SwitchesOK: 4, MeanSwitch: 2 * time.Minute,
+		MaxSwitch: 3 * time.Minute, Makespan: 9 * time.Hour, SubmitFailures: 1,
+	}
+	b := Summary{
+		Elapsed: 10 * time.Hour, TotalCores: 32, TotalNodes: 24, Utilisation: 0.25,
+		UtilisationOS: map[osid.OS]float64{osid.Linux: 0.25},
+		MeanWait:      map[osid.OS]time.Duration{osid.Linux: 20 * time.Minute},
+		MaxWait:       map[osid.OS]time.Duration{osid.Linux: 50 * time.Minute},
+		JobsSubmitted: map[osid.OS]int{osid.Linux: 5},
+		JobsCompleted: map[osid.OS]int{osid.Linux: 5},
+		Switches:      2, SwitchesOK: 1, MeanSwitch: 5 * time.Minute,
+		MaxSwitch: 6 * time.Minute, Makespan: 8 * time.Hour,
+	}
+	s := Aggregate([]Summary{a, b})
+	if s.TotalCores != 64 {
+		t.Fatalf("cores = %d", s.TotalCores)
+	}
+	// Core-weighted: (0.5×32 + 0.25×32)/64 = 0.375.
+	if s.Utilisation != 0.375 {
+		t.Fatalf("utilisation = %v", s.Utilisation)
+	}
+	// Completion-weighted wait: (10m×10 + 20m×5)/15.
+	if want := (10*time.Minute*10 + 20*time.Minute*5) / 15; s.MeanWait[osid.Linux] != want {
+		t.Fatalf("mean wait = %v, want %v", s.MeanWait[osid.Linux], want)
+	}
+	if s.MaxWait[osid.Linux] != 50*time.Minute || s.MaxSwitch != 6*time.Minute {
+		t.Fatalf("maxima = %v / %v", s.MaxWait[osid.Linux], s.MaxSwitch)
+	}
+	if s.Switches != 6 || s.SwitchesOK != 5 {
+		t.Fatalf("switches = %d/%d", s.Switches, s.SwitchesOK)
+	}
+	// Switch-count weighted: (2m×4 + 5m×2)/6 = 3m.
+	if s.MeanSwitch != 3*time.Minute {
+		t.Fatalf("mean switch = %v", s.MeanSwitch)
+	}
+	if s.JobsCompleted[osid.Linux] != 15 || s.SubmitFailures != 1 {
+		t.Fatalf("jobs = %v, submit failures = %d", s.JobsCompleted, s.SubmitFailures)
+	}
+	if s.Makespan != 9*time.Hour || s.Elapsed != 10*time.Hour {
+		t.Fatalf("makespan %v elapsed %v", s.Makespan, s.Elapsed)
+	}
+	// SwitchOverhead is a per-node fraction: node-weighted, not
+	// core-weighted. (0.5×8 + 0×24)/32 = 0.125.
+	if s.TotalNodes != 32 || s.SwitchOverhead != 0.125 {
+		t.Fatalf("nodes = %d, overhead = %v", s.TotalNodes, s.SwitchOverhead)
+	}
+}
+
+func TestSubmitFailedCountsIntoSummary(t *testing.T) {
+	now := time.Duration(0)
+	r := NewRecorder(func() time.Duration { return now }, 4)
+	r.SubmitFailed()
+	r.SubmitFailed()
+	now = time.Hour
+	if got := r.Summarise(1).SubmitFailures; got != 2 {
+		t.Fatalf("SubmitFailures = %d", got)
+	}
+}

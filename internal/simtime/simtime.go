@@ -18,13 +18,18 @@ import (
 )
 
 // Event is a scheduled callback. The callback runs with the engine's
-// clock set to exactly the event's due time.
+// clock set to exactly the event's due time. Background events (ticker
+// maintenance such as controller polling or series sampling) fire like
+// any other event but do not count as outstanding work: quiescence
+// detection ignores them.
 type event struct {
-	due  time.Duration
-	seq  uint64
-	fn   func()
-	dead bool
-	idx  int
+	due        time.Duration
+	seq        uint64
+	fn         func()
+	dead       bool
+	background bool
+	idx        int
+	eng        *Engine
 }
 
 // Timer is a handle to a scheduled event that can be cancelled.
@@ -41,6 +46,9 @@ func (t *Timer) Stop() bool {
 	}
 	t.ev.dead = true
 	t.ev.fn = nil
+	if !t.ev.background && t.ev.eng != nil {
+		t.ev.eng.foreground--
+	}
 	return true
 }
 
@@ -78,11 +86,12 @@ func (q *eventQueue) Pop() any {
 // callbacks, mirroring the single-box deployment of the paper's
 // daemons.
 type Engine struct {
-	now     time.Duration
-	seq     uint64
-	queue   eventQueue
-	stopped bool
-	ran     uint64
+	now        time.Duration
+	seq        uint64
+	queue      eventQueue
+	stopped    bool
+	ran        uint64
+	foreground int // live non-background events still queued
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -105,14 +114,28 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // (t < Now) panics: it indicates a logic error in the caller, and
 // silently reordering time would destroy determinism.
 func (e *Engine) At(t time.Duration, fn func()) *Timer {
+	return e.at(t, fn, false)
+}
+
+// AtBackground schedules fn at absolute time t as a background event:
+// it fires like any other event but does not count as outstanding
+// work, so it never keeps a quiescence-aware run alive on its own.
+func (e *Engine) AtBackground(t time.Duration, fn func()) *Timer {
+	return e.at(t, fn, true)
+}
+
+func (e *Engine) at(t time.Duration, fn func(), background bool) *Timer {
 	if fn == nil {
 		panic("simtime: nil callback")
 	}
 	if t < e.now {
 		panic(fmt.Sprintf("simtime: scheduling at %v before now %v", t, e.now))
 	}
-	ev := &event{due: t, seq: e.seq, fn: fn}
+	ev := &event{due: t, seq: e.seq, fn: fn, background: background, eng: e}
 	e.seq++
+	if !background {
+		e.foreground++
+	}
 	heap.Push(&e.queue, ev)
 	return &Timer{ev: ev}
 }
@@ -124,6 +147,14 @@ func (e *Engine) After(d time.Duration, fn func()) *Timer {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
+}
+
+// AfterBackground schedules a background event d from now.
+func (e *Engine) AfterBackground(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtBackground(e.now+d, fn)
 }
 
 // Every schedules fn every interval, first firing one interval from
@@ -146,13 +177,25 @@ func (t *Ticker) Stop() {
 // Every arranges for fn to run every interval of virtual time. The
 // interval must be positive.
 func (e *Engine) Every(interval time.Duration, fn func()) *Ticker {
+	return e.every(interval, fn, false)
+}
+
+// EveryBackground is Every with the ticks classified as background
+// events: a periodic maintenance task (controller polling, series
+// sampling) that must never keep a quiescence-aware run alive by
+// itself. RunUntilQuiescent and ForegroundPending ignore such ticks.
+func (e *Engine) EveryBackground(interval time.Duration, fn func()) *Ticker {
+	return e.every(interval, fn, true)
+}
+
+func (e *Engine) every(interval time.Duration, fn func(), background bool) *Ticker {
 	if interval <= 0 {
 		panic("simtime: non-positive ticker interval")
 	}
 	tk := &Ticker{}
 	var schedule func()
 	schedule = func() {
-		tk.timer = e.After(interval, func() {
+		tick := func() {
 			if tk.stopped {
 				return
 			}
@@ -160,7 +203,12 @@ func (e *Engine) Every(interval time.Duration, fn func()) *Ticker {
 			if !tk.stopped {
 				schedule()
 			}
-		})
+		}
+		if background {
+			tk.timer = e.AfterBackground(interval, tick)
+		} else {
+			tk.timer = e.After(interval, tick)
+		}
 	}
 	schedule()
 	return tk
@@ -184,6 +232,9 @@ func (e *Engine) step() bool {
 		fn := ev.fn
 		ev.dead = true
 		ev.fn = nil
+		if !ev.background {
+			e.foreground--
+		}
 		e.ran++
 		fn()
 		return true
@@ -220,6 +271,47 @@ func (e *Engine) RunFor(d time.Duration) {
 		panic("simtime: negative RunFor duration")
 	}
 	e.RunUntil(e.now + d)
+}
+
+// ForegroundPending returns the number of live non-background events
+// still queued — the engine's own notion of outstanding work.
+func (e *Engine) ForegroundPending() int { return e.foreground }
+
+// RunWhile hops event-to-event while active() reports outstanding
+// work, checking the predicate after every callback so the run stops
+// at the exact instant of quiescence instead of overshooting to a
+// polling boundary. When work persists but no event at or before the
+// deadline can advance it (a wedged component, or an empty queue), the
+// clock rides to the deadline and the run returns — the caller's
+// horizon, not an iteration count, bounds a stuck simulation.
+func (e *Engine) RunWhile(deadline time.Duration, active func() bool) {
+	e.stopped = false
+	for !e.stopped && active() {
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			if e.now < deadline {
+				e.now = deadline
+			}
+			return
+		}
+		e.step()
+	}
+}
+
+// RunUntilQuiescent executes events until no live foreground events
+// remain at or before the deadline: background tickers alone never
+// keep the run alive. Unlike RunWhile it needs no predicate — the
+// event queue itself is the work ledger. The clock is left at the last
+// executed event (it does not jump to the deadline).
+func (e *Engine) RunUntilQuiescent(deadline time.Duration) {
+	e.stopped = false
+	for !e.stopped && e.foreground > 0 {
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			return
+		}
+		e.step()
+	}
 }
 
 // peek returns the due time of the next live event.

@@ -304,3 +304,106 @@ func TestQuickRunUntilBoundary(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBackgroundEventsDoNotCountAsForeground(t *testing.T) {
+	e := NewEngine()
+	e.AfterBackground(time.Second, func() {})
+	if e.ForegroundPending() != 0 {
+		t.Fatalf("ForegroundPending = %d with only background queued", e.ForegroundPending())
+	}
+	tm := e.After(2*time.Second, func() {})
+	if e.ForegroundPending() != 1 {
+		t.Fatalf("ForegroundPending = %d, want 1", e.ForegroundPending())
+	}
+	tm.Stop()
+	if e.ForegroundPending() != 0 {
+		t.Fatalf("ForegroundPending = %d after cancel", e.ForegroundPending())
+	}
+	// Background events still execute.
+	ran := false
+	e.AfterBackground(3*time.Second, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("background event never ran")
+	}
+}
+
+func TestRunUntilQuiescentIgnoresBackgroundTickers(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	tk := e.EveryBackground(time.Minute, func() { ticks++ })
+	defer tk.Stop()
+	done := false
+	e.After(5*time.Minute+30*time.Second, func() { done = true })
+	e.RunUntilQuiescent(time.Hour)
+	if !done {
+		t.Fatal("foreground event never ran")
+	}
+	// Ticks up to the last foreground event fire; the ticker alone
+	// must not keep the run alive afterwards.
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	if e.Now() != 5*time.Minute+30*time.Second {
+		t.Fatalf("Now() = %v, want the last foreground instant", e.Now())
+	}
+}
+
+func TestForegroundTickerKeepsQuiescentRunAlive(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var tk *Ticker
+	tk = e.Every(time.Minute, func() {
+		ticks++
+		if ticks == 3 {
+			tk.Stop()
+		}
+	})
+	e.RunUntilQuiescent(time.Hour)
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3 (foreground ticker is work)", ticks)
+	}
+}
+
+func TestRunWhileStopsAtExactQuiescence(t *testing.T) {
+	e := NewEngine()
+	tk := e.EveryBackground(10*time.Minute, func() {})
+	defer tk.Stop()
+	busy := true
+	e.After(25*time.Minute, func() { busy = false })
+	e.RunWhile(24*time.Hour, func() bool { return busy })
+	if e.Now() != 25*time.Minute {
+		t.Fatalf("Now() = %v, want exactly 25m (no overshoot to a tick)", e.Now())
+	}
+}
+
+func TestRunWhileRidesToDeadlineWhenStuck(t *testing.T) {
+	// Stuck with an empty queue: the clock jumps to the deadline.
+	e := NewEngine()
+	e.RunWhile(2*time.Hour, func() bool { return true })
+	if e.Now() != 2*time.Hour {
+		t.Fatalf("empty-queue stuck run ended at %v", e.Now())
+	}
+	// Stuck with only a ticker: ticks fire until the deadline, then
+	// the run returns at the deadline.
+	e2 := NewEngine()
+	ticks := 0
+	tk := e2.EveryBackground(30*time.Minute, func() { ticks++ })
+	defer tk.Stop()
+	e2.RunWhile(2*time.Hour, func() bool { return true })
+	if e2.Now() != 2*time.Hour {
+		t.Fatalf("ticker-only stuck run ended at %v", e2.Now())
+	}
+	if ticks != 4 {
+		t.Fatalf("ticks = %d, want 4", ticks)
+	}
+}
+
+func TestRunWhileInactiveReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	e.After(time.Hour, func() { t.Fatal("event ran despite inactive predicate") })
+	e.RunWhile(24*time.Hour, func() bool { return false })
+	if e.Now() != 0 {
+		t.Fatalf("clock moved to %v", e.Now())
+	}
+}

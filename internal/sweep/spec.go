@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/grid"
 )
 
 // ParseGridSpec builds a Grid from the qsim CLI's compact grid
@@ -24,6 +25,8 @@ import (
 //	hours     Poisson submission window in hours (single value)
 //	traces    trace kinds (poisson|phased|matlabga); crossed with rates/winfracs
 //	failrates per-boot failure probabilities (0..1)
+//	topologies fabric presets (single|campus|twin-hybrid)
+//	routings  campus routing policies (least-loaded|round-robin|hybrid-last)
 //	seed      base seed (single value)
 //	cycle     controller cycle, Go duration (single value)
 //
@@ -111,6 +114,22 @@ func ParseGridSpec(spec string) (Grid, error) {
 			var err error
 			if g.FailureRates, err = parseFloats(list, 1); err != nil {
 				return g, fmt.Errorf("sweep: failrates: %w", err)
+			}
+		case "topologies":
+			for _, v := range list {
+				t, ok := TopologyByName(strings.TrimSpace(v))
+				if !ok {
+					return g, fmt.Errorf("sweep: unknown topology %q", v)
+				}
+				g.Topologies = append(g.Topologies, t)
+			}
+		case "routings":
+			for _, v := range list {
+				r, err := grid.ParsePolicy(strings.TrimSpace(v))
+				if err != nil {
+					return g, fmt.Errorf("sweep: %w", err)
+				}
+				g.Routings = append(g.Routings, r)
 			}
 		case "seed":
 			s, err := strconv.ParseInt(strings.TrimSpace(vals), 10, 64)

@@ -1,10 +1,12 @@
 // Package sweep runs whole parameter grids of hybrid-cluster
 // scenarios instead of one hand-picked run at a time. A Grid spans
-// five axes — cluster modes × controller policies × node counts ×
-// trace shapes × boot-failure rates — and expands into concrete cells,
-// each a self-contained core.Scenario. Run executes the cells on a
-// bounded worker pool and aggregates their metrics summaries into
-// ranked comparison tables and flat export rows.
+// seven axes — cluster modes × controller policies × node counts ×
+// trace shapes × boot-failure rates × topologies × routing policies —
+// and expands into concrete cells, each a self-contained
+// core.Scenario: a single cluster, or a whole campus fabric of
+// members behind a job router. Run executes the cells on a bounded
+// worker pool and aggregates their metrics summaries into ranked
+// comparison tables and flat export rows.
 //
 // Determinism contract: every cell derives its random seeds from the
 // grid coordinates alone (FNV-1a over BaseSeed plus the cell's axis
@@ -31,6 +33,7 @@ import (
 	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/export"
+	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/osid"
 	"repro/internal/workload"
@@ -166,6 +169,86 @@ func PolicyByName(name string) (PolicySpec, bool) {
 	return PolicySpec{}, false
 }
 
+// Split selects a topology member's initial OS split.
+type Split uint8
+
+const (
+	// SplitHalf boots half the nodes into Linux (the cluster default).
+	SplitHalf Split = iota
+	// SplitAllLinux boots every node into Linux (a Linux-only static).
+	SplitAllLinux
+	// SplitAllWindows boots every node into Windows.
+	SplitAllWindows
+)
+
+// TopologyMember describes one member cluster of a topology axis
+// point, relative to the cell it lands in: zero Nodes inherits the
+// cell's node count, and Inherit follows the cell's mode axis — so
+// crossing a campus topology with the mode axis flips its flexible
+// members between organisations while the pinned statics stand still.
+type TopologyMember struct {
+	Name string
+	// Mode pins the member's organisation; ignored when Inherit is
+	// set, in which case the member takes the cell's mode.
+	Mode    cluster.Mode
+	Inherit bool
+	// Nodes overrides the cell's node count (0 = inherit).
+	Nodes int
+	// Split selects the member's initial OS split.
+	Split Split
+}
+
+// TopologySpec is one point on the topology axis. No members means a
+// single cluster — the classic sweep path.
+type TopologySpec struct {
+	// Name keys the cell's derived seeds and its display name.
+	Name    string
+	Members []TopologyMember
+}
+
+// IsGrid reports whether the topology expands into a campus fabric.
+func (t TopologySpec) IsGrid() bool { return len(t.Members) > 0 }
+
+func (t TopologySpec) withDefaults() TopologySpec {
+	if t.Name == "" {
+		if len(t.Members) == 0 {
+			t.Name = "single"
+		} else {
+			t.Name = fmt.Sprintf("grid%d", len(t.Members))
+		}
+	}
+	return t
+}
+
+// DefaultTopologies returns the named topology presets the CLI and
+// grid-spec parser understand: the single cluster, the Queensgate-like
+// campus (a flexible member between a Linux-only and a Windows-only
+// static), and a twin-hybrid pair.
+func DefaultTopologies() []TopologySpec {
+	return []TopologySpec{
+		{Name: "single"},
+		{Name: "campus", Members: []TopologyMember{
+			{Name: "eridani", Inherit: true},
+			{Name: "tauceti", Mode: cluster.Static, Split: SplitAllLinux},
+			{Name: "vega", Mode: cluster.Static, Split: SplitAllWindows},
+		}},
+		{Name: "twin-hybrid", Members: []TopologyMember{
+			{Name: "eridani", Inherit: true},
+			{Name: "altair", Inherit: true},
+		}},
+	}
+}
+
+// TopologyByName finds a default topology preset.
+func TopologyByName(name string) (TopologySpec, bool) {
+	for _, t := range DefaultTopologies() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return TopologySpec{}, false
+}
+
 // Grid spans the scenario space to sweep. Empty axes collapse to a
 // single default point, so the zero Grid is one hybrid-v2 FCFS cell.
 type Grid struct {
@@ -174,6 +257,13 @@ type Grid struct {
 	NodeCounts   []int
 	Traces       []TraceSpec
 	FailureRates []float64 // per-boot probability of a node breaking
+	// Topologies spans single clusters and campus fabrics; empty means
+	// the single cluster only.
+	Topologies []TopologySpec
+	// Routings is the campus router's policy axis. It only multiplies
+	// grid topologies: single-cluster cells have no router, so they
+	// expand against the first routing alone instead of duplicating.
+	Routings []grid.RoutingPolicy
 
 	// BaseSeed perturbs every derived seed; two sweeps with different
 	// BaseSeeds are independent replications of the same grid.
@@ -222,6 +312,17 @@ func (g Grid) withDefaults() Grid {
 	if len(g.FailureRates) == 0 {
 		g.FailureRates = []float64{0}
 	}
+	topos := g.Topologies
+	if len(topos) == 0 {
+		topos = []TopologySpec{{}}
+	}
+	g.Topologies = make([]TopologySpec, len(topos))
+	for i, t := range topos {
+		g.Topologies[i] = t.withDefaults()
+	}
+	if len(g.Routings) == 0 {
+		g.Routings = []grid.RoutingPolicy{grid.RouteLeastLoaded}
+	}
 	if g.Cycle <= 0 {
 		g.Cycle = 5 * time.Minute
 	}
@@ -237,6 +338,11 @@ type Cell struct {
 	Nodes       int
 	Trace       TraceSpec
 	FailureRate float64
+	// Topology and Routing place the cell on the fabric axes; a
+	// single-cluster cell carries the "single" topology and the grid's
+	// first routing (which it never uses).
+	Topology TopologySpec
+	Routing  grid.RoutingPolicy
 
 	// Seed drives the cell's cluster (boot jitter, failure draws). It
 	// is derived from the environment axes only — node count, trace
@@ -255,31 +361,84 @@ type Cell struct {
 }
 
 // Name renders the cell's coordinates as a stable slash-joined label.
+// Single-cluster cells keep the classic five-segment form; grid cells
+// append their topology and routing coordinates.
 func (c Cell) Name() string {
-	return fmt.Sprintf("%s/%s/n%d/%s/f%g",
+	name := fmt.Sprintf("%s/%s/n%d/%s/f%g",
 		c.Mode, c.Policy.Name, c.Nodes, c.Trace.Name, c.FailureRate)
+	if c.Topology.IsGrid() {
+		name += fmt.Sprintf("/%s/%s", c.Topology.Name, c.Routing)
+	}
+	return name
 }
 
-// Scenario materialises the cell into a runnable core.Scenario.
+// Scenario materialises the cell into a runnable core.Scenario. Grid
+// cells expand their topology into concrete member configs: each
+// member derives its seed from the cell seed and its own name (so
+// members draw independent RNG streams that are still pure functions
+// of the grid coordinates) and gets a fresh policy instance.
 func (c Cell) Scenario() core.Scenario {
-	var pol controller.Policy
-	if c.Policy.New != nil {
-		pol = c.Policy.New()
+	sc := core.Scenario{
+		Name:    c.Name(),
+		Trace:   c.Trace.Build(c.TraceSeed),
+		Horizon: c.horizon,
 	}
-	return core.Scenario{
-		Name: c.Name(),
-		Cluster: cluster.Config{
+	if !c.Topology.IsGrid() {
+		sc.Cluster = cluster.Config{
 			Mode:            c.Mode,
 			Nodes:           c.Nodes,
 			InitialLinux:    c.initialLinux,
 			Cycle:           c.cycle,
-			Policy:          pol,
+			Policy:          c.newPolicy(),
 			Seed:            c.Seed,
 			BootFailureProb: c.FailureRate,
-		},
-		Trace:   c.Trace.Build(c.TraceSeed),
-		Horizon: c.horizon,
+		}
+		return sc
 	}
+	// Grid runs read only the mode from the root config (for
+	// Result.Mode); the members below carry the real configurations.
+	sc.Cluster.Mode = c.Mode
+	members := make([]grid.MemberSpec, 0, len(c.Topology.Members))
+	for _, m := range c.Topology.Members {
+		mode := m.Mode
+		if m.Inherit {
+			mode = c.Mode
+		}
+		nodes := m.Nodes
+		if nodes <= 0 {
+			nodes = c.Nodes
+		}
+		initialLinux := 0 // half
+		switch m.Split {
+		case SplitAllLinux:
+			initialLinux = nodes
+		case SplitAllWindows:
+			initialLinux = -1
+		}
+		members = append(members, grid.MemberSpec{
+			Name: m.Name,
+			Config: cluster.Config{
+				Mode:            mode,
+				Nodes:           nodes,
+				InitialLinux:    initialLinux,
+				Cycle:           c.cycle,
+				Policy:          c.newPolicy(),
+				Seed:            deriveSeed(c.Seed, "member", m.Name),
+				BootFailureProb: c.FailureRate,
+			},
+		})
+	}
+	sc.Topology = core.Topology{Routing: c.Routing, Members: members}
+	return sc
+}
+
+// newPolicy builds a fresh controller policy instance — one per
+// cluster, never shared (policies carry mutable state).
+func (c Cell) newPolicy() controller.Policy {
+	if c.Policy.New != nil {
+		return c.Policy.New()
+	}
+	return nil
 }
 
 // deriveSeed hashes coordinate strings into a seed with FNV-1a.
@@ -295,7 +454,15 @@ func deriveSeed(base int64, parts ...string) int64 {
 }
 
 // Expand enumerates every cell in fixed axis order: mode (outermost),
-// policy, node count, trace shape, failure rate (innermost).
+// policy, node count, trace shape, failure rate, topology, routing
+// (innermost). Single-cluster topologies have no router, so they
+// expand against the first routing only instead of duplicating cells.
+//
+// Seed pairing extends to the new axes: the topology joins the
+// environment axes (a campus fabric is a different machine, so it
+// draws its own cluster seed — but single-cluster cells keep their
+// historical seeds), while routing is a treatment axis like mode and
+// policy: every routing variant of a fabric faces identical RNG draws.
 func (g Grid) Expand() []Cell {
 	g = g.withDefaults()
 	var cells []Cell
@@ -304,21 +471,36 @@ func (g Grid) Expand() []Cell {
 			for _, nodes := range g.NodeCounts {
 				for _, tr := range g.Traces {
 					for _, fr := range g.FailureRates {
-						c := Cell{
-							Index:        len(cells),
-							Mode:         mode,
-							Policy:       pol,
-							Nodes:        nodes,
-							Trace:        tr,
-							FailureRate:  fr,
-							TraceSeed:    deriveSeed(g.BaseSeed, "trace", tr.Name),
-							cycle:        g.Cycle,
-							horizon:      g.Horizon,
-							initialLinux: g.InitialLinux,
+						for _, topo := range g.Topologies {
+							routings := g.Routings
+							if !topo.IsGrid() {
+								routings = routings[:1]
+							}
+							for _, routing := range routings {
+								c := Cell{
+									Index:        len(cells),
+									Mode:         mode,
+									Policy:       pol,
+									Nodes:        nodes,
+									Trace:        tr,
+									FailureRate:  fr,
+									Topology:     topo,
+									Routing:      routing,
+									TraceSeed:    deriveSeed(g.BaseSeed, "trace", tr.Name),
+									cycle:        g.Cycle,
+									horizon:      g.Horizon,
+									initialLinux: g.InitialLinux,
+								}
+								envParts := []string{
+									"cluster", fmt.Sprintf("n%d", nodes), tr.Name, fmt.Sprintf("f%g", fr),
+								}
+								if topo.IsGrid() {
+									envParts = append(envParts, "topo:"+topo.Name)
+								}
+								c.Seed = deriveSeed(g.BaseSeed, envParts...)
+								cells = append(cells, c)
+							}
 						}
-						c.Seed = deriveSeed(g.BaseSeed, "cluster",
-							fmt.Sprintf("n%d", nodes), tr.Name, fmt.Sprintf("f%g", fr))
-						cells = append(cells, c)
 					}
 				}
 			}
@@ -481,7 +663,11 @@ func (o *Outcome) Rows() []export.SweepRow {
 			Nodes:       r.Cell.Nodes,
 			Trace:       r.Cell.Trace.Name,
 			FailureRate: r.Cell.FailureRate,
+			Topology:    r.Cell.Topology.Name,
 			Seed:        r.Cell.Seed,
+		}
+		if r.Cell.Topology.IsGrid() {
+			row.Routing = r.Cell.Routing.String()
 		}
 		if r.Err != nil {
 			row.Err = r.Err.Error()
@@ -495,7 +681,9 @@ func (o *Outcome) Rows() []export.SweepRow {
 			row.MeanSwitchSec = s.MeanSwitch.Seconds()
 			row.JobsSubmitted = s.JobsSubmitted[osid.Linux] + s.JobsSubmitted[osid.Windows]
 			row.JobsCompleted = s.JobsCompleted[osid.Linux] + s.JobsCompleted[osid.Windows]
+			row.SubmitFailures = s.SubmitFailures
 			row.BrokenNodes = r.Res.BrokenNodes
+			row.Dropped = r.Res.Dropped
 			row.MakespanSec = s.Makespan.Seconds()
 		}
 		rows[i] = row
@@ -504,9 +692,21 @@ func (o *Outcome) Rows() []export.SweepRow {
 }
 
 // Describe summarises the grid axes ("2 modes × ... = 24 cells").
+// The count mirrors Expand arithmetically — single topologies take
+// one routing, grid topologies the full routing axis — without
+// allocating the cells.
 func (g Grid) Describe() string {
 	g = g.withDefaults()
-	return fmt.Sprintf("%d modes × %d policies × %d node counts × %d traces × %d failure rates = %d cells",
+	topoPoints := 0
+	for _, t := range g.Topologies {
+		if t.IsGrid() {
+			topoPoints += len(g.Routings)
+		} else {
+			topoPoints++
+		}
+	}
+	cells := len(g.Modes) * len(g.Policies) * len(g.NodeCounts) * len(g.Traces) * len(g.FailureRates) * topoPoints
+	return fmt.Sprintf("%d modes × %d policies × %d node counts × %d traces × %d failure rates × %d topologies × %d routings = %d cells",
 		len(g.Modes), len(g.Policies), len(g.NodeCounts), len(g.Traces), len(g.FailureRates),
-		len(g.Modes)*len(g.Policies)*len(g.NodeCounts)*len(g.Traces)*len(g.FailureRates))
+		len(g.Topologies), len(g.Routings), cells)
 }

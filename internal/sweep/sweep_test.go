@@ -3,11 +3,13 @@ package sweep
 import (
 	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/export"
+	"repro/internal/grid"
 	"repro/internal/workload"
 )
 
@@ -25,18 +27,24 @@ func smallGrid() Grid {
 }
 
 // wideGrid crosses enough axes for the byte-identical-CSV acceptance
-// criterion: 2 modes × 2 node counts × 3 traces × 2 failure rates =
-// 24 cells.
+// criterion, including campus-grid cells: 2 modes × 1 node count ×
+// 3 traces × 2 failure rates × 2 topologies (single + campus) =
+// 24 cells, half of them three-member fabrics.
 func wideGrid() Grid {
+	campus, ok := TopologyByName("campus")
+	if !ok {
+		panic("campus topology preset missing")
+	}
 	return Grid{
 		Modes:      []cluster.Mode{cluster.HybridV2, cluster.Static},
-		NodeCounts: []int{8, 16},
+		NodeCounts: []int{8},
 		Traces: []TraceSpec{
 			{JobsPerHour: 2, WindowsFrac: 0.2, Duration: 6 * time.Hour},
 			{JobsPerHour: 3, WindowsFrac: 0.5, Duration: 6 * time.Hour},
 			{JobsPerHour: 4, WindowsFrac: 0.8, Duration: 6 * time.Hour},
 		},
 		FailureRates: []float64{0, 0.1},
+		Topologies:   []TopologySpec{{Name: "single"}, campus},
 		BaseSeed:     42,
 		Horizon:      48 * time.Hour,
 	}
@@ -313,5 +321,169 @@ func TestParseGridSpec(t *testing.T) {
 	}
 	if len(g.Traces) != 1 {
 		t.Fatalf("phased traces = %d, want 1 (deduped)", len(g.Traces))
+	}
+}
+
+// The topology axis: single-cluster topologies expand against only
+// the first routing (no router to vary), grid topologies cross the
+// full routing axis, and names/seeds stay coordinate-derived.
+func TestTopologyAxisExpansion(t *testing.T) {
+	campus := mustTopology("campus")
+	g := Grid{
+		Modes:      []cluster.Mode{cluster.HybridV2},
+		Topologies: []TopologySpec{{Name: "single"}, campus},
+		Routings:   []grid.RoutingPolicy{grid.RouteLeastLoaded, grid.RouteHybridLast},
+	}
+	cells := g.Expand()
+	// 1 mode × 1 policy × 1 nodes × 1 trace × 1 failure × (single×1 + campus×2)
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d, want 3", len(cells))
+	}
+	if cells[0].Topology.IsGrid() || cells[0].Routing != grid.RouteLeastLoaded {
+		t.Fatalf("cell 0 = %s", cells[0].Name())
+	}
+	if !cells[1].Topology.IsGrid() || cells[1].Routing != grid.RouteLeastLoaded {
+		t.Fatalf("cell 1 = %s", cells[1].Name())
+	}
+	if cells[2].Routing != grid.RouteHybridLast {
+		t.Fatalf("cell 2 = %s", cells[2].Name())
+	}
+	// Single-cluster names keep the classic five-segment form; grid
+	// cells append topology and routing.
+	if strings.Contains(cells[0].Name(), "single") {
+		t.Fatalf("single cell name %q should not carry topology", cells[0].Name())
+	}
+	if !strings.HasSuffix(cells[1].Name(), "/campus/least-loaded") {
+		t.Fatalf("campus cell name %q", cells[1].Name())
+	}
+	// Routing is a treatment axis: both campus cells share seeds.
+	if cells[1].Seed != cells[2].Seed || cells[1].TraceSeed != cells[2].TraceSeed {
+		t.Fatal("routing variants drew different seeds")
+	}
+	// Topology is an environment axis: the fabric draws its own seed.
+	if cells[0].Seed == cells[1].Seed {
+		t.Fatal("single and campus cells share a cluster seed")
+	}
+}
+
+// mustTopology is a test helper; panics on unknown topology names.
+func mustTopology(name string) TopologySpec {
+	tp, ok := TopologyByName(name)
+	if !ok {
+		panic("unknown topology " + name)
+	}
+	return tp
+}
+
+// Grid cells materialise into campus scenarios: inherit members take
+// the cell's mode and node count, pinned members keep theirs, splits
+// resolve, and each member derives its own seed from the cell seed.
+func TestGridCellScenarioBuildsMembers(t *testing.T) {
+	campus := mustTopology("campus")
+	g := Grid{
+		Modes:      []cluster.Mode{cluster.MonoStable},
+		NodeCounts: []int{4},
+		Topologies: []TopologySpec{campus},
+		Routings:   []grid.RoutingPolicy{grid.RouteRoundRobin},
+	}
+	cells := g.Expand()
+	if len(cells) != 1 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	sc := cells[0].Scenario()
+	if !sc.Topology.IsGrid() || len(sc.Topology.Members) != 3 {
+		t.Fatalf("topology = %+v", sc.Topology)
+	}
+	if sc.Topology.Routing != grid.RouteRoundRobin {
+		t.Fatalf("routing = %v", sc.Topology.Routing)
+	}
+	eridani, tauceti, vega := sc.Topology.Members[0], sc.Topology.Members[1], sc.Topology.Members[2]
+	if eridani.Config.Mode != cluster.MonoStable {
+		t.Fatalf("inherit member mode = %v", eridani.Config.Mode)
+	}
+	if tauceti.Config.Mode != cluster.Static || tauceti.Config.InitialLinux != 4 {
+		t.Fatalf("linux static = %+v", tauceti.Config)
+	}
+	if vega.Config.Mode != cluster.Static || vega.Config.InitialLinux != -1 {
+		t.Fatalf("windows static = %+v", vega.Config)
+	}
+	for _, m := range sc.Topology.Members {
+		if m.Config.Nodes != 4 {
+			t.Fatalf("member %s nodes = %d", m.Name, m.Config.Nodes)
+		}
+	}
+	if eridani.Config.Seed == tauceti.Config.Seed || tauceti.Config.Seed == vega.Config.Seed {
+		t.Fatal("members share a derived seed")
+	}
+	// Member seeds are pure functions of the cell coordinates.
+	sc2 := cells[0].Scenario()
+	for i := range sc.Topology.Members {
+		if sc.Topology.Members[i].Config.Seed != sc2.Topology.Members[i].Config.Seed {
+			t.Fatal("member seeds unstable across materialisations")
+		}
+	}
+}
+
+// Grid-axis cells keep the worker-count determinism contract: the
+// per-member summaries and the fabric aggregate are identical for any
+// worker count.
+func TestGridCellsDeterministicAcrossWorkerCounts(t *testing.T) {
+	campus := mustTopology("campus")
+	g := Grid{
+		Modes:      []cluster.Mode{cluster.HybridV2},
+		NodeCounts: []int{4},
+		Traces:     []TraceSpec{{JobsPerHour: 3, WindowsFrac: 0.4, Duration: 6 * time.Hour}},
+		Topologies: []TopologySpec{campus},
+		Routings:   []grid.RoutingPolicy{grid.RouteLeastLoaded, grid.RouteHybridLast},
+		BaseSeed:   5,
+		Horizon:    48 * time.Hour,
+	}
+	var first *Outcome
+	for _, workers := range []int{1, 4} {
+		out, err := Run(Config{Grid: g, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range out.Errs() {
+			t.Fatalf("cell %s: %v", r.Cell.Name(), r.Err)
+		}
+		if first == nil {
+			first = out
+			continue
+		}
+		for i := range out.Results {
+			a, b := first.Results[i], out.Results[i]
+			if !reflect.DeepEqual(a.Res.Summary, b.Res.Summary) {
+				t.Fatalf("workers=%d: cell %s aggregate diverged", workers, b.Cell.Name())
+			}
+			if !reflect.DeepEqual(a.Res.Members, b.Res.Members) {
+				t.Fatalf("workers=%d: cell %s member summaries diverged", workers, b.Cell.Name())
+			}
+		}
+	}
+	// Sanity: the campus cells actually ran as three-member fabrics.
+	for _, r := range first.Results {
+		if len(r.Res.Members) != 3 {
+			t.Fatalf("cell %s has %d member results", r.Cell.Name(), len(r.Res.Members))
+		}
+	}
+}
+
+func TestParseGridSpecTopologyAxes(t *testing.T) {
+	g, err := ParseGridSpec("modes=hybrid-v2;topologies=single,campus;routings=least-loaded,hybrid-last")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Topologies) != 2 || len(g.Routings) != 2 {
+		t.Fatalf("axes: %s", g.Describe())
+	}
+	// single×1 + campus×2 = 3 cells.
+	if got := len(g.Expand()); got != 3 {
+		t.Fatalf("expanded %d cells, want 3", got)
+	}
+	for _, bad := range []string{"topologies=atlantis", "routings=dartboard"} {
+		if _, err := ParseGridSpec(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
 	}
 }
