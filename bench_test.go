@@ -515,18 +515,11 @@ func BenchmarkA1_CycleInterval(b *testing.B) {
 // BenchmarkA2_Policies ablates the decision rule (§V future work):
 // paper FCFS vs threshold, hysteresis and fair-share.
 func BenchmarkA2_Policies(b *testing.B) {
-	// Hysteresis carries state, so every iteration builds its policy
-	// fresh.
-	makers := map[string]func() controller.Policy{
-		"fcfs":      func() controller.Policy { return controller.FCFS{} },
-		"threshold": func() controller.Policy { return controller.Threshold{Reserve: 2, MinQueued: 1} },
-		"hysteresis(fcfs)": func() controller.Policy {
-			return &controller.Hysteresis{Inner: controller.FCFS{}, Cooldown: 20 * time.Minute}
-		},
-		"fairshare": func() controller.Policy { return controller.FairShare{MaxStep: 2} },
-	}
-	for _, name := range []string{"fcfs", "threshold", "hysteresis(fcfs)", "fairshare"} {
-		make := makers[name]
+	// Policies carry state, so every iteration builds its policy fresh
+	// through the registry — the same constructors every CLI flag and
+	// sweep axis resolves.
+	for _, f := range controller.Factories() {
+		name, make := f.Name, f.New
 		b.Run(name, func(b *testing.B) {
 			var util, switches float64
 			for i := 0; i < b.N; i++ {

@@ -6,12 +6,19 @@
 // trajectory can be tracked across commits; subset runs leave the
 // record alone unless -benchjson is passed explicitly.
 //
+// With -check the binary becomes the CI benchmark-regression gate: it
+// reruns the experiments and diffs their deterministic EventsRun
+// against the committed baseline, failing on any drift. Wall-clock
+// ns/op is printed as an advisory delta only — it depends on the
+// machine; the wakeup count does not.
+//
 // Usage:
 //
 //	benchtab            # run every experiment
 //	benchtab E8 A2      # run selected experiments
 //	benchtab -list      # list experiment IDs
 //	benchtab -benchjson ""  # skip the perf record
+//	benchtab -check BENCH_sim.json E8 E13 E15  # CI gate: fail on EventsRun drift
 package main
 
 import (
@@ -41,6 +48,7 @@ type benchRecord struct {
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	benchJSON := flag.String("benchjson", "BENCH_sim.json", "write the per-experiment perf record here (empty to disable)")
+	check := flag.String("check", "", "benchmark-regression gate: compare EventsRun against this baseline record and fail on drift (ns/op stays advisory)")
 	flag.Parse()
 
 	if *list {
@@ -72,7 +80,9 @@ func main() {
 			explicitJSON = true
 		}
 	})
-	writeJSON := *benchJSON != "" && (!subset || explicitJSON)
+	// A gate run only compares; it never rewrites the record it is
+	// gating against.
+	writeJSON := *check == "" && *benchJSON != "" && (!subset || explicitJSON)
 
 	failed := 0
 	var records []benchRecord
@@ -90,7 +100,14 @@ func main() {
 			NsPerOp:   elapsed.Nanoseconds(),
 			EventsRun: tab.EventsRun,
 		})
-		fmt.Println(tab.Render())
+		if *check == "" { // the gate prints its own compact report
+			fmt.Println(tab.Render())
+		}
+	}
+	if *check != "" {
+		if !checkBaseline(*check, records) {
+			failed++
+		}
 	}
 	switch {
 	case writeJSON && failed > 0:
@@ -108,6 +125,62 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// checkBaseline is the benchmark-regression gate: every record's
+// EventsRun must equal the committed baseline's byte for byte — the
+// simulation is deterministic, so any difference is a behaviour change
+// someone must either fix or deliberately bake into a refreshed
+// baseline. Wall-clock ns/op is reported as an advisory delta only.
+func checkBaseline(path string, records []benchRecord) bool {
+	baseline, err := readBenchJSON(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: baseline: %v\n", err)
+		return false
+	}
+	base := make(map[string]benchRecord, len(baseline))
+	for _, r := range baseline {
+		base[r.ID] = r
+	}
+	drift := 0
+	for _, r := range records {
+		b, ok := base[r.ID]
+		if !ok {
+			fmt.Printf("%-4s  events %12d  baseline MISSING (refresh %s)\n", r.ID, r.EventsRun, path)
+			drift++
+			continue
+		}
+		status := "ok"
+		if r.EventsRun != b.EventsRun {
+			status = "DRIFT"
+			drift++
+		}
+		wallDelta := "n/a"
+		if b.NsPerOp > 0 {
+			wallDelta = fmt.Sprintf("%+.0f%%", 100*(float64(r.NsPerOp)-float64(b.NsPerOp))/float64(b.NsPerOp))
+		}
+		fmt.Printf("%-4s  events %12d  baseline %12d  %-5s  wall %8s vs baseline (advisory)\n",
+			r.ID, r.EventsRun, b.EventsRun, status, wallDelta)
+	}
+	if drift > 0 {
+		fmt.Fprintf(os.Stderr, "benchtab: %d experiment(s) drifted from %s\n", drift, path)
+		return false
+	}
+	fmt.Printf("benchtab: %d experiment(s) match %s\n", len(records), path)
+	return true
+}
+
+func readBenchJSON(path string) ([]benchRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var records []benchRecord
+	if err := json.NewDecoder(f).Decode(&records); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return records, nil
 }
 
 func writeBenchJSON(path string, records []benchRecord) error {

@@ -16,6 +16,8 @@
 //	qsim sweep -grid "modes=hybrid-v2,static-split;nodes=8,16;winfracs=0.25,0.5" -workers 8
 //	qsim sweep -grid "modes=hybrid-v2,static-split;rates=8" \
 //	  -topologies campus -routings least-loaded,round-robin,hybrid-last
+//	qsim sweep -grid "modes=hybrid-v2;traces=diurnal,burst" \
+//	  -ctlpolicies fcfs,threshold,hysteresis,predictive
 package main
 
 import (
@@ -49,7 +51,7 @@ func main() {
 		nodes    = flag.Int("nodes", 16, "compute nodes")
 		initLin  = flag.Int("linux", 0, "nodes starting in Linux (0 = half)")
 		cycle    = flag.Duration("cycle", 10*time.Minute, "controller cycle interval")
-		policy   = flag.String("policy", "fcfs", "controller policy: fcfs | threshold | hysteresis | fairshare")
+		policy   = flag.String("policy", "fcfs", "controller policy: "+strings.Join(controller.PolicyNames(), " | "))
 		seed     = flag.Int64("seed", 1, "workload seed")
 		winfrac  = flag.Float64("winfrac", 0.3, "Windows share of the workload")
 		hours    = flag.Float64("hours", 24, "submission window (poisson)")
@@ -170,7 +172,9 @@ func runSweep(args []string) {
 	fs := flag.NewFlagSet("qsim sweep", flag.ExitOnError)
 	var (
 		gridSpec = fs.String("grid", "modes=hybrid-v2,static-split,mono-stable;nodes=16;rates=4;winfracs=0.3",
-			"grid spec: 'key=v,v;...' with keys modes|policies|nodes|rates|winfracs|hours|traces|failrates|topologies|routings|seed|cycle")
+			"grid spec: 'key=v,v;...' with keys modes|ctlpolicies|nodes|rates|winfracs|hours|traces|failrates|topologies|routings|seed|cycle")
+		ctlpolicies = fs.String("ctlpolicies", "",
+			"comma list of controller policies ("+strings.Join(controller.PolicyNames(), "|")+"); overrides the grid spec's ctlpolicies key")
 		topologies = fs.String("topologies", "",
 			"comma list of fabric presets (single|campus|twin-hybrid); overrides the grid spec's topologies key")
 		routings = fs.String("routings", "",
@@ -189,12 +193,23 @@ func runSweep(args []string) {
 		fmt.Fprintln(os.Stderr, "qsim:", err)
 		os.Exit(2)
 	}
+	if *ctlpolicies != "" {
+		g.Policies = g.Policies[:0]
+		for _, name := range strings.Split(*ctlpolicies, ",") {
+			p, err := sweep.PolicyByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qsim:", err)
+				os.Exit(2)
+			}
+			g.Policies = append(g.Policies, p)
+		}
+	}
 	if *topologies != "" {
 		g.Topologies = g.Topologies[:0]
 		for _, name := range strings.Split(*topologies, ",") {
-			t, ok := sweep.TopologyByName(strings.TrimSpace(name))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "qsim: unknown topology %q\n", name)
+			t, err := sweep.TopologyByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qsim:", err)
 				os.Exit(2)
 			}
 			g.Topologies = append(g.Topologies, t)
@@ -289,22 +304,19 @@ func buildTrace(name, traceFile string, seed int64, winfrac, hours, rate float64
 			OS: osid.Windows, Nodes: 2, PPN: 4, Runtime: 45 * time.Minute, Owner: "render",
 		}), nil
 	default:
-		return nil, fmt.Errorf("unknown trace %q", name)
+		return nil, fmt.Errorf("unknown trace %q (valid: poisson | diurnal | phased | matlabga | burst | file)", name)
 	}
 }
 
-// parsePolicy and parseMode delegate to the sweep package's name
+// parsePolicy and parseMode delegate to the controller and sweep name
 // registries so the single-run flags and the sweep grid spec accept
-// exactly the same vocabulary.
+// exactly the same vocabulary — and an unknown name errors listing the
+// valid set instead of being accepted silently.
 func parsePolicy(name string) (controller.Policy, error) {
 	if name == "" {
 		name = "fcfs"
 	}
-	spec, ok := sweep.PolicyByName(name)
-	if !ok {
-		return nil, fmt.Errorf("unknown policy %q", name)
-	}
-	return spec.New(), nil
+	return controller.ParsePolicy(name)
 }
 
 func parseMode(name string) (cluster.Mode, error) { return sweep.ParseMode(name) }

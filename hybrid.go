@@ -105,8 +105,17 @@ type (
 	FCFSPolicy       = controller.FCFS
 	ThresholdPolicy  = controller.Threshold
 	HysteresisPolicy = controller.Hysteresis
+	PredictivePolicy = controller.Predictive
 	FairSharePolicy  = controller.FairShare
 )
+
+// ParsePolicy resolves a controller policy by registry name, returning
+// a fresh instance; unknown names error with the valid set.
+func ParsePolicy(name string) (Policy, error) { return controller.ParsePolicy(name) }
+
+// PolicyNames lists the valid controller policy names in registry
+// order.
+func PolicyNames() []string { return controller.PolicyNames() }
 
 // Run executes a scenario from time zero on a fresh cluster.
 func Run(sc Scenario) (Result, error) { return core.Run(sc) }
@@ -217,8 +226,9 @@ const (
 // "campus", "twin-hybrid") the sweep CLI understands.
 func DefaultTopologies() []SweepTopologySpec { return sweep.DefaultTopologies() }
 
-// TopologyByName finds a fabric preset.
-func TopologyByName(name string) (SweepTopologySpec, bool) { return sweep.TopologyByName(name) }
+// TopologyByName finds a fabric preset; unknown names error with the
+// valid set.
+func TopologyByName(name string) (SweepTopologySpec, error) { return sweep.TopologyByName(name) }
 
 // Sweep runs every cell of a parameter grid on a bounded worker pool.
 // The outcome is bit-identical regardless of Workers.

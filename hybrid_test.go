@@ -98,8 +98,9 @@ func TestPublicPolicies(t *testing.T) {
 		OS: Windows, Nodes: 1, PPN: 4, Runtime: 30 * time.Minute, Owner: "u"})
 	for _, p := range []Policy{
 		FCFSPolicy{},
-		ThresholdPolicy{Reserve: 2, MinQueued: 1},
-		&HysteresisPolicy{Inner: FCFSPolicy{}, Cooldown: 10 * time.Minute},
+		ThresholdPolicy{Reserve: 2, MinQueuedCPUs: 1},
+		&HysteresisPolicy{MinDwell: 10 * time.Minute},
+		&PredictivePolicy{},
 		FairSharePolicy{MaxStep: 2},
 	} {
 		res, err := Run(Scenario{

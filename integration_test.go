@@ -199,7 +199,7 @@ func TestThrashResistanceWithHysteresis(t *testing.T) {
 		return res.Summary
 	}
 	fcfs := run(FCFSPolicy{})
-	hyst := run(&HysteresisPolicy{Inner: FCFSPolicy{}, Cooldown: 2 * time.Hour})
+	hyst := run(&HysteresisPolicy{MinDwell: 2 * time.Hour})
 	if hyst.Switches >= fcfs.Switches {
 		t.Fatalf("hysteresis did not reduce thrash: %d >= %d", hyst.Switches, fcfs.Switches)
 	}

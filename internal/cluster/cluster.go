@@ -171,6 +171,7 @@ type Cluster struct {
 	pbsDet  detector.Detector
 	winDet  detector.Detector
 	pending map[osid.OS]int // outstanding switch orders by donor side
+	arrived map[osid.OS]int // cumulative CPU demand submitted per side
 
 	// controlActions counts mechanism writes: FAT control-file edits
 	// (v1) or PXE flag sets (v2). E8 compares these across versions.
@@ -207,6 +208,7 @@ func New(cfg Config) (*Cluster, error) {
 		byName:    make(map[string]*Node),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		pending:   map[osid.OS]int{},
+		arrived:   map[osid.OS]int{},
 		submitted: map[string]bool{},
 	}
 	c.Rec = metrics.NewRecorder(eng.Now, cfg.Nodes*cfg.CoresPerNode)

@@ -19,7 +19,13 @@ import (
 
 // SideInfo implements controller.Gateway.
 func (c *Cluster) SideInfo(os osid.OS) controller.SideState {
-	s := controller.SideState{OS: os, CoresPerNode: c.cfg.CoresPerNode, PendingAway: c.pending[os]}
+	s := controller.SideState{
+		OS:            os,
+		CoresPerNode:  c.cfg.CoresPerNode,
+		PendingAway:   c.pending[os],
+		ArrivedCPUs:   c.arrived[os],
+		SwitchLatency: c.SwitchLatencyEstimate(os),
+	}
 	var det detector.Detector
 	switch os {
 	case osid.Linux:

@@ -121,3 +121,39 @@ func TestSideInfoInvalidOS(t *testing.T) {
 		t.Fatalf("SideInfo(None) = %+v", s)
 	}
 }
+
+func TestSideInfoArrivedCPUsCumulative(t *testing.T) {
+	c := newCluster(t, Config{Mode: HybridV2, InitialLinux: 8})
+	if _, err := c.Submit(linJob(0, 2, 30*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(winJob(0, 1, 30*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.RunFor(2 * time.Hour) // both jobs long gone
+	lin, win := c.SideInfo(osid.Linux), c.SideInfo(osid.Windows)
+	// The counter is cumulative demand ever submitted — it must not
+	// fall when jobs complete, or the predictive policy's differenced
+	// arrival rates would go negative.
+	if lin.ArrivedCPUs != 8 {
+		t.Fatalf("linux arrived = %d, want 8 (2 nodes x 4 ppn)", lin.ArrivedCPUs)
+	}
+	if win.ArrivedCPUs != 4 {
+		t.Fatalf("windows arrived = %d, want 4", win.ArrivedCPUs)
+	}
+	if _, err := c.Submit(linJob(2*time.Hour, 1, time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SideInfo(osid.Linux).ArrivedCPUs; got != 12 {
+		t.Fatalf("linux arrived after third job = %d, want 12", got)
+	}
+}
+
+func TestSideInfoCarriesSwitchLatencyEstimate(t *testing.T) {
+	c := newCluster(t, Config{Mode: HybridV2, InitialLinux: 8})
+	for _, os := range []osid.OS{osid.Linux, osid.Windows} {
+		if got, want := c.SideInfo(os).SwitchLatency, c.SwitchLatencyEstimate(os); got != want || got <= 0 {
+			t.Fatalf("%s switch latency = %v, want %v (>0)", os, got, want)
+		}
+	}
+}

@@ -114,6 +114,7 @@ func (c *Cluster) Submit(j workload.Job) (string, error) {
 
 func (c *Cluster) track(id string, j workload.Job) {
 	c.Rec.JobSubmitted(id, j.OS, j.App, j.CPUs())
+	c.arrived[j.OS] += j.CPUs()
 	c.submitted[id] = true
 	c.unfinished++
 }

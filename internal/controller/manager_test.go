@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -207,12 +208,121 @@ func TestManagerWithCustomPolicy(t *testing.T) {
 		windows:   side(osid.Windows, 8, 8),
 		acceptAll: true,
 	}
-	eng, m, _ := newManager(t, gw, Config{Cycle: time.Minute, Policy: Threshold{MinQueued: 99}})
+	eng, m, _ := newManager(t, gw, Config{Cycle: time.Minute, Policy: Threshold{MinQueuedCPUs: 99}})
 	m.Start()
 	eng.RunUntil(5 * time.Minute)
 	m.Stop()
 	if m.Stats().Switches != 0 {
 		t.Fatalf("threshold policy ignored: %+v", m.Stats())
+	}
+}
+
+// oscGateway models demand that swings between the sides every period:
+// the loaded side carries a 32-CPU backlog on fully busy nodes while
+// the other side idles. Switch orders are accepted but never change
+// the node split, so every cycle re-presents the same temptation — the
+// sharpest possible flap bait.
+type oscGateway struct {
+	now    func() time.Duration
+	period time.Duration
+	orders []orderRec
+}
+
+func (g *oscGateway) SideInfo(os osid.OS) SideState {
+	loaded := osid.Linux
+	if int(g.now()/g.period)%2 == 1 {
+		loaded = osid.Windows
+	}
+	if os == loaded {
+		s := side(os, 8, 0)
+		s.QueuedCPUs = 32
+		s.QueuedJobs = 4
+		return s
+	}
+	return side(os, 8, 8)
+}
+
+func (g *oscGateway) OrderSwitch(donor, target osid.OS, count int) int {
+	g.orders = append(g.orders, orderRec{donor, target, count})
+	return count
+}
+
+// runOscillating drives a manager with the given policy over 4h of
+// demand swinging every 30m, reporting its stats and history.
+func runOscillating(t *testing.T, policy Policy) (Stats, []DecisionRecord) {
+	t.Helper()
+	eng := simtime.NewEngine()
+	gw := &oscGateway{now: eng.Now, period: 30 * time.Minute}
+	bus := comm.NewBus(eng, time.Millisecond)
+	m := NewManager(eng, bus, gw, Config{Cycle: 5 * time.Minute, Policy: policy})
+	m.Start()
+	// One extra second so the final cycle's STATE message clears the
+	// 1 ms bus latency before the deadline.
+	eng.RunUntil(4*time.Hour + time.Second)
+	m.Stop()
+	return m.Stats(), m.History()
+}
+
+// TestManagerNoFlapHistory is the manager-level no-flap regression:
+// on the oscillating gateway the hysteresis policy must order strictly
+// fewer switches than threshold, and its history must record the
+// dwell-blocked cycles as explicit no-action decisions.
+func TestManagerNoFlapHistory(t *testing.T) {
+	thrStats, thrHist := runOscillating(t, Threshold{})
+	hysStats, hysHist := runOscillating(t, &Hysteresis{})
+
+	if thrStats.Switches == 0 {
+		t.Fatal("threshold never switched on the oscillating trace")
+	}
+	if hysStats.Switches == 0 || hysStats.Switches >= thrStats.Switches {
+		t.Fatalf("hysteresis switches = %d, threshold = %d; want strictly fewer (and > 0)",
+			hysStats.Switches, thrStats.Switches)
+	}
+	// Every control cycle leaves a history record, acting or not.
+	if len(thrHist) != thrStats.Cycles || len(hysHist) != hysStats.Cycles {
+		t.Fatalf("history gaps: threshold %d/%d, hysteresis %d/%d",
+			len(thrHist), thrStats.Cycles, len(hysHist), hysStats.Cycles)
+	}
+	dwellBlocked := 0
+	for _, rec := range hysHist {
+		if !rec.Decision.Act && strings.Contains(rec.Decision.Reason, "dwell") {
+			dwellBlocked++
+		}
+	}
+	if dwellBlocked == 0 {
+		t.Fatal("no dwell-blocked cycles recorded in hysteresis history")
+	}
+}
+
+// TestManagerPredictiveHistoryWarmsUp proves the predictive policy's
+// first cycle is a recorded no-action warmup, after which sustained
+// one-sided demand produces acting records.
+func TestManagerPredictiveHistoryWarmsUp(t *testing.T) {
+	gw := &fakeGateway{
+		linux:     side(osid.Linux, 8, 6),
+		windows:   stuck(side(osid.Windows, 8, 0), 32, "9.W"),
+		acceptAll: true,
+	}
+	gw.windows.QueuedCPUs = 32
+	gw.windows.QueuedJobs = 4
+	gw.windows.ArrivedCPUs = 32
+	eng, m, _ := newManager(t, gw, Config{Cycle: 10 * time.Minute, Policy: &Predictive{}})
+	m.Start()
+	eng.RunUntil(45 * time.Minute)
+	m.Stop()
+	hist := m.History()
+	if len(hist) != 4 {
+		t.Fatalf("history = %d records, want 4", len(hist))
+	}
+	if hist[0].Decision.Act || !strings.Contains(hist[0].Decision.Reason, "warming up") {
+		t.Fatalf("first cycle should be a warmup no-op: %+v", hist[0].Decision)
+	}
+	acted := false
+	for _, rec := range hist[1:] {
+		acted = acted || rec.Decision.Act
+	}
+	if !acted {
+		t.Fatalf("predictive never acted on sustained stuck demand: %+v", hist)
 	}
 }
 

@@ -21,6 +21,18 @@ func stuck(s SideState, cpus int, id string) SideState {
 	return s
 }
 
+// loaded returns a side whose queue holds the given CPU demand and
+// whose nodes are all busy.
+func loaded(os osid.OS, total, queuedCPUs int) SideState {
+	s := side(os, total, 0)
+	s.QueuedCPUs = queuedCPUs
+	s.QueuedJobs = (queuedCPUs + 15) / 16
+	if s.QueuedJobs < 1 && queuedCPUs > 0 {
+		s.QueuedJobs = 1
+	}
+	return s
+}
+
 func TestFCFSNoStuckNoAction(t *testing.T) {
 	d := FCFS{}.Decide(0, side(osid.Linux, 8, 2), side(osid.Windows, 8, 8))
 	if d.Act {
@@ -99,73 +111,283 @@ func TestFCFSZeroCPUStuckStillMovesOneNode(t *testing.T) {
 	}
 }
 
-func TestThresholdMinQueued(t *testing.T) {
-	p := Threshold{MinQueued: 3}
-	lin := stuck(side(osid.Linux, 8, 0), 4, "j")
-	lin.QueuedJobs = 1
-	win := side(osid.Windows, 8, 8)
-	if d := p.Decide(0, lin, win); d.Act {
-		t.Fatalf("acted below MinQueued: %+v", d)
+func TestThresholdImbalanceRatio(t *testing.T) {
+	p := Threshold{Ratio: 2}
+	// Linux backlog 16 CPUs on 8×4 cores: pressure 0.5. Donor backlog 8
+	// CPUs: pressure 0.25, threshold 2×0.25 = 0.5 — exactly at the
+	// ratio, so the rule fires.
+	lin := loaded(osid.Linux, 8, 16)
+	win := loaded(osid.Windows, 8, 8)
+	win.IdleNodes = 4
+	if d := p.Decide(0, lin, win); !d.Act || d.Target != osid.Linux {
+		t.Fatalf("at-ratio imbalance did not act: %+v", d)
 	}
-	lin.QueuedJobs = 3
-	if d := p.Decide(0, lin, win); !d.Act {
-		t.Fatalf("did not act at MinQueued: %+v", d)
+	// Donor backlog 9 CPUs: pressure 0.28, bar rises to 0.5625 > 0.5.
+	win.QueuedCPUs = 9
+	if d := p.Decide(0, lin, win); d.Act {
+		t.Fatalf("acted under the imbalance ratio: %+v", d)
 	}
 }
 
-func TestThresholdReserveCapsNodes(t *testing.T) {
+func TestThresholdIdleDonorAnyBacklog(t *testing.T) {
+	// Against a fully idle donor any unserved backlog trips the rule,
+	// regardless of how large Ratio is.
+	p := Threshold{Ratio: 100}
+	lin := loaded(osid.Linux, 8, 4)
+	win := side(osid.Windows, 8, 8)
+	d := p.Decide(0, lin, win)
+	if !d.Act || d.Donor != osid.Windows || d.Nodes != 1 {
+		t.Fatalf("d = %+v", d)
+	}
+}
+
+func TestThresholdIdleCapacityAbsorbs(t *testing.T) {
+	// Queued work the side's own idle cores can serve is not a reason
+	// to pull nodes across.
+	p := Threshold{}
+	lin := side(osid.Linux, 8, 2) // 8 idle cores
+	lin.QueuedCPUs = 8
+	lin.QueuedJobs = 2
+	win := side(osid.Windows, 8, 8)
+	if d := p.Decide(0, lin, win); d.Act {
+		t.Fatalf("acted with absorbing idle capacity: %+v", d)
+	}
+}
+
+func TestThresholdStuckFloorsNeed(t *testing.T) {
+	// A stuck wide job cannot use fragmented idle cores: the detector
+	// report floors the need even when the CPU arithmetic says the
+	// side has room.
+	p := Threshold{}
+	lin := stuck(side(osid.Linux, 8, 2), 8, "wide")
+	win := side(osid.Windows, 8, 8)
+	d := p.Decide(0, lin, win)
+	if !d.Act || d.Nodes != 2 {
+		t.Fatalf("d = %+v", d)
+	}
+}
+
+func TestThresholdReserveFloor(t *testing.T) {
 	p := Threshold{Reserve: 6}
-	lin := stuck(side(osid.Linux, 8, 0), 16, "j")
+	lin := loaded(osid.Linux, 8, 64)
 	win := side(osid.Windows, 8, 8)
 	d := p.Decide(0, lin, win)
 	if !d.Act || d.Nodes != 2 {
 		t.Fatalf("d = %+v, want 2 nodes (8 total - 6 reserve)", d)
 	}
-}
-
-func TestThresholdReserveFloorBlocks(t *testing.T) {
-	p := Threshold{Reserve: 8}
-	lin := stuck(side(osid.Linux, 8, 0), 4, "j")
-	win := side(osid.Windows, 8, 8)
+	p.Reserve = 8
 	if d := p.Decide(0, lin, win); d.Act {
 		t.Fatalf("acted at reserve floor: %+v", d)
 	}
 }
 
-func TestThresholdPassThroughNoAction(t *testing.T) {
-	p := Threshold{Reserve: 1, MinQueued: 1}
-	if d := p.Decide(0, side(osid.Linux, 8, 8), side(osid.Windows, 8, 8)); d.Act {
-		t.Fatalf("acted with no stuck side: %+v", d)
+func TestThresholdMaxStepCaps(t *testing.T) {
+	p := Threshold{} // default MaxStep 4
+	lin := loaded(osid.Linux, 8, 640)
+	win := side(osid.Windows, 16, 16)
+	d := p.Decide(0, lin, win)
+	if !d.Act || d.Nodes != 4 {
+		t.Fatalf("d = %+v, want the 4-node step cap", d)
 	}
 }
 
-func TestHysteresisCooldown(t *testing.T) {
-	p := &Hysteresis{Inner: FCFS{}, Cooldown: 30 * time.Minute}
-	lin := stuck(side(osid.Linux, 8, 0), 4, "j")
+func TestThresholdMinQueuedCPUs(t *testing.T) {
+	p := Threshold{MinQueuedCPUs: 8}
+	lin := loaded(osid.Linux, 8, 4)
+	win := side(osid.Windows, 8, 8)
+	if d := p.Decide(0, lin, win); d.Act {
+		t.Fatalf("acted below MinQueuedCPUs: %+v", d)
+	}
+	lin.QueuedCPUs = 8
+	if d := p.Decide(0, lin, win); !d.Act {
+		t.Fatalf("did not act at MinQueuedCPUs: %+v", d)
+	}
+}
+
+func TestHysteresisDonatesOverWatermark(t *testing.T) {
+	p := &Hysteresis{}
+	lin := loaded(osid.Linux, 8, 24) // pressure 0.75 = donate watermark
+	win := side(osid.Windows, 8, 8)  // pressure 0 ≤ reclaim watermark
+	d := p.Decide(0, lin, win)
+	if !d.Act || d.Target != osid.Linux || d.Donor != osid.Windows {
+		t.Fatalf("d = %+v", d)
+	}
+}
+
+func TestHysteresisDeadBand(t *testing.T) {
+	p := &Hysteresis{DonateWater: 0.75, ReclaimWater: 0.25}
+	// Needy side inside the band: pressure 0.5 < donate watermark.
+	lin := loaded(osid.Linux, 8, 16)
+	win := side(osid.Windows, 8, 8)
+	if d := p.Decide(0, lin, win); d.Act {
+		t.Fatalf("acted inside the dead band: %+v", d)
+	}
+	// Needy side over the donate watermark but donor over the reclaim
+	// watermark: the donor is too busy to strip.
+	lin = loaded(osid.Linux, 8, 32)
+	win = loaded(osid.Windows, 8, 16)
+	win.IdleNodes = 4
+	if d := p.Decide(0, lin, win); d.Act {
+		t.Fatalf("stripped a donor over the reclaim watermark: %+v", d)
+	}
+}
+
+func TestHysteresisDwellBoundary(t *testing.T) {
+	p := &Hysteresis{MinDwell: 30 * time.Minute}
+	lin := loaded(osid.Linux, 8, 32)
 	win := side(osid.Windows, 8, 8)
 
-	d := p.Decide(0, lin, win)
-	if !d.Act {
+	if d := p.Decide(0, lin, win); !d.Act {
 		t.Fatalf("first switch blocked: %+v", d)
 	}
-	d = p.Decide(10*time.Minute, lin, win)
+	// Strictly inside the dwell window: blocked, and the reason says so.
+	d := p.Decide(30*time.Minute-time.Nanosecond, lin, win)
 	if d.Act {
-		t.Fatalf("switch inside cooldown: %+v", d)
+		t.Fatalf("acted inside dwell: %+v", d)
 	}
-	d = p.Decide(31*time.Minute, lin, win)
-	if !d.Act {
-		t.Fatalf("switch after cooldown blocked: %+v", d)
+	if !strings.Contains(d.Reason, "dwell") {
+		t.Fatalf("reason = %q, want dwell", d.Reason)
+	}
+	// Exactly at the boundary: the window has elapsed.
+	if d := p.Decide(30*time.Minute, lin, win); !d.Act {
+		t.Fatalf("blocked at exact dwell boundary: %+v", d)
+	}
+	// And the new switch re-arms the window from its own timestamp.
+	if d := p.Decide(40*time.Minute, lin, win); d.Act {
+		t.Fatalf("dwell not re-armed: %+v", d)
 	}
 }
 
-func TestHysteresisNoActionDoesNotArmCooldown(t *testing.T) {
-	p := &Hysteresis{Inner: FCFS{}, Cooldown: time.Hour}
+func TestHysteresisNoActionDoesNotArmDwell(t *testing.T) {
+	p := &Hysteresis{MinDwell: time.Hour}
 	idle := side(osid.Linux, 8, 8)
 	win := side(osid.Windows, 8, 8)
-	p.Decide(0, idle, win) // nothing stuck, no switch
-	d := p.Decide(time.Minute, stuck(idle, 4, "j"), win)
+	p.Decide(0, idle, win) // nothing queued, no switch
+	d := p.Decide(time.Minute, loaded(osid.Linux, 8, 32), win)
 	if !d.Act {
-		t.Fatalf("cooldown armed by a no-op cycle: %+v", d)
+		t.Fatalf("dwell armed by a no-op cycle: %+v", d)
+	}
+}
+
+// TestNoFlapHysteresisVsThreshold is the no-flap regression: on demand
+// that oscillates between the sides every cycle, the threshold rule
+// chases every swing while hysteresis — dead band plus dwell — must
+// perform strictly fewer switches.
+func TestNoFlapHysteresisVsThreshold(t *testing.T) {
+	thr := Threshold{}
+	hys := &Hysteresis{}
+	states := func(i int) (lin, win SideState) {
+		lin = loaded(osid.Linux, 8, 32)
+		win = side(osid.Windows, 8, 8)
+		if i%2 == 1 {
+			win = loaded(osid.Windows, 8, 32)
+			lin = side(osid.Linux, 8, 8)
+		}
+		return
+	}
+	thrActs, hysActs := 0, 0
+	cycle := 5 * time.Minute
+	for i := 0; i < 24; i++ {
+		now := time.Duration(i) * cycle
+		lin, win := states(i)
+		if thr.Decide(now, lin, win).Act {
+			thrActs++
+		}
+		if hys.Decide(now, lin, win).Act {
+			hysActs++
+		}
+	}
+	if thrActs != 24 {
+		t.Fatalf("threshold acted %d/24 times on the oscillating feed", thrActs)
+	}
+	if hysActs == 0 || hysActs >= thrActs {
+		t.Fatalf("hysteresis acted %d times, want 0 < acts < %d", hysActs, thrActs)
+	}
+	// 24 cycles × 5m = 2h; a 30m dwell admits at most 5 switches.
+	if hysActs > 5 {
+		t.Fatalf("hysteresis acted %d times, dwell admits at most 5", hysActs)
+	}
+}
+
+func TestPredictiveWarmsUpBeforeActing(t *testing.T) {
+	p := &Predictive{}
+	lin := loaded(osid.Linux, 8, 32)
+	win := side(osid.Windows, 8, 8)
+	d := p.Decide(0, lin, win)
+	if d.Act {
+		t.Fatalf("acted with no rate history: %+v", d)
+	}
+	if !strings.Contains(d.Reason, "warming up") {
+		t.Fatalf("reason = %q", d.Reason)
+	}
+}
+
+func TestPredictiveProjectsArrivals(t *testing.T) {
+	p := &Predictive{}
+	quietL := side(osid.Linux, 14, 10)
+	quietW := side(osid.Windows, 2, 0)
+	p.Decide(0, quietL, quietW) // warmup primes the counters
+
+	// One hour later 40 CPUs of Windows work have arrived, 12 still
+	// queued; EWMA rate = 0.3×40 = 12 cpu/h. Over a 30m switch horizon
+	// that projects 12 + 6 − 0 = 18 CPUs of surviving backlog.
+	win := loaded(osid.Windows, 2, 12)
+	win.ArrivedCPUs = 40
+	win.SwitchLatency = 30 * time.Minute
+	d := p.Decide(time.Hour, quietL, win)
+	if !d.Act || d.Target != osid.Windows || d.Donor != osid.Linux {
+		t.Fatalf("d = %+v", d)
+	}
+	if d.Nodes != 4 { // 18 CPUs wants 5 nodes, step cap 4
+		t.Fatalf("nodes = %d, want the 4-node step cap", d.Nodes)
+	}
+}
+
+func TestPredictiveLatencyDiscountsDrainingQueue(t *testing.T) {
+	// A queue the side's own idle cores will absorb before a reboot
+	// could land is not worth a switch: the projection discounts the
+	// backlog by the switch latency.
+	p := &Predictive{}
+	lin := side(osid.Linux, 8, 8)
+	win := side(osid.Windows, 8, 1)
+	p.Decide(0, lin, win)
+
+	win.QueuedCPUs = 4
+	win.QueuedJobs = 1
+	win.SwitchLatency = 30 * time.Minute // no arrivals → projection 4 − 4 = 0
+	if d := p.Decide(time.Hour, lin, win); d.Act {
+		t.Fatalf("switched for a self-draining queue: %+v", d)
+	}
+}
+
+func TestPredictiveDonorKeepsAheadOfOwnDemand(t *testing.T) {
+	// The donor's own predicted arrivals block the donation even when
+	// it has idle nodes right now.
+	p := &Predictive{}
+	lin := side(osid.Linux, 8, 2)
+	win := side(osid.Windows, 8, 0)
+	p.Decide(0, lin, win)
+
+	lin2 := side(osid.Linux, 8, 2)
+	lin2.ArrivedCPUs = 200 // EWMA 60 cpu/h → 30 CPUs over the horizon
+	win2 := loaded(osid.Windows, 8, 32)
+	win2.SwitchLatency = 30 * time.Minute
+	if d := p.Decide(time.Hour, lin2, win2); d.Act {
+		t.Fatalf("stripped a donor with predicted demand: %+v", d)
+	}
+}
+
+func TestPredictiveStuckFloorsProjection(t *testing.T) {
+	// A stuck wide job survives any amount of idle capacity: the
+	// detector report floors the projection.
+	p := &Predictive{}
+	lin := side(osid.Linux, 8, 8)
+	win := side(osid.Windows, 8, 2)
+	p.Decide(0, lin, win)
+
+	win2 := stuck(side(osid.Windows, 8, 2), 16, "wide")
+	if d := p.Decide(time.Hour, lin, win2); !d.Act || d.Target != osid.Windows {
+		t.Fatalf("d = %+v", d)
 	}
 }
 
@@ -252,19 +474,54 @@ func TestDecisionString(t *testing.T) {
 	}
 }
 
-func TestPolicyNames(t *testing.T) {
-	if (FCFS{}).Name() != "fcfs" {
-		t.Error("fcfs name")
+func TestPolicyNamesMatchRegistry(t *testing.T) {
+	want := []string{"fcfs", "threshold", "hysteresis", "predictive", "fairshare"}
+	got := PolicyNames()
+	if len(got) != len(want) {
+		t.Fatalf("PolicyNames() = %v", got)
 	}
-	if (Threshold{}).Name() != "threshold" {
-		t.Error("threshold name")
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PolicyNames()[%d] = %q, want %q", i, got[i], want[i])
+		}
 	}
-	h := &Hysteresis{Inner: FCFS{}}
-	if h.Name() != "hysteresis(fcfs)" {
-		t.Errorf("hysteresis name = %q", h.Name())
+	for _, name := range want {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("ParsePolicy(%q).Name() = %q", name, p.Name())
+		}
 	}
-	if (FairShare{}).Name() != "fairshare" {
-		t.Error("fairshare name")
+}
+
+func TestParsePolicyUnknownListsValidSet(t *testing.T) {
+	_, err := ParsePolicy("fifo")
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	for _, name := range PolicyNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list %q", err, name)
+		}
+	}
+}
+
+func TestParsePolicyReturnsFreshInstances(t *testing.T) {
+	a, _ := ParsePolicy("hysteresis")
+	b, _ := ParsePolicy("hysteresis")
+	if a == b {
+		t.Fatal("ParsePolicy shared a stateful instance")
+	}
+	// Acting through one instance must not arm the other's dwell.
+	lin := loaded(osid.Linux, 8, 32)
+	win := side(osid.Windows, 8, 8)
+	if d := a.Decide(0, lin, win); !d.Act {
+		t.Fatalf("a did not act: %+v", d)
+	}
+	if d := b.Decide(time.Minute, lin, win); !d.Act {
+		t.Fatalf("b inherited a's dwell state: %+v", d)
 	}
 }
 
@@ -283,9 +540,10 @@ func TestNodesForRounding(t *testing.T) {
 }
 
 // Property: no policy ever orders more nodes than the donor can give,
-// targets an invalid OS, or acts without demand.
+// targets an invalid OS, or acts without demand. Stateful policies get
+// a fresh instance per case and two observation cycles so the
+// predictive rule has a rate history to act on.
 func TestQuickPoliciesRespectDonatable(t *testing.T) {
-	policies := []Policy{FCFS{}, Threshold{Reserve: 1, MinQueued: 1}, FairShare{MaxStep: 3}}
 	f := func(linTotal, linIdle, winTotal, winIdle, cpus uint8, linStuck, winStuck bool) bool {
 		lin := SideState{OS: osid.Linux, CoresPerNode: 4,
 			TotalNodes: int(linTotal % 16), IdleNodes: int(linIdle % 16)}
@@ -303,8 +561,14 @@ func TestQuickPoliciesRespectDonatable(t *testing.T) {
 		if winStuck {
 			win = stuck(win, int(cpus), "W")
 		}
+		lin.ArrivedCPUs = lin.QueuedCPUs
+		win.ArrivedCPUs = win.QueuedCPUs
+		policies := []Policy{
+			FCFS{}, Threshold{}, &Hysteresis{}, &Predictive{}, FairShare{MaxStep: 3},
+		}
 		for _, p := range policies {
-			d := p.Decide(0, lin, win)
+			p.Decide(0, lin, win)
+			d := p.Decide(time.Hour, lin, win)
 			if !d.Act {
 				continue
 			}

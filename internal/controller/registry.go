@@ -1,0 +1,51 @@
+package controller
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Factory names one controller policy constructor. New must return a
+// fresh instance on every call: the hysteresis and predictive rules
+// carry mutable state, and sharing one instance across clusters would
+// be both a data race and a determinism leak.
+type Factory struct {
+	Name string
+	New  func() Policy
+}
+
+// Factories returns the named policy constructors, in registry order:
+// the paper's FCFS first, then the adaptive suite. Every CLI flag and
+// sweep axis resolves policy names through this table, so the valid
+// vocabulary cannot drift between entry points.
+func Factories() []Factory {
+	return []Factory{
+		{"fcfs", func() Policy { return FCFS{} }},
+		{"threshold", func() Policy { return Threshold{} }},
+		{"hysteresis", func() Policy { return &Hysteresis{} }},
+		{"predictive", func() Policy { return &Predictive{} }},
+		{"fairshare", func() Policy { return FairShare{MaxStep: 2} }},
+	}
+}
+
+// PolicyNames lists the valid policy names in registry order.
+func PolicyNames() []string {
+	fs := Factories()
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// ParsePolicy resolves a policy by name, returning a fresh instance.
+// Unknown names error with the full valid set, so no parse boundary
+// can accept a misspelled policy silently.
+func ParsePolicy(name string) (Policy, error) {
+	for _, f := range Factories() {
+		if f.Name == name {
+			return f.New(), nil
+		}
+	}
+	return nil, fmt.Errorf("controller: unknown policy %q (valid: %s)", name, strings.Join(PolicyNames(), " | "))
+}

@@ -1,0 +1,86 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/osid"
+)
+
+func act(at time.Duration, donor, target osid.OS) DecisionRecord {
+	return DecisionRecord{At: at, Decision: Decision{Act: true, Donor: donor, Target: target, Nodes: 1}}
+}
+
+func noop(at time.Duration) DecisionRecord {
+	return DecisionRecord{At: at, Decision: Decision{Reason: "idle"}}
+}
+
+func TestThrashCountsReversalsInsideWindow(t *testing.T) {
+	hist := []DecisionRecord{
+		act(0, osid.Linux, osid.Windows),
+		noop(10 * time.Minute),
+		act(20*time.Minute, osid.Windows, osid.Linux), // reversal at 20m: thrash
+		act(40*time.Minute, osid.Linux, osid.Windows), // reversal at +20m: thrash
+	}
+	if got := ThrashCount(hist, 30*time.Minute); got != 2 {
+		t.Fatalf("thrash = %d, want 2", got)
+	}
+}
+
+func TestThrashIgnoresSlowReversals(t *testing.T) {
+	hist := []DecisionRecord{
+		act(0, osid.Linux, osid.Windows),
+		act(31*time.Minute, osid.Windows, osid.Linux), // outside the 30m window
+	}
+	if got := ThrashCount(hist, 30*time.Minute); got != 0 {
+		t.Fatalf("thrash = %d, want 0", got)
+	}
+	// A reversal at exactly one window is NOT thrash — it mirrors the
+	// dwell rule, which permits action at exactly t+MinDwell, so a
+	// dwell-honouring policy can never score.
+	hist[1].At = 30 * time.Minute
+	if got := ThrashCount(hist, 30*time.Minute); got != 0 {
+		t.Fatalf("boundary thrash = %d, want 0", got)
+	}
+	hist[1].At = 30*time.Minute - time.Second
+	if got := ThrashCount(hist, 30*time.Minute); got != 1 {
+		t.Fatalf("inside-window thrash = %d, want 1", got)
+	}
+}
+
+func TestThrashIgnoresSameDirectionRuns(t *testing.T) {
+	hist := []DecisionRecord{
+		act(0, osid.Linux, osid.Windows),
+		act(5*time.Minute, osid.Linux, osid.Windows),
+		act(10*time.Minute, osid.Linux, osid.Windows),
+	}
+	if got := ThrashCount(hist, 30*time.Minute); got != 0 {
+		t.Fatalf("thrash = %d, want 0", got)
+	}
+}
+
+func TestThrashZeroWindowDefaultsToDwell(t *testing.T) {
+	hist := []DecisionRecord{
+		act(0, osid.Linux, osid.Windows),
+		act(DefaultDwell-time.Minute, osid.Windows, osid.Linux),
+	}
+	if got := ThrashCount(hist, 0); got != 1 {
+		t.Fatalf("thrash = %d, want 1 (default window %v)", got, DefaultDwell)
+	}
+}
+
+func TestManagerThrashOnOscillatingGateway(t *testing.T) {
+	thrStats, thrHist := runOscillating(t, Threshold{})
+	if thrStats.Switches == 0 {
+		t.Fatal("threshold never switched")
+	}
+	// The oscillating gateway swings demand every 30 minutes, so the
+	// eager threshold rule's about-faces land inside the dwell window.
+	if got := ThrashCount(thrHist, DefaultDwell); got == 0 {
+		t.Fatal("threshold thrash = 0 on the oscillating trace")
+	}
+	_, hysHist := runOscillating(t, &Hysteresis{})
+	if got := ThrashCount(hysHist, DefaultDwell); got != 0 {
+		t.Fatalf("hysteresis thrash = %d, want 0 (dwell blocks fast reversals)", got)
+	}
+}

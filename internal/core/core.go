@@ -66,9 +66,13 @@ type Result struct {
 	Series         []cluster.Snapshot
 	ControlActions int
 	Controller     controller.Stats
-	BrokenNodes    int
-	Events         []cluster.Event
-	AppStats       []metrics.AppStat
+	// Thrash counts switch decisions the controller reversed within
+	// one dwell window (controller.ThrashCount) — the anti-flap number
+	// the policy experiments rank on. Grid runs sum their members.
+	Thrash      int
+	BrokenNodes int
+	Events      []cluster.Event
+	AppStats    []metrics.AppStat
 	// Members carries per-member summaries for grid topologies.
 	Members []MemberResult
 	// Dropped counts jobs no grid member could serve.
@@ -115,6 +119,7 @@ func Run(sc Scenario) (Result, error) {
 	res.EventsRun = c.Eng.EventsRun()
 	if c.Mgr != nil {
 		res.Controller = c.Mgr.Stats()
+		res.Thrash = c.Mgr.Thrash()
 	}
 	return res, nil
 }
@@ -150,6 +155,9 @@ func runGrid(sc Scenario, horizon time.Duration) (Result, error) {
 		})
 		res.ControlActions += m.Cluster.ControlActions()
 		res.BrokenNodes += m.Cluster.BrokenCount()
+		if m.Cluster.Mgr != nil {
+			res.Thrash += m.Cluster.Mgr.Thrash()
+		}
 		for _, e := range m.Cluster.Events() {
 			res.Events = append(res.Events, cluster.Event{At: e.At, What: m.Name + ": " + e.What})
 		}

@@ -59,6 +59,7 @@ func All() []Runner {
 		{"E12", E12MixSweep},
 		{"E13", E13SweepModes},
 		{"E14", E14RoutingPolicies},
+		{"E15", E15PolicySuite},
 		{"A1", A1CycleInterval},
 		{"A2", A2Policies},
 		{"A3", A3SwitchCost},

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/sweep"
 )
 
 func TestAllExperimentsRun(t *testing.T) {
@@ -75,5 +77,49 @@ func TestExpectedShapes(t *testing.T) {
 		if row[len(row)-1] != "true" {
 			t.Fatalf("switch exceeded 5m: %v", row)
 		}
+	}
+}
+
+// TestE15HysteresisBeatsThresholdOnDiurnal pins the PR's acceptance
+// criterion: on the diurnal trace the hysteresis policy performs
+// strictly fewer switches than threshold at equal-or-better
+// utilisation, and never thrashes more. The raw numbers come from the
+// sweep rather than the rendered table so the comparison is exact.
+func TestE15HysteresisBeatsThresholdOnDiurnal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	g, err := E15Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sweep.Run(sweep.Config{Grid: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := func(policy string) sweep.CellResult {
+		t.Helper()
+		for _, r := range out.Select(func(c sweep.Cell) bool {
+			return c.Policy.Name == policy && c.Trace.Kind == sweep.TraceDiurnal
+		}) {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+			return r
+		}
+		t.Fatalf("no diurnal cell for policy %s", policy)
+		return sweep.CellResult{}
+	}
+	thr, hys := pick("threshold"), pick("hysteresis")
+	if hys.Res.Summary.Switches >= thr.Res.Summary.Switches {
+		t.Fatalf("hysteresis switches = %d, threshold = %d; want strictly fewer",
+			hys.Res.Summary.Switches, thr.Res.Summary.Switches)
+	}
+	if hys.Res.Summary.Utilisation < thr.Res.Summary.Utilisation {
+		t.Fatalf("hysteresis util = %.4f under threshold %.4f",
+			hys.Res.Summary.Utilisation, thr.Res.Summary.Utilisation)
+	}
+	if hys.Res.Thrash > thr.Res.Thrash {
+		t.Fatalf("hysteresis thrash = %d over threshold %d", hys.Res.Thrash, thr.Res.Thrash)
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/bootmgr"
@@ -304,6 +305,103 @@ func E13SweepModes() (Table, error) {
 	return t, nil
 }
 
+// E15Policies are the policies E15 ranks: the paper's deployed rule
+// and the three adaptive extensions, in registry order.
+var E15Policies = []string{"fcfs", "threshold", "hysteresis", "predictive"}
+
+// E15Grid is the sweep E15 runs: the four switching policies crossed
+// with the diurnal campus pattern and the oscillating render-burst
+// trace. Exported so the CI artifact job can regenerate the same CSV
+// with `qsim sweep` and a test can assert the headline ordering.
+func E15Grid() (sweep.Grid, error) {
+	var specs []sweep.PolicySpec
+	for _, name := range E15Policies {
+		p, err := sweep.PolicyByName(name)
+		if err != nil {
+			return sweep.Grid{}, err
+		}
+		specs = append(specs, p)
+	}
+	return sweep.Grid{
+		Modes:    []cluster.Mode{cluster.HybridV2},
+		Policies: specs,
+		Traces: []sweep.TraceSpec{
+			{Kind: sweep.TraceDiurnal, JobsPerHour: 3, WindowsFrac: 0.5, Duration: 72 * time.Hour},
+			{Kind: sweep.TraceBurst, JobsPerHour: 3, WindowsFrac: 0.5, Duration: 72 * time.Hour},
+		},
+		BaseSeed: 15,
+		Cycle:    5 * time.Minute,
+	}, nil
+}
+
+// E15PolicySuite ranks the switching-policy suite on the diurnal and
+// burst traces — the repo's headline question ("when is hybrid
+// switching worth it?") as a swept result. Within each trace the
+// policies are ranked by utilisation, then fewest switches; the thrash
+// column counts switches reversed within one dwell window
+// (controller.ThrashCount), the reboots a calmer rule would not have
+// paid for.
+func E15PolicySuite() (Table, error) {
+	t := Table{
+		ID:     "E15",
+		Title:  "adaptive OS-switching policies: thrash vs utilisation (§V \"adapt the rules\")",
+		Header: []string{"trace", "policy", "util", "switches", "thrash", "wait(L)", "wait(W)", "makespan", "done/subm"},
+		Notes:  "threshold chases every swing of the queue; hysteresis's dead band and dwell time buy the same service for fewer reboots; predictive only pays for backlog that outlives the switch latency",
+	}
+	g, err := E15Grid()
+	if err != nil {
+		return t, err
+	}
+	out, err := sweep.Run(sweep.Config{Grid: g})
+	if err != nil {
+		return t, err
+	}
+	t.EventsRun = sumEvents(out)
+	// Expansion normalises trace names; read them back off the cells
+	// in expansion order rather than re-deriving.
+	var traceNames []string
+	seen := map[string]bool{}
+	for _, r := range out.Results {
+		if !seen[r.Cell.Trace.Name] {
+			seen[r.Cell.Trace.Name] = true
+			traceNames = append(traceNames, r.Cell.Trace.Name)
+		}
+	}
+	for _, trName := range traceNames {
+		trName := trName
+		cells := out.Select(func(c sweep.Cell) bool { return c.Trace.Name == trName })
+		// Rank within the trace: utilisation first, then fewest
+		// switches, expansion order as the stable tie-break.
+		sort.SliceStable(cells, func(i, j int) bool {
+			si, sj := cells[i].Res.Summary, cells[j].Res.Summary
+			if si.Utilisation != sj.Utilisation {
+				return si.Utilisation > sj.Utilisation
+			}
+			return si.Switches < sj.Switches
+		})
+		for _, r := range cells {
+			if r.Err != nil {
+				return t, r.Err
+			}
+			s := r.Res.Summary
+			done := s.JobsCompleted[osid.Linux] + s.JobsCompleted[osid.Windows]
+			subm := s.JobsSubmitted[osid.Linux] + s.JobsSubmitted[osid.Windows]
+			t.Rows = append(t.Rows, []string{
+				trName,
+				r.Cell.Policy.Name,
+				metrics.Pct(s.Utilisation),
+				fmt.Sprintf("%d", s.Switches),
+				fmt.Sprintf("%d", r.Res.Thrash),
+				metrics.Dur(s.MeanWait[osid.Linux]),
+				metrics.Dur(s.MeanWait[osid.Windows]),
+				metrics.Dur(s.Makespan),
+				fmt.Sprintf("%d/%d", done, subm),
+			})
+		}
+	}
+	return t, nil
+}
+
 // A1CycleInterval ablates the detector reporting cycle.
 func A1CycleInterval() (Table, error) {
 	t := Table{
@@ -426,9 +524,9 @@ func E14RoutingPolicies() (Table, error) {
 		Header: []string{"fabric-member", "routing", "util", "wait(L)", "wait(W)", "switches", "dropped", "done/subm"},
 		Notes:  "campus topology: flexible member + linux-only static + windows-only static, 16 nodes each; when the router lands a 10-node lead job on the flexible member its 8-node half wedges and dualboot shifts nodes across (switches, nothing dropped), while hybrid-last keeps wide work on the 16-node statics and avoids the churn entirely",
 	}
-	campus, ok := sweep.TopologyByName("campus")
-	if !ok {
-		return t, fmt.Errorf("experiments: campus topology preset missing")
+	campus, err := sweep.TopologyByName("campus")
+	if err != nil {
+		return t, err
 	}
 	g := sweep.Grid{
 		Modes:      []cluster.Mode{cluster.HybridV2, cluster.Static},

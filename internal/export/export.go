@@ -111,6 +111,7 @@ type SweepRow struct {
 	MeanWaitWindowsSec float64 `json:"mean_wait_windows_sec"`
 	Switches           int     `json:"switches"`
 	SwitchesOK         int     `json:"switches_ok"`
+	Thrash             int     `json:"thrash"` // switches reversed within one dwell window
 	MeanSwitchSec      float64 `json:"mean_switch_sec"`
 	JobsSubmitted      int     `json:"jobs_submitted"`
 	JobsCompleted      int     `json:"jobs_completed"`
@@ -129,7 +130,7 @@ func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 	header := []string{"cell", "mode", "policy", "nodes", "trace", "failure_rate",
 		"topology", "routing", "seed",
 		"utilisation", "mean_wait_linux_sec", "mean_wait_windows_sec",
-		"switches", "switches_ok", "mean_switch_sec",
+		"switches", "switches_ok", "thrash", "mean_switch_sec",
 		"jobs_submitted", "jobs_completed", "submit_failures", "broken_nodes",
 		"dropped", "makespan_sec", "err"}
 	if err := cw.Write(header); err != nil {
@@ -148,6 +149,7 @@ func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 			fmt.Sprintf("%.0f", r.MeanWaitWindowsSec),
 			fmt.Sprintf("%d", r.Switches),
 			fmt.Sprintf("%d", r.SwitchesOK),
+			fmt.Sprintf("%d", r.Thrash),
 			fmt.Sprintf("%.0f", r.MeanSwitchSec),
 			fmt.Sprintf("%d", r.JobsSubmitted),
 			fmt.Sprintf("%d", r.JobsCompleted),

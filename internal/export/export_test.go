@@ -92,7 +92,7 @@ func TestWriteSweepCSV(t *testing.T) {
 	rows := []SweepRow{
 		{Cell: "hybrid-v2/fcfs/n16/poisson-4jph-w30%/f0", Mode: "hybrid-v2", Policy: "fcfs",
 			Nodes: 16, Trace: "poisson-4jph-w30%", Seed: 42,
-			Utilisation: 0.4251, MeanWaitWindowsSec: 300, Switches: 6, SwitchesOK: 6,
+			Utilisation: 0.4251, MeanWaitWindowsSec: 300, Switches: 6, SwitchesOK: 6, Thrash: 2,
 			JobsSubmitted: 96, JobsCompleted: 96, MakespanSec: 90000},
 		{Cell: "static-split/fcfs/n16/poisson-4jph-w30%/f0.1", Mode: "static-split", Policy: "fcfs",
 			Nodes: 16, Trace: "poisson-4jph-w30%", FailureRate: 0.1, Seed: 43,
@@ -116,7 +116,10 @@ func TestWriteSweepCSV(t *testing.T) {
 	if records[1][9] != "0.425100" { // fixed-width float formatting
 		t.Fatalf("utilisation cell = %q", records[1][9])
 	}
-	if records[2][5] != "0.1" || records[2][21] != "boom" {
+	if records[0][14] != "thrash" || records[1][14] != "2" {
+		t.Fatalf("thrash column = %q/%q", records[0][14], records[1][14])
+	}
+	if records[2][5] != "0.1" || records[2][22] != "boom" {
 		t.Fatalf("failed-cell row = %v", records[2])
 	}
 

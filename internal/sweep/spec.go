@@ -17,13 +17,14 @@ import (
 //
 // Keys:
 //
-//	modes     cluster organisations (hybrid-v1|hybrid-v2|static-split|mono-stable)
-//	policies  controller policies (fcfs|threshold|hysteresis|fairshare)
+//	modes       cluster organisations (hybrid-v1|hybrid-v2|static-split|mono-stable)
+//	ctlpolicies controller policies (fcfs|threshold|hysteresis|predictive|fairshare);
+//	            "policies" is accepted as a legacy alias
 //	nodes     compute-node counts
 //	rates     Poisson arrival rates, jobs/hour (one trace shape per rate×winfrac)
 //	winfracs  Windows demand shares (0..1)
 //	hours     Poisson submission window in hours (single value)
-//	traces    trace kinds (poisson|phased|matlabga); crossed with rates/winfracs
+//	traces    trace kinds (poisson|phased|matlabga|diurnal|burst); crossed with rates/winfracs
 //	failrates per-boot failure probabilities (0..1)
 //	topologies fabric presets (single|campus|twin-hybrid)
 //	routings  campus routing policies (least-loaded|round-robin|hybrid-last)
@@ -57,11 +58,11 @@ func ParseGridSpec(spec string) (Grid, error) {
 				}
 				g.Modes = append(g.Modes, m)
 			}
-		case "policies":
+		case "ctlpolicies", "policies": // "policies" is the legacy alias
 			for _, v := range list {
-				p, ok := PolicyByName(strings.TrimSpace(v))
-				if !ok {
-					return g, fmt.Errorf("sweep: unknown policy %q", v)
+				p, err := PolicyByName(strings.TrimSpace(v))
+				if err != nil {
+					return g, err
 				}
 				g.Policies = append(g.Policies, p)
 			}
@@ -93,16 +94,11 @@ func ParseGridSpec(spec string) (Grid, error) {
 		case "traces":
 			kinds = kinds[:0]
 			for _, v := range list {
-				switch strings.TrimSpace(v) {
-				case "poisson":
-					kinds = append(kinds, TracePoisson)
-				case "phased":
-					kinds = append(kinds, TracePhased)
-				case "matlabga":
-					kinds = append(kinds, TraceMatlabGA)
-				default:
-					return g, fmt.Errorf("sweep: unknown trace kind %q", v)
+				k, err := ParseTraceKind(strings.TrimSpace(v))
+				if err != nil {
+					return g, err
 				}
+				kinds = append(kinds, k)
 			}
 		case "hours":
 			h, err := strconv.ParseFloat(strings.TrimSpace(vals), 64)
@@ -117,9 +113,9 @@ func ParseGridSpec(spec string) (Grid, error) {
 			}
 		case "topologies":
 			for _, v := range list {
-				t, ok := TopologyByName(strings.TrimSpace(v))
-				if !ok {
-					return g, fmt.Errorf("sweep: unknown topology %q", v)
+				t, err := TopologyByName(strings.TrimSpace(v))
+				if err != nil {
+					return g, err
 				}
 				g.Topologies = append(g.Topologies, t)
 			}
@@ -170,16 +166,33 @@ func ParseGridSpec(spec string) (Grid, error) {
 	return g, nil
 }
 
+// ParseTraceKind resolves a trace-shape kind by its String name;
+// unknown names error with the valid set.
+func ParseTraceKind(name string) (TraceKind, error) {
+	kinds := []TraceKind{TracePoisson, TracePhased, TraceMatlabGA, TraceDiurnal, TraceBurst}
+	valid := make([]string, len(kinds))
+	for i, k := range kinds {
+		if k.String() == name {
+			return k, nil
+		}
+		valid[i] = k.String()
+	}
+	return 0, fmt.Errorf("sweep: unknown trace kind %q (valid: %s)", name, strings.Join(valid, " | "))
+}
+
 // ParseMode resolves a cluster mode by its String name. The qsim CLI
 // shares this registry so the -mode flag and the sweep grid spec can
-// never drift apart.
+// never drift apart; unknown names error with the valid set.
 func ParseMode(name string) (cluster.Mode, error) {
-	for _, m := range []cluster.Mode{cluster.HybridV1, cluster.HybridV2, cluster.Static, cluster.MonoStable} {
+	modes := []cluster.Mode{cluster.HybridV1, cluster.HybridV2, cluster.Static, cluster.MonoStable}
+	valid := make([]string, len(modes))
+	for i, m := range modes {
 		if m.String() == name {
 			return m, nil
 		}
+		valid[i] = m.String()
 	}
-	return 0, fmt.Errorf("sweep: unknown mode %q", name)
+	return 0, fmt.Errorf("sweep: unknown mode %q (valid: %s)", name, strings.Join(valid, " | "))
 }
 
 func parseFloats(list []string, max float64) ([]float64, error) {

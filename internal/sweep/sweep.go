@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -50,6 +51,13 @@ const (
 	TracePhased
 	// TraceMatlabGA replays the §IV-B MATLAB-MDCS case study.
 	TraceMatlabGA
+	// TraceDiurnal draws the day/night campus pattern: submission
+	// rates peak in working hours and fall overnight.
+	TraceDiurnal
+	// TraceBurst lays recurring Windows render-farm bursts over a
+	// steady Linux background — the sharpest demand oscillation in the
+	// suite, the shape the anti-thrash policies are judged on.
+	TraceBurst
 )
 
 // String names the kind.
@@ -59,6 +67,10 @@ func (k TraceKind) String() string {
 		return "phased"
 	case TraceMatlabGA:
 		return "matlabga"
+	case TraceDiurnal:
+		return "diurnal"
+	case TraceBurst:
+		return "burst"
 	default:
 		return "poisson"
 	}
@@ -107,6 +119,13 @@ func (t TraceSpec) withDefaults() TraceSpec {
 			t.Name = fmt.Sprintf("phased-w%g", t.WindowsFrac)
 		case t.Kind == TraceMatlabGA:
 			t.Name = "matlabga"
+		case t.Kind == TraceDiurnal:
+			t.Name = fmt.Sprintf("diurnal-%gjph-w%g", t.JobsPerHour, t.WindowsFrac)
+		case t.Kind == TraceBurst:
+			// The burst shape fixes its Windows share by construction,
+			// so the name ignores WindowsFrac — crossing it with the
+			// winfracs axis dedups instead of duplicating cells.
+			t.Name = fmt.Sprintf("burst-%gjph", t.JobsPerHour)
 		default:
 			t.Name = fmt.Sprintf("poisson-%gjph-w%g", t.JobsPerHour, t.WindowsFrac)
 		}
@@ -129,6 +148,32 @@ func (t TraceSpec) Build(seed int64) workload.Trace {
 		})
 	case TraceMatlabGA:
 		return workload.MatlabGACase(seed)
+	case TraceDiurnal:
+		days := int(t.Duration / (24 * time.Hour))
+		if days < 1 {
+			days = 1
+		}
+		return workload.Diurnal(workload.DiurnalConfig{
+			Seed: seed, Days: days, PeakPerHour: t.JobsPerHour,
+			WindowsFrac: t.WindowsFrac, MaxNodes: t.MaxNodes,
+		})
+	case TraceBurst:
+		// Render-farm bursts every six hours over a Linux-only Poisson
+		// background at half the axis rate: demand that swings hard to
+		// Windows and back, four times a day.
+		lin := workload.Poisson(workload.PoissonConfig{
+			Seed: seed, Duration: t.Duration, JobsPerHour: t.JobsPerHour / 2,
+			WindowsFrac: 0, MaxNodes: t.MaxNodes,
+		})
+		var bursts workload.Trace
+		for start := time.Duration(0); start < t.Duration; start += 6 * time.Hour {
+			bursts = append(bursts, workload.Burst(workload.BurstConfig{
+				Start: start, Jobs: 4, Gap: 2 * time.Minute, App: "Backburner",
+				OS: osid.Windows, Nodes: 2, PPN: 4,
+				Runtime: 45 * time.Minute, Owner: "render",
+			})...)
+		}
+		return workload.Merge(lin, bursts)
 	default:
 		return workload.Poisson(workload.PoissonConfig{
 			Seed: seed, Duration: t.Duration, JobsPerHour: t.JobsPerHour,
@@ -139,34 +184,37 @@ func (t TraceSpec) Build(seed int64) workload.Trace {
 
 // PolicySpec is one point on the controller-policy axis. New must
 // return a fresh instance on every call: policies such as Hysteresis
-// carry mutable state, and sharing one instance across concurrently
-// running cells would be both a data race and a determinism leak.
+// and Predictive carry mutable state, and sharing one instance across
+// concurrently running cells would be both a data race and a
+// determinism leak.
 type PolicySpec struct {
 	Name string
 	New  func() controller.Policy
 }
 
-// DefaultPolicies returns the named policy constructors the CLI and
+// DefaultPolicies returns the controller registry's policy
+// constructors as sweep axis points — the vocabulary the CLI and
 // grid-spec parser understand.
 func DefaultPolicies() []PolicySpec {
-	return []PolicySpec{
-		{"fcfs", func() controller.Policy { return controller.FCFS{} }},
-		{"threshold", func() controller.Policy { return controller.Threshold{Reserve: 2, MinQueued: 1} }},
-		{"hysteresis", func() controller.Policy {
-			return &controller.Hysteresis{Inner: controller.FCFS{}, Cooldown: 20 * time.Minute}
-		}},
-		{"fairshare", func() controller.Policy { return controller.FairShare{MaxStep: 2} }},
+	fs := controller.Factories()
+	out := make([]PolicySpec, len(fs))
+	for i, f := range fs {
+		out[i] = PolicySpec{Name: f.Name, New: f.New}
 	}
+	return out
 }
 
-// PolicyByName finds a default policy constructor.
-func PolicyByName(name string) (PolicySpec, bool) {
-	for _, p := range DefaultPolicies() {
-		if p.Name == name {
-			return p, true
+// PolicyByName resolves a policy constructor through the controller
+// registry. Unknown names error with the full valid set — no parse
+// boundary accepts a misspelled policy silently.
+func PolicyByName(name string) (PolicySpec, error) {
+	for _, f := range controller.Factories() {
+		if f.Name == name {
+			return PolicySpec{Name: f.Name, New: f.New}, nil
 		}
 	}
-	return PolicySpec{}, false
+	return PolicySpec{}, fmt.Errorf("sweep: unknown controller policy %q (valid: %s)",
+		name, strings.Join(controller.PolicyNames(), " | "))
 }
 
 // Split selects a topology member's initial OS split.
@@ -239,14 +287,19 @@ func DefaultTopologies() []TopologySpec {
 	}
 }
 
-// TopologyByName finds a default topology preset.
-func TopologyByName(name string) (TopologySpec, bool) {
-	for _, t := range DefaultTopologies() {
+// TopologyByName finds a default topology preset; unknown names error
+// with the valid set.
+func TopologyByName(name string) (TopologySpec, error) {
+	presets := DefaultTopologies()
+	valid := make([]string, len(presets))
+	for i, t := range presets {
 		if t.Name == name {
-			return t, true
+			return t, nil
 		}
+		valid[i] = t.Name
 	}
-	return TopologySpec{}, false
+	return TopologySpec{}, fmt.Errorf("sweep: unknown topology %q (valid: %s)",
+		name, strings.Join(valid, " | "))
 }
 
 // Grid spans the scenario space to sweep. Empty axes collapse to a
@@ -678,6 +731,7 @@ func (o *Outcome) Rows() []export.SweepRow {
 			row.MeanWaitWindowsSec = s.MeanWait[osid.Windows].Seconds()
 			row.Switches = s.Switches
 			row.SwitchesOK = s.SwitchesOK
+			row.Thrash = r.Res.Thrash
 			row.MeanSwitchSec = s.MeanSwitch.Seconds()
 			row.JobsSubmitted = s.JobsSubmitted[osid.Linux] + s.JobsSubmitted[osid.Windows]
 			row.JobsCompleted = s.JobsCompleted[osid.Linux] + s.JobsCompleted[osid.Windows]

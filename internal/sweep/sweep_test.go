@@ -31,9 +31,9 @@ func smallGrid() Grid {
 // 3 traces × 2 failure rates × 2 topologies (single + campus) =
 // 24 cells, half of them three-member fabrics.
 func wideGrid() Grid {
-	campus, ok := TopologyByName("campus")
-	if !ok {
-		panic("campus topology preset missing")
+	campus, err := TopologyByName("campus")
+	if err != nil {
+		panic(err)
 	}
 	return Grid{
 		Modes:      []cluster.Mode{cluster.HybridV2, cluster.Static},
@@ -205,9 +205,9 @@ func TestSweepCSVByteIdenticalAcrossWorkers(t *testing.T) {
 
 // PolicyByNameMust is a test helper; panics on unknown names.
 func PolicyByNameMust(name string) PolicySpec {
-	p, ok := PolicyByName(name)
-	if !ok {
-		panic("unknown policy " + name)
+	p, err := PolicyByName(name)
+	if err != nil {
+		panic(err)
 	}
 	return p
 }
@@ -368,9 +368,9 @@ func TestTopologyAxisExpansion(t *testing.T) {
 
 // mustTopology is a test helper; panics on unknown topology names.
 func mustTopology(name string) TopologySpec {
-	tp, ok := TopologyByName(name)
-	if !ok {
-		panic("unknown topology " + name)
+	tp, err := TopologyByName(name)
+	if err != nil {
+		panic(err)
 	}
 	return tp
 }
@@ -485,5 +485,82 @@ func TestParseGridSpecTopologyAxes(t *testing.T) {
 		if _, err := ParseGridSpec(bad); err == nil {
 			t.Errorf("spec %q parsed without error", bad)
 		}
+	}
+}
+
+// Acceptance criterion for the policy axis: sweeping every registry
+// policy (stateful hysteresis and predictive included) over the
+// diurnal and burst traces serialises to byte-identical CSV at
+// -workers 1 and -workers 8 — the `qsim sweep -ctlpolicies
+// fcfs,threshold,hysteresis,predictive` contract.
+func TestSweepCtlPoliciesCSVByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy-axis sweep is slow")
+	}
+	g := Grid{
+		Modes:    []cluster.Mode{cluster.HybridV2},
+		Policies: DefaultPolicies(),
+		Traces: []TraceSpec{
+			{Kind: TraceDiurnal, JobsPerHour: 3, WindowsFrac: 0.5, Duration: 24 * time.Hour},
+			{Kind: TraceBurst, JobsPerHour: 3, Duration: 24 * time.Hour},
+		},
+		BaseSeed: 15,
+		Cycle:    5 * time.Minute,
+	}
+	csv := func(workers int) []byte {
+		out, err := Run(Config{Grid: g, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range out.Results {
+			if r.Err != nil {
+				t.Fatalf("cell %s: %v", r.Cell.Name(), r.Err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := export.WriteSweepCSV(&buf, out.Rows()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, parallel := csv(1), csv(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("policy-axis CSV diverged between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+func TestParseGridSpecCtlPolicies(t *testing.T) {
+	g, err := ParseGridSpec("ctlpolicies=fcfs,threshold,hysteresis,predictive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Policies) != 4 || g.Policies[3].Name != "predictive" {
+		t.Fatalf("policies = %+v", g.Policies)
+	}
+	// The legacy key still parses.
+	g, err = ParseGridSpec("policies=fairshare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Policies) != 1 || g.Policies[0].Name != "fairshare" {
+		t.Fatalf("legacy policies = %+v", g.Policies)
+	}
+	// Unknown names error listing the valid set.
+	if _, err := ParseGridSpec("ctlpolicies=fcsf"); err == nil || !strings.Contains(err.Error(), "fcfs | threshold | hysteresis | predictive | fairshare") {
+		t.Fatalf("unknown policy error = %v", err)
+	}
+}
+
+func TestParseGridSpecTraceKinds(t *testing.T) {
+	g, err := ParseGridSpec("traces=diurnal,burst;rates=3;winfracs=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Traces) != 2 || g.Traces[0].Kind != TraceDiurnal || g.Traces[1].Kind != TraceBurst {
+		t.Fatalf("traces = %+v", g.Traces)
+	}
+	if _, err := ParseGridSpec("traces=tidal"); err == nil || !strings.Contains(err.Error(), "poisson | phased | matlabga | diurnal | burst") {
+		t.Fatalf("unknown trace error = %v", err)
 	}
 }
