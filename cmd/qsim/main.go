@@ -18,6 +18,8 @@
 //	  -topologies campus -routings least-loaded,round-robin,hybrid-last
 //	qsim sweep -grid "modes=hybrid-v2;traces=diurnal,burst" \
 //	  -ctlpolicies fcfs,threshold,hysteresis,predictive
+//	qsim sweep -grid "modes=hybrid-v2;traces=phased;winfracs=0.5" \
+//	  -schedpolicies fcfs,backfill
 package main
 
 import (
@@ -52,6 +54,7 @@ func main() {
 		initLin  = flag.Int("linux", 0, "nodes starting in Linux (0 = half)")
 		cycle    = flag.Duration("cycle", 10*time.Minute, "controller cycle interval")
 		policy   = flag.String("policy", "fcfs", "controller policy: "+strings.Join(controller.PolicyNames(), " | "))
+		sched    = flag.String("sched", "fcfs", "head-scheduler queue discipline: "+strings.Join(cluster.SchedPolicyNames(), " | "))
 		seed     = flag.Int64("seed", 1, "workload seed")
 		winfrac  = flag.Float64("winfrac", 0.3, "Windows share of the workload")
 		hours    = flag.Float64("hours", 24, "submission window (poisson)")
@@ -76,7 +79,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qsim:", err)
 		os.Exit(2)
 	}
-	base := cluster.Config{Nodes: *nodes, InitialLinux: *initLin, Cycle: *cycle, Seed: *seed, Policy: pol}
+	schedPol, err := cluster.ParseSchedPolicy(*sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(2)
+	}
+	base := cluster.Config{Nodes: *nodes, InitialLinux: *initLin, Cycle: *cycle, Seed: *seed, Policy: pol, SchedPolicy: schedPol}
 
 	if *compare {
 		modes := []cluster.Mode{cluster.Static, cluster.MonoStable, cluster.HybridV1, cluster.HybridV2}
@@ -172,9 +180,11 @@ func runSweep(args []string) {
 	fs := flag.NewFlagSet("qsim sweep", flag.ExitOnError)
 	var (
 		gridSpec = fs.String("grid", "modes=hybrid-v2,static-split,mono-stable;nodes=16;rates=4;winfracs=0.3",
-			"grid spec: 'key=v,v;...' with keys modes|ctlpolicies|nodes|rates|winfracs|hours|traces|failrates|topologies|routings|seed|cycle")
+			"grid spec: 'key=v,v;...' with keys modes|ctlpolicies|schedpolicies|nodes|rates|winfracs|hours|traces|failrates|topologies|routings|seed|cycle|horizon")
 		ctlpolicies = fs.String("ctlpolicies", "",
 			"comma list of controller policies ("+strings.Join(controller.PolicyNames(), "|")+"); overrides the grid spec's ctlpolicies key")
+		schedpolicies = fs.String("schedpolicies", "",
+			"comma list of head-scheduler disciplines ("+strings.Join(cluster.SchedPolicyNames(), "|")+"); overrides the grid spec's schedpolicies key")
 		topologies = fs.String("topologies", "",
 			"comma list of fabric presets (single|campus|twin-hybrid); overrides the grid spec's topologies key")
 		routings = fs.String("routings", "",
@@ -202,6 +212,17 @@ func runSweep(args []string) {
 				os.Exit(2)
 			}
 			g.Policies = append(g.Policies, p)
+		}
+	}
+	if *schedpolicies != "" {
+		g.SchedPolicies = g.SchedPolicies[:0]
+		for _, name := range strings.Split(*schedpolicies, ",") {
+			p, err := cluster.ParseSchedPolicy(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qsim:", err)
+				os.Exit(2)
+			}
+			g.SchedPolicies = append(g.SchedPolicies, p)
 		}
 	}
 	if *topologies != "" {

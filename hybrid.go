@@ -117,6 +117,25 @@ func ParsePolicy(name string) (Policy, error) { return controller.ParsePolicy(na
 // order.
 func PolicyNames() []string { return controller.PolicyNames() }
 
+// SchedPolicy selects the head schedulers' queue discipline: strict
+// FCFS (the paper's deployment) or reservation-based EASY backfill,
+// under which later jobs may jump a blocked queue head only when they
+// cannot delay its earliest reservation.
+type SchedPolicy = cluster.SchedPolicy
+
+// Head-scheduler queue disciplines.
+const (
+	SchedFCFS     = cluster.SchedFCFS
+	SchedBackfill = cluster.SchedBackfill
+)
+
+// ParseSchedPolicy resolves a scheduler policy by name ("fcfs" |
+// "backfill"); unknown names error with the valid set.
+func ParseSchedPolicy(name string) (SchedPolicy, error) { return cluster.ParseSchedPolicy(name) }
+
+// SchedPolicyNames lists the valid scheduler policy names.
+func SchedPolicyNames() []string { return cluster.SchedPolicyNames() }
+
 // Run executes a scenario from time zero on a fresh cluster.
 func Run(sc Scenario) (Result, error) { return core.Run(sc) }
 

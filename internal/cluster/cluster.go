@@ -83,6 +83,10 @@ type Config struct {
 	Cycle time.Duration
 	// Policy overrides the controller decision rule (default FCFS).
 	Policy controller.Policy
+	// SchedPolicy selects both head schedulers' queue discipline:
+	// strict FCFS (the default, the paper's deployment) or
+	// reservation-based EASY backfill.
+	SchedPolicy SchedPolicy
 	// Latency overrides the boot timing model.
 	Latency *bootmgr.LatencyModel
 	// BusLatency is the head-node link latency (default 1ms).
@@ -212,6 +216,10 @@ func New(cfg Config) (*Cluster, error) {
 		submitted: map[string]bool{},
 	}
 	c.Rec = metrics.NewRecorder(eng.Now, cfg.Nodes*cfg.CoresPerNode)
+	if cfg.SchedPolicy == SchedBackfill {
+		c.PBS.Backfill = true
+		c.Win.Backfill = true
+	}
 	c.pbsDet = detector.NewPBSDetector(c.PBS)
 	c.winDet = detector.NewWinHPCDetector(c.Win)
 
@@ -381,15 +389,23 @@ func (c *Cluster) v1FATPartition(hw *hardware.Node) (*hardware.Partition, error)
 	return nil, fmt.Errorf("cluster: %s has no FAT control partition", hw.Name)
 }
 
-// wireSchedulers connects job lifecycle hooks to the metrics recorder.
+// wireSchedulers connects job lifecycle hooks to the metrics
+// recorder. A job only counts as ok when it genuinely completed: a
+// PBS job that died mid-run from node loss reports Failed (a previous
+// revision recorded it as ok, so a job that died counted as
+// successfully completed in every utilisation/completion metric), and
+// requeued rerunnable jobs suspend busy-core integration until their
+// next attempt starts.
 func (c *Cluster) wireSchedulers() {
 	c.PBS.OnJobStart = func(j *pbs.Job) { c.Rec.JobStarted(j.ID) }
+	c.PBS.OnJobRequeue = func(j *pbs.Job) { c.Rec.JobInterrupted(j.ID) }
 	c.PBS.OnJobEnd = func(j *pbs.Job) {
-		ok := !j.KilledAtWalltime()
+		ok := !j.KilledAtWalltime() && !j.Failed()
 		c.Rec.JobEnded(j.ID, ok)
 		c.markDone(j.ID, ok)
 	}
 	c.Win.OnJobStart = func(j *winhpc.Job) { c.Rec.JobStarted(winJobID(j.ID)) }
+	c.Win.OnJobRequeue = func(j *winhpc.Job) { c.Rec.JobInterrupted(winJobID(j.ID)) }
 	c.Win.OnJobEnd = func(j *winhpc.Job) {
 		ok := j.State == winhpc.JobFinished
 		c.Rec.JobEnded(winJobID(j.ID), ok)

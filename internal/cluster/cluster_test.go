@@ -521,6 +521,83 @@ func TestHooksObserveCompletionsAndSwitches(t *testing.T) {
 	}
 }
 
+// A non-rerunnable PBS job that dies with its node must not count as
+// completed anywhere: the completion hook reports completed=false and
+// the summary books zero completions. (A previous revision checked
+// only the walltime kill, so a job that died mid-run from node loss
+// counted as successfully completed in every utilisation/completion
+// metric.)
+func TestInterruptedNonRerunnableJobNotCounted(t *testing.T) {
+	c := newCluster(t, Config{Mode: Static, Nodes: 2, InitialLinux: 2})
+	var sawCompleted *bool
+	c.AddHooks(Hooks{JobCompleted: func(id string, completed bool) {
+		sawCompleted = &completed
+	}})
+	j, err := c.PBS.Qsub(pbs.SubmitRequest{Name: "fragile", Owner: "u@x",
+		Nodes: 1, PPN: 4, Runtime: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.track(j.ID, workload.Job{App: "fragile", OS: osid.Linux, Owner: "u",
+		Nodes: 1, PPN: 4, Runtime: time.Hour})
+	c.Eng.RunUntil(time.Minute)
+	if j.State != pbs.StateRunning {
+		t.Fatalf("job state = %v, want running", j.State)
+	}
+	if err := c.PBS.SetNodeAvailable(j.ExecHost[0].Node, false); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.RunUntil(2 * time.Minute)
+	if sawCompleted == nil {
+		t.Fatal("completion hook never fired for the dead job")
+	}
+	if *sawCompleted {
+		t.Fatal("job that died with its node reported completed=true")
+	}
+	sum := c.Summary()
+	if sum.JobsSubmitted[osid.Linux] != 1 || sum.JobsCompleted[osid.Linux] != 0 {
+		t.Fatalf("submitted/completed = %d/%d, want 1/0",
+			sum.JobsSubmitted[osid.Linux], sum.JobsCompleted[osid.Linux])
+	}
+}
+
+// A rerunnable workload job requeued by node loss keeps first-start
+// wait semantics end to end: the recorder books the original start,
+// counts the restart, and still reports the job completed.
+func TestRequeuedJobKeepsFirstStartAccounting(t *testing.T) {
+	c := newCluster(t, Config{Mode: Static, Nodes: 2, InitialLinux: 2})
+	id, err := c.Submit(workload.Job{App: "DL_POLY", OS: osid.Linux, Owner: "u",
+		Nodes: 1, PPN: 4, Runtime: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.RunUntil(10 * time.Minute)
+	j, err := c.PBS.Job(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PBS.SetNodeAvailable(j.ExecHost[0].Node, false); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Run()
+	recs := c.Rec.Jobs()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	rec := recs[0]
+	if !rec.Completed {
+		t.Fatal("requeued job did not complete")
+	}
+	if rec.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", rec.Restarts)
+	}
+	// First start was at submission (t=0, empty cluster), not the 10m
+	// restart: the wait must not deflate to the last attempt.
+	if rec.Started >= 10*time.Minute {
+		t.Fatalf("recorded start %v is the restart, want the first start", rec.Started)
+	}
+}
+
 // A negative InitialLinux pins every node to Windows — the only way
 // to express a Windows-only static split.
 func TestNegativeInitialLinuxMeansAllWindows(t *testing.T) {

@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SchedPolicy selects the queue discipline both head schedulers run.
+// It is a treatment axis like the controller policy: the same cluster
+// and trace can be ranked under strict FCFS (the paper's deployment)
+// and under reservation-based EASY backfill.
+type SchedPolicy uint8
+
+const (
+	// SchedFCFS is strict first-come first-served: the head of the
+	// queue blocks everything behind it. This is what the paper's
+	// Torque/OSCAR and Windows HPC "Queued" deployments ran, and it is
+	// what makes the "stuck" detector signal meaningful.
+	SchedFCFS SchedPolicy = iota
+	// SchedBackfill enables EASY backfill on both schedulers: later
+	// jobs may jump a blocked head only when they cannot delay its
+	// earliest reservation, so narrow streams can never starve a wide
+	// head job.
+	SchedBackfill
+)
+
+// String names the policy as the CLI and sweep grids spell it.
+func (p SchedPolicy) String() string {
+	if p == SchedBackfill {
+		return "backfill"
+	}
+	return "fcfs"
+}
+
+// SchedPolicyNames lists the valid scheduler policy names in registry
+// order.
+func SchedPolicyNames() []string { return []string{"fcfs", "backfill"} }
+
+// ParseSchedPolicy resolves a scheduler policy by name; unknown names
+// error with the full valid set, so no parse boundary accepts a
+// misspelled policy silently.
+func ParseSchedPolicy(name string) (SchedPolicy, error) {
+	for _, p := range []SchedPolicy{SchedFCFS, SchedBackfill} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown scheduler policy %q (valid: %s)",
+		name, strings.Join(SchedPolicyNames(), " | "))
+}

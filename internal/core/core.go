@@ -46,6 +46,12 @@ type Scenario struct {
 	// Topology, when it has members, runs the trace across a campus
 	// grid instead of Scenario.Cluster.
 	Topology Topology
+	// SchedPolicy selects both head schedulers' queue discipline for
+	// the whole run — a treatment axis applied uniformly to
+	// Scenario.Cluster and to every topology member. The zero value
+	// (fcfs) leaves the configs' own setting untouched, so a
+	// backfill cluster.Config still runs backfill.
+	SchedPolicy cluster.SchedPolicy
 }
 
 // MemberResult is one grid member's share of a topology run.
@@ -93,6 +99,9 @@ func Run(sc Scenario) (Result, error) {
 	if sc.Topology.IsGrid() {
 		return runGrid(sc, horizon)
 	}
+	if sc.SchedPolicy != cluster.SchedFCFS {
+		sc.Cluster.SchedPolicy = sc.SchedPolicy
+	}
 	c, err := cluster.New(sc.Cluster)
 	if err != nil {
 		return Result{}, err
@@ -131,7 +140,16 @@ func runGrid(sc Scenario, horizon time.Duration) (Result, error) {
 	if sc.SampleInterval > 0 {
 		return Result{}, fmt.Errorf("core: time-series sampling is not supported on grid topologies")
 	}
-	g, err := grid.New(sc.Topology.Routing, sc.Topology.Members)
+	members := sc.Topology.Members
+	if sc.SchedPolicy != cluster.SchedFCFS {
+		// Copy before overriding: the caller's member specs must not be
+		// written through.
+		members = append([]grid.MemberSpec(nil), members...)
+		for i := range members {
+			members[i].Config.SchedPolicy = sc.SchedPolicy
+		}
+	}
+	g, err := grid.New(sc.Topology.Routing, members)
 	if err != nil {
 		return Result{}, err
 	}

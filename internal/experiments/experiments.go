@@ -60,6 +60,7 @@ func All() []Runner {
 		{"E13", E13SweepModes},
 		{"E14", E14RoutingPolicies},
 		{"E15", E15PolicySuite},
+		{"E16", E16SchedPolicies},
 		{"A1", A1CycleInterval},
 		{"A2", A2Policies},
 		{"A3", A3SwitchCost},

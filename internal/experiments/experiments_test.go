@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
+	"repro/internal/osid"
 	"repro/internal/sweep"
 )
 
@@ -80,7 +82,61 @@ func TestExpectedShapes(t *testing.T) {
 	}
 }
 
-// TestE15HysteresisBeatsThresholdOnDiurnal pins the PR's acceptance
+// TestE16BackfillNeverLosesToFCFS pins the PR's acceptance criterion:
+// on every E16 trace EASY backfill's utilisation is equal or better
+// than strict FCFS with no completions lost, and on the dense Poisson
+// day it is strictly better. The raw numbers come from the sweep
+// rather than the rendered table so the comparison is exact. (The
+// companion guarantee — the wide head job starts no later than its
+// reservation — is pinned by the scheduler-level starvation tests in
+// internal/pbs and internal/winhpc.)
+func TestE16BackfillNeverLosesToFCFS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	out, err := sweep.Run(sweep.Config{Grid: E16Grid()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := func(traceName string, sched cluster.SchedPolicy) sweep.CellResult {
+		t.Helper()
+		for _, r := range out.Select(func(c sweep.Cell) bool {
+			return c.Trace.Name == traceName && c.Sched == sched
+		}) {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+			return r
+		}
+		t.Fatalf("no %v cell for trace %s", sched, traceName)
+		return sweep.CellResult{}
+	}
+	done := func(r sweep.CellResult) int {
+		s := r.Res.Summary
+		return s.JobsCompleted[osid.Linux] + s.JobsCompleted[osid.Windows]
+	}
+	for _, trName := range []string{"phased-w0.5", "poisson-6jph-w0.5"} {
+		fcfs := pick(trName, cluster.SchedFCFS)
+		bf := pick(trName, cluster.SchedBackfill)
+		if bf.Res.Summary.Utilisation < fcfs.Res.Summary.Utilisation {
+			t.Errorf("%s: backfill util %.6f below fcfs %.6f",
+				trName, bf.Res.Summary.Utilisation, fcfs.Res.Summary.Utilisation)
+		}
+		if done(bf) < done(fcfs) {
+			t.Errorf("%s: backfill completed %d below fcfs %d", trName, done(bf), done(fcfs))
+		}
+	}
+	// The dense Poisson day is where head-of-line blocking costs real
+	// work: backfill must win outright there.
+	fcfs := pick("poisson-6jph-w0.5", cluster.SchedFCFS)
+	bf := pick("poisson-6jph-w0.5", cluster.SchedBackfill)
+	if bf.Res.Summary.Utilisation <= fcfs.Res.Summary.Utilisation {
+		t.Errorf("poisson day: backfill util %.6f not strictly above fcfs %.6f",
+			bf.Res.Summary.Utilisation, fcfs.Res.Summary.Utilisation)
+	}
+}
+
+// TestE15HysteresisBeatsThresholdOnDiurnal pins PR 3's acceptance
 // criterion: on the diurnal trace the hysteresis policy performs
 // strictly fewer switches than threshold at equal-or-better
 // utilisation, and never thrashes more. The raw numbers come from the

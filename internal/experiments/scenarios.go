@@ -402,6 +402,93 @@ func E15PolicySuite() (Table, error) {
 	return t, nil
 }
 
+// E16Grid is the sweep E16 runs: strict FCFS vs EASY backfill on the
+// wide-mix traces where head-of-line blocking actually bites — the
+// phased wide-job mix whose 10-node phase leaders wedge the queue
+// head, plus a dense Poisson day that keeps a deep queue behind the
+// wide catalog jobs. Exported so the CI artifact job can regenerate
+// the same CSV with `qsim sweep -schedpolicies fcfs,backfill` (the
+// grid spec in ci.yml mirrors these axes exactly) and a test can
+// assert the headline ordering.
+func E16Grid() sweep.Grid {
+	return sweep.Grid{
+		Modes:         []cluster.Mode{cluster.HybridV2},
+		SchedPolicies: []cluster.SchedPolicy{cluster.SchedFCFS, cluster.SchedBackfill},
+		Traces: []sweep.TraceSpec{
+			{Kind: sweep.TracePhased, WindowsFrac: 0.5},
+			{JobsPerHour: 6, WindowsFrac: 0.5, Duration: 24 * time.Hour},
+		},
+		BaseSeed: 16,
+		Cycle:    5 * time.Minute,
+		Horizon:  200 * time.Hour,
+	}
+}
+
+// E16SchedPolicies ranks strict FCFS against reservation-based EASY
+// backfill on both schedulers. The EASY rule — a job may jump the
+// blocked head only when it cannot delay the head's earliest
+// reservation — lets narrow work flow around a wedged wide job
+// without ever starving it, so backfill should buy
+// equal-or-better utilisation while the wide jobs' MaxWait stays
+// bounded by their reservations.
+func E16SchedPolicies() (Table, error) {
+	t := Table{
+		ID:     "E16",
+		Title:  "scheduler policy: strict FCFS vs EASY backfill on wide-mix traces",
+		Header: []string{"trace", "sched", "util", "wait(L)", "wait(W)", "maxwait(L)", "maxwait(W)", "switches", "done/subm"},
+		Notes:  "EASY backfill packs narrow jobs around the wedged wide head under a reservation that bounds the head's wait; unreserved greedy backfill would instead let the narrow stream starve it",
+	}
+	g := E16Grid()
+	out, err := sweep.Run(sweep.Config{Grid: g})
+	if err != nil {
+		return t, err
+	}
+	t.EventsRun = sumEvents(out)
+	// Expansion normalises trace names; read them back off the cells.
+	var traceNames []string
+	seen := map[string]bool{}
+	for _, r := range out.Results {
+		if !seen[r.Cell.Trace.Name] {
+			seen[r.Cell.Trace.Name] = true
+			traceNames = append(traceNames, r.Cell.Trace.Name)
+		}
+	}
+	for _, trName := range traceNames {
+		cells := out.Select(func(c sweep.Cell) bool { return c.Trace.Name == trName })
+		// Rank within the trace: utilisation first, then completed
+		// jobs, expansion order as the stable tie-break.
+		sort.SliceStable(cells, func(i, j int) bool {
+			si, sj := cells[i].Res.Summary, cells[j].Res.Summary
+			if si.Utilisation != sj.Utilisation {
+				return si.Utilisation > sj.Utilisation
+			}
+			di := si.JobsCompleted[osid.Linux] + si.JobsCompleted[osid.Windows]
+			dj := sj.JobsCompleted[osid.Linux] + sj.JobsCompleted[osid.Windows]
+			return di > dj
+		})
+		for _, r := range cells {
+			if r.Err != nil {
+				return t, r.Err
+			}
+			s := r.Res.Summary
+			done := s.JobsCompleted[osid.Linux] + s.JobsCompleted[osid.Windows]
+			subm := s.JobsSubmitted[osid.Linux] + s.JobsSubmitted[osid.Windows]
+			t.Rows = append(t.Rows, []string{
+				trName,
+				r.Cell.Sched.String(),
+				metrics.Pct(s.Utilisation),
+				metrics.Dur(s.MeanWait[osid.Linux]),
+				metrics.Dur(s.MeanWait[osid.Windows]),
+				metrics.Dur(s.MaxWait[osid.Linux]),
+				metrics.Dur(s.MaxWait[osid.Windows]),
+				fmt.Sprintf("%d", s.Switches),
+				fmt.Sprintf("%d/%d", done, subm),
+			})
+		}
+	}
+	return t, nil
+}
+
 // A1CycleInterval ablates the detector reporting cycle.
 func A1CycleInterval() (Table, error) {
 	t := Table{

@@ -100,6 +100,7 @@ type SweepRow struct {
 	Cell               string  `json:"cell"`
 	Mode               string  `json:"mode"`
 	Policy             string  `json:"policy"`
+	Sched              string  `json:"sched_policy"` // head-scheduler discipline (fcfs|backfill)
 	Nodes              int     `json:"nodes"`
 	Trace              string  `json:"trace"`
 	FailureRate        float64 `json:"failure_rate"`
@@ -127,7 +128,7 @@ type SweepRow struct {
 // formatting — so two identical sweeps serialise byte-identically.
 func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 	cw := csv.NewWriter(w)
-	header := []string{"cell", "mode", "policy", "nodes", "trace", "failure_rate",
+	header := []string{"cell", "mode", "policy", "sched_policy", "nodes", "trace", "failure_rate",
 		"topology", "routing", "seed",
 		"utilisation", "mean_wait_linux_sec", "mean_wait_windows_sec",
 		"switches", "switches_ok", "thrash", "mean_switch_sec",
@@ -138,7 +139,7 @@ func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
 	}
 	for _, r := range rows {
 		rec := []string{
-			r.Cell, r.Mode, r.Policy,
+			r.Cell, r.Mode, r.Policy, r.Sched,
 			fmt.Sprintf("%d", r.Nodes),
 			r.Trace,
 			fmt.Sprintf("%g", r.FailureRate),

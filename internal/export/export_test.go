@@ -91,11 +91,11 @@ func TestWriteSummaryJSON(t *testing.T) {
 func TestWriteSweepCSV(t *testing.T) {
 	rows := []SweepRow{
 		{Cell: "hybrid-v2/fcfs/n16/poisson-4jph-w30%/f0", Mode: "hybrid-v2", Policy: "fcfs",
-			Nodes: 16, Trace: "poisson-4jph-w30%", Seed: 42,
+			Sched: "backfill", Nodes: 16, Trace: "poisson-4jph-w30%", Seed: 42,
 			Utilisation: 0.4251, MeanWaitWindowsSec: 300, Switches: 6, SwitchesOK: 6, Thrash: 2,
 			JobsSubmitted: 96, JobsCompleted: 96, MakespanSec: 90000},
 		{Cell: "static-split/fcfs/n16/poisson-4jph-w30%/f0.1", Mode: "static-split", Policy: "fcfs",
-			Nodes: 16, Trace: "poisson-4jph-w30%", FailureRate: 0.1, Seed: 43,
+			Sched: "fcfs", Nodes: 16, Trace: "poisson-4jph-w30%", FailureRate: 0.1, Seed: 43,
 			Err: "boom"},
 	}
 	var buf bytes.Buffer
@@ -110,16 +110,19 @@ func TestWriteSweepCSV(t *testing.T) {
 	if len(records) != 3 {
 		t.Fatalf("rows = %d", len(records))
 	}
-	if records[0][0] != "cell" || records[0][5] != "failure_rate" || records[0][6] != "topology" || records[0][7] != "routing" {
+	if records[0][0] != "cell" || records[0][3] != "sched_policy" || records[0][6] != "failure_rate" || records[0][7] != "topology" || records[0][8] != "routing" {
 		t.Fatalf("header = %v", records[0])
 	}
-	if records[1][9] != "0.425100" { // fixed-width float formatting
-		t.Fatalf("utilisation cell = %q", records[1][9])
+	if records[1][3] != "backfill" || records[2][3] != "fcfs" {
+		t.Fatalf("sched_policy cells = %q/%q", records[1][3], records[2][3])
 	}
-	if records[0][14] != "thrash" || records[1][14] != "2" {
-		t.Fatalf("thrash column = %q/%q", records[0][14], records[1][14])
+	if records[1][10] != "0.425100" { // fixed-width float formatting
+		t.Fatalf("utilisation cell = %q", records[1][10])
 	}
-	if records[2][5] != "0.1" || records[2][22] != "boom" {
+	if records[0][15] != "thrash" || records[1][15] != "2" {
+		t.Fatalf("thrash column = %q/%q", records[0][15], records[1][15])
+	}
+	if records[2][6] != "0.1" || records[2][23] != "boom" {
 		t.Fatalf("failed-cell row = %v", records[2])
 	}
 

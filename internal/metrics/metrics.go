@@ -14,7 +14,12 @@ import (
 	"repro/internal/osid"
 )
 
-// JobRecord is one job's lifecycle summary.
+// JobRecord is one job's lifecycle summary. Started is the *first*
+// start: a rerunnable job that is requeued after node loss and served
+// again keeps its original start, so Wait measures submission to
+// first service and the job's span covers every attempt. (A previous
+// revision overwrote Started on restart, which silently deflated the
+// reported queue wait and shrank the job's span to the last attempt.)
 type JobRecord struct {
 	ID        string
 	OS        osid.OS
@@ -24,9 +29,22 @@ type JobRecord struct {
 	Started   time.Duration
 	Ended     time.Duration
 	Completed bool
+	// Restarts counts requeue-and-start cycles after the first start.
+	Restarts int
+
+	running     bool          // busy-core integration in progress
+	everStarted bool          // first start seen (Started == 0 is ambiguous at t=0)
+	lastStart   time.Duration // start of the current attempt
+	busy        time.Duration // accumulated actual service time across attempts
 }
 
-// Wait returns queue wait (start - submit).
+// BusyTime returns the job's accumulated actual service time: the sum
+// of its running windows across every attempt. For a never-interrupted
+// job this equals Ended - Started; for a requeued one it counts each
+// attempt's running window but not the queued gap between them.
+func (j JobRecord) BusyTime() time.Duration { return j.busy }
+
+// Wait returns queue wait (first start - submit).
 func (j JobRecord) Wait() time.Duration { return j.Started - j.Submitted }
 
 // SwitchRecord is one OS switch of one node.
@@ -105,15 +123,43 @@ func (r *Recorder) JobSubmitted(id string, os osid.OS, app string, cpus int) {
 	r.order = append(r.order, id)
 }
 
-// JobStarted records a start and begins busy-core integration.
+// JobStarted records a start and begins busy-core integration. A
+// restart after a requeue (see JobInterrupted) resumes integration
+// but keeps the first Started — first-start wait semantics.
 func (r *Recorder) JobStarted(id string) {
 	r.advance()
 	j, ok := r.jobs[id]
-	if !ok {
+	if !ok || j.running {
 		return
 	}
-	j.Started = r.now()
+	if !j.everStarted {
+		j.everStarted = true
+		j.Started = r.now()
+	} else {
+		j.Restarts++
+	}
+	j.running = true
+	j.lastStart = r.now()
 	r.busyCores[j.OS] += j.CPUs
+}
+
+// JobInterrupted records a running job losing its slots and returning
+// to the queue (a rerunnable job whose node was lost). Busy-core
+// integration stops until the job is started again; without this the
+// lost attempt would keep inflating utilisation while the job sat
+// queued.
+func (r *Recorder) JobInterrupted(id string) {
+	r.advance()
+	j, ok := r.jobs[id]
+	if !ok || !j.running {
+		return
+	}
+	j.running = false
+	j.busy += r.now() - j.lastStart
+	r.busyCores[j.OS] -= j.CPUs
+	if r.busyCores[j.OS] < 0 {
+		r.busyCores[j.OS] = 0
+	}
 }
 
 // JobEnded records completion and releases busy cores.
@@ -123,17 +169,20 @@ func (r *Recorder) JobEnded(id string, completed bool) {
 	if !ok {
 		return
 	}
-	if j.Started == 0 && j.Submitted != 0 && !completed {
+	j.Ended = r.now()
+	if j.running {
+		j.running = false
+		j.busy += r.now() - j.lastStart
+		r.busyCores[j.OS] -= j.CPUs
+		if r.busyCores[j.OS] < 0 {
+			r.busyCores[j.OS] = 0
+		}
+	}
+	if !j.everStarted && !completed {
 		// never started (cancelled in queue)
-		j.Ended = r.now()
 		return
 	}
-	j.Ended = r.now()
 	j.Completed = completed
-	r.busyCores[j.OS] -= j.CPUs
-	if r.busyCores[j.OS] < 0 {
-		r.busyCores[j.OS] = 0
-	}
 }
 
 // SubmitFailed counts a submission the target scheduler rejected. The
@@ -388,7 +437,9 @@ func (r *Recorder) AppStats() []AppStat {
 		if w < st.ShortestWait {
 			st.ShortestWait = w
 		}
-		st.CPUHours += float64(j.CPUs) * (j.Ended - j.Started).Hours()
+		// Actual service time, not Ended-Started: a requeued job's
+		// queue gap must not count as compute.
+		st.CPUHours += float64(j.CPUs) * j.busy.Hours()
 	}
 	out := make([]AppStat, 0, len(acc))
 	for key, st := range acc {

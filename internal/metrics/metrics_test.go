@@ -59,6 +59,80 @@ func TestWaits(t *testing.T) {
 	}
 }
 
+// TestRequeueKeepsFirstStartWait pins the requeue semantics: a
+// rerunnable job interrupted by node loss and restarted keeps its
+// first start (the wait measures submission to first service), counts
+// its restarts, and only integrates busy cores while actually
+// running.
+func TestRequeueKeepsFirstStartWait(t *testing.T) {
+	c := &fakeClock{}
+	r := NewRecorder(c.now, 8)
+	r.JobSubmitted("j1", osid.Linux, "LAMMPS", 4)
+	c.t = 10 * time.Minute
+	r.JobStarted("j1")
+	c.t = 40 * time.Minute
+	r.JobInterrupted("j1") // node lost; back to the queue
+	c.t = time.Hour
+	r.JobStarted("j1") // second attempt
+	c.t = 2 * time.Hour
+	r.JobEnded("j1", true)
+	s := r.Summarise(2)
+
+	// Wait is submission → *first* start, not the restart.
+	if want := 10 * time.Minute; s.MeanWait[osid.Linux] != want {
+		t.Fatalf("wait = %v, want %v (first-start semantics)", s.MeanWait[osid.Linux], want)
+	}
+	// Busy-core integration covers only the two running windows:
+	// 30m + 60m = 90m of 4 cores over a 2h × 8-core window.
+	want := (90 * time.Minute).Seconds() * 4 / ((2 * time.Hour).Seconds() * 8)
+	if diff := s.Utilisation - want; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("utilisation = %v, want %v (no busy time while requeued)", s.Utilisation, want)
+	}
+	jobs := r.Jobs()
+	if len(jobs) != 1 || jobs[0].Restarts != 1 {
+		t.Fatalf("jobs = %+v, want one record with one restart", jobs)
+	}
+	if jobs[0].Started != 10*time.Minute || jobs[0].Ended != 2*time.Hour {
+		t.Fatalf("record spans %v..%v, want 10m..2h", jobs[0].Started, jobs[0].Ended)
+	}
+	if got := jobs[0].BusyTime(); got != 90*time.Minute {
+		t.Fatalf("busy time = %v, want 90m (running windows only)", got)
+	}
+	// Per-app CPU-hours follow actual service, not Ended-Started: the
+	// 20-minute requeued gap must not count as compute.
+	apps := r.AppStats()
+	if len(apps) != 1 {
+		t.Fatalf("app stats = %+v", apps)
+	}
+	if wantCPUH := 4 * 1.5; apps[0].CPUHours != wantCPUH {
+		t.Fatalf("CPU-hours = %v, want %v", apps[0].CPUHours, wantCPUH)
+	}
+}
+
+// A job interrupted and never restarted must stop integrating busy
+// cores at the interrupt, and ending it afterwards must not
+// double-release.
+func TestInterruptWithoutRestartReleasesOnce(t *testing.T) {
+	c := &fakeClock{}
+	r := NewRecorder(c.now, 4)
+	r.JobSubmitted("j1", osid.Windows, "Opera", 4)
+	r.JobStarted("j1")
+	c.t = time.Hour
+	r.JobInterrupted("j1")
+	c.t = 2 * time.Hour
+	r.JobEnded("j1", false)
+	c.t = 4 * time.Hour
+	s := r.Summarise(1)
+	// 4 cores × 1h of a 4h × 4-core window = 25%.
+	want := 0.25
+	if diff := s.Utilisation - want; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("utilisation = %v, want %v", s.Utilisation, want)
+	}
+	if s.JobsCompleted[osid.Windows] != 0 {
+		t.Fatalf("failed job counted as completed: %+v", s.JobsCompleted)
+	}
+}
+
 func TestSwitchRecords(t *testing.T) {
 	c := &fakeClock{}
 	r := NewRecorder(c.now, 4)

@@ -74,6 +74,7 @@ type Job struct {
 	OnEnd func(j *Job)
 
 	killedAtLimit bool
+	failed        bool
 }
 
 // CPUs returns the total virtual processors the job needs.
@@ -81,6 +82,11 @@ func (j *Job) CPUs() int { return j.Nodes * j.PPN }
 
 // KilledAtWalltime reports whether the job hit its walltime limit.
 func (j *Job) KilledAtWalltime() bool { return j.killedAtLimit }
+
+// Failed reports whether the job died without completing its work —
+// a non-rerunnable job interrupted by node loss. Walltime kills are
+// reported separately through KilledAtWalltime.
+func (j *Job) Failed() bool { return j.failed }
 
 // ExecHostString renders the exec_host attribute the way PBS does:
 // "node16/3+node16/2+node16/1+node16/0".

@@ -87,15 +87,26 @@ type Server struct {
 	queues       map[string]*Queue
 	defaultQueue string
 
-	// Backfill enables the out-of-order placement extension used by
-	// the policy ablation; the paper's system has it off.
+	// Backfill enables reservation-based EASY backfill: later jobs may
+	// jump a blocked queue head only when they cannot delay its
+	// earliest reservation (shadow time). The paper's system has it
+	// off. An earlier revision shipped unreserved greedy backfill
+	// here, which let a stream of narrow jobs starve a wide head job
+	// indefinitely.
 	Backfill bool
 
-	// Hooks for the metrics recorder and the controller.
-	OnJobStart func(*Job)
-	OnJobEnd   func(*Job)
+	// Hooks for the metrics recorder and the controller. OnJobRequeue
+	// fires when a running rerunnable job loses its node and returns
+	// to the queue — the recorder needs it to stop busy-core
+	// integration between the attempts.
+	OnJobStart   func(*Job)
+	OnJobEnd     func(*Job)
+	OnJobRequeue func(*Job)
 
 	schedPending bool
+	// schedOverride replaces the scheduling pass; tests use it to run
+	// a replica of historical policies against the same server.
+	schedOverride func()
 
 	// BaseDate maps virtual time zero to a wall-clock date for the
 	// qstat/pbsnodes renderings. The default matches the paper's
@@ -208,16 +219,22 @@ func (s *Server) SetNodeOffline(name string, offline bool) error {
 	return nil
 }
 
-// interruptJob handles a running job losing a node.
+// interruptJob handles a running job losing a node. A rerunnable job
+// requeues; anything else dies mid-run and is marked failed so the
+// accounting upstream cannot mistake it for a completed job.
 func (s *Server) interruptJob(j *Job) {
 	s.releaseSlots(j)
 	if j.Rerunnable {
 		j.State = StateQueued
 		j.ExecHost = nil
+		if s.OnJobRequeue != nil {
+			s.OnJobRequeue(j)
+		}
 		s.kick()
 		return
 	}
 	j.State = StateComplete
+	j.failed = true
 	j.EndTime = s.eng.Now()
 	if s.OnJobEnd != nil {
 		s.OnJobEnd(j)
@@ -416,28 +433,155 @@ func (s *Server) kick() {
 	})
 }
 
-// schedule runs one FCFS pass: place the head of the queue; stop at
-// the first job that does not fit (unless Backfill is enabled, in
-// which case later jobs may jump the blocked head). Jobs in stopped or
-// capped queues are skipped without blocking the rest.
+// schedule runs one scheduling pass. FCFS: place the head of the
+// queue and stop at the first job that does not fit. With Backfill
+// the pass is EASY: the first blocked job becomes the pivot and gets
+// a reservation at its shadow time — the earliest instant it fits
+// once running jobs release their slots at their projected ends — and
+// later jobs may start only if doing so cannot delay that
+// reservation. Jobs in stopped or capped queues are skipped without
+// blocking the rest.
 func (s *Server) schedule() {
+	if s.schedOverride != nil {
+		s.schedOverride()
+		return
+	}
+	var pivot *Job
+	var rsv reservation
 	for _, j := range s.QueuedJobs() {
 		if !s.schedulable(j) {
 			continue
 		}
-		placed := s.tryPlace(j)
-		if !placed && !s.Backfill {
-			return
+		if pivot == nil {
+			if s.tryPlace(j) {
+				continue
+			}
+			if !s.Backfill {
+				return
+			}
+			pivot = j
+			rsv = s.reserve(pivot)
+			continue
 		}
+		s.tryBackfill(j, pivot, &rsv)
 	}
 }
 
-// tryPlace attempts to allocate nodes for a job and start it.
-func (s *Server) tryPlace(j *Job) bool {
-	type cand struct {
-		node *Node
-		cpus []int
+// reservation is the pivot's EASY booking: the shadow time and the
+// per-node free-CPU projection at that instant. When ok is false no
+// projected future fits the pivot (its nodes are down or booted into
+// the other OS) — there is nothing to protect, so backfill runs
+// unrestricted, which preserves the hybrid's behaviour of packing
+// narrow work while the controller fetches nodes for the wide head.
+type reservation struct {
+	shadow time.Duration
+	free   map[string]int
+	ok     bool
+}
+
+// projectedEnd bounds when a running job releases its slots: the
+// walltime contract when the user gave one (the job is killed there
+// at the latest), otherwise the simulator's known runtime. Both are
+// upper bounds, so a reservation computed from them can only be
+// pessimistic — the pivot never starts later than its shadow time.
+func projectedEnd(j *Job) time.Duration {
+	d := j.Runtime
+	if j.Walltime > 0 {
+		d = j.Walltime
 	}
+	return j.StartTime + d
+}
+
+// reserve computes the pivot's shadow state by replaying the running
+// jobs' projected releases onto the current per-node free CPUs, in
+// release order, until the pivot fits.
+func (s *Server) reserve(pivot *Job) reservation {
+	free := make(map[string]int, len(s.nodeOrder))
+	for _, name := range s.nodeOrder {
+		n := s.nodes[name]
+		if n.State() == NodeOffline || n.State() == NodeDown {
+			continue
+		}
+		free[name] = n.FreeCPUs()
+	}
+	running := s.RunningJobs()
+	sort.SliceStable(running, func(i, j int) bool {
+		return projectedEnd(running[i]) < projectedEnd(running[j])
+	})
+	for i := 0; i < len(running); {
+		end := projectedEnd(running[i])
+		for ; i < len(running) && projectedEnd(running[i]) == end; i++ {
+			for _, slot := range running[i].ExecHost {
+				if _, up := free[slot.Node]; up {
+					free[slot.Node]++
+				}
+			}
+		}
+		if fitsIn(free, s.nodeOrder, pivot) {
+			return reservation{shadow: end, free: free, ok: true}
+		}
+	}
+	return reservation{}
+}
+
+// tryBackfill starts a candidate behind the blocked pivot if it
+// cannot delay the pivot's reservation: either it releases its slots
+// by the shadow time, or the pivot still fits at the shadow time with
+// the candidate's slots subtracted. Long candidates that pass stay
+// subtracted, so later candidates in the same pass see the remaining
+// slack only.
+func (s *Server) tryBackfill(j *Job, pivot *Job, rsv *reservation) bool {
+	chosen := s.chooseNodes(j)
+	if chosen == nil {
+		return false
+	}
+	if rsv.ok && s.eng.Now()+backfillDemand(j) > rsv.shadow {
+		for _, c := range chosen {
+			rsv.free[c.node.Name] -= len(c.cpus)
+		}
+		if !fitsIn(rsv.free, s.nodeOrder, pivot) {
+			for _, c := range chosen {
+				rsv.free[c.node.Name] += len(c.cpus)
+			}
+			return false
+		}
+	}
+	s.commit(j, chosen)
+	return true
+}
+
+// backfillDemand is how long a candidate would hold its slots if
+// started now — its walltime request when given, else its runtime.
+func backfillDemand(j *Job) time.Duration {
+	if j.Walltime > 0 {
+		return j.Walltime
+	}
+	return j.Runtime
+}
+
+// fitsIn checks a job against a per-node free-CPU projection.
+func fitsIn(free map[string]int, order []string, j *Job) bool {
+	have := 0
+	for _, name := range order {
+		if free[name] >= j.PPN {
+			have++
+			if have == j.Nodes {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// cand is one node's contribution to a placement.
+type cand struct {
+	node *Node
+	cpus []int
+}
+
+// chooseNodes selects nodes and CPU slots for a job without
+// committing them; nil when the job does not fit right now.
+func (s *Server) chooseNodes(j *Job) []cand {
 	var chosen []cand
 	for _, name := range s.nodeOrder {
 		n := s.nodes[name]
@@ -455,12 +599,14 @@ func (s *Server) tryPlace(j *Job) bool {
 		}
 		chosen = append(chosen, cand{n, cpus})
 		if len(chosen) == j.Nodes {
-			break
+			return chosen
 		}
 	}
-	if len(chosen) < j.Nodes {
-		return false
-	}
+	return nil
+}
+
+// commit occupies the chosen slots and starts the job.
+func (s *Server) commit(j *Job, chosen []cand) {
 	for _, c := range chosen {
 		for _, cpu := range c.cpus {
 			c.node.busy[cpu] = j
@@ -468,6 +614,15 @@ func (s *Server) tryPlace(j *Job) bool {
 		}
 	}
 	s.startJob(j)
+}
+
+// tryPlace attempts to allocate nodes for a job and start it.
+func (s *Server) tryPlace(j *Job) bool {
+	chosen := s.chooseNodes(j)
+	if chosen == nil {
+		return false
+	}
+	s.commit(j, chosen)
 	return true
 }
 

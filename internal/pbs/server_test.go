@@ -253,6 +253,35 @@ func TestNodeDownKillsNonRerunnable(t *testing.T) {
 	if j.State != StateComplete || !ended {
 		t.Fatalf("state=%v ended=%v", j.State, ended)
 	}
+	// The job died mid-run: it must carry the explicit failure signal
+	// (it was NOT killed at a walltime limit, and treating it as a
+	// clean completion would count a dead job as successful work).
+	if !j.Failed() {
+		t.Fatal("interrupted non-rerunnable job not marked failed")
+	}
+	if j.KilledAtWalltime() {
+		t.Fatal("node-loss interrupt misreported as a walltime kill")
+	}
+}
+
+func TestRequeueFiresOnJobRequeueNotEnd(t *testing.T) {
+	eng, s := newTestServer(t, 2)
+	var requeued, ended int
+	s.OnJobRequeue = func(*Job) { requeued++ }
+	s.OnJobEnd = func(*Job) { ended++ }
+	j, _ := s.Qsub(SubmitRequest{Name: "rerun", Nodes: 1, PPN: 4, Runtime: time.Hour, Rerun: true})
+	eng.RunUntil(time.Minute)
+	s.SetNodeAvailable(j.ExecHost[0].Node, false)
+	if requeued != 1 || ended != 0 {
+		t.Fatalf("requeued=%d ended=%d after node loss", requeued, ended)
+	}
+	eng.Run()
+	if requeued != 1 || ended != 1 {
+		t.Fatalf("requeued=%d ended=%d after drain", requeued, ended)
+	}
+	if j.Failed() {
+		t.Fatal("rerun job that completed on its second attempt marked failed")
+	}
 }
 
 func TestNodeOfflineDrainsWithoutKilling(t *testing.T) {

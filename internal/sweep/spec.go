@@ -20,6 +20,7 @@ import (
 //	modes       cluster organisations (hybrid-v1|hybrid-v2|static-split|mono-stable)
 //	ctlpolicies controller policies (fcfs|threshold|hysteresis|predictive|fairshare);
 //	            "policies" is accepted as a legacy alias
+//	schedpolicies head-scheduler queue disciplines (fcfs|backfill)
 //	nodes     compute-node counts
 //	rates     Poisson arrival rates, jobs/hour (one trace shape per rate×winfrac)
 //	winfracs  Windows demand shares (0..1)
@@ -30,6 +31,8 @@ import (
 //	routings  campus routing policies (least-loaded|round-robin|hybrid-last)
 //	seed      base seed (single value)
 //	cycle     controller cycle, Go duration (single value)
+//	horizon   per-cell virtual-time bound, Go duration (single value;
+//	          default: trace span + 48h)
 //
 // Unknown keys are errors; omitted keys take the Grid defaults.
 func ParseGridSpec(spec string) (Grid, error) {
@@ -65,6 +68,14 @@ func ParseGridSpec(spec string) (Grid, error) {
 					return g, err
 				}
 				g.Policies = append(g.Policies, p)
+			}
+		case "schedpolicies":
+			for _, v := range list {
+				p, err := cluster.ParseSchedPolicy(strings.TrimSpace(v))
+				if err != nil {
+					return g, fmt.Errorf("sweep: %w", err)
+				}
+				g.SchedPolicies = append(g.SchedPolicies, p)
 			}
 		case "nodes":
 			for _, v := range list {
@@ -139,6 +150,12 @@ func ParseGridSpec(spec string) (Grid, error) {
 				return g, fmt.Errorf("sweep: bad cycle %q", vals)
 			}
 			g.Cycle = d
+		case "horizon":
+			d, err := time.ParseDuration(strings.TrimSpace(vals))
+			if err != nil || d <= 0 {
+				return g, fmt.Errorf("sweep: bad horizon %q", vals)
+			}
+			g.Horizon = d
 		default:
 			return g, fmt.Errorf("sweep: unknown grid key %q", key)
 		}

@@ -1,7 +1,8 @@
 // Package sweep runs whole parameter grids of hybrid-cluster
 // scenarios instead of one hand-picked run at a time. A Grid spans
-// seven axes — cluster modes × controller policies × node counts ×
-// trace shapes × boot-failure rates × topologies × routing policies —
+// eight axes — cluster modes × controller policies × scheduler
+// policies × node counts × trace shapes × boot-failure rates ×
+// topologies × routing policies —
 // and expands into concrete cells, each a self-contained
 // core.Scenario: a single cluster, or a whole campus fabric of
 // members behind a job router. Run executes the cells on a bounded
@@ -305,11 +306,15 @@ func TopologyByName(name string) (TopologySpec, error) {
 // Grid spans the scenario space to sweep. Empty axes collapse to a
 // single default point, so the zero Grid is one hybrid-v2 FCFS cell.
 type Grid struct {
-	Modes        []cluster.Mode
-	Policies     []PolicySpec
-	NodeCounts   []int
-	Traces       []TraceSpec
-	FailureRates []float64 // per-boot probability of a node breaking
+	Modes    []cluster.Mode
+	Policies []PolicySpec
+	// SchedPolicies is the head-scheduler discipline axis (fcfs |
+	// backfill). Like the controller policy it is a treatment axis:
+	// every variant of a cell faces identical seeds and job streams.
+	SchedPolicies []cluster.SchedPolicy
+	NodeCounts    []int
+	Traces        []TraceSpec
+	FailureRates  []float64 // per-boot probability of a node breaking
 	// Topologies spans single clusters and campus fabrics; empty means
 	// the single cluster only.
 	Topologies []TopologySpec
@@ -339,6 +344,9 @@ func (g Grid) withDefaults() Grid {
 	}
 	if len(g.Policies) == 0 {
 		g.Policies = []PolicySpec{{"fcfs", nil}} // nil: manager default (FCFS)
+	}
+	if len(g.SchedPolicies) == 0 {
+		g.SchedPolicies = []cluster.SchedPolicy{cluster.SchedFCFS}
 	}
 	if len(g.NodeCounts) == 0 {
 		g.NodeCounts = []int{16}
@@ -385,9 +393,11 @@ func (g Grid) withDefaults() Grid {
 // Cell is one concrete point of the grid: a scenario plus the seeds
 // derived from its coordinates.
 type Cell struct {
-	Index       int // position in expansion order
-	Mode        cluster.Mode
-	Policy      PolicySpec
+	Index  int // position in expansion order
+	Mode   cluster.Mode
+	Policy PolicySpec
+	// Sched is the head schedulers' queue discipline (fcfs|backfill).
+	Sched       cluster.SchedPolicy
 	Nodes       int
 	Trace       TraceSpec
 	FailureRate float64
@@ -414,11 +424,15 @@ type Cell struct {
 }
 
 // Name renders the cell's coordinates as a stable slash-joined label.
-// Single-cluster cells keep the classic five-segment form; grid cells
-// append their topology and routing coordinates.
+// Single-cluster FCFS cells keep the classic five-segment form;
+// backfill cells append the scheduler-policy segment, and grid cells
+// their topology and routing coordinates.
 func (c Cell) Name() string {
 	name := fmt.Sprintf("%s/%s/n%d/%s/f%g",
 		c.Mode, c.Policy.Name, c.Nodes, c.Trace.Name, c.FailureRate)
+	if c.Sched != cluster.SchedFCFS {
+		name += "/" + c.Sched.String()
+	}
 	if c.Topology.IsGrid() {
 		name += fmt.Sprintf("/%s/%s", c.Topology.Name, c.Routing)
 	}
@@ -432,9 +446,10 @@ func (c Cell) Name() string {
 // of the grid coordinates) and gets a fresh policy instance.
 func (c Cell) Scenario() core.Scenario {
 	sc := core.Scenario{
-		Name:    c.Name(),
-		Trace:   c.Trace.Build(c.TraceSeed),
-		Horizon: c.horizon,
+		Name:        c.Name(),
+		Trace:       c.Trace.Build(c.TraceSeed),
+		Horizon:     c.horizon,
+		SchedPolicy: c.Sched,
 	}
 	if !c.Topology.IsGrid() {
 		sc.Cluster = cluster.Config{
@@ -443,6 +458,7 @@ func (c Cell) Scenario() core.Scenario {
 			InitialLinux:    c.initialLinux,
 			Cycle:           c.cycle,
 			Policy:          c.newPolicy(),
+			SchedPolicy:     c.Sched,
 			Seed:            c.Seed,
 			BootFailureProb: c.FailureRate,
 		}
@@ -476,6 +492,7 @@ func (c Cell) Scenario() core.Scenario {
 				InitialLinux:    initialLinux,
 				Cycle:           c.cycle,
 				Policy:          c.newPolicy(),
+				SchedPolicy:     c.Sched,
 				Seed:            deriveSeed(c.Seed, "member", m.Name),
 				BootFailureProb: c.FailureRate,
 			},
@@ -507,51 +524,56 @@ func deriveSeed(base int64, parts ...string) int64 {
 }
 
 // Expand enumerates every cell in fixed axis order: mode (outermost),
-// policy, node count, trace shape, failure rate, topology, routing
-// (innermost). Single-cluster topologies have no router, so they
-// expand against the first routing only instead of duplicating cells.
+// controller policy, scheduler policy, node count, trace shape,
+// failure rate, topology, routing (innermost). Single-cluster
+// topologies have no router, so they expand against the first routing
+// only instead of duplicating cells.
 //
 // Seed pairing extends to the new axes: the topology joins the
 // environment axes (a campus fabric is a different machine, so it
 // draws its own cluster seed — but single-cluster cells keep their
-// historical seeds), while routing is a treatment axis like mode and
-// policy: every routing variant of a fabric faces identical RNG draws.
+// historical seeds), while routing and the scheduler policy are
+// treatment axes like mode and controller policy: every variant faces
+// identical RNG draws and replays the identical trace.
 func (g Grid) Expand() []Cell {
 	g = g.withDefaults()
 	var cells []Cell
 	for _, mode := range g.Modes {
 		for _, pol := range g.Policies {
-			for _, nodes := range g.NodeCounts {
-				for _, tr := range g.Traces {
-					for _, fr := range g.FailureRates {
-						for _, topo := range g.Topologies {
-							routings := g.Routings
-							if !topo.IsGrid() {
-								routings = routings[:1]
-							}
-							for _, routing := range routings {
-								c := Cell{
-									Index:        len(cells),
-									Mode:         mode,
-									Policy:       pol,
-									Nodes:        nodes,
-									Trace:        tr,
-									FailureRate:  fr,
-									Topology:     topo,
-									Routing:      routing,
-									TraceSeed:    deriveSeed(g.BaseSeed, "trace", tr.Name),
-									cycle:        g.Cycle,
-									horizon:      g.Horizon,
-									initialLinux: g.InitialLinux,
+			for _, sched := range g.SchedPolicies {
+				for _, nodes := range g.NodeCounts {
+					for _, tr := range g.Traces {
+						for _, fr := range g.FailureRates {
+							for _, topo := range g.Topologies {
+								routings := g.Routings
+								if !topo.IsGrid() {
+									routings = routings[:1]
 								}
-								envParts := []string{
-									"cluster", fmt.Sprintf("n%d", nodes), tr.Name, fmt.Sprintf("f%g", fr),
+								for _, routing := range routings {
+									c := Cell{
+										Index:        len(cells),
+										Mode:         mode,
+										Policy:       pol,
+										Sched:        sched,
+										Nodes:        nodes,
+										Trace:        tr,
+										FailureRate:  fr,
+										Topology:     topo,
+										Routing:      routing,
+										TraceSeed:    deriveSeed(g.BaseSeed, "trace", tr.Name),
+										cycle:        g.Cycle,
+										horizon:      g.Horizon,
+										initialLinux: g.InitialLinux,
+									}
+									envParts := []string{
+										"cluster", fmt.Sprintf("n%d", nodes), tr.Name, fmt.Sprintf("f%g", fr),
+									}
+									if topo.IsGrid() {
+										envParts = append(envParts, "topo:"+topo.Name)
+									}
+									c.Seed = deriveSeed(g.BaseSeed, envParts...)
+									cells = append(cells, c)
 								}
-								if topo.IsGrid() {
-									envParts = append(envParts, "topo:"+topo.Name)
-								}
-								c.Seed = deriveSeed(g.BaseSeed, envParts...)
-								cells = append(cells, c)
 							}
 						}
 					}
@@ -713,6 +735,7 @@ func (o *Outcome) Rows() []export.SweepRow {
 			Cell:        r.Cell.Name(),
 			Mode:        r.Cell.Mode.String(),
 			Policy:      r.Cell.Policy.Name,
+			Sched:       r.Cell.Sched.String(),
 			Nodes:       r.Cell.Nodes,
 			Trace:       r.Cell.Trace.Name,
 			FailureRate: r.Cell.FailureRate,
@@ -759,8 +782,8 @@ func (g Grid) Describe() string {
 			topoPoints++
 		}
 	}
-	cells := len(g.Modes) * len(g.Policies) * len(g.NodeCounts) * len(g.Traces) * len(g.FailureRates) * topoPoints
-	return fmt.Sprintf("%d modes × %d policies × %d node counts × %d traces × %d failure rates × %d topologies × %d routings = %d cells",
-		len(g.Modes), len(g.Policies), len(g.NodeCounts), len(g.Traces), len(g.FailureRates),
+	cells := len(g.Modes) * len(g.Policies) * len(g.SchedPolicies) * len(g.NodeCounts) * len(g.Traces) * len(g.FailureRates) * topoPoints
+	return fmt.Sprintf("%d modes × %d policies × %d sched policies × %d node counts × %d traces × %d failure rates × %d topologies × %d routings = %d cells",
+		len(g.Modes), len(g.Policies), len(g.SchedPolicies), len(g.NodeCounts), len(g.Traces), len(g.FailureRates),
 		len(g.Topologies), len(g.Routings), cells)
 }

@@ -307,6 +307,7 @@ func TestParseGridSpec(t *testing.T) {
 	for _, bad := range []string{
 		"modes=plan9", "policies=dictator", "nodes=0", "winfracs=2",
 		"failrates=-1", "bogus=1", "rates", "rates=0", "cycle=never",
+		"horizon=never", "horizon=-4h",
 	} {
 		if _, err := ParseGridSpec(bad); err == nil {
 			t.Errorf("spec %q parsed without error", bad)
@@ -549,6 +550,127 @@ func TestParseGridSpecCtlPolicies(t *testing.T) {
 	// Unknown names error listing the valid set.
 	if _, err := ParseGridSpec("ctlpolicies=fcsf"); err == nil || !strings.Contains(err.Error(), "fcfs | threshold | hysteresis | predictive | fairshare") {
 		t.Fatalf("unknown policy error = %v", err)
+	}
+}
+
+// The scheduler-policy axis is a treatment axis: fcfs and backfill
+// variants of a cell share every derived seed, expand adjacently, and
+// only the backfill cells carry the extra name segment.
+func TestSchedPolicyAxisExpansion(t *testing.T) {
+	g := Grid{
+		Modes:         []cluster.Mode{cluster.HybridV2},
+		SchedPolicies: []cluster.SchedPolicy{cluster.SchedFCFS, cluster.SchedBackfill},
+		NodeCounts:    []int{8},
+	}
+	cells := g.Expand()
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(cells))
+	}
+	fcfs, bf := cells[0], cells[1]
+	if fcfs.Sched != cluster.SchedFCFS || bf.Sched != cluster.SchedBackfill {
+		t.Fatalf("axis order: %s then %s", fcfs.Name(), bf.Name())
+	}
+	if fcfs.Seed != bf.Seed || fcfs.TraceSeed != bf.TraceSeed {
+		t.Fatal("sched variants drew different seeds (treatment axis must pair)")
+	}
+	if strings.Contains(fcfs.Name(), "backfill") {
+		t.Fatalf("fcfs cell name %q should keep the classic form", fcfs.Name())
+	}
+	if !strings.HasSuffix(bf.Name(), "/backfill") {
+		t.Fatalf("backfill cell name %q", bf.Name())
+	}
+	// The cells materialise with the policy applied to the cluster
+	// config and mirrored on the scenario.
+	sc := bf.Scenario()
+	if sc.Cluster.SchedPolicy != cluster.SchedBackfill || sc.SchedPolicy != cluster.SchedBackfill {
+		t.Fatalf("scenario sched = %v / cluster %v", sc.SchedPolicy, sc.Cluster.SchedPolicy)
+	}
+	if sc := fcfs.Scenario(); sc.Cluster.SchedPolicy != cluster.SchedFCFS {
+		t.Fatalf("fcfs scenario cluster sched = %v", sc.Cluster.SchedPolicy)
+	}
+}
+
+// Grid-topology cells propagate the scheduler policy to every member
+// config.
+func TestSchedPolicyReachesTopologyMembers(t *testing.T) {
+	campus := mustTopology("campus")
+	g := Grid{
+		Modes:         []cluster.Mode{cluster.HybridV2},
+		SchedPolicies: []cluster.SchedPolicy{cluster.SchedBackfill},
+		Topologies:    []TopologySpec{campus},
+	}
+	cells := g.Expand()
+	if len(cells) != 1 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	sc := cells[0].Scenario()
+	for _, m := range sc.Topology.Members {
+		if m.Config.SchedPolicy != cluster.SchedBackfill {
+			t.Fatalf("member %s sched = %v", m.Name, m.Config.SchedPolicy)
+		}
+	}
+}
+
+func TestParseGridSpecSchedPolicies(t *testing.T) {
+	g, err := ParseGridSpec("schedpolicies=fcfs,backfill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.SchedPolicies) != 2 ||
+		g.SchedPolicies[0] != cluster.SchedFCFS || g.SchedPolicies[1] != cluster.SchedBackfill {
+		t.Fatalf("schedpolicies = %v", g.SchedPolicies)
+	}
+	if got := len(g.Expand()); got != 2 {
+		t.Fatalf("expanded %d cells, want 2", got)
+	}
+	// Unknown names error listing the valid set.
+	if _, err := ParseGridSpec("schedpolicies=easy"); err == nil || !strings.Contains(err.Error(), "fcfs | backfill") {
+		t.Fatalf("unknown sched policy error = %v", err)
+	}
+}
+
+// Acceptance criterion for the scheduler-policy axis: the E16-shaped
+// sweep (fcfs vs backfill over the phased wide mix) serialises to
+// byte-identical CSV at -workers 1 and -workers 8, and the CSV carries
+// the sched_policy column.
+func TestSweepSchedPoliciesCSVByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sched-policy sweep is slow")
+	}
+	g := Grid{
+		Modes:         []cluster.Mode{cluster.HybridV2, cluster.Static},
+		SchedPolicies: []cluster.SchedPolicy{cluster.SchedFCFS, cluster.SchedBackfill},
+		Traces: []TraceSpec{
+			{Kind: TracePhased, WindowsFrac: 0.5},
+			{JobsPerHour: 4, WindowsFrac: 0.3, Duration: 12 * time.Hour},
+		},
+		BaseSeed: 16,
+		Cycle:    5 * time.Minute,
+		Horizon:  96 * time.Hour,
+	}
+	csvBytes := func(workers int) []byte {
+		out, err := Run(Config{Grid: g, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range out.Results {
+			if r.Err != nil {
+				t.Fatalf("cell %s: %v", r.Cell.Name(), r.Err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := export.WriteSweepCSV(&buf, out.Rows()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, parallel := csvBytes(1), csvBytes(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("sched-policy CSV diverged between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+	if !strings.Contains(string(serial), "sched_policy") || !strings.Contains(string(serial), ",backfill,") {
+		t.Fatalf("CSV missing the sched_policy axis:\n%s", serial)
 	}
 }
 

@@ -220,15 +220,25 @@ type Scheduler struct {
 	nodes     map[string]*Node
 	nodeOrder []string
 
-	// Backfill enables out-of-order placement behind a blocked queue
-	// head (the product's "backfilling" option; off in the paper's
-	// deployment).
+	// Backfill enables the product's "backfilling" option, modelled as
+	// reservation-based EASY backfill: a job may jump the blocked
+	// queue head only when it cannot delay the head's earliest
+	// reservation. Off in the paper's deployment. An earlier revision
+	// shipped unreserved greedy backfill here, which let a stream of
+	// narrow jobs starve a blocked wide job indefinitely.
 	Backfill bool
 
-	OnJobStart func(*Job)
-	OnJobEnd   func(*Job)
+	// OnJobRequeue fires when a running rerunnable job loses a node
+	// and returns to the queue; the metrics recorder needs it to stop
+	// busy-core integration between attempts.
+	OnJobStart   func(*Job)
+	OnJobEnd     func(*Job)
+	OnJobRequeue func(*Job)
 
 	schedPending bool
+	// schedOverride replaces the scheduling pass; tests use it to run
+	// a replica of historical policies against the same scheduler.
+	schedOverride func()
 }
 
 // NewScheduler creates the scheduler for a named cluster.
@@ -315,6 +325,9 @@ func (s *Scheduler) SetNodeOnline(name string, online bool) error {
 		if j.Rerunnable {
 			j.State = JobQueued
 			j.Alloc = nil
+			if s.OnJobRequeue != nil {
+				s.OnJobRequeue(j)
+			}
 		} else {
 			j.State = JobFailed
 			j.EndTime = s.eng.Now()
@@ -550,43 +563,148 @@ func (s *Scheduler) kick() {
 	})
 }
 
+// schedule runs one pass of the "Queued" policy. Without Backfill it
+// is strict FCFS over the priority order: stop at the first job that
+// does not fit. With Backfill the pass is EASY: the first blocked job
+// becomes the pivot and gets a reservation at its shadow time — the
+// earliest instant it fits once running jobs release their cores at
+// their projected ends — and later jobs may start only when they
+// cannot delay that reservation.
 func (s *Scheduler) schedule() {
+	if s.schedOverride != nil {
+		s.schedOverride()
+		return
+	}
+	var pivot *Job
+	var rsv reservation
 	for _, j := range s.QueuedJobs() {
-		placed := s.tryPlace(j)
-		if !placed && !s.Backfill {
-			return
+		if pivot == nil {
+			if s.tryPlace(j) {
+				continue
+			}
+			if !s.Backfill {
+				return
+			}
+			pivot = j
+			rsv = s.reserve(pivot)
+			continue
 		}
+		s.tryBackfill(j, pivot, &rsv)
 	}
 }
 
-func (s *Scheduler) tryPlace(j *Job) bool {
-	switch j.Unit {
-	case UnitNode:
-		var chosen []*Node
-		for _, name := range s.nodeOrder {
-			n := s.nodes[name]
-			if n.state == NodeOnline && n.used == 0 {
-				chosen = append(chosen, n)
-				if len(chosen) == j.Count {
-					break
+// reservation is the pivot's EASY booking: the shadow time plus the
+// per-node free-core projection at that instant. ok is false when no
+// projected future fits the pivot (its nodes are unreachable in the
+// other OS) — nothing to protect, so backfill runs unrestricted.
+type reservation struct {
+	shadow time.Duration
+	free   map[string]int
+	ok     bool
+}
+
+// projectedEnd bounds when a running job releases its cores. The HPC
+// job model carries no separate walltime estimate, so the runtime is
+// the bound.
+func projectedEnd(j *Job) time.Duration { return j.StartTime + j.Runtime }
+
+// reserve computes the pivot's shadow state by replaying running
+// jobs' projected releases onto the current free cores, in release
+// order, until the pivot fits.
+func (s *Scheduler) reserve(pivot *Job) reservation {
+	free := make(map[string]int, len(s.nodeOrder))
+	for _, name := range s.nodeOrder {
+		n := s.nodes[name]
+		if n.state != NodeOnline {
+			continue
+		}
+		free[name] = n.FreeCores()
+	}
+	running := s.RunningJobs()
+	sort.SliceStable(running, func(i, j int) bool {
+		return projectedEnd(running[i]) < projectedEnd(running[j])
+	})
+	for i := 0; i < len(running); {
+		end := projectedEnd(running[i])
+		for ; i < len(running) && projectedEnd(running[i]) == end; i++ {
+			for _, a := range running[i].Alloc {
+				if _, up := free[a.Node]; up {
+					free[a.Node] += a.Cores
 				}
 			}
 		}
-		if len(chosen) < j.Count {
-			return false
+		if s.fitsIn(free, pivot) {
+			return reservation{shadow: end, free: free, ok: true}
 		}
-		for _, n := range chosen {
-			n.used = n.Cores
-			j.Alloc = append(j.Alloc, Allocation{Node: n.Name, Cores: n.Cores})
-		}
-	default: // UnitCore
-		free := 0
+	}
+	return reservation{}
+}
+
+// fitsIn checks a job against a per-node free-core projection:
+// UnitNode jobs need that many wholly-free nodes, UnitCore jobs the
+// core total.
+func (s *Scheduler) fitsIn(free map[string]int, j *Job) bool {
+	if j.Unit == UnitNode {
+		have := 0
 		for _, name := range s.nodeOrder {
-			free += s.nodes[name].FreeCores()
+			if c, up := free[name]; up && c >= s.nodes[name].Cores {
+				have++
+				if have == j.Count {
+					return true
+				}
+			}
 		}
-		if free < j.Count {
+		return false
+	}
+	total := 0
+	for _, c := range free {
+		total += c
+	}
+	return total >= j.Count
+}
+
+// tryBackfill starts a candidate behind the blocked pivot if it
+// cannot delay the pivot's reservation: either it releases its cores
+// by the shadow time, or the pivot still fits at the shadow time with
+// the candidate's allocation subtracted. Long candidates that pass
+// stay subtracted, so later candidates see the remaining slack only.
+func (s *Scheduler) tryBackfill(j *Job, pivot *Job, rsv *reservation) bool {
+	alloc := s.chooseAlloc(j)
+	if alloc == nil {
+		return false
+	}
+	if rsv.ok && s.eng.Now()+j.Runtime > rsv.shadow {
+		for _, a := range alloc {
+			rsv.free[a.Node] -= a.Cores
+		}
+		if !s.fitsIn(rsv.free, pivot) {
+			for _, a := range alloc {
+				rsv.free[a.Node] += a.Cores
+			}
 			return false
 		}
+	}
+	s.commit(j, alloc)
+	return true
+}
+
+// chooseAlloc selects an allocation for a job without committing it;
+// nil when the job does not fit right now.
+func (s *Scheduler) chooseAlloc(j *Job) []Allocation {
+	var alloc []Allocation
+	switch j.Unit {
+	case UnitNode:
+		for _, name := range s.nodeOrder {
+			n := s.nodes[name]
+			if n.state == NodeOnline && n.used == 0 {
+				alloc = append(alloc, Allocation{Node: n.Name, Cores: n.Cores})
+				if len(alloc) == j.Count {
+					return alloc
+				}
+			}
+		}
+		return nil
+	default: // UnitCore
 		need := j.Count
 		for _, name := range s.nodeOrder {
 			n := s.nodes[name]
@@ -597,15 +715,31 @@ func (s *Scheduler) tryPlace(j *Job) bool {
 			if take > need {
 				take = need
 			}
-			n.used += take
-			j.Alloc = append(j.Alloc, Allocation{Node: n.Name, Cores: take})
+			alloc = append(alloc, Allocation{Node: n.Name, Cores: take})
 			need -= take
 			if need == 0 {
-				break
+				return alloc
 			}
 		}
+		return nil
 	}
+}
+
+// commit occupies an allocation and starts the job.
+func (s *Scheduler) commit(j *Job, alloc []Allocation) {
+	for _, a := range alloc {
+		s.nodes[a.Node].used += a.Cores
+	}
+	j.Alloc = append(j.Alloc, alloc...)
 	s.start(j)
+}
+
+func (s *Scheduler) tryPlace(j *Job) bool {
+	alloc := s.chooseAlloc(j)
+	if alloc == nil {
+		return false
+	}
+	s.commit(j, alloc)
 	return true
 }
 
