@@ -19,6 +19,7 @@
 //	benchtab -list      # list experiment IDs
 //	benchtab -benchjson ""  # skip the perf record
 //	benchtab -check BENCH_sim.json E8 E13 E15  # CI gate: fail on EventsRun drift
+//	benchtab -specs specs   # regenerate the committed experiment spec documents
 package main
 
 import (
@@ -49,12 +50,21 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	benchJSON := flag.String("benchjson", "BENCH_sim.json", "write the per-experiment perf record here (empty to disable)")
 	check := flag.String("check", "", "benchmark-regression gate: compare EventsRun against this baseline record and fail on drift (ns/op stays advisory)")
+	specs := flag.String("specs", "", "write the recorded experiments' sweep documents (E12–E16) into this directory and exit")
 	flag.Parse()
 
 	if *list {
 		for _, r := range experiments.All() {
 			fmt.Println(r.ID)
 		}
+		return
+	}
+	if *specs != "" {
+		if err := experiments.WriteSpecs(*specs); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("experiment spec documents written to %s\n", *specs)
 		return
 	}
 

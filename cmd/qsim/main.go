@@ -6,12 +6,14 @@
 // Examples:
 //
 //	qsim -mode hybrid-v2 -trace matlabga -series
-//	qsim -mode static -trace phased -winfrac 0.5
+//	qsim run -mode static -trace phased -winfrac 0.5
 //	qsim -compare -trace poisson -winfrac 0.3 -hours 24
 //
 // The sweep subcommand runs a whole parameter grid concurrently with
 // deterministic per-cell seeding (identical output for any -workers),
-// including whole campus fabrics behind a routing policy:
+// including whole campus fabrics behind a routing policy. Every sweep
+// axis is one key of the compact grid notation and one override flag,
+// both derived from the sweep package's axis registry:
 //
 //	qsim sweep -grid "modes=hybrid-v2,static-split;nodes=8,16;winfracs=0.25,0.5" -workers 8
 //	qsim sweep -grid "modes=hybrid-v2,static-split;rates=8" \
@@ -19,7 +21,12 @@
 //	qsim sweep -grid "modes=hybrid-v2;traces=diurnal,burst" \
 //	  -ctlpolicies fcfs,threshold,hysteresis,predictive
 //	qsim sweep -grid "modes=hybrid-v2;traces=phased;winfracs=0.5" \
-//	  -schedpolicies fcfs,backfill
+//	  -schedpolicies fcfs,backfill -switchlat 0s,2m,10m
+//
+// Experiments also travel as versioned JSON documents (see the sweep
+// package's Spec): `qsim sweep -f spec.json` replays a committed sweep
+// document, and `qsim run -f spec.json` replays a document that
+// expands to a single cell.
 package main
 
 import (
@@ -34,7 +41,6 @@ import (
 	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/export"
-	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/osid"
 	"repro/internal/sweep"
@@ -42,70 +48,171 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "sweep" {
-		runSweep(os.Args[2:])
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "sweep":
+			runSweep(args[1:])
+			return
+		case "run":
+			runSingle(args[1:])
+			return
+		}
+	}
+	runSingle(args)
+}
+
+// runFlags is the single-run flag surface, declared exactly once and
+// shared by the bare `qsim` invocation and the `qsim run` subcommand.
+// The value vocabularies in the usage strings come from the same
+// registries the parsers resolve through, so help text cannot drift
+// from what actually parses.
+type runFlags struct {
+	specFile *string
+	modeName *string
+	traceGen *string
+	traceIn  *string
+	nodes    *int
+	initLin  *int
+	cycle    *time.Duration
+	policy   *string
+	sched    *string
+	seed     *int64
+	winfrac  *float64
+	hours    *float64
+	rate     *float64
+	compare  *bool
+	series   *bool
+	events   *bool
+	apps     *bool
+	csvPath  *string
+	jsonPath *string
+}
+
+func bindRunFlags(fs *flag.FlagSet) *runFlags {
+	return &runFlags{
+		specFile: fs.String("f", "", "replay a sweep/scenario document (must expand to exactly one cell)"),
+		modeName: fs.String("mode", "hybrid-v2", "cluster mode: "+strings.Join(sweep.ModeNames(), " | ")),
+		traceGen: fs.String("trace", "poisson", "workload: "+strings.Join(sweep.TraceKindNames(), " | ")+" | file"),
+		traceIn:  fs.String("tracefile", "", "CSV trace to replay (with -trace file)"),
+		nodes:    fs.Int("nodes", 16, "compute nodes"),
+		initLin:  fs.Int("linux", 0, "nodes starting in Linux (0 = half)"),
+		cycle:    fs.Duration("cycle", 10*time.Minute, "controller cycle interval"),
+		policy:   fs.String("policy", "fcfs", "controller policy: "+strings.Join(controller.PolicyNames(), " | ")),
+		sched:    fs.String("sched", "fcfs", "head-scheduler queue discipline: "+strings.Join(cluster.SchedPolicyNames(), " | ")),
+		seed:     fs.Int64("seed", 1, "workload seed"),
+		winfrac:  fs.Float64("winfrac", 0.3, "Windows share of the workload"),
+		hours:    fs.Float64("hours", 24, "submission window (poisson)"),
+		rate:     fs.Float64("rate", 4, "jobs per hour (poisson)"),
+		compare:  fs.Bool("compare", false, "run all four modes and print a comparison"),
+		series:   fs.Bool("series", false, "print the node-count time series"),
+		events:   fs.Bool("events", false, "print the event log"),
+		apps:     fs.Bool("apps", false, "print per-application statistics"),
+		csvPath:  fs.String("csv", "", "write the time series as CSV to this file"),
+		jsonPath: fs.String("json", "", "write the run summary as JSON to this file"),
+	}
+}
+
+// loadSpecFile loads an experiment document and relays the loader's
+// deprecation warnings to stderr.
+func loadSpecFile(path string) sweep.Spec {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	sp, err := sweep.LoadSpec(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(2)
+	}
+	for _, w := range sp.Warnings {
+		fmt.Fprintln(os.Stderr, "qsim: warning:", w)
+	}
+	return sp
+}
+
+func runSingle(args []string) {
+	fs := flag.NewFlagSet("qsim", flag.ExitOnError)
+	o := bindRunFlags(fs)
+	fs.Parse(args)
+
+	if *o.specFile != "" {
+		// A document is the whole experiment definition; scenario-shaping
+		// flags alongside -f would be silently ignored, so reject them
+		// (output-shaping flags like -series/-csv still apply).
+		var conflicts []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "f", "series", "events", "apps", "csv", "json":
+			default:
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			fmt.Fprintf(os.Stderr, "qsim: -f replays the document's scenario exactly; %s cannot combine with it\n",
+				strings.Join(conflicts, " "))
+			os.Exit(2)
+		}
+		sp := loadSpecFile(*o.specFile)
+		cells := sp.Grid.Expand()
+		if len(cells) != 1 {
+			fmt.Fprintf(os.Stderr, "qsim: spec %q expands to %d cells; replay it with `qsim sweep -f`\n",
+				*o.specFile, len(cells))
+			os.Exit(2)
+		}
+		sc := cells[0].Scenario()
+		if *o.series || *o.csvPath != "" {
+			sc.SampleInterval = time.Hour
+		}
+		res, err := core.Run(sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qsim:", err)
+			os.Exit(1)
+		}
+		printRun(o, sc.Name, cells[0].Nodes, len(sc.Trace), res)
 		return
 	}
-	var (
-		modeName = flag.String("mode", "hybrid-v2", "cluster mode: hybrid-v1 | hybrid-v2 | static-split | mono-stable")
-		traceGen = flag.String("trace", "poisson", "workload: poisson | diurnal | phased | matlabga | burst | file")
-		traceIn  = flag.String("tracefile", "", "CSV trace to replay (with -trace file)")
-		nodes    = flag.Int("nodes", 16, "compute nodes")
-		initLin  = flag.Int("linux", 0, "nodes starting in Linux (0 = half)")
-		cycle    = flag.Duration("cycle", 10*time.Minute, "controller cycle interval")
-		policy   = flag.String("policy", "fcfs", "controller policy: "+strings.Join(controller.PolicyNames(), " | "))
-		sched    = flag.String("sched", "fcfs", "head-scheduler queue discipline: "+strings.Join(cluster.SchedPolicyNames(), " | "))
-		seed     = flag.Int64("seed", 1, "workload seed")
-		winfrac  = flag.Float64("winfrac", 0.3, "Windows share of the workload")
-		hours    = flag.Float64("hours", 24, "submission window (poisson)")
-		rate     = flag.Float64("rate", 4, "jobs per hour (poisson)")
-		compare  = flag.Bool("compare", false, "run all four modes and print a comparison")
-		series   = flag.Bool("series", false, "print the node-count time series")
-		events   = flag.Bool("events", false, "print the event log")
-		apps     = flag.Bool("apps", false, "print per-application statistics")
-		csvPath  = flag.String("csv", "", "write the time series as CSV to this file")
-		jsonPath = flag.String("json", "", "write the run summary as JSON to this file")
-	)
-	flag.Parse()
 
-	trace, err := buildTrace(*traceGen, *traceIn, *seed, *winfrac, *hours, *rate)
+	trace, err := buildTrace(*o.traceGen, *o.traceIn, *o.seed, *o.winfrac, *o.hours, *o.rate)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qsim:", err)
 		os.Exit(2)
 	}
 
-	pol, err := parsePolicy(*policy)
+	pol, err := parsePolicy(*o.policy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qsim:", err)
 		os.Exit(2)
 	}
-	schedPol, err := cluster.ParseSchedPolicy(*sched)
+	schedPol, err := cluster.ParseSchedPolicy(*o.sched)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qsim:", err)
 		os.Exit(2)
 	}
-	base := cluster.Config{Nodes: *nodes, InitialLinux: *initLin, Cycle: *cycle, Seed: *seed, Policy: pol, SchedPolicy: schedPol}
+	base := cluster.Config{Nodes: *o.nodes, InitialLinux: *o.initLin, Cycle: *o.cycle, Seed: *o.seed, Policy: pol, SchedPolicy: schedPol}
 
-	if *compare {
+	if *o.compare {
 		modes := []cluster.Mode{cluster.Static, cluster.MonoStable, cluster.HybridV1, cluster.HybridV2}
 		results, err := core.CompareModes(modes, base, trace, 0)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "qsim:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("workload: %s (%d jobs, %v span)\n\n", *traceGen, len(trace), trace.Span().Round(time.Minute))
+		fmt.Printf("workload: %s (%d jobs, %v span)\n\n", *o.traceGen, len(trace), trace.Span().Round(time.Minute))
 		fmt.Print(core.ComparisonTable(results))
 		return
 	}
 
-	mode, err := parseMode(*modeName)
+	mode, err := parseMode(*o.modeName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qsim:", err)
 		os.Exit(2)
 	}
 	base.Mode = mode
-	sc := core.Scenario{Name: *modeName, Cluster: base, Trace: trace}
-	if *series || *csvPath != "" {
+	sc := core.Scenario{Name: *o.modeName, Cluster: base, Trace: trace}
+	if *o.series || *o.csvPath != "" {
 		sc.SampleInterval = time.Hour
 	}
 	res, err := core.Run(sc)
@@ -113,9 +220,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qsim:", err)
 		os.Exit(1)
 	}
+	printRun(o, *o.modeName, *o.nodes, len(trace), res)
+}
 
+// printRun renders the single-run report plus the optional series /
+// apps / events sections and the CSV/JSON exports.
+func printRun(o *runFlags, name string, nodes, traceLen int, res core.Result) {
 	s := res.Summary
-	fmt.Printf("scenario  %s on %d nodes, %d jobs\n", *modeName, *nodes, len(trace))
+	fmt.Printf("scenario  %s on %d nodes, %d jobs\n", name, nodes, traceLen)
 	fmt.Printf("elapsed   %s (makespan %s)\n", metrics.Dur(s.Elapsed), metrics.Dur(s.Makespan))
 	fmt.Printf("util      %s total (linux %s, windows %s)\n",
 		metrics.Pct(s.Utilisation), metrics.Pct(s.UtilisationOS[osid.Linux]), metrics.Pct(s.UtilisationOS[osid.Windows]))
@@ -126,7 +238,7 @@ func main() {
 	fmt.Printf("switches  %d (%d ok, mean %s, max %s), control actions %d\n",
 		s.Switches, s.SwitchesOK, metrics.Dur(s.MeanSwitch), metrics.Dur(s.MaxSwitch), res.ControlActions)
 
-	if *series && len(res.Series) > 0 {
+	if *o.series && len(res.Series) > 0 {
 		fmt.Println("\ntime series:")
 		rows := make([][]string, 0, len(res.Series))
 		for _, p := range res.Series {
@@ -137,7 +249,7 @@ func main() {
 		}
 		fmt.Print(metrics.Table([]string{"t", "linux", "windows", "switching", "linQ", "winQ"}, rows))
 	}
-	if *apps && len(res.AppStats) > 0 {
+	if *o.apps && len(res.AppStats) > 0 {
 		fmt.Println("\nper-application:")
 		rows := make([][]string, 0, len(res.AppStats))
 		for _, a := range res.AppStats {
@@ -148,104 +260,119 @@ func main() {
 		}
 		fmt.Print(metrics.Table([]string{"app", "os", "done", "mean-wait", "cpu-hours"}, rows))
 	}
-	if *events {
+	if *o.events {
 		fmt.Println("\nevents:")
 		for _, e := range res.Events {
 			fmt.Printf("  [%s] %s\n", metrics.Dur(e.At), e.What)
 		}
 	}
-	if *csvPath != "" {
-		if err := writeFile(*csvPath, func(w *os.File) error {
+	if *o.csvPath != "" {
+		if err := writeFile(*o.csvPath, func(w *os.File) error {
 			return export.WriteSeriesCSV(w, res.Series)
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "qsim:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("series written to %s\n", *csvPath)
+		fmt.Printf("series written to %s\n", *o.csvPath)
 	}
-	if *jsonPath != "" {
-		if err := writeFile(*jsonPath, func(w *os.File) error {
+	if *o.jsonPath != "" {
+		if err := writeFile(*o.jsonPath, func(w *os.File) error {
 			return export.WriteSummaryJSON(w, res.Summary)
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "qsim:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("summary written to %s\n", *jsonPath)
+		fmt.Printf("summary written to %s\n", *o.jsonPath)
 	}
 }
 
-// runSweep is the sweep subcommand: expand -grid, run the cells on
-// -workers goroutines, print the ranked comparison table.
+// runSweep is the sweep subcommand: expand -grid (or replay a -f spec
+// document), run the cells on -workers goroutines, print the ranked
+// comparison table. One override flag per axis is derived from the
+// sweep package's axis registry — a new axis registration shows up
+// here with no CLI edits.
 func runSweep(args []string) {
 	fs := flag.NewFlagSet("qsim sweep", flag.ExitOnError)
-	var (
-		gridSpec = fs.String("grid", "modes=hybrid-v2,static-split,mono-stable;nodes=16;rates=4;winfracs=0.3",
-			"grid spec: 'key=v,v;...' with keys modes|ctlpolicies|schedpolicies|nodes|rates|winfracs|hours|traces|failrates|topologies|routings|seed|cycle|horizon")
-		ctlpolicies = fs.String("ctlpolicies", "",
-			"comma list of controller policies ("+strings.Join(controller.PolicyNames(), "|")+"); overrides the grid spec's ctlpolicies key")
-		schedpolicies = fs.String("schedpolicies", "",
-			"comma list of head-scheduler disciplines ("+strings.Join(cluster.SchedPolicyNames(), "|")+"); overrides the grid spec's schedpolicies key")
-		topologies = fs.String("topologies", "",
-			"comma list of fabric presets (single|campus|twin-hybrid); overrides the grid spec's topologies key")
-		routings = fs.String("routings", "",
-			"comma list of campus routing policies (least-loaded|round-robin|hybrid-last); overrides the grid spec's routings key")
-		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent scenario workers")
-		csvPath  = fs.String("csv", "", "write per-cell results as CSV to this file")
-		jsonPath = fs.String("json", "", "write per-cell results as JSON to this file")
-	)
+	gridSpec := fs.String("grid", "modes=hybrid-v2,static-split,mono-stable;nodes=16;rates=4;winfracs=0.3",
+		"grid spec: 'key=v,v;...' with keys "+strings.Join(sweep.SpecKeys(), "|"))
+	specFile := fs.String("f", "", "replay a sweep document instead of -grid")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent scenario workers")
+	csvPath := fs.String("csv", "", "write per-cell results as CSV to this file")
+	jsonPath := fs.String("json", "", "write per-cell results as JSON to this file")
+	axisFlags := map[string]*string{}
+	for _, ax := range sweep.Registry() {
+		usage := ax.Help
+		if ax.Values != nil {
+			usage += " (" + ax.Values() + ")"
+		}
+		usage += "; overrides the grid spec's " + ax.Key + " key"
+		axisFlags[ax.Key] = fs.String(ax.Key, "", usage)
+	}
 	fs.Parse(args)
 
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	g, err := sweep.ParseGridSpec(*gridSpec)
+	baseSpec := *gridSpec
+	if *specFile != "" {
+		gridSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "grid" {
+				gridSet = true
+			}
+		})
+		if gridSet {
+			fmt.Fprintln(os.Stderr, "qsim: -grid and -f are mutually exclusive")
+			os.Exit(2)
+		}
+		sp := loadSpecFile(*specFile)
+		var err error
+		baseSpec, err = sweep.GridString(sp.Grid)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qsim:", err)
+			os.Exit(2)
+		}
+	}
+
+	// Merge the axis override flags over the base spec: a flag value
+	// replaces its axis's key (alias included), untouched keys pass
+	// through, and the merged string goes through the one registry
+	// parser — so every entry point validates identically.
+	var fields []string
+	for _, field := range strings.Split(baseSpec, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		// Only a well-formed key=values field can be overridden; a
+		// malformed field must reach the parser so it still errors.
+		if key, _, ok := strings.Cut(field, "="); ok {
+			if canon, known := sweep.CanonicalKey(strings.TrimSpace(key)); known && *axisFlags[canon] != "" {
+				continue // overridden by its axis flag
+			}
+		}
+		fields = append(fields, field)
+	}
+	for _, ax := range sweep.Registry() {
+		v := *axisFlags[ax.Key]
+		if v == "" {
+			continue
+		}
+		// The merged string re-splits on ";", so a separator inside a
+		// flag value would smuggle in extra grid keys.
+		if strings.Contains(v, ";") {
+			fmt.Fprintf(os.Stderr, "qsim: -%s value must not contain \";\"\n", ax.Key)
+			os.Exit(2)
+		}
+		fields = append(fields, ax.Key+"="+v)
+	}
+	g, warnings, err := sweep.ParseGridSpecWarn(strings.Join(fields, ";"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qsim:", err)
 		os.Exit(2)
 	}
-	if *ctlpolicies != "" {
-		g.Policies = g.Policies[:0]
-		for _, name := range strings.Split(*ctlpolicies, ",") {
-			p, err := sweep.PolicyByName(strings.TrimSpace(name))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "qsim:", err)
-				os.Exit(2)
-			}
-			g.Policies = append(g.Policies, p)
-		}
-	}
-	if *schedpolicies != "" {
-		g.SchedPolicies = g.SchedPolicies[:0]
-		for _, name := range strings.Split(*schedpolicies, ",") {
-			p, err := cluster.ParseSchedPolicy(strings.TrimSpace(name))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "qsim:", err)
-				os.Exit(2)
-			}
-			g.SchedPolicies = append(g.SchedPolicies, p)
-		}
-	}
-	if *topologies != "" {
-		g.Topologies = g.Topologies[:0]
-		for _, name := range strings.Split(*topologies, ",") {
-			t, err := sweep.TopologyByName(strings.TrimSpace(name))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "qsim:", err)
-				os.Exit(2)
-			}
-			g.Topologies = append(g.Topologies, t)
-		}
-	}
-	if *routings != "" {
-		g.Routings = g.Routings[:0]
-		for _, name := range strings.Split(*routings, ",") {
-			r, err := grid.ParsePolicy(strings.TrimSpace(name))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "qsim:", err)
-				os.Exit(2)
-			}
-			g.Routings = append(g.Routings, r)
-		}
+	for _, w := range warnings {
+		fmt.Fprintln(os.Stderr, "qsim: warning:", w)
 	}
 	fmt.Printf("sweep: %s, %d workers\n\n", g.Describe(), *workers)
 	out, err := sweep.Run(sweep.Config{Grid: g, Workers: *workers})
@@ -325,7 +452,7 @@ func buildTrace(name, traceFile string, seed int64, winfrac, hours, rate float64
 			OS: osid.Windows, Nodes: 2, PPN: 4, Runtime: 45 * time.Minute, Owner: "render",
 		}), nil
 	default:
-		return nil, fmt.Errorf("unknown trace %q (valid: poisson | diurnal | phased | matlabga | burst | file)", name)
+		return nil, fmt.Errorf("unknown trace %q (valid: %s | file)", name, strings.Join(sweep.TraceKindNames(), " | "))
 	}
 }
 

@@ -17,11 +17,14 @@
 //	})
 //
 // Beyond single runs, Sweep executes whole parameter grids — cluster
-// modes × controller policies × node counts × trace shapes ×
-// boot-failure rates × topologies × routing policies — on a bounded
-// worker pool. A topology cell runs a whole campus fabric (several
-// clusters on one clock behind a job router) and its Result carries
-// per-member summaries:
+// modes × controller policies × scheduler policies × node counts ×
+// trace shapes × boot-failure rates × topologies × routing policies ×
+// switch latencies — on a bounded worker pool. Every axis is one
+// registration in the sweep package's self-describing axis registry,
+// from which grid-spec parsing, CLI flags, export columns and cell
+// names all derive. A topology cell runs a whole campus fabric
+// (several clusters on one clock behind a job router) and its Result
+// carries per-member summaries:
 //
 //	out, err := hybridcluster.Sweep(hybridcluster.SweepConfig{
 //		Grid: hybridcluster.SweepGrid{
@@ -43,6 +46,7 @@
 package hybridcluster
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/cluster"
@@ -214,8 +218,9 @@ type (
 type (
 	// SweepConfig is a grid plus the worker-pool bound.
 	SweepConfig = sweep.Config
-	// SweepGrid spans the scenario space (modes × policies × node
-	// counts × trace shapes × failure rates).
+	// SweepGrid spans the scenario space (modes × policies ×
+	// scheduler policies × node counts × trace shapes × failure rates
+	// × topologies × routings × switch latencies).
 	SweepGrid = sweep.Grid
 	// SweepCell is one concrete grid point with its derived seeds.
 	SweepCell = sweep.Cell
@@ -254,5 +259,35 @@ func TopologyByName(name string) (SweepTopologySpec, error) { return sweep.Topol
 func Sweep(cfg SweepConfig) (*SweepOutcome, error) { return sweep.Run(cfg) }
 
 // ParseSweepGrid parses the qsim CLI's compact grid notation, e.g.
-// "modes=hybrid-v2,static-split;nodes=8,16;winfracs=0.25,0.5".
+// "modes=hybrid-v2,static-split;nodes=8,16;winfracs=0.25,0.5". Keys,
+// parsers and validation derive from the sweep axis registry; unknown
+// and repeated keys error.
 func ParseSweepGrid(spec string) (SweepGrid, error) { return sweep.ParseGridSpec(spec) }
+
+// SweepGridString renders a grid back to canonical compact notation
+// (the inverse of ParseSweepGrid); it errors when the grid holds
+// something the notation cannot express (custom traces, bespoke
+// topologies).
+func SweepGridString(g SweepGrid) (string, error) { return sweep.GridString(g) }
+
+// Experiment documents: a SweepSpec is a versioned, replayable JSON
+// artifact (spec_version, grid, seeds, horizon) with a byte-stable
+// canonical serialisation. `qsim run -f` / `qsim sweep -f` replay
+// them, and internal/experiments commits one per recorded sweep
+// experiment under specs/.
+type SweepSpec = sweep.Spec
+
+// SweepSpecVersion is the document version LoadSweepSpec accepts and
+// SaveSweepSpec writes.
+const SweepSpecVersion = sweep.SpecVersion
+
+// LoadSweepSpec parses an experiment document; unknown spec_versions
+// and unknown axis keys error listing the valid set.
+func LoadSweepSpec(r io.Reader) (SweepSpec, error) { return sweep.LoadSpec(r) }
+
+// SaveSweepSpec writes a document's canonical byte-stable form.
+func SaveSweepSpec(w io.Writer, sp SweepSpec) error { return sweep.SaveSpec(w, sp) }
+
+// SweepSpecKeys lists the valid grid-spec / document axis keys in
+// registry order.
+func SweepSpecKeys() []string { return sweep.SpecKeys() }

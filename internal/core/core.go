@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/bootmgr"
 	"repro/internal/cluster"
 	"repro/internal/controller"
 	"repro/internal/grid"
@@ -52,6 +53,12 @@ type Scenario struct {
 	// (fcfs) leaves the configs' own setting untouched, so a
 	// backfill cluster.Config still runs backfill.
 	SchedPolicy cluster.SchedPolicy
+	// Latency overrides every cluster's boot-latency model — a
+	// treatment axis applied uniformly to Scenario.Cluster and to
+	// every topology member (the sweep switchlat axis acts through
+	// it). Nil keeps each config's own model. The model is read-only
+	// during a run, so members may share the pointer.
+	Latency *bootmgr.LatencyModel
 }
 
 // MemberResult is one grid member's share of a topology run.
@@ -102,6 +109,9 @@ func Run(sc Scenario) (Result, error) {
 	if sc.SchedPolicy != cluster.SchedFCFS {
 		sc.Cluster.SchedPolicy = sc.SchedPolicy
 	}
+	if sc.Latency != nil {
+		sc.Cluster.Latency = sc.Latency
+	}
 	c, err := cluster.New(sc.Cluster)
 	if err != nil {
 		return Result{}, err
@@ -141,12 +151,17 @@ func runGrid(sc Scenario, horizon time.Duration) (Result, error) {
 		return Result{}, fmt.Errorf("core: time-series sampling is not supported on grid topologies")
 	}
 	members := sc.Topology.Members
-	if sc.SchedPolicy != cluster.SchedFCFS {
+	if sc.SchedPolicy != cluster.SchedFCFS || sc.Latency != nil {
 		// Copy before overriding: the caller's member specs must not be
 		// written through.
 		members = append([]grid.MemberSpec(nil), members...)
 		for i := range members {
-			members[i].Config.SchedPolicy = sc.SchedPolicy
+			if sc.SchedPolicy != cluster.SchedFCFS {
+				members[i].Config.SchedPolicy = sc.SchedPolicy
+			}
+			if sc.Latency != nil {
+				members[i].Config.Latency = sc.Latency
+			}
 		}
 	}
 	g, err := grid.New(sc.Topology.Routing, members)

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bootmgr"
 	"repro/internal/cluster"
 	"repro/internal/grid"
 	"repro/internal/osid"
@@ -173,5 +174,53 @@ func TestRunGridTopologyRejectsSampling(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("sampling on a grid topology accepted")
+	}
+}
+
+// Scenario.Latency is a treatment axis like SchedPolicy: it overrides
+// the boot-latency model on the single cluster and on every topology
+// member, without writing through the caller's specs.
+func TestScenarioLatencyOverride(t *testing.T) {
+	// One Windows job against an all-Linux cluster forces a switch.
+	trace := workload.Trace{
+		{At: 0, App: "Backburner", OS: osid.Windows, Owner: "u", Nodes: 1, PPN: 4, Runtime: 30 * time.Minute},
+	}
+	run := func(lat *bootmgr.LatencyModel) time.Duration {
+		res, err := Run(Scenario{
+			Cluster: cluster.Config{Mode: cluster.HybridV2, InitialLinux: 16, Cycle: 5 * time.Minute, Seed: 7},
+			Trace:   trace,
+			Latency: lat,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Summary.Switches == 0 {
+			t.Fatal("scenario produced no switches")
+		}
+		return res.Summary.MeanSwitch
+	}
+	slow := bootmgr.DefaultLatencyModel()
+	slow.KernelWindows *= 10
+	slow.KernelLinux *= 10
+	if stock, scaled := run(nil), run(&slow); scaled <= stock {
+		t.Fatalf("latency override ignored: stock %v, slow %v", stock, scaled)
+	}
+
+	members := []grid.MemberSpec{
+		{Name: "a", Config: cluster.Config{Mode: cluster.HybridV2, Nodes: 4, InitialLinux: 4}},
+	}
+	res, err := Run(Scenario{
+		Trace:    trace,
+		Topology: Topology{Members: members},
+		Latency:  &slow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Switches == 0 {
+		t.Fatal("grid scenario produced no switches")
+	}
+	if members[0].Config.Latency != nil {
+		t.Fatal("latency override wrote through the caller's member spec")
 	}
 }

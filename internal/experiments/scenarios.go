@@ -194,6 +194,28 @@ func E11MatlabGA() (Table, error) {
 	return t, nil
 }
 
+// e12Fracs are the Windows demand shares E12 sweeps.
+var e12Fracs = []float64{0, 0.25, 0.5, 0.75, 1}
+
+// E12Grid is the sweep E12 runs: hybrid vs static across the phased
+// demand mixes. Exported so the grid travels as a committed spec
+// document (see SpecFiles) and CI can replay it.
+func E12Grid() sweep.Grid {
+	g := sweep.Grid{
+		Modes:    []cluster.Mode{cluster.HybridV2, cluster.Static},
+		BaseSeed: 99,
+		Cycle:    5 * time.Minute,
+		Horizon:  96 * time.Hour,
+	}
+	for _, frac := range e12Fracs {
+		g.Traces = append(g.Traces, sweep.TraceSpec{
+			Name: fmt.Sprintf("phased-w%g", frac),
+			Kind: sweep.TracePhased, WindowsFrac: frac,
+		})
+	}
+	return g
+}
+
 // E12MixSweep sweeps the Windows demand share over the phased
 // wide-job workload: hybrid vs static utilisation. The mode × share
 // grid fans out through the sweep subsystem — both modes of each share
@@ -206,19 +228,8 @@ func E12MixSweep() (Table, error) {
 		Header: []string{"windows-share", "hybrid-util", "static-util", "hybrid-done", "static-done"},
 		Notes:  "wide jobs exceed the 8-node static halves; the split strands them (Torque rejects as infeasible)",
 	}
-	fracs := []float64{0, 0.25, 0.5, 0.75, 1}
-	g := sweep.Grid{
-		Modes:    []cluster.Mode{cluster.HybridV2, cluster.Static},
-		BaseSeed: 99,
-		Cycle:    5 * time.Minute,
-		Horizon:  96 * time.Hour,
-	}
-	for _, frac := range fracs {
-		g.Traces = append(g.Traces, sweep.TraceSpec{
-			Name: fmt.Sprintf("phased-w%g", frac),
-			Kind: sweep.TracePhased, WindowsFrac: frac,
-		})
-	}
+	fracs := e12Fracs
+	g := E12Grid()
 	out, err := sweep.Run(sweep.Config{Grid: g})
 	if err != nil {
 		return t, err
@@ -268,12 +279,11 @@ func hybridVsStaticRow(out *sweep.Outcome, traceName string, frac float64) ([]st
 	}, nil
 }
 
-// E13SweepModes regenerates the mode-vs-load comparison through the
-// sweep subsystem: every cluster organisation against rising Poisson
-// arrival rates, ranked by utilisation. One sweep call replaces the
-// mode-by-mode core.Run loops the earlier experiments hand-rolled.
-func E13SweepModes() (Table, error) {
-	g := sweep.Grid{
+// E13Grid is the sweep E13 runs: every cluster organisation against
+// rising Poisson arrival rates. Exported so the grid travels as a
+// committed spec document (see SpecFiles) and CI can replay it.
+func E13Grid() sweep.Grid {
+	return sweep.Grid{
 		Modes: []cluster.Mode{cluster.HybridV1, cluster.HybridV2, cluster.Static, cluster.MonoStable},
 		Traces: []sweep.TraceSpec{
 			{JobsPerHour: 2, WindowsFrac: 0.3, Duration: 24 * time.Hour},
@@ -284,6 +294,14 @@ func E13SweepModes() (Table, error) {
 		Cycle:    5 * time.Minute,
 		Horizon:  96 * time.Hour,
 	}
+}
+
+// E13SweepModes regenerates the mode-vs-load comparison through the
+// sweep subsystem: every cluster organisation against rising Poisson
+// arrival rates, ranked by utilisation. One sweep call replaces the
+// mode-by-mode core.Run loops the earlier experiments hand-rolled.
+func E13SweepModes() (Table, error) {
+	g := E13Grid()
 	out, err := sweep.Run(sweep.Config{Grid: g})
 	if err != nil {
 		return Table{}, err
@@ -311,8 +329,10 @@ var E15Policies = []string{"fcfs", "threshold", "hysteresis", "predictive"}
 
 // E15Grid is the sweep E15 runs: the four switching policies crossed
 // with the diurnal campus pattern and the oscillating render-burst
-// trace. Exported so the CI artifact job can regenerate the same CSV
-// with `qsim sweep` and a test can assert the headline ordering.
+// trace. The grid travels as the committed specs/e15_policy_suite.json
+// document, which the CI artifact and spec-replay jobs run through
+// `qsim sweep -f`; a test pins the document to this grid and another
+// asserts the headline ordering.
 func E15Grid() (sweep.Grid, error) {
 	var specs []sweep.PolicySpec
 	for _, name := range E15Policies {
@@ -406,16 +426,20 @@ func E15PolicySuite() (Table, error) {
 // wide-mix traces where head-of-line blocking actually bites — the
 // phased wide-job mix whose 10-node phase leaders wedge the queue
 // head, plus a dense Poisson day that keeps a deep queue behind the
-// wide catalog jobs. Exported so the CI artifact job can regenerate
-// the same CSV with `qsim sweep -schedpolicies fcfs,backfill` (the
-// grid spec in ci.yml mirrors these axes exactly) and a test can
-// assert the headline ordering.
+// wide catalog jobs. The grid travels as the committed
+// specs/e16_sched_policies.json document, which the CI artifact and
+// spec-replay jobs run through `qsim sweep -f`; a test pins the
+// document to this grid and another asserts the headline ordering.
 func E16Grid() sweep.Grid {
 	return sweep.Grid{
 		Modes:         []cluster.Mode{cluster.HybridV2},
 		SchedPolicies: []cluster.SchedPolicy{cluster.SchedFCFS, cluster.SchedBackfill},
 		Traces: []sweep.TraceSpec{
-			{Kind: sweep.TracePhased, WindowsFrac: 0.5},
+			// The phased shape ignores its arrival rate (its name and
+			// its builder are rate-free); pinning it to the Poisson
+			// trace's 6 jobs/hour keeps the grid a clean kind × rate
+			// cross, so it is expressible as a spec document.
+			{Kind: sweep.TracePhased, JobsPerHour: 6, WindowsFrac: 0.5},
 			{JobsPerHour: 6, WindowsFrac: 0.5, Duration: 24 * time.Hour},
 		},
 		BaseSeed: 16,
@@ -598,6 +622,33 @@ func A3SwitchCost() (Table, error) {
 	return t, nil
 }
 
+// E14Grid is the sweep E14 runs: the campus fabric under every
+// routing policy, with the phased wide-job mix — each phase leads with
+// a 10-node job that wedges the flexible member's 8-node half whenever
+// the router places it there, so the paper's stuck-only FCFS actually
+// fires and the hybrid fabric separates from the all-static one.
+// Exported so the grid travels as a committed spec document (see
+// SpecFiles) and CI can replay it.
+func E14Grid() (sweep.Grid, error) {
+	campus, err := sweep.TopologyByName("campus")
+	if err != nil {
+		return sweep.Grid{}, err
+	}
+	return sweep.Grid{
+		Modes:      []cluster.Mode{cluster.HybridV2, cluster.Static},
+		Topologies: []sweep.TopologySpec{campus},
+		Routings: []grid.RoutingPolicy{
+			grid.RouteLeastLoaded, grid.RouteRoundRobin, grid.RouteHybridLast,
+		},
+		Traces: []sweep.TraceSpec{{
+			Kind: sweep.TracePhased, WindowsFrac: 0.5,
+		}},
+		BaseSeed: 17,
+		Cycle:    5 * time.Minute,
+		Horizon:  200 * time.Hour,
+	}, nil
+}
+
 // E14RoutingPolicies ranks the campus router's placement policies on
 // the Queensgate-like fabric: a flexible member (the cell's mode)
 // between a Linux-only and a Windows-only static, all on one clock.
@@ -611,27 +662,9 @@ func E14RoutingPolicies() (Table, error) {
 		Header: []string{"fabric-member", "routing", "util", "wait(L)", "wait(W)", "switches", "dropped", "done/subm"},
 		Notes:  "campus topology: flexible member + linux-only static + windows-only static, 16 nodes each; when the router lands a 10-node lead job on the flexible member its 8-node half wedges and dualboot shifts nodes across (switches, nothing dropped), while hybrid-last keeps wide work on the 16-node statics and avoids the churn entirely",
 	}
-	campus, err := sweep.TopologyByName("campus")
+	g, err := E14Grid()
 	if err != nil {
 		return t, err
-	}
-	g := sweep.Grid{
-		Modes:      []cluster.Mode{cluster.HybridV2, cluster.Static},
-		Topologies: []sweep.TopologySpec{campus},
-		Routings: []grid.RoutingPolicy{
-			grid.RouteLeastLoaded, grid.RouteRoundRobin, grid.RouteHybridLast,
-		},
-		// The phased wide-job mix: each phase leads with a 10-node job
-		// that wedges the flexible member's 8-node half whenever the
-		// router places it there, so the paper's stuck-only FCFS
-		// actually fires and the hybrid fabric separates from the
-		// all-static one.
-		Traces: []sweep.TraceSpec{{
-			Kind: sweep.TracePhased, WindowsFrac: 0.5,
-		}},
-		BaseSeed: 17,
-		Cycle:    5 * time.Minute,
-		Horizon:  200 * time.Hour,
 	}
 	out, err := sweep.Run(sweep.Config{Grid: g})
 	if err != nil {

@@ -4,6 +4,7 @@
 package export
 
 import (
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -93,73 +94,151 @@ func WriteSummaryJSON(w io.Writer, s metrics.Summary) error {
 	return enc.Encode(out)
 }
 
-// SweepRow is one parameter-grid cell flattened for export. The sweep
-// package produces these; keeping the type here lets the exporters
-// stay free of a dependency on the sweep machinery.
-type SweepRow struct {
-	Cell               string  `json:"cell"`
-	Mode               string  `json:"mode"`
-	Policy             string  `json:"policy"`
-	Sched              string  `json:"sched_policy"` // head-scheduler discipline (fcfs|backfill)
-	Nodes              int     `json:"nodes"`
-	Trace              string  `json:"trace"`
-	FailureRate        float64 `json:"failure_rate"`
-	Topology           string  `json:"topology"`
-	Routing            string  `json:"routing,omitempty"` // empty for single-cluster cells
-	Seed               int64   `json:"seed"`
-	Utilisation        float64 `json:"utilisation"`
-	MeanWaitLinuxSec   float64 `json:"mean_wait_linux_sec"`
-	MeanWaitWindowsSec float64 `json:"mean_wait_windows_sec"`
-	Switches           int     `json:"switches"`
-	SwitchesOK         int     `json:"switches_ok"`
-	Thrash             int     `json:"thrash"` // switches reversed within one dwell window
-	MeanSwitchSec      float64 `json:"mean_switch_sec"`
-	JobsSubmitted      int     `json:"jobs_submitted"`
-	JobsCompleted      int     `json:"jobs_completed"`
-	SubmitFailures     int     `json:"submit_failures"`
-	BrokenNodes        int     `json:"broken_nodes"`
-	Dropped            int     `json:"dropped"` // grid jobs no member could serve
-	MakespanSec        float64 `json:"makespan_sec"`
-	Err                string  `json:"err,omitempty"`
+// Field is one axis column of a sweep row: a key, its canonical CSV
+// rendering and its typed JSON value. The sweep package derives the
+// fields from its axis registry, so the exporters stay schema-agnostic
+// — a new sweep axis becomes a new column with no edits here.
+type Field struct {
+	Key  string
+	Text string // canonical CSV cell
+	JSON any    // typed JSON value; nil falls back to Text
+	// OmitEmptyJSON drops the JSON field when Text is empty (the
+	// routing column on single-cluster cells).
+	OmitEmptyJSON bool
 }
 
-// WriteSweepCSV writes sweep rows as CSV with a header. Output is a
-// pure function of the rows — fixed column order, fixed float
-// formatting — so two identical sweeps serialise byte-identically.
+// SweepRow is one parameter-grid cell flattened for export: the axis
+// coordinates as ordered fields (registry-derived, uniform across the
+// rows of one sweep) plus the fixed metric columns. Keeping the type
+// here lets the exporters stay free of a dependency on the sweep
+// machinery.
+type SweepRow struct {
+	Axes               []Field
+	Utilisation        float64
+	MeanWaitLinuxSec   float64
+	MeanWaitWindowsSec float64
+	Switches           int
+	SwitchesOK         int
+	Thrash             int // switches reversed within one dwell window
+	MeanSwitchSec      float64
+	JobsSubmitted      int
+	JobsCompleted      int
+	SubmitFailures     int
+	BrokenNodes        int
+	Dropped            int // grid jobs no member could serve
+	MakespanSec        float64
+	Err                string
+}
+
+// metricColumns fixes the metric part of the sweep schema: names,
+// order and CSV formatting. The err column stays last.
+var metricColumns = []struct {
+	name string
+	csv  func(r SweepRow) string
+	json func(r SweepRow) any
+}{
+	{"utilisation", func(r SweepRow) string { return fmt.Sprintf("%.6f", r.Utilisation) }, func(r SweepRow) any { return r.Utilisation }},
+	{"mean_wait_linux_sec", func(r SweepRow) string { return fmt.Sprintf("%.0f", r.MeanWaitLinuxSec) }, func(r SweepRow) any { return r.MeanWaitLinuxSec }},
+	{"mean_wait_windows_sec", func(r SweepRow) string { return fmt.Sprintf("%.0f", r.MeanWaitWindowsSec) }, func(r SweepRow) any { return r.MeanWaitWindowsSec }},
+	{"switches", func(r SweepRow) string { return fmt.Sprintf("%d", r.Switches) }, func(r SweepRow) any { return r.Switches }},
+	{"switches_ok", func(r SweepRow) string { return fmt.Sprintf("%d", r.SwitchesOK) }, func(r SweepRow) any { return r.SwitchesOK }},
+	{"thrash", func(r SweepRow) string { return fmt.Sprintf("%d", r.Thrash) }, func(r SweepRow) any { return r.Thrash }},
+	{"mean_switch_sec", func(r SweepRow) string { return fmt.Sprintf("%.0f", r.MeanSwitchSec) }, func(r SweepRow) any { return r.MeanSwitchSec }},
+	{"jobs_submitted", func(r SweepRow) string { return fmt.Sprintf("%d", r.JobsSubmitted) }, func(r SweepRow) any { return r.JobsSubmitted }},
+	{"jobs_completed", func(r SweepRow) string { return fmt.Sprintf("%d", r.JobsCompleted) }, func(r SweepRow) any { return r.JobsCompleted }},
+	{"submit_failures", func(r SweepRow) string { return fmt.Sprintf("%d", r.SubmitFailures) }, func(r SweepRow) any { return r.SubmitFailures }},
+	{"broken_nodes", func(r SweepRow) string { return fmt.Sprintf("%d", r.BrokenNodes) }, func(r SweepRow) any { return r.BrokenNodes }},
+	{"dropped", func(r SweepRow) string { return fmt.Sprintf("%d", r.Dropped) }, func(r SweepRow) any { return r.Dropped }},
+	{"makespan_sec", func(r SweepRow) string { return fmt.Sprintf("%.0f", r.MakespanSec) }, func(r SweepRow) any { return r.MakespanSec }},
+}
+
+// MarshalJSON emits the axis fields in order, then the metric
+// columns, then err (omitted when empty) — the same object shape the
+// pre-registry struct tags produced.
+func (r SweepRow) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	first := true
+	put := func(key string, v any) error {
+		enc, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		kb, _ := json.Marshal(key)
+		b.Write(kb)
+		b.WriteByte(':')
+		b.Write(enc)
+		return nil
+	}
+	for _, f := range r.Axes {
+		if f.OmitEmptyJSON && f.Text == "" {
+			continue
+		}
+		v := f.JSON
+		if v == nil {
+			v = f.Text
+		}
+		if err := put(f.Key, v); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range metricColumns {
+		if err := put(m.name, m.json(r)); err != nil {
+			return nil, err
+		}
+	}
+	if r.Err != "" {
+		if err := put("err", r.Err); err != nil {
+			return nil, err
+		}
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// WriteSweepCSV writes sweep rows as CSV with a header: the first
+// row's axis keys (every row of one sweep shares them), then the fixed
+// metric columns, then err. Output is a pure function of the rows —
+// fixed column order, fixed float formatting — so two identical sweeps
+// serialise byte-identically. No rows writes nothing: without a row
+// the axis schema is unknown.
 func WriteSweepCSV(w io.Writer, rows []SweepRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
 	cw := csv.NewWriter(w)
-	header := []string{"cell", "mode", "policy", "sched_policy", "nodes", "trace", "failure_rate",
-		"topology", "routing", "seed",
-		"utilisation", "mean_wait_linux_sec", "mean_wait_windows_sec",
-		"switches", "switches_ok", "thrash", "mean_switch_sec",
-		"jobs_submitted", "jobs_completed", "submit_failures", "broken_nodes",
-		"dropped", "makespan_sec", "err"}
+	header := make([]string, 0, len(rows[0].Axes)+len(metricColumns)+1)
+	for _, f := range rows[0].Axes {
+		header = append(header, f.Key)
+	}
+	for _, m := range metricColumns {
+		header = append(header, m.name)
+	}
+	header = append(header, "err")
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("export: %w", err)
 	}
-	for _, r := range rows {
-		rec := []string{
-			r.Cell, r.Mode, r.Policy, r.Sched,
-			fmt.Sprintf("%d", r.Nodes),
-			r.Trace,
-			fmt.Sprintf("%g", r.FailureRate),
-			r.Topology, r.Routing,
-			fmt.Sprintf("%d", r.Seed),
-			fmt.Sprintf("%.6f", r.Utilisation),
-			fmt.Sprintf("%.0f", r.MeanWaitLinuxSec),
-			fmt.Sprintf("%.0f", r.MeanWaitWindowsSec),
-			fmt.Sprintf("%d", r.Switches),
-			fmt.Sprintf("%d", r.SwitchesOK),
-			fmt.Sprintf("%d", r.Thrash),
-			fmt.Sprintf("%.0f", r.MeanSwitchSec),
-			fmt.Sprintf("%d", r.JobsSubmitted),
-			fmt.Sprintf("%d", r.JobsCompleted),
-			fmt.Sprintf("%d", r.SubmitFailures),
-			fmt.Sprintf("%d", r.BrokenNodes),
-			fmt.Sprintf("%d", r.Dropped),
-			fmt.Sprintf("%.0f", r.MakespanSec),
-			r.Err,
+	for i, r := range rows {
+		// encoding/csv does not enforce record lengths, so rows off the
+		// first row's axis schema would silently shift columns.
+		if len(r.Axes) != len(rows[0].Axes) {
+			return fmt.Errorf("export: sweep row %d carries %d axis fields, header has %d", i, len(r.Axes), len(rows[0].Axes))
 		}
+		rec := make([]string, 0, len(header))
+		for j, f := range r.Axes {
+			if f.Key != rows[0].Axes[j].Key {
+				return fmt.Errorf("export: sweep row %d axis %q does not match header column %q", i, f.Key, rows[0].Axes[j].Key)
+			}
+			rec = append(rec, f.Text)
+		}
+		for _, m := range metricColumns {
+			rec = append(rec, m.csv(r))
+		}
+		rec = append(rec, r.Err)
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("export: %w", err)
 		}

@@ -88,15 +88,34 @@ func TestWriteSummaryJSON(t *testing.T) {
 	}
 }
 
+// axisRow builds the registry-shaped axis fields the sweep package
+// emits, so the exporter tests exercise the same schema.
+func axisRow(cell, mode, policy, sched string, nodes int, trace string, fail float64, topo, routing string, seed int64) []Field {
+	return []Field{
+		{Key: "cell", Text: cell, JSON: cell},
+		{Key: "mode", Text: mode, JSON: mode},
+		{Key: "policy", Text: policy, JSON: policy},
+		{Key: "sched_policy", Text: sched, JSON: sched},
+		{Key: "nodes", Text: "16", JSON: nodes},
+		{Key: "trace", Text: trace, JSON: trace},
+		{Key: "failure_rate", Text: "0.1", JSON: fail},
+		{Key: "topology", Text: topo, JSON: topo},
+		{Key: "routing", Text: routing, JSON: routing, OmitEmptyJSON: true},
+		{Key: "seed", Text: "42", JSON: seed},
+	}
+}
+
 func TestWriteSweepCSV(t *testing.T) {
+	a := axisRow("hybrid-v2/fcfs/n16/poisson-4jph-w30%/f0", "hybrid-v2", "fcfs", "backfill",
+		16, "poisson-4jph-w30%", 0, "single", "", 42)
+	a[6].Text = "0"
+	b := axisRow("static-split/fcfs/n16/poisson-4jph-w30%/f0.1", "static-split", "fcfs", "fcfs",
+		16, "poisson-4jph-w30%", 0.1, "single", "", 43)
+	b[9].Text = "43"
 	rows := []SweepRow{
-		{Cell: "hybrid-v2/fcfs/n16/poisson-4jph-w30%/f0", Mode: "hybrid-v2", Policy: "fcfs",
-			Sched: "backfill", Nodes: 16, Trace: "poisson-4jph-w30%", Seed: 42,
-			Utilisation: 0.4251, MeanWaitWindowsSec: 300, Switches: 6, SwitchesOK: 6, Thrash: 2,
+		{Axes: a, Utilisation: 0.4251, MeanWaitWindowsSec: 300, Switches: 6, SwitchesOK: 6, Thrash: 2,
 			JobsSubmitted: 96, JobsCompleted: 96, MakespanSec: 90000},
-		{Cell: "static-split/fcfs/n16/poisson-4jph-w30%/f0.1", Mode: "static-split", Policy: "fcfs",
-			Sched: "fcfs", Nodes: 16, Trace: "poisson-4jph-w30%", FailureRate: 0.1, Seed: 43,
-			Err: "boom"},
+		{Axes: b, Err: "boom"},
 	}
 	var buf bytes.Buffer
 	if err := WriteSweepCSV(&buf, rows); err != nil {
@@ -137,7 +156,10 @@ func TestWriteSweepCSV(t *testing.T) {
 }
 
 func TestWriteSweepJSON(t *testing.T) {
-	rows := []SweepRow{{Cell: "c", Mode: "hybrid-v2", Utilisation: 0.5, JobsCompleted: 12}}
+	rows := []SweepRow{{
+		Axes:        axisRow("c", "hybrid-v2", "fcfs", "fcfs", 16, "poisson-4jph-w30%", 0, "single", "", 42),
+		Utilisation: 0.5, JobsCompleted: 12,
+	}}
 	var buf bytes.Buffer
 	if err := WriteSweepJSON(&buf, rows); err != nil {
 		t.Fatal(err)
@@ -149,8 +171,28 @@ func TestWriteSweepJSON(t *testing.T) {
 	if len(decoded) != 1 || decoded[0]["utilisation"] != 0.5 {
 		t.Fatalf("decoded = %v", decoded)
 	}
+	if decoded[0]["mode"] != "hybrid-v2" || decoded[0]["nodes"] != float64(16) {
+		t.Fatalf("axis fields = %v", decoded[0])
+	}
 	if _, present := decoded[0]["err"]; present {
 		t.Fatal("empty err serialised")
+	}
+	// The routing axis omits its JSON field when empty, as the struct
+	// tag `omitempty` used to.
+	if _, present := decoded[0]["routing"]; present {
+		t.Fatal("empty routing serialised")
+	}
+}
+
+// WriteSweepCSV without rows cannot know the axis schema; it must
+// write nothing rather than invent a header.
+func TestWriteSweepCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("wrote %q for zero rows", buf.String())
 	}
 }
 
@@ -199,5 +241,21 @@ func TestWriteSwitchesCSV(t *testing.T) {
 	row := records[1]
 	if row[0] != "enode01" || row[1] != "linux" || row[2] != "windows" || row[5] != "240" || row[6] != "true" {
 		t.Fatalf("row = %v", row)
+	}
+}
+
+// Rows off the first row's axis schema must error instead of writing
+// ragged CSV (encoding/csv does not enforce record lengths).
+func TestWriteSweepCSVRejectsMismatchedSchemas(t *testing.T) {
+	full := SweepRow{Axes: axisRow("a", "hybrid-v2", "fcfs", "fcfs", 16, "t", 0, "single", "", 1)}
+	short := SweepRow{Axes: full.Axes[:len(full.Axes)-1]}
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, []SweepRow{full, short}); err == nil {
+		t.Fatal("mismatched axis counts serialised without error")
+	}
+	renamed := SweepRow{Axes: append([]Field(nil), full.Axes...)}
+	renamed.Axes[3] = Field{Key: "discipline", Text: "fcfs"}
+	if err := WriteSweepCSV(&buf, []SweepRow{full, renamed}); err == nil {
+		t.Fatal("mismatched axis keys serialised without error")
 	}
 }

@@ -1,0 +1,814 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bootmgr"
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/osid"
+)
+
+// Axis is one self-describing sweep-axis registration. Everything the
+// rest of the system needs to know about an axis hangs off its entry
+// here: the grid-spec / document / CLI key, the value parser and its
+// canonical inverse, the expansion enumerator, the seed-derivation
+// role, the export column, and the cell-name segment. ParseGridSpec,
+// the qsim sweep flag set, CSV/JSON headers, Grid.Describe and
+// deterministic cell naming are all derived from the registry — adding
+// an axis means adding one Grid field and one registration, nothing
+// else (see the switchlat axis for the template).
+type Axis struct {
+	// Key is the grid-spec, document and CLI flag name ("modes").
+	Key string
+	// Alias is a deprecated alternate key still accepted by the
+	// parser ("" = none). Aliases never appear in help or documents.
+	Alias string
+	// Help is the one-line description shown in flag usage and the
+	// generated key table.
+	Help string
+	// Values returns the value vocabulary for help text ("a|b|c");
+	// nil for free-form numeric axes.
+	Values func() string
+	// Single marks scalar keys (seed, cycle, horizon, hours): exactly
+	// one value, never a comma list — ParseGridSpec rejects comma
+	// lists for them before dispatching to Parse.
+	Single bool
+
+	// Defaults fills the axis's Grid default when the field is unset;
+	// nil when Grid.withDefaults already covers it.
+	Defaults func(g *Grid)
+
+	// Parse folds the key's raw value string into the parse state.
+	Parse func(ps *specState, vals string) error
+	// Format renders the grid's value back to canonical spec notation;
+	// "" omits the key. It errors when the grid holds something the
+	// notation cannot express (custom traces, bespoke topologies).
+	Format func(g Grid) (string, error)
+
+	// Points counts the axis's expansion points given the partial
+	// cell built from earlier axes; Apply writes point i into the
+	// cell. Nil for parse-only keys (rates/winfracs/hours feed the
+	// traces axis) and for scalars.
+	Points func(g Grid, c Cell) int
+	Apply  func(g Grid, c *Cell, i int)
+	// Env contributes the axis's coordinate to the cell's cluster
+	// seed ("" = treatment axis: variants share the environment seed).
+	Env func(c Cell) string
+	// Plural labels the axis in Grid.Describe ("modes"); "" omits.
+	Plural string
+	// Quiet omits the axis from Describe while it sits at a single
+	// point, so pre-registry Describe strings stay stable.
+	Quiet bool
+
+	// Column names the axis's export column ("" = no column); Col
+	// renders a cell's value as its canonical CSV text plus its typed
+	// JSON value.
+	Column string
+	Col    func(c Cell) (text string, js any)
+	// OmitEmptyJSON drops the JSON field when the text is empty
+	// (routing on single-cluster cells).
+	OmitEmptyJSON bool
+	// ColumnOptional emits the column only when ColumnActive reports
+	// some cell off the axis default — so grids that never touch the
+	// axis serialise exactly as they did before it existed.
+	ColumnOptional bool
+	ColumnActive   func(c Cell) bool
+
+	// Segment renders the cell-name segment ("" omits). NameOrder
+	// sorts segments; ties keep registry order.
+	Segment   func(c Cell) string
+	NameOrder int
+
+	// Configure applies the cell's axis value to the materialised
+	// scenario, for axes that act through core.Scenario fields.
+	Configure func(c Cell, sc *core.Scenario)
+}
+
+// Registry returns the axis registrations in canonical order: the
+// order of grid-spec keys, export columns and Describe segments.
+func Registry() []*Axis { return registry }
+
+// SpecKeys lists the valid grid-spec keys in registry order (aliases
+// excluded).
+func SpecKeys() []string {
+	keys := make([]string, len(registry))
+	for i, ax := range registry {
+		keys[i] = ax.Key
+	}
+	return keys
+}
+
+// CanonicalKey resolves a grid-spec key or deprecated alias to its
+// canonical axis key; false for unknown keys.
+func CanonicalKey(key string) (string, bool) {
+	ax, _ := axisByKey(key)
+	if ax == nil {
+		return "", false
+	}
+	return ax.Key, true
+}
+
+// axisByKey resolves a key or its deprecated alias. The second result
+// reports whether the alias was used.
+func axisByKey(key string) (*Axis, bool) {
+	for _, ax := range registry {
+		if ax.Key == key {
+			return ax, false
+		}
+		if ax.Alias != "" && ax.Alias == key {
+			return ax, true
+		}
+	}
+	return nil, false
+}
+
+// SpecKeyDoc renders the grid-spec key table from the registry — the
+// single source the package documentation, the README and the qsim
+// help text all agree with (TestSpecKeyDocMatchesPackageDoc pins the
+// package doc against it).
+func SpecKeyDoc() string {
+	width := 0
+	for _, ax := range registry {
+		if len(ax.Key) > width {
+			width = len(ax.Key)
+		}
+	}
+	var b strings.Builder
+	for _, ax := range registry {
+		line := fmt.Sprintf("%-*s  %s", width, ax.Key, ax.Help)
+		if ax.Values != nil {
+			line += " (" + ax.Values() + ")"
+		}
+		b.WriteString(line + "\n")
+	}
+	return b.String()
+}
+
+// ModeNames lists the cluster-mode vocabulary in registry order.
+func ModeNames() []string {
+	names := make([]string, len(allModes))
+	for i, m := range allModes {
+		names[i] = m.String()
+	}
+	return names
+}
+
+// TraceKindNames lists the trace-kind vocabulary in registry order.
+func TraceKindNames() []string {
+	names := make([]string, len(allTraceKinds))
+	for i, k := range allTraceKinds {
+		names[i] = k.String()
+	}
+	return names
+}
+
+// RoutingNames lists the campus routing-policy vocabulary.
+func RoutingNames() []string {
+	names := make([]string, len(allRoutings))
+	for i, r := range allRoutings {
+		names[i] = r.String()
+	}
+	return names
+}
+
+// TopologyNames lists the fabric preset vocabulary.
+func TopologyNames() []string {
+	presets := DefaultTopologies()
+	names := make([]string, len(presets))
+	for i, t := range presets {
+		names[i] = t.Name
+	}
+	return names
+}
+
+var (
+	allModes      = []cluster.Mode{cluster.HybridV1, cluster.HybridV2, cluster.Static, cluster.MonoStable}
+	allTraceKinds = []TraceKind{TracePoisson, TracePhased, TraceMatlabGA, TraceDiurnal, TraceBurst}
+	allRoutings   = []grid.RoutingPolicy{grid.RouteLeastLoaded, grid.RouteRoundRobin, grid.RouteHybridLast}
+)
+
+// specState carries ParseGridSpec's intermediate values: the trace
+// group (rates × winfracs × hours × kinds) is assembled into
+// Grid.Traces only after every key has parsed.
+type specState struct {
+	g        *Grid
+	rates    []float64
+	winfracs []float64
+	kinds    []TraceKind
+	hours    float64
+}
+
+func newSpecState(g *Grid) *specState {
+	return &specState{g: g, rates: []float64{4}, winfracs: []float64{0.3}, kinds: []TraceKind{TracePoisson}, hours: 24}
+}
+
+// buildTraces crosses the trace group into Grid.Traces exactly as the
+// compact notation documents: kind (outer) × rate × winfrac, one
+// submission window, deduplicated by derived name (non-poisson kinds
+// ignore some parameters, so the cross can repeat a shape).
+func (ps *specState) buildTraces() {
+	seen := map[string]bool{}
+	for _, kind := range ps.kinds {
+		for _, rate := range ps.rates {
+			for _, wf := range ps.winfracs {
+				t := TraceSpec{
+					Kind:        kind,
+					JobsPerHour: rate,
+					WindowsFrac: wf,
+					Duration:    time.Duration(ps.hours * float64(time.Hour)),
+				}.withDefaults()
+				if seen[t.Name] {
+					continue
+				}
+				seen[t.Name] = true
+				ps.g.Traces = append(ps.g.Traces, t)
+			}
+		}
+	}
+}
+
+// traceGroup recovers the spec-notation trace group from a grid's
+// trace axis, or errors when the traces cannot be expressed (custom
+// builders, explicit names, non-default phases/width, or a set that is
+// not a clean kind × rate × winfrac cross).
+type traceGroup struct {
+	kinds    []TraceKind
+	rates    []float64
+	winfracs []float64
+	hours    float64
+}
+
+func traceGroupOf(g Grid) (traceGroup, error) {
+	var tg traceGroup
+	if len(g.Traces) == 0 {
+		return tg, fmt.Errorf("sweep: grid has no traces to express")
+	}
+	norm := make([]TraceSpec, len(g.Traces))
+	seenKind := map[TraceKind]bool{}
+	seenRate := map[float64]bool{}
+	seenWF := map[float64]bool{}
+	for i, t := range g.Traces {
+		norm[i] = t.withDefaults()
+		t = norm[i]
+		if t.Custom != nil {
+			return tg, fmt.Errorf("sweep: trace %q has a custom builder; not expressible in spec notation", t.Name)
+		}
+		if t.Phases != 8 || t.MaxNodes != 4 {
+			return tg, fmt.Errorf("sweep: trace %q overrides phases/width; not expressible in spec notation", t.Name)
+		}
+		if t.JobsPerHour <= 0 {
+			return tg, fmt.Errorf("sweep: trace %q has non-positive rate", t.Name)
+		}
+		if i == 0 {
+			tg.hours = t.Duration.Hours()
+		} else if t.Duration != norm[0].Duration {
+			return tg, fmt.Errorf("sweep: traces mix submission windows (%v vs %v); not expressible in spec notation",
+				norm[0].Duration, t.Duration)
+		}
+		if !seenKind[t.Kind] {
+			seenKind[t.Kind] = true
+			tg.kinds = append(tg.kinds, t.Kind)
+		}
+		if !seenRate[t.JobsPerHour] {
+			seenRate[t.JobsPerHour] = true
+			tg.rates = append(tg.rates, t.JobsPerHour)
+		}
+		if !seenWF[t.WindowsFrac] {
+			seenWF[t.WindowsFrac] = true
+			tg.winfracs = append(tg.winfracs, t.WindowsFrac)
+		}
+	}
+	// The authoritative check: replaying the collected sets through
+	// the parser's own cross-product must regenerate exactly the
+	// grid's trace names, in order. Names are lossless by construction
+	// (they key the trace seeds), so name equality is behaviour
+	// equality.
+	replay := Grid{}
+	ps := &specState{g: &replay, rates: tg.rates, winfracs: tg.winfracs, kinds: tg.kinds, hours: tg.hours}
+	ps.buildTraces()
+	if len(replay.Traces) != len(norm) {
+		return tg, fmt.Errorf("sweep: traces are not a kind × rate × winfrac cross; not expressible in spec notation")
+	}
+	for i := range norm {
+		if replay.Traces[i].Name != norm[i].Name {
+			return tg, fmt.Errorf("sweep: trace %q is not at its cross-product position; not expressible in spec notation", norm[i].Name)
+		}
+	}
+	return tg, nil
+}
+
+func joinFloats(vals []float64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%g", v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// SwitchLatencyModel builds the boot-latency model for one switchlat
+// axis value: every stage of the stock model scaled uniformly so the
+// zero-jitter planning estimate for a PXE switch to Windows
+// (bootmgr.SwitchLatency, the paper's "no more than five minutes"
+// number) equals d. Zero returns nil — the stock model.
+func SwitchLatencyModel(d time.Duration) *bootmgr.LatencyModel {
+	if d <= 0 {
+		return nil
+	}
+	m := bootmgr.DefaultLatencyModel()
+	base := bootmgr.SwitchLatency(m, osid.Windows, true, 3)
+	f := float64(d) / float64(base)
+	scale := func(v time.Duration) time.Duration { return time.Duration(float64(v) * f) }
+	m.Shutdown = scale(m.Shutdown)
+	m.POST = scale(m.POST)
+	m.DHCP = scale(m.DHCP)
+	m.TFTP = scale(m.TFTP)
+	m.GRUBPerSecond = scale(m.GRUBPerSecond)
+	m.KernelLinux = scale(m.KernelLinux)
+	m.ServicesLinux = scale(m.ServicesLinux)
+	m.KernelWindows = scale(m.KernelWindows)
+	m.ServicesWindows = scale(m.ServicesWindows)
+	return &m
+}
+
+// registry holds the axis registrations in canonical order. The
+// ordering is load-bearing three ways: grid-spec keys and documents
+// list in this order, export columns emit in this order, and Expand
+// nests loops in this order (earlier axes are outermost), which fixes
+// both cell expansion order and the env-seed coordinate order.
+var registry = buildRegistry()
+
+func buildRegistry() []*Axis {
+	return []*Axis{
+		{
+			Key:    "modes",
+			Help:   "cluster organisations",
+			Values: func() string { return strings.Join(ModeNames(), "|") },
+			Parse: func(ps *specState, vals string) error {
+				for _, v := range strings.Split(vals, ",") {
+					m, err := ParseMode(strings.TrimSpace(v))
+					if err != nil {
+						return err
+					}
+					ps.g.Modes = append(ps.g.Modes, m)
+				}
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				parts := make([]string, len(g.Modes))
+				for i, m := range g.Modes {
+					parts[i] = m.String()
+				}
+				return strings.Join(parts, ","), nil
+			},
+			Points:    func(g Grid, _ Cell) int { return len(g.Modes) },
+			Apply:     func(g Grid, c *Cell, i int) { c.Mode = g.Modes[i] },
+			Plural:    "modes",
+			Column:    "mode",
+			Col:       func(c Cell) (string, any) { return c.Mode.String(), c.Mode.String() },
+			Segment:   func(c Cell) string { return c.Mode.String() },
+			NameOrder: 10,
+		},
+		{
+			Key:    "ctlpolicies",
+			Alias:  "policies",
+			Help:   "controller policies",
+			Values: func() string { return strings.Join(controller.PolicyNames(), "|") },
+			Parse: func(ps *specState, vals string) error {
+				for _, v := range strings.Split(vals, ",") {
+					p, err := PolicyByName(strings.TrimSpace(v))
+					if err != nil {
+						return err
+					}
+					ps.g.Policies = append(ps.g.Policies, p)
+				}
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				parts := make([]string, len(g.Policies))
+				for i, p := range g.Policies {
+					if p.Name == "" {
+						return "", fmt.Errorf("sweep: unnamed controller policy; not expressible in spec notation")
+					}
+					parts[i] = p.Name
+				}
+				return strings.Join(parts, ","), nil
+			},
+			Points:    func(g Grid, _ Cell) int { return len(g.Policies) },
+			Apply:     func(g Grid, c *Cell, i int) { c.Policy = g.Policies[i] },
+			Plural:    "policies",
+			Column:    "policy",
+			Col:       func(c Cell) (string, any) { return c.Policy.Name, c.Policy.Name },
+			Segment:   func(c Cell) string { return c.Policy.Name },
+			NameOrder: 20,
+		},
+		{
+			Key:    "schedpolicies",
+			Help:   "head-scheduler queue disciplines",
+			Values: func() string { return strings.Join(cluster.SchedPolicyNames(), "|") },
+			Parse: func(ps *specState, vals string) error {
+				for _, v := range strings.Split(vals, ",") {
+					p, err := cluster.ParseSchedPolicy(strings.TrimSpace(v))
+					if err != nil {
+						return fmt.Errorf("sweep: %w", err)
+					}
+					ps.g.SchedPolicies = append(ps.g.SchedPolicies, p)
+				}
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				parts := make([]string, len(g.SchedPolicies))
+				for i, p := range g.SchedPolicies {
+					parts[i] = p.String()
+				}
+				return strings.Join(parts, ","), nil
+			},
+			Points: func(g Grid, _ Cell) int { return len(g.SchedPolicies) },
+			Apply:  func(g Grid, c *Cell, i int) { c.Sched = g.SchedPolicies[i] },
+			Plural: "sched policies",
+			Column: "sched_policy",
+			Col:    func(c Cell) (string, any) { return c.Sched.String(), c.Sched.String() },
+			Segment: func(c Cell) string {
+				if c.Sched == cluster.SchedFCFS {
+					return ""
+				}
+				return c.Sched.String()
+			},
+			NameOrder: 60,
+		},
+		{
+			Key:  "nodes",
+			Help: "compute-node counts",
+			Parse: func(ps *specState, vals string) error {
+				for _, v := range strings.Split(vals, ",") {
+					n, err := strconv.Atoi(strings.TrimSpace(v))
+					if err != nil || n <= 0 {
+						return fmt.Errorf("sweep: bad node count %q", v)
+					}
+					ps.g.NodeCounts = append(ps.g.NodeCounts, n)
+				}
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				parts := make([]string, len(g.NodeCounts))
+				for i, n := range g.NodeCounts {
+					parts[i] = strconv.Itoa(n)
+				}
+				return strings.Join(parts, ","), nil
+			},
+			Points:    func(g Grid, _ Cell) int { return len(g.NodeCounts) },
+			Apply:     func(g Grid, c *Cell, i int) { c.Nodes = g.NodeCounts[i] },
+			Env:       func(c Cell) string { return fmt.Sprintf("n%d", c.Nodes) },
+			Plural:    "node counts",
+			Column:    "nodes",
+			Col:       func(c Cell) (string, any) { return strconv.Itoa(c.Nodes), c.Nodes },
+			Segment:   func(c Cell) string { return fmt.Sprintf("n%d", c.Nodes) },
+			NameOrder: 30,
+		},
+		{
+			Key:  "rates",
+			Help: "Poisson arrival rates, jobs/hour",
+			Parse: func(ps *specState, vals string) error {
+				rates, err := parseFloats(strings.Split(vals, ","), 0)
+				if err != nil {
+					return fmt.Errorf("sweep: rates: %w", err)
+				}
+				for _, r := range rates {
+					// Zero would silently fall through to the 4 jobs/hour
+					// default; reject it instead of sweeping a phantom cell.
+					if r <= 0 {
+						return fmt.Errorf("sweep: rates must be positive, got %g", r)
+					}
+				}
+				ps.rates = rates
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				tg, err := traceGroupOf(g)
+				if err != nil {
+					return "", err
+				}
+				return joinFloats(tg.rates), nil
+			},
+		},
+		{
+			Key:  "winfracs",
+			Help: "Windows demand shares (0..1)",
+			Parse: func(ps *specState, vals string) error {
+				wfs, err := parseFloats(strings.Split(vals, ","), 1)
+				if err != nil {
+					return fmt.Errorf("sweep: winfracs: %w", err)
+				}
+				ps.winfracs = wfs
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				tg, err := traceGroupOf(g)
+				if err != nil {
+					return "", err
+				}
+				return joinFloats(tg.winfracs), nil
+			},
+		},
+		{
+			Key:    "hours",
+			Help:   "submission window in hours (single value)",
+			Single: true,
+			Parse: func(ps *specState, vals string) error {
+				h, err := strconv.ParseFloat(strings.TrimSpace(vals), 64)
+				if err != nil || h <= 0 {
+					return fmt.Errorf("sweep: bad hours %q", vals)
+				}
+				ps.hours = h
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				tg, err := traceGroupOf(g)
+				if err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("%g", tg.hours), nil
+			},
+		},
+		{
+			Key:    "traces",
+			Help:   "trace kinds, crossed with rates/winfracs",
+			Values: func() string { return strings.Join(TraceKindNames(), "|") },
+			Parse: func(ps *specState, vals string) error {
+				ps.kinds = ps.kinds[:0]
+				for _, v := range strings.Split(vals, ",") {
+					k, err := ParseTraceKind(strings.TrimSpace(v))
+					if err != nil {
+						return err
+					}
+					ps.kinds = append(ps.kinds, k)
+				}
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				tg, err := traceGroupOf(g)
+				if err != nil {
+					return "", err
+				}
+				parts := make([]string, len(tg.kinds))
+				for i, k := range tg.kinds {
+					parts[i] = k.String()
+				}
+				return strings.Join(parts, ","), nil
+			},
+			Points:    func(g Grid, _ Cell) int { return len(g.Traces) },
+			Apply:     func(g Grid, c *Cell, i int) { c.Trace = g.Traces[i] },
+			Env:       func(c Cell) string { return c.Trace.Name },
+			Plural:    "traces",
+			Column:    "trace",
+			Col:       func(c Cell) (string, any) { return c.Trace.Name, c.Trace.Name },
+			Segment:   func(c Cell) string { return c.Trace.Name },
+			NameOrder: 40,
+		},
+		{
+			Key:  "failrates",
+			Help: "per-boot failure probabilities (0..1)",
+			Parse: func(ps *specState, vals string) error {
+				frs, err := parseFloats(strings.Split(vals, ","), 1)
+				if err != nil {
+					return fmt.Errorf("sweep: failrates: %w", err)
+				}
+				ps.g.FailureRates = frs
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				return joinFloats(g.FailureRates), nil
+			},
+			Points:    func(g Grid, _ Cell) int { return len(g.FailureRates) },
+			Apply:     func(g Grid, c *Cell, i int) { c.FailureRate = g.FailureRates[i] },
+			Env:       func(c Cell) string { return fmt.Sprintf("f%g", c.FailureRate) },
+			Plural:    "failure rates",
+			Column:    "failure_rate",
+			Col:       func(c Cell) (string, any) { return fmt.Sprintf("%g", c.FailureRate), c.FailureRate },
+			Segment:   func(c Cell) string { return fmt.Sprintf("f%g", c.FailureRate) },
+			NameOrder: 50,
+		},
+		{
+			Key:    "topologies",
+			Help:   "fabric presets",
+			Values: func() string { return strings.Join(TopologyNames(), "|") },
+			Parse: func(ps *specState, vals string) error {
+				for _, v := range strings.Split(vals, ",") {
+					t, err := TopologyByName(strings.TrimSpace(v))
+					if err != nil {
+						return err
+					}
+					ps.g.Topologies = append(ps.g.Topologies, t)
+				}
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				parts := make([]string, len(g.Topologies))
+				for i, t := range g.Topologies {
+					t = t.withDefaults()
+					preset, err := TopologyByName(t.Name)
+					if err != nil || !topologiesEqual(preset, t) {
+						return "", fmt.Errorf("sweep: topology %q is not a named preset; not expressible in spec notation", t.Name)
+					}
+					parts[i] = t.Name
+				}
+				return strings.Join(parts, ","), nil
+			},
+			Points: func(g Grid, _ Cell) int { return len(g.Topologies) },
+			Apply:  func(g Grid, c *Cell, i int) { c.Topology = g.Topologies[i] },
+			Env: func(c Cell) string {
+				if c.Topology.IsGrid() {
+					return "topo:" + c.Topology.Name
+				}
+				return ""
+			},
+			Plural: "topologies",
+			Column: "topology",
+			Col:    func(c Cell) (string, any) { return c.Topology.Name, c.Topology.Name },
+			Segment: func(c Cell) string {
+				if c.Topology.IsGrid() {
+					return c.Topology.Name
+				}
+				return ""
+			},
+			NameOrder: 70,
+		},
+		{
+			Key:    "routings",
+			Help:   "campus routing policies",
+			Values: func() string { return strings.Join(RoutingNames(), "|") },
+			Parse: func(ps *specState, vals string) error {
+				for _, v := range strings.Split(vals, ",") {
+					r, err := grid.ParsePolicy(strings.TrimSpace(v))
+					if err != nil {
+						return fmt.Errorf("sweep: %w", err)
+					}
+					ps.g.Routings = append(ps.g.Routings, r)
+				}
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				parts := make([]string, len(g.Routings))
+				for i, r := range g.Routings {
+					parts[i] = r.String()
+				}
+				return strings.Join(parts, ","), nil
+			},
+			// Single-cluster cells have no router, so they expand
+			// against the first routing alone instead of duplicating.
+			Points: func(g Grid, c Cell) int {
+				if !c.Topology.IsGrid() {
+					return 1
+				}
+				return len(g.Routings)
+			},
+			Apply:  func(g Grid, c *Cell, i int) { c.Routing = g.Routings[i] },
+			Plural: "routings",
+			Column: "routing",
+			Col: func(c Cell) (string, any) {
+				if !c.Topology.IsGrid() {
+					return "", ""
+				}
+				return c.Routing.String(), c.Routing.String()
+			},
+			OmitEmptyJSON: true,
+			Segment: func(c Cell) string {
+				if c.Topology.IsGrid() {
+					return c.Routing.String()
+				}
+				return ""
+			},
+			NameOrder: 80,
+		},
+		{
+			Key:  "switchlat",
+			Help: "per-cell OS switch-latency targets, Go durations (0s = stock model)",
+			Defaults: func(g *Grid) {
+				if len(g.SwitchLatencies) == 0 {
+					g.SwitchLatencies = []time.Duration{0}
+				}
+			},
+			Parse: func(ps *specState, vals string) error {
+				for _, v := range strings.Split(vals, ",") {
+					d, err := time.ParseDuration(strings.TrimSpace(v))
+					if err != nil || d < 0 {
+						return fmt.Errorf("sweep: bad switch latency %q", v)
+					}
+					ps.g.SwitchLatencies = append(ps.g.SwitchLatencies, d)
+				}
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				if len(g.SwitchLatencies) == 1 && g.SwitchLatencies[0] == 0 {
+					return "", nil // the stock default; omit the key
+				}
+				parts := make([]string, len(g.SwitchLatencies))
+				for i, d := range g.SwitchLatencies {
+					parts[i] = d.String()
+				}
+				return strings.Join(parts, ","), nil
+			},
+			Points: func(g Grid, _ Cell) int { return len(g.SwitchLatencies) },
+			Apply:  func(g Grid, c *Cell, i int) { c.SwitchLat = g.SwitchLatencies[i] },
+			Plural: "switch latencies",
+			Quiet:  true,
+			Column: "switch_latency_sec",
+			// %g keeps fractional-second targets lossless (and agrees
+			// with the JSON value), matching the failure_rate column.
+			Col:            func(c Cell) (string, any) { return fmt.Sprintf("%g", c.SwitchLat.Seconds()), c.SwitchLat.Seconds() },
+			ColumnOptional: true,
+			ColumnActive:   func(c Cell) bool { return c.SwitchLat > 0 },
+			Segment: func(c Cell) string {
+				if c.SwitchLat > 0 {
+					return "sl" + c.SwitchLat.String()
+				}
+				return ""
+			},
+			NameOrder: 90,
+			Configure: func(c Cell, sc *core.Scenario) {
+				if m := SwitchLatencyModel(c.SwitchLat); m != nil {
+					sc.Latency = m
+				}
+			},
+		},
+		{
+			Key:    "seed",
+			Help:   "base seed (single value)",
+			Single: true,
+			Parse: func(ps *specState, vals string) error {
+				s, err := strconv.ParseInt(strings.TrimSpace(vals), 10, 64)
+				if err != nil {
+					return fmt.Errorf("sweep: bad seed %q", vals)
+				}
+				ps.g.BaseSeed = s
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				if g.BaseSeed == 0 {
+					return "", nil
+				}
+				return strconv.FormatInt(g.BaseSeed, 10), nil
+			},
+			Column: "seed",
+			Col:    func(c Cell) (string, any) { return strconv.FormatInt(c.Seed, 10), c.Seed },
+		},
+		{
+			Key:    "cycle",
+			Help:   "controller cycle, Go duration (single value)",
+			Single: true,
+			Parse: func(ps *specState, vals string) error {
+				d, err := time.ParseDuration(strings.TrimSpace(vals))
+				if err != nil || d <= 0 {
+					return fmt.Errorf("sweep: bad cycle %q", vals)
+				}
+				ps.g.Cycle = d
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				if g.Cycle <= 0 {
+					return "", nil
+				}
+				return g.Cycle.String(), nil
+			},
+		},
+		{
+			Key:    "horizon",
+			Help:   "per-cell virtual-time bound, Go duration (single value; default: trace span + 48h)",
+			Single: true,
+			Parse: func(ps *specState, vals string) error {
+				d, err := time.ParseDuration(strings.TrimSpace(vals))
+				if err != nil || d <= 0 {
+					return fmt.Errorf("sweep: bad horizon %q", vals)
+				}
+				ps.g.Horizon = d
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				if g.Horizon <= 0 {
+					return "", nil
+				}
+				return g.Horizon.String(), nil
+			},
+		},
+	}
+}
+
+// topologiesEqual compares a preset with a grid's topology point
+// (members carry no functions, so field equality is behavioural
+// equality).
+func topologiesEqual(a, b TopologySpec) bool {
+	if a.Name != b.Name || len(a.Members) != len(b.Members) {
+		return false
+	}
+	for i := range a.Members {
+		if a.Members[i] != b.Members[i] {
+			return false
+		}
+	}
+	return true
+}

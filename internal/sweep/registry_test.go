@@ -1,0 +1,265 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bootmgr"
+	"repro/internal/cluster"
+	"repro/internal/export"
+	"repro/internal/osid"
+)
+
+// The acceptance criterion for the registry redesign: the switchlat
+// axis is one registration, and everything below — expansion, seed
+// pairing, cell naming, spec keys, CSV columns — derives from it.
+
+func TestSwitchLatAxisIsTreatmentAxis(t *testing.T) {
+	g := Grid{
+		Modes:           []cluster.Mode{cluster.HybridV2},
+		Traces:          []TraceSpec{{JobsPerHour: 2, WindowsFrac: 0.4, Duration: 6 * time.Hour}},
+		SwitchLatencies: []time.Duration{0, 20 * time.Minute},
+		BaseSeed:        3,
+	}
+	cells := g.Expand()
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(cells))
+	}
+	stock, scaled := cells[0], cells[1]
+	if stock.SwitchLat != 0 || scaled.SwitchLat != 20*time.Minute {
+		t.Fatalf("axis order: %s then %s", stock.Name(), scaled.Name())
+	}
+	// A treatment axis: both latency variants face identical seeds.
+	if stock.Seed != scaled.Seed || stock.TraceSeed != scaled.TraceSeed {
+		t.Fatal("switchlat variants drew different seeds (treatment axis must pair)")
+	}
+	// The stock cell keeps the classic name; the scaled cell appends
+	// its segment.
+	if strings.Contains(stock.Name(), "sl") {
+		t.Fatalf("stock cell name %q should keep the classic form", stock.Name())
+	}
+	if !strings.HasSuffix(scaled.Name(), "/sl20m0s") {
+		t.Fatalf("scaled cell name %q", scaled.Name())
+	}
+	// The scaled cell materialises with the latency model applied.
+	if sc := scaled.Scenario(); sc.Latency == nil {
+		t.Fatal("scaled cell scenario carries no latency model")
+	}
+	if sc := stock.Scenario(); sc.Latency != nil {
+		t.Fatal("stock cell scenario should keep the config's own model")
+	}
+}
+
+func TestSwitchLatencyModelHitsTarget(t *testing.T) {
+	for _, target := range []time.Duration{time.Minute, 5 * time.Minute, 20 * time.Minute} {
+		m := SwitchLatencyModel(target)
+		got := bootmgr.SwitchLatency(*m, osid.Windows, true, 3)
+		if diff := got - target; diff < -time.Millisecond || diff > time.Millisecond {
+			t.Fatalf("switchlat %v: estimate %v", target, got)
+		}
+	}
+	if SwitchLatencyModel(0) != nil {
+		t.Fatal("zero switchlat should keep the stock model")
+	}
+}
+
+// End to end: a scaled switch latency actually changes the measured
+// switch durations, and only them — the paired seeds keep the job
+// stream identical.
+func TestSwitchLatAxisScalesMeasuredSwitches(t *testing.T) {
+	g := Grid{
+		Modes: []cluster.Mode{cluster.HybridV2},
+		Traces: []TraceSpec{{
+			Kind: TraceBurst, JobsPerHour: 2, Duration: 6 * time.Hour,
+		}},
+		SwitchLatencies: []time.Duration{0, 20 * time.Minute},
+		InitialLinux:    16, // all-Linux start: the Windows bursts force switches
+		BaseSeed:        3,
+		Horizon:         48 * time.Hour,
+	}
+	out, err := Run(Config{Grid: g, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range out.Errs() {
+		t.Fatalf("cell %s: %v", r.Cell.Name(), r.Err)
+	}
+	stock, scaled := out.Results[0].Res.Summary, out.Results[1].Res.Summary
+	if stock.Switches == 0 {
+		t.Fatal("scenario produced no switches; the axis has nothing to scale")
+	}
+	if scaled.MeanSwitch <= stock.MeanSwitch*2 {
+		t.Fatalf("mean switch did not scale: stock %v, 20m-target %v", stock.MeanSwitch, scaled.MeanSwitch)
+	}
+}
+
+// The switchlat CSV column appears only when the axis is swept, so
+// every pre-existing grid's CSV stays byte-identical to the
+// pre-registry serialisation.
+func TestSwitchLatColumnOnlyWhenActive(t *testing.T) {
+	base := Grid{
+		Modes:  []cluster.Mode{cluster.HybridV2},
+		Traces: []TraceSpec{{JobsPerHour: 2, WindowsFrac: 0.3, Duration: 3 * time.Hour}},
+	}
+	csvHeader := func(g Grid) string {
+		out, err := Run(Config{Grid: g, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := export.WriteSweepCSV(&buf, out.Rows()); err != nil {
+			t.Fatal(err)
+		}
+		header, _, _ := strings.Cut(buf.String(), "\n")
+		return header
+	}
+	if h := csvHeader(base); strings.Contains(h, "switch_latency_sec") {
+		t.Fatalf("default grid header carries the optional column: %s", h)
+	}
+	swept := base
+	swept.SwitchLatencies = []time.Duration{0, 10 * time.Minute}
+	h := csvHeader(swept)
+	if !strings.Contains(h, ",routing,switch_latency_sec,seed,") {
+		t.Fatalf("swept grid header misplaces the optional column: %s", h)
+	}
+}
+
+func TestParseGridSpecSwitchLat(t *testing.T) {
+	g, err := ParseGridSpec("switchlat=0s,2m,10m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{0, 2 * time.Minute, 10 * time.Minute}
+	if len(g.SwitchLatencies) != len(want) {
+		t.Fatalf("switchlat = %v", g.SwitchLatencies)
+	}
+	for i, d := range want {
+		if g.SwitchLatencies[i] != d {
+			t.Fatalf("switchlat = %v", g.SwitchLatencies)
+		}
+	}
+	for _, bad := range []string{"switchlat=fast", "switchlat=-3m"} {
+		if _, err := ParseGridSpec(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// Repeated grid keys used to be accepted silently (list keys appended,
+// scalars last-won); they are typos and must error — including a
+// repeat through the deprecated alias.
+func TestParseGridSpecRejectsRepeatedKeys(t *testing.T) {
+	for _, bad := range []string{
+		"nodes=8;nodes=16",
+		"seed=1;seed=2",
+		"ctlpolicies=fcfs;policies=threshold",
+		"rates=2;rates=4",
+	} {
+		if _, err := ParseGridSpec(bad); err == nil || !strings.Contains(err.Error(), "repeated grid key") {
+			t.Errorf("spec %q: error = %v, want repeated-key error", bad, err)
+		}
+	}
+}
+
+func TestParseGridSpecUnknownKeyListsValidSet(t *testing.T) {
+	_, err := ParseGridSpec("bogus=1")
+	if err == nil || !strings.Contains(err.Error(), "modes | ctlpolicies | schedpolicies | nodes") {
+		t.Fatalf("unknown-key error = %v", err)
+	}
+	if strings.Contains(err.Error(), "policies |") && !strings.Contains(err.Error(), "ctlpolicies |") {
+		t.Fatalf("deprecated alias leaked into the valid set: %v", err)
+	}
+}
+
+func TestParseGridSpecWarnFlagsDeprecatedAlias(t *testing.T) {
+	g, warnings, err := ParseGridSpecWarn("policies=fairshare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Policies) != 1 || g.Policies[0].Name != "fairshare" {
+		t.Fatalf("legacy policies = %+v", g.Policies)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], `"policies" is deprecated`) {
+		t.Fatalf("warnings = %v", warnings)
+	}
+	if _, warnings, err = ParseGridSpecWarn("ctlpolicies=fcfs"); err != nil || len(warnings) != 0 {
+		t.Fatalf("canonical key warned: %v / %v", warnings, err)
+	}
+}
+
+// The package documentation's key table is generated from the
+// registry; this pins the two together so they cannot drift.
+func TestSpecKeyDocMatchesPackageDoc(t *testing.T) {
+	src, err := os.ReadFile("spec.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(SpecKeyDoc(), "\n"), "\n") {
+		if !strings.Contains(string(src), "//\t"+line+"\n") {
+			t.Errorf("spec.go package doc is missing the generated registry line %q", line)
+		}
+	}
+	// Every registered key must also be documented in the README's
+	// grid-notation material via the same generated table — covered by
+	// containment above; here, double-check no alias leaked into it.
+	if strings.Contains(SpecKeyDoc(), "policies ") && !strings.Contains(SpecKeyDoc(), "ctlpolicies ") {
+		t.Fatal("deprecated alias appears in the generated key table")
+	}
+}
+
+// Adding an axis must keep the registry internally complete: every
+// expandable axis needs an Apply, every column a Col renderer, every
+// optional column an activity predicate.
+func TestRegistryRegistrationsAreComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ax := range Registry() {
+		if ax.Key == "" || seen[ax.Key] {
+			t.Fatalf("axis key %q missing or duplicated", ax.Key)
+		}
+		seen[ax.Key] = true
+		if ax.Parse == nil || ax.Format == nil {
+			t.Errorf("axis %s: missing Parse/Format", ax.Key)
+		}
+		if (ax.Points == nil) != (ax.Apply == nil) {
+			t.Errorf("axis %s: Points and Apply must come together", ax.Key)
+		}
+		if ax.Column != "" && ax.Col == nil {
+			t.Errorf("axis %s: column %q has no renderer", ax.Key, ax.Column)
+		}
+		if ax.ColumnOptional && ax.ColumnActive == nil {
+			t.Errorf("axis %s: optional column without an activity predicate", ax.Key)
+		}
+		if ax.Segment != nil && ax.NameOrder == 0 {
+			t.Errorf("axis %s: name segment without a NameOrder", ax.Key)
+		}
+	}
+}
+
+// Scalar keys reject comma lists centrally — the Single flag on the
+// registration is enforced, not advisory.
+func TestParseGridSpecSingleValueKeys(t *testing.T) {
+	for _, bad := range []string{"seed=1,2", "cycle=5m,10m", "horizon=4h,8h", "hours=6,12"} {
+		if _, err := ParseGridSpec(bad); err == nil || !strings.Contains(err.Error(), "takes a single value") {
+			t.Errorf("spec %q: error = %v, want single-value error", bad, err)
+		}
+	}
+}
+
+// Fractional-second switchlat targets stay lossless in the CSV text
+// (and agree with the JSON seconds value).
+func TestSwitchLatColumnKeepsFractionalSeconds(t *testing.T) {
+	for _, ax := range Registry() {
+		if ax.Column != "switch_latency_sec" {
+			continue
+		}
+		text, js := ax.Col(Cell{SwitchLat: 500 * time.Millisecond})
+		if text != "0.5" || js != 0.5 {
+			t.Fatalf("500ms renders as %q / %v", text, js)
+		}
+		return
+	}
+	t.Fatal("switch_latency_sec column not registered")
+}

@@ -4,10 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-	"time"
 
 	"repro/internal/cluster"
-	"repro/internal/grid"
 )
 
 // ParseGridSpec builds a Grid from the qsim CLI's compact grid
@@ -15,32 +13,43 @@ import (
 //
 //	modes=hybrid-v2,static-split;nodes=8,16;winfracs=0.25,0.5;failrates=0,0.05
 //
-// Keys:
+// Key dispatch, validation and help text all derive from the axis
+// registry (see registry.go); the table below is generated from it and
+// TestSpecKeyDocMatchesPackageDoc fails if the two drift apart:
 //
-//	modes       cluster organisations (hybrid-v1|hybrid-v2|static-split|mono-stable)
-//	ctlpolicies controller policies (fcfs|threshold|hysteresis|predictive|fairshare);
-//	            "policies" is accepted as a legacy alias
-//	schedpolicies head-scheduler queue disciplines (fcfs|backfill)
-//	nodes     compute-node counts
-//	rates     Poisson arrival rates, jobs/hour (one trace shape per rate×winfrac)
-//	winfracs  Windows demand shares (0..1)
-//	hours     Poisson submission window in hours (single value)
-//	traces    trace kinds (poisson|phased|matlabga|diurnal|burst); crossed with rates/winfracs
-//	failrates per-boot failure probabilities (0..1)
-//	topologies fabric presets (single|campus|twin-hybrid)
-//	routings  campus routing policies (least-loaded|round-robin|hybrid-last)
-//	seed      base seed (single value)
-//	cycle     controller cycle, Go duration (single value)
-//	horizon   per-cell virtual-time bound, Go duration (single value;
-//	          default: trace span + 48h)
+//	modes          cluster organisations (hybrid-v1|hybrid-v2|static-split|mono-stable)
+//	ctlpolicies    controller policies (fcfs|threshold|hysteresis|predictive|fairshare)
+//	schedpolicies  head-scheduler queue disciplines (fcfs|backfill)
+//	nodes          compute-node counts
+//	rates          Poisson arrival rates, jobs/hour
+//	winfracs       Windows demand shares (0..1)
+//	hours          submission window in hours (single value)
+//	traces         trace kinds, crossed with rates/winfracs (poisson|phased|matlabga|diurnal|burst)
+//	failrates      per-boot failure probabilities (0..1)
+//	topologies     fabric presets (single|campus|twin-hybrid)
+//	routings       campus routing policies (least-loaded|round-robin|hybrid-last)
+//	switchlat      per-cell OS switch-latency targets, Go durations (0s = stock model)
+//	seed           base seed (single value)
+//	cycle          controller cycle, Go duration (single value)
+//	horizon        per-cell virtual-time bound, Go duration (single value; default: trace span + 48h)
 //
-// Unknown keys are errors; omitted keys take the Grid defaults.
+// Unknown and repeated keys are errors; omitted keys take the Grid
+// defaults. "policies" is still accepted as a deprecated alias for
+// "ctlpolicies" — callers that surface diagnostics should use
+// ParseGridSpecWarn and relay its deprecation warnings.
 func ParseGridSpec(spec string) (Grid, error) {
+	g, _, err := ParseGridSpecWarn(spec)
+	return g, err
+}
+
+// ParseGridSpecWarn is ParseGridSpec plus the parser's non-fatal
+// diagnostics: one warning line per deprecated alias used (the qsim
+// CLI prints them to stderr).
+func ParseGridSpecWarn(spec string) (Grid, []string, error) {
 	var g Grid
-	rates := []float64{4}
-	winfracs := []float64{0.3}
-	kinds := []TraceKind{TracePoisson}
-	hours := 24.0
+	var warnings []string
+	ps := newSpecState(&g)
+	seen := map[string]bool{}
 	for _, field := range strings.Split(spec, ";") {
 		field = strings.TrimSpace(field)
 		if field == "" {
@@ -48,168 +57,79 @@ func ParseGridSpec(spec string) (Grid, error) {
 		}
 		key, vals, ok := strings.Cut(field, "=")
 		if !ok {
-			return g, fmt.Errorf("sweep: grid field %q is not key=values", field)
+			return g, warnings, fmt.Errorf("sweep: grid field %q is not key=values", field)
 		}
 		key = strings.TrimSpace(key)
-		list := strings.Split(vals, ",")
-		switch key {
-		case "modes":
-			for _, v := range list {
-				m, err := ParseMode(strings.TrimSpace(v))
-				if err != nil {
-					return g, err
-				}
-				g.Modes = append(g.Modes, m)
-			}
-		case "ctlpolicies", "policies": // "policies" is the legacy alias
-			for _, v := range list {
-				p, err := PolicyByName(strings.TrimSpace(v))
-				if err != nil {
-					return g, err
-				}
-				g.Policies = append(g.Policies, p)
-			}
-		case "schedpolicies":
-			for _, v := range list {
-				p, err := cluster.ParseSchedPolicy(strings.TrimSpace(v))
-				if err != nil {
-					return g, fmt.Errorf("sweep: %w", err)
-				}
-				g.SchedPolicies = append(g.SchedPolicies, p)
-			}
-		case "nodes":
-			for _, v := range list {
-				n, err := strconv.Atoi(strings.TrimSpace(v))
-				if err != nil || n <= 0 {
-					return g, fmt.Errorf("sweep: bad node count %q", v)
-				}
-				g.NodeCounts = append(g.NodeCounts, n)
-			}
-		case "rates":
-			var err error
-			if rates, err = parseFloats(list, 0); err != nil {
-				return g, fmt.Errorf("sweep: rates: %w", err)
-			}
-			for _, r := range rates {
-				// Zero would silently fall through to the 4 jobs/hour
-				// default; reject it instead of sweeping a phantom cell.
-				if r <= 0 {
-					return g, fmt.Errorf("sweep: rates must be positive, got %g", r)
-				}
-			}
-		case "winfracs":
-			var err error
-			if winfracs, err = parseFloats(list, 1); err != nil {
-				return g, fmt.Errorf("sweep: winfracs: %w", err)
-			}
-		case "traces":
-			kinds = kinds[:0]
-			for _, v := range list {
-				k, err := ParseTraceKind(strings.TrimSpace(v))
-				if err != nil {
-					return g, err
-				}
-				kinds = append(kinds, k)
-			}
-		case "hours":
-			h, err := strconv.ParseFloat(strings.TrimSpace(vals), 64)
-			if err != nil || h <= 0 {
-				return g, fmt.Errorf("sweep: bad hours %q", vals)
-			}
-			hours = h
-		case "failrates":
-			var err error
-			if g.FailureRates, err = parseFloats(list, 1); err != nil {
-				return g, fmt.Errorf("sweep: failrates: %w", err)
-			}
-		case "topologies":
-			for _, v := range list {
-				t, err := TopologyByName(strings.TrimSpace(v))
-				if err != nil {
-					return g, err
-				}
-				g.Topologies = append(g.Topologies, t)
-			}
-		case "routings":
-			for _, v := range list {
-				r, err := grid.ParsePolicy(strings.TrimSpace(v))
-				if err != nil {
-					return g, fmt.Errorf("sweep: %w", err)
-				}
-				g.Routings = append(g.Routings, r)
-			}
-		case "seed":
-			s, err := strconv.ParseInt(strings.TrimSpace(vals), 10, 64)
-			if err != nil {
-				return g, fmt.Errorf("sweep: bad seed %q", vals)
-			}
-			g.BaseSeed = s
-		case "cycle":
-			d, err := time.ParseDuration(strings.TrimSpace(vals))
-			if err != nil || d <= 0 {
-				return g, fmt.Errorf("sweep: bad cycle %q", vals)
-			}
-			g.Cycle = d
-		case "horizon":
-			d, err := time.ParseDuration(strings.TrimSpace(vals))
-			if err != nil || d <= 0 {
-				return g, fmt.Errorf("sweep: bad horizon %q", vals)
-			}
-			g.Horizon = d
-		default:
-			return g, fmt.Errorf("sweep: unknown grid key %q", key)
+		ax, viaAlias := axisByKey(key)
+		if ax == nil {
+			return g, warnings, fmt.Errorf("sweep: unknown grid key %q (valid: %s)",
+				key, strings.Join(SpecKeys(), " | "))
+		}
+		if viaAlias {
+			warnings = append(warnings,
+				fmt.Sprintf("grid key %q is deprecated; use %q", key, ax.Key))
+		}
+		// A repeated key would silently append to list axes and
+		// last-win on scalars; both read as a typo, so reject.
+		if seen[ax.Key] {
+			return g, warnings, fmt.Errorf("sweep: repeated grid key %q", ax.Key)
+		}
+		seen[ax.Key] = true
+		if ax.Single && strings.Contains(vals, ",") {
+			return g, warnings, fmt.Errorf("sweep: grid key %q takes a single value, got %q", ax.Key, vals)
+		}
+		if err := ax.Parse(ps, vals); err != nil {
+			return g, warnings, err
 		}
 	}
-	seen := map[string]bool{}
-	for _, kind := range kinds {
-		for _, rate := range rates {
-			for _, wf := range winfracs {
-				t := TraceSpec{
-					Kind:        kind,
-					JobsPerHour: rate,
-					WindowsFrac: wf,
-					Duration:    time.Duration(hours * float64(time.Hour)),
-				}.withDefaults()
-				// Non-poisson kinds ignore some parameters, so crossing
-				// the axes can repeat a shape; keep each name once.
-				if seen[t.Name] {
-					continue
-				}
-				seen[t.Name] = true
-				g.Traces = append(g.Traces, t)
-			}
+	ps.buildTraces()
+	return g, warnings, nil
+}
+
+// GridString renders a grid back to the canonical compact notation, a
+// registry-derived inverse of ParseGridSpec: parsing the result yields
+// an equivalent grid (same cells, names and seeds). It errors when the
+// grid holds something the notation cannot express — custom trace
+// builders, bespoke topologies, explicit trace names off the derived
+// form, or a non-zero InitialLinux.
+func GridString(g Grid) (string, error) {
+	if g.InitialLinux != 0 {
+		return "", fmt.Errorf("sweep: InitialLinux is not expressible in spec notation")
+	}
+	var fields []string
+	for _, ax := range registry {
+		val, err := ax.Format(g)
+		if err != nil {
+			return "", err
+		}
+		if val != "" {
+			fields = append(fields, ax.Key+"="+val)
 		}
 	}
-	return g, nil
+	return strings.Join(fields, ";"), nil
 }
 
 // ParseTraceKind resolves a trace-shape kind by its String name;
 // unknown names error with the valid set.
 func ParseTraceKind(name string) (TraceKind, error) {
-	kinds := []TraceKind{TracePoisson, TracePhased, TraceMatlabGA, TraceDiurnal, TraceBurst}
-	valid := make([]string, len(kinds))
-	for i, k := range kinds {
+	for _, k := range allTraceKinds {
 		if k.String() == name {
 			return k, nil
 		}
-		valid[i] = k.String()
 	}
-	return 0, fmt.Errorf("sweep: unknown trace kind %q (valid: %s)", name, strings.Join(valid, " | "))
+	return 0, fmt.Errorf("sweep: unknown trace kind %q (valid: %s)", name, strings.Join(TraceKindNames(), " | "))
 }
 
 // ParseMode resolves a cluster mode by its String name. The qsim CLI
 // shares this registry so the -mode flag and the sweep grid spec can
 // never drift apart; unknown names error with the valid set.
 func ParseMode(name string) (cluster.Mode, error) {
-	modes := []cluster.Mode{cluster.HybridV1, cluster.HybridV2, cluster.Static, cluster.MonoStable}
-	valid := make([]string, len(modes))
-	for i, m := range modes {
+	for _, m := range allModes {
 		if m.String() == name {
 			return m, nil
 		}
-		valid[i] = m.String()
 	}
-	return 0, fmt.Errorf("sweep: unknown mode %q (valid: %s)", name, strings.Join(valid, " | "))
+	return 0, fmt.Errorf("sweep: unknown mode %q (valid: %s)", name, strings.Join(ModeNames(), " | "))
 }
 
 func parseFloats(list []string, max float64) ([]float64, error) {

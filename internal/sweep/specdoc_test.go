@@ -1,0 +1,203 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// e15Shape is a document-worthy grid: multi-axis, scalar seed/cycle,
+// derived trace names.
+func e15Shape() Grid {
+	return Grid{
+		Modes: []cluster.Mode{cluster.HybridV2},
+		Policies: []PolicySpec{
+			PolicyByNameMust("fcfs"), PolicyByNameMust("threshold"),
+		},
+		Traces: []TraceSpec{
+			{Kind: TraceDiurnal, JobsPerHour: 3, WindowsFrac: 0.5, Duration: 72 * time.Hour},
+			{Kind: TraceBurst, JobsPerHour: 3, WindowsFrac: 0.5, Duration: 72 * time.Hour},
+		},
+		BaseSeed: 15,
+		Cycle:    5 * time.Minute,
+	}
+}
+
+// gridsEquivalent compares two grids by what actually matters: the
+// cells they expand to — names, seeds and scenario-shaping coordinates.
+func gridsEquivalent(t *testing.T, a, b Grid) {
+	t.Helper()
+	ca, cb := a.Expand(), b.Expand()
+	if len(ca) != len(cb) {
+		t.Fatalf("cell counts differ: %d vs %d", len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i].Name() != cb[i].Name() {
+			t.Fatalf("cell %d names differ: %s vs %s", i, ca[i].Name(), cb[i].Name())
+		}
+		if ca[i].Seed != cb[i].Seed || ca[i].TraceSeed != cb[i].TraceSeed {
+			t.Fatalf("cell %s seeds differ", ca[i].Name())
+		}
+		if ca[i].cycle != cb[i].cycle || ca[i].horizon != cb[i].horizon || ca[i].initialLinux != cb[i].initialLinux {
+			t.Fatalf("cell %s run parameters differ", ca[i].Name())
+		}
+	}
+}
+
+// Satellite acceptance: ParseGridSpec(GridString(g)) is an equivalent
+// grid.
+func TestGridStringRoundTrip(t *testing.T) {
+	grids := map[string]Grid{
+		"e15-shape": e15Shape(),
+		"topology": {
+			Modes:        []cluster.Mode{cluster.HybridV2, cluster.Static},
+			NodeCounts:   []int{8, 16},
+			Traces:       []TraceSpec{{JobsPerHour: 3, WindowsFrac: 0.4, Duration: 8 * time.Hour}},
+			FailureRates: []float64{0, 0.05},
+			Topologies:   []TopologySpec{{Name: "single"}, mustTopology("campus")},
+			Routings:     allRoutings,
+			BaseSeed:     7,
+			Horizon:      48 * time.Hour,
+		},
+		"switchlat": {
+			Modes:           []cluster.Mode{cluster.HybridV2},
+			Traces:          []TraceSpec{{Kind: TracePhased, WindowsFrac: 0.5, JobsPerHour: 4, Duration: 24 * time.Hour}},
+			SwitchLatencies: []time.Duration{0, 10 * time.Minute},
+			BaseSeed:        9,
+		},
+	}
+	for name, g := range grids {
+		spec, err := GridString(g)
+		if err != nil {
+			t.Fatalf("%s: GridString: %v", name, err)
+		}
+		back, err := ParseGridSpec(spec)
+		if err != nil {
+			t.Fatalf("%s: reparse %q: %v", name, spec, err)
+		}
+		gridsEquivalent(t, g, back)
+	}
+}
+
+func TestGridStringRejectsInexpressibleGrids(t *testing.T) {
+	custom := Grid{Traces: []TraceSpec{{Name: "alternating", Custom: func(int64) workload.Trace { return nil }}}}
+	if _, err := GridString(custom); err == nil {
+		t.Fatal("custom trace serialised without error")
+	}
+	bespoke := Grid{Topologies: []TopologySpec{{Name: "lab", Members: []TopologyMember{{Name: "x"}}}}}
+	bespoke.Traces = []TraceSpec{{}}
+	if _, err := GridString(bespoke); err == nil {
+		t.Fatal("bespoke topology serialised without error")
+	}
+	// Trace shapes that are not a full kind × rate × winfrac cross
+	// cannot be expressed either.
+	ragged := Grid{Traces: []TraceSpec{
+		{JobsPerHour: 2, WindowsFrac: 0.2, Duration: 6 * time.Hour},
+		{JobsPerHour: 3, WindowsFrac: 0.5, Duration: 6 * time.Hour},
+	}}
+	if _, err := GridString(ragged); err == nil {
+		t.Fatal("ragged trace set serialised without error")
+	}
+}
+
+// Satellite acceptance: SaveSpec(LoadSpec(x)) is byte-identical for a
+// canonical document, and one Save canonicalises any loadable input.
+func TestSpecDocumentRoundTripByteStable(t *testing.T) {
+	sp := Spec{Version: SpecVersion, Name: "round-trip", Grid: e15Shape()}
+	var first bytes.Buffer
+	if err := SaveSpec(&first, sp); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSpec(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != "round-trip" || loaded.Version != SpecVersion {
+		t.Fatalf("loaded = %+v", loaded)
+	}
+	gridsEquivalent(t, sp.Grid, loaded.Grid)
+	var second bytes.Buffer
+	if err := SaveSpec(&second, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("SaveSpec(LoadSpec(x)) diverged:\n--- first ---\n%s\n--- second ---\n%s", first.String(), second.String())
+	}
+
+	// A hand-written, non-canonical document (reordered keys, extra
+	// whitespace) converges to the canonical form after one pass.
+	hand := `{
+		"grid": {"traces": "diurnal,burst", "hours": "72", "modes": "hybrid-v2",
+		         "ctlpolicies": "fcfs,threshold", "winfracs": "0.5", "rates": "3"},
+		"cycle": "5m",
+		"name": "round-trip",
+		"seeds": {"base": 15},
+		"spec_version": 1
+	}`
+	fromHand, err := LoadSpec(strings.NewReader(hand))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var canon bytes.Buffer
+	if err := SaveSpec(&canon, fromHand); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canon.Bytes(), first.Bytes()) {
+		t.Fatalf("hand-written document did not canonicalise:\n%s\nvs\n%s", canon.String(), first.String())
+	}
+}
+
+func TestLoadSpecErrors(t *testing.T) {
+	cases := map[string]string{
+		`{"grid": {}}`:                                             "no spec_version",
+		`{"spec_version": 99, "grid": {}}`:                         "unsupported spec_version 99 (valid: 1)",
+		`{"spec_version": 1, "grid": {"plan9": "x"}}`:              "unknown grid axis key",
+		`{"spec_version": 1, "grid": {"plan9": "x"}} `:             "valid: modes | ctlpolicies",
+		`{"spec_version": 1, "grid": {"seed": "4"}}`:               "belongs at the document top level",
+		`{"spec_version": 1, "grid": {"nodes": 8}}`:                "must be a string",
+		`{"spec_version": 1, "grid": {}, "cycle": "never"}`:        "bad cycle",
+		`{"spec_version": 1, "grid": {}, "horizon": "-4h"}`:        "bad horizon",
+		`{"spec_version": 1, "grid": {}, "unknown_field": 1}`:      "unknown field",
+		`{"spec_version": 1, "grid": {"nodes": "8;switchlat=5m"}}`: "must not contain", // smuggled separator must not inject a key
+	}
+	for doc, want := range cases {
+		_, err := LoadSpec(strings.NewReader(doc))
+		if err == nil {
+			t.Errorf("document %s loaded without error", doc)
+			continue
+		}
+		if want != "" && !strings.Contains(err.Error(), want) {
+			t.Errorf("document %s: error %v, want substring %q", doc, err, want)
+		}
+	}
+}
+
+// Deprecated aliases inside a document parse but surface as loader
+// warnings, exactly like the compact notation.
+func TestLoadSpecAliasWarning(t *testing.T) {
+	doc := `{"spec_version": 1, "grid": {"policies": "fairshare"}}`
+	sp, err := LoadSpec(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Grid.Policies) != 1 || sp.Grid.Policies[0].Name != "fairshare" {
+		t.Fatalf("policies = %+v", sp.Grid.Policies)
+	}
+	if len(sp.Warnings) != 1 || !strings.Contains(sp.Warnings[0], "deprecated") {
+		t.Fatalf("warnings = %v", sp.Warnings)
+	}
+}
+
+// A grid field with no document representation must refuse to
+// serialise rather than silently replay a different experiment.
+func TestMarshalSpecRejectsInexpressibleInitialLinux(t *testing.T) {
+	g := e15Shape()
+	g.InitialLinux = 3
+	if _, err := MarshalSpec(Spec{Version: SpecVersion, Grid: g}); err == nil {
+		t.Fatal("InitialLinux serialised without error")
+	}
+}

@@ -1,13 +1,20 @@
 // Package sweep runs whole parameter grids of hybrid-cluster
 // scenarios instead of one hand-picked run at a time. A Grid spans
-// eight axes — cluster modes × controller policies × scheduler
+// nine axes — cluster modes × controller policies × scheduler
 // policies × node counts × trace shapes × boot-failure rates ×
-// topologies × routing policies —
+// topologies × routing policies × switch latencies —
 // and expands into concrete cells, each a self-contained
 // core.Scenario: a single cluster, or a whole campus fabric of
 // members behind a job router. Run executes the cells on a bounded
 // worker pool and aggregates their metrics summaries into ranked
 // comparison tables and flat export rows.
+//
+// Every axis is one registration in the self-describing axis registry
+// (registry.go): grid-spec parsing, the qsim sweep flag set, CSV/JSON
+// columns and deterministic cell naming all derive from it, so adding
+// an axis is one Grid field plus one registration. Experiments also
+// travel as versioned, replayable JSON documents (Spec, specdoc.go)
+// with LoadSpec/SaveSpec and a byte-stable canonical form.
 //
 // Determinism contract: every cell derives its random seeds from the
 // grid coordinates alone (FNV-1a over BaseSeed plus the cell's axis
@@ -322,6 +329,12 @@ type Grid struct {
 	// grid topologies: single-cluster cells have no router, so they
 	// expand against the first routing alone instead of duplicating.
 	Routings []grid.RoutingPolicy
+	// SwitchLatencies is the per-cell OS switch-latency axis: each
+	// value scales the boot-latency model so the planning estimate for
+	// a switch to Windows hits the target (see SwitchLatencyModel).
+	// Zero keeps the stock model. A treatment axis: every latency
+	// variant of a cell replays identical seeds and job streams.
+	SwitchLatencies []time.Duration
 
 	// BaseSeed perturbs every derived seed; two sweeps with different
 	// BaseSeeds are independent replications of the same grid.
@@ -387,6 +400,14 @@ func (g Grid) withDefaults() Grid {
 	if g.Cycle <= 0 {
 		g.Cycle = 5 * time.Minute
 	}
+	// Axes registered with their own default hook (the registry-era
+	// axes) fill themselves in; the hook must not write through to the
+	// caller's slices, which the nil-check-then-assign pattern honours.
+	for _, ax := range registry {
+		if ax.Defaults != nil {
+			ax.Defaults(&g)
+		}
+	}
 	return g
 }
 
@@ -406,6 +427,9 @@ type Cell struct {
 	// first routing (which it never uses).
 	Topology TopologySpec
 	Routing  grid.RoutingPolicy
+	// SwitchLat is the cell's OS switch-latency target (0 = stock
+	// boot-latency model).
+	SwitchLat time.Duration
 
 	// Seed drives the cell's cluster (boot jitter, failure draws). It
 	// is derived from the environment axes only — node count, trace
@@ -423,20 +447,38 @@ type Cell struct {
 	initialLinux int
 }
 
-// Name renders the cell's coordinates as a stable slash-joined label.
-// Single-cluster FCFS cells keep the classic five-segment form;
-// backfill cells append the scheduler-policy segment, and grid cells
-// their topology and routing coordinates.
+// Name renders the cell's coordinates as a stable slash-joined label,
+// derived from the axis registry: every axis contributes its segment
+// (or withholds it at its default), ordered by the registrations'
+// NameOrder. Single-cluster FCFS cells keep the classic five-segment
+// form; backfill cells append the scheduler-policy segment, grid cells
+// their topology and routing coordinates, and scaled-latency cells an
+// "sl<duration>" segment.
 func (c Cell) Name() string {
-	name := fmt.Sprintf("%s/%s/n%d/%s/f%g",
-		c.Mode, c.Policy.Name, c.Nodes, c.Trace.Name, c.FailureRate)
-	if c.Sched != cluster.SchedFCFS {
-		name += "/" + c.Sched.String()
+	type seg struct {
+		order, reg int
+		text       string
 	}
-	if c.Topology.IsGrid() {
-		name += fmt.Sprintf("/%s/%s", c.Topology.Name, c.Routing)
+	var segs []seg
+	for i, ax := range registry {
+		if ax.Segment == nil {
+			continue
+		}
+		if s := ax.Segment(c); s != "" {
+			segs = append(segs, seg{ax.NameOrder, i, s})
+		}
 	}
-	return name
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].order != segs[j].order {
+			return segs[i].order < segs[j].order
+		}
+		return segs[i].reg < segs[j].reg
+	})
+	parts := make([]string, len(segs))
+	for i, s := range segs {
+		parts[i] = s.text
+	}
+	return strings.Join(parts, "/")
 }
 
 // Scenario materialises the cell into a runnable core.Scenario. Grid
@@ -462,7 +504,7 @@ func (c Cell) Scenario() core.Scenario {
 			Seed:            c.Seed,
 			BootFailureProb: c.FailureRate,
 		}
-		return sc
+		return c.configure(sc)
 	}
 	// Grid runs read only the mode from the root config (for
 	// Result.Mode); the members below carry the real configurations.
@@ -499,6 +541,18 @@ func (c Cell) Scenario() core.Scenario {
 		})
 	}
 	sc.Topology = core.Topology{Routing: c.Routing, Members: members}
+	return c.configure(sc)
+}
+
+// configure lets registry axes that act through core.Scenario fields
+// (switchlat sets Scenario.Latency) apply themselves — the cell
+// materialiser stays axis-agnostic.
+func (c Cell) configure(sc core.Scenario) core.Scenario {
+	for _, ax := range registry {
+		if ax.Configure != nil {
+			ax.Configure(c, &sc)
+		}
+	}
 	return sc
 }
 
@@ -523,64 +577,57 @@ func deriveSeed(base int64, parts ...string) int64 {
 	return int64(h.Sum64() &^ (1 << 63)) // keep it non-negative
 }
 
-// Expand enumerates every cell in fixed axis order: mode (outermost),
-// controller policy, scheduler policy, node count, trace shape,
-// failure rate, topology, routing (innermost). Single-cluster
-// topologies have no router, so they expand against the first routing
-// only instead of duplicating cells.
+// Expand enumerates every cell by nesting the registry's expandable
+// axes in registration order: mode (outermost), controller policy,
+// scheduler policy, node count, trace shape, failure rate, topology,
+// routing, switch latency (innermost). Single-cluster topologies have
+// no router, so they expand against the first routing only instead of
+// duplicating cells.
 //
-// Seed pairing extends to the new axes: the topology joins the
-// environment axes (a campus fabric is a different machine, so it
-// draws its own cluster seed — but single-cluster cells keep their
-// historical seeds), while routing and the scheduler policy are
-// treatment axes like mode and controller policy: every variant faces
-// identical RNG draws and replays the identical trace.
+// Seed pairing is a registry property: axes registered with an Env
+// contribution (node count, trace, failure rate, topology — a campus
+// fabric is a different machine, so it draws its own cluster seed,
+// while single-cluster cells keep their historical seeds) key the
+// cluster seed; every other axis is a treatment axis whose variants
+// face identical RNG draws and replay the identical trace.
 func (g Grid) Expand() []Cell {
 	g = g.withDefaults()
-	var cells []Cell
-	for _, mode := range g.Modes {
-		for _, pol := range g.Policies {
-			for _, sched := range g.SchedPolicies {
-				for _, nodes := range g.NodeCounts {
-					for _, tr := range g.Traces {
-						for _, fr := range g.FailureRates {
-							for _, topo := range g.Topologies {
-								routings := g.Routings
-								if !topo.IsGrid() {
-									routings = routings[:1]
-								}
-								for _, routing := range routings {
-									c := Cell{
-										Index:        len(cells),
-										Mode:         mode,
-										Policy:       pol,
-										Sched:        sched,
-										Nodes:        nodes,
-										Trace:        tr,
-										FailureRate:  fr,
-										Topology:     topo,
-										Routing:      routing,
-										TraceSeed:    deriveSeed(g.BaseSeed, "trace", tr.Name),
-										cycle:        g.Cycle,
-										horizon:      g.Horizon,
-										initialLinux: g.InitialLinux,
-									}
-									envParts := []string{
-										"cluster", fmt.Sprintf("n%d", nodes), tr.Name, fmt.Sprintf("f%g", fr),
-									}
-									if topo.IsGrid() {
-										envParts = append(envParts, "topo:"+topo.Name)
-									}
-									c.Seed = deriveSeed(g.BaseSeed, envParts...)
-									cells = append(cells, c)
-								}
-							}
-						}
-					}
-				}
-			}
+	var axes []*Axis
+	for _, ax := range registry {
+		if ax.Points != nil {
+			axes = append(axes, ax)
 		}
 	}
+	var cells []Cell
+	var rec func(depth int, c Cell)
+	rec = func(depth int, c Cell) {
+		if depth == len(axes) {
+			c.Index = len(cells)
+			envParts := []string{"cluster"}
+			for _, ax := range axes {
+				if ax.Env == nil {
+					continue
+				}
+				if part := ax.Env(c); part != "" {
+					envParts = append(envParts, part)
+				}
+			}
+			c.Seed = deriveSeed(g.BaseSeed, envParts...)
+			c.TraceSeed = deriveSeed(g.BaseSeed, "trace", c.Trace.Name)
+			c.cycle = g.Cycle
+			c.horizon = g.Horizon
+			c.initialLinux = g.InitialLinux
+			cells = append(cells, c)
+			return
+		}
+		ax := axes[depth]
+		for i := 0; i < ax.Points(g, c); i++ {
+			next := c
+			ax.Apply(g, &next, i)
+			rec(depth+1, next)
+		}
+	}
+	rec(0, Cell{})
 	return cells
 }
 
@@ -727,24 +774,52 @@ func (o *Outcome) Table() string {
 	return metrics.Table(Header(), rows)
 }
 
+// AxisFields renders a cell's axis coordinates as ordered export
+// fields, derived from the registry: the cell name first, then one
+// field per axis column. Optional columns (switchlat) appear only when
+// active is true for them, so grids that never touch a new axis
+// serialise exactly as they did before the axis existed.
+func axisFields(c Cell, active map[string]bool) []export.Field {
+	fields := []export.Field{{Key: "cell", Text: c.Name(), JSON: c.Name()}}
+	for _, ax := range registry {
+		if ax.Column == "" {
+			continue
+		}
+		if ax.ColumnOptional && !active[ax.Column] {
+			continue
+		}
+		text, js := ax.Col(c)
+		fields = append(fields, export.Field{Key: ax.Column, Text: text, JSON: js, OmitEmptyJSON: ax.OmitEmptyJSON})
+	}
+	return fields
+}
+
+// activeColumns reports which optional axis columns any cell switches
+// on.
+func (o *Outcome) activeColumns() map[string]bool {
+	active := map[string]bool{}
+	for _, ax := range registry {
+		if ax.Column == "" || !ax.ColumnOptional {
+			continue
+		}
+		for _, r := range o.Results {
+			if ax.ColumnActive(r.Cell) {
+				active[ax.Column] = true
+				break
+			}
+		}
+	}
+	return active
+}
+
 // Rows flattens the outcome (in expansion order) for CSV/JSON export.
+// The axis columns — names, order and values — derive from the axis
+// registry; export only supplies the metric columns.
 func (o *Outcome) Rows() []export.SweepRow {
+	active := o.activeColumns()
 	rows := make([]export.SweepRow, len(o.Results))
 	for i, r := range o.Results {
-		row := export.SweepRow{
-			Cell:        r.Cell.Name(),
-			Mode:        r.Cell.Mode.String(),
-			Policy:      r.Cell.Policy.Name,
-			Sched:       r.Cell.Sched.String(),
-			Nodes:       r.Cell.Nodes,
-			Trace:       r.Cell.Trace.Name,
-			FailureRate: r.Cell.FailureRate,
-			Topology:    r.Cell.Topology.Name,
-			Seed:        r.Cell.Seed,
-		}
-		if r.Cell.Topology.IsGrid() {
-			row.Routing = r.Cell.Routing.String()
-		}
+		row := export.SweepRow{Axes: axisFields(r.Cell, active)}
 		if r.Err != nil {
 			row.Err = r.Err.Error()
 		} else {
@@ -768,22 +843,47 @@ func (o *Outcome) Rows() []export.SweepRow {
 	return rows
 }
 
-// Describe summarises the grid axes ("2 modes × ... = 24 cells").
-// The count mirrors Expand arithmetically — single topologies take
-// one routing, grid topologies the full routing axis — without
-// allocating the cells.
+// Describe summarises the grid axes ("2 modes × ... = 24 cells"),
+// with both the axis labels and the cell count derived from the
+// registry. Quiet axes (switchlat) appear only when actually swept, so
+// pre-registry grids keep their historical description.
 func (g Grid) Describe() string {
-	g = g.withDefaults()
-	topoPoints := 0
-	for _, t := range g.Topologies {
-		if t.IsGrid() {
-			topoPoints += len(g.Routings)
-		} else {
-			topoPoints++
+	gd := g.withDefaults()
+	var axes []*Axis
+	var parts []string
+	for _, ax := range registry {
+		if ax.Points == nil {
+			continue
 		}
+		axes = append(axes, ax)
+		if ax.Plural == "" {
+			continue
+		}
+		// The routing axis's per-cell collapse does not change how
+		// many points the axis itself holds, so a grid-shaped probe
+		// cell reads the full axis length.
+		n := ax.Points(gd, Cell{Topology: TopologySpec{Members: []TopologyMember{{}}}})
+		if ax.Quiet && n <= 1 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%d %s", n, ax.Plural))
 	}
-	cells := len(g.Modes) * len(g.Policies) * len(g.SchedPolicies) * len(g.NodeCounts) * len(g.Traces) * len(g.FailureRates) * topoPoints
-	return fmt.Sprintf("%d modes × %d policies × %d sched policies × %d node counts × %d traces × %d failure rates × %d topologies × %d routings = %d cells",
-		len(g.Modes), len(g.Policies), len(g.SchedPolicies), len(g.NodeCounts), len(g.Traces), len(g.FailureRates),
-		len(g.Topologies), len(g.Routings), cells)
+	// Count by mirroring Expand's nesting without materialising cells
+	// or deriving seeds — the collapse rules (single topologies take
+	// one routing) come from the same Points functions.
+	var count func(depth int, c Cell) int
+	count = func(depth int, c Cell) int {
+		if depth == len(axes) {
+			return 1
+		}
+		ax := axes[depth]
+		total := 0
+		for i := 0; i < ax.Points(gd, c); i++ {
+			next := c
+			ax.Apply(gd, &next, i)
+			total += count(depth+1, next)
+		}
+		return total
+	}
+	return fmt.Sprintf("%s = %d cells", strings.Join(parts, " × "), count(0, Cell{}))
 }

@@ -284,7 +284,7 @@ func TestDerivedTraceNamesAreLossless(t *testing.T) {
 }
 
 func TestParseGridSpec(t *testing.T) {
-	g, err := ParseGridSpec("modes=hybrid-v2,static-split;policies=fcfs,fairshare;nodes=8,16;rates=2,4;winfracs=0.25,0.5;hours=6;failrates=0,0.05;seed=9;cycle=5m")
+	g, err := ParseGridSpec("modes=hybrid-v2,static-split;ctlpolicies=fcfs,fairshare;nodes=8,16;rates=2,4;winfracs=0.25,0.5;hours=6;failrates=0,0.05;seed=9;cycle=5m")
 	if err != nil {
 		t.Fatal(err)
 	}
