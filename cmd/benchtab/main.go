@@ -8,9 +8,12 @@
 //
 // With -check the binary becomes the CI benchmark-regression gate: it
 // reruns the experiments and diffs their deterministic EventsRun
-// against the committed baseline, failing on any drift. Wall-clock
-// ns/op is printed as an advisory delta only — it depends on the
-// machine; the wakeup count does not.
+// against the committed baseline, failing on any drift, and compares
+// heap allocations per run, failing when an experiment allocates more
+// than 5% over its baseline (allocation counts are near-deterministic;
+// the tolerance absorbs runtime-internal noise). Wall-clock ns/op is
+// printed as an advisory delta only — it depends on the machine; the
+// wakeup and allocation counts do not.
 //
 // Usage:
 //
@@ -27,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -44,13 +48,19 @@ type benchRecord struct {
 	// event-driven quiescence driver this is the number the drain
 	// refactor optimises.
 	EventsRun uint64 `json:"events_run"`
+	// AllocsPerOp counts heap allocations (runtime Mallocs delta)
+	// across one regeneration — the machine-independent cost metric
+	// the gate enforces, since an allocation regression on the hot
+	// path shows up here long before wall clock moves on fast
+	// hardware.
+	AllocsPerOp uint64 `json:"allocs_per_op"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	benchJSON := flag.String("benchjson", "BENCH_sim.json", "write the per-experiment perf record here (empty to disable)")
 	check := flag.String("check", "", "benchmark-regression gate: compare EventsRun against this baseline record and fail on drift (ns/op stays advisory)")
-	specs := flag.String("specs", "", "write the recorded experiments' sweep documents (E12–E16) into this directory and exit")
+	specs := flag.String("specs", "", "write the recorded experiments' sweep documents (E12–E17) into this directory and exit")
 	flag.Parse()
 
 	if *list {
@@ -96,19 +106,24 @@ func main() {
 
 	failed := 0
 	var records []benchRecord
+	var ms runtime.MemStats
 	for _, r := range runners {
+		runtime.ReadMemStats(&ms)
+		mallocsBefore := ms.Mallocs
 		start := time.Now()
 		tab, err := r.Run()
 		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", r.ID, err)
 			failed++
 			continue
 		}
 		records = append(records, benchRecord{
-			ID:        r.ID,
-			NsPerOp:   elapsed.Nanoseconds(),
-			EventsRun: tab.EventsRun,
+			ID:          r.ID,
+			NsPerOp:     elapsed.Nanoseconds(),
+			EventsRun:   tab.EventsRun,
+			AllocsPerOp: ms.Mallocs - mallocsBefore,
 		})
 		if *check == "" { // the gate prints its own compact report
 			fmt.Println(tab.Render())
@@ -137,11 +152,19 @@ func main() {
 	}
 }
 
+// allocTolerance is the headroom the allocation gate grants over the
+// baseline before failing: allocation counts are near-deterministic,
+// but concurrent sweep workers and runtime internals contribute a
+// small jitter the gate must not flake on.
+const allocTolerance = 1.05
+
 // checkBaseline is the benchmark-regression gate: every record's
 // EventsRun must equal the committed baseline's byte for byte — the
 // simulation is deterministic, so any difference is a behaviour change
 // someone must either fix or deliberately bake into a refreshed
-// baseline. Wall-clock ns/op is reported as an advisory delta only.
+// baseline — and its allocation count must stay within allocTolerance
+// of the baseline's. Wall-clock ns/op is reported as an advisory delta
+// only.
 func checkBaseline(path string, records []benchRecord) bool {
 	baseline, err := readBenchJSON(path)
 	if err != nil {
@@ -165,12 +188,20 @@ func checkBaseline(path string, records []benchRecord) bool {
 			status = "DRIFT"
 			drift++
 		}
+		allocDelta := "n/a"
+		if b.AllocsPerOp > 0 {
+			allocDelta = fmt.Sprintf("%+.1f%%", 100*(float64(r.AllocsPerOp)-float64(b.AllocsPerOp))/float64(b.AllocsPerOp))
+			if float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*allocTolerance {
+				status = "ALLOC"
+				drift++
+			}
+		}
 		wallDelta := "n/a"
 		if b.NsPerOp > 0 {
 			wallDelta = fmt.Sprintf("%+.0f%%", 100*(float64(r.NsPerOp)-float64(b.NsPerOp))/float64(b.NsPerOp))
 		}
-		fmt.Printf("%-4s  events %12d  baseline %12d  %-5s  wall %8s vs baseline (advisory)\n",
-			r.ID, r.EventsRun, b.EventsRun, status, wallDelta)
+		fmt.Printf("%-4s  events %12d  baseline %12d  %-5s  allocs %8s  wall %8s vs baseline (advisory)\n",
+			r.ID, r.EventsRun, b.EventsRun, status, allocDelta, wallDelta)
 	}
 	if drift > 0 {
 		fmt.Fprintf(os.Stderr, "benchtab: %d experiment(s) drifted from %s\n", drift, path)

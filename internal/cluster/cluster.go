@@ -150,6 +150,12 @@ type Node struct {
 	Target    osid.OS // boot target while switching
 	Switching bool
 	Broken    bool // boot chain failed; node out of service
+
+	// pbsNode / winNode cache the node's scheduler registrations (nil
+	// on a side a static split never registered), so per-cycle idle
+	// censuses skip the name lookups.
+	pbsNode *pbs.Node
+	winNode *winhpc.Node
 }
 
 // Event is a timestamped log line.
@@ -330,14 +336,18 @@ func (c *Cluster) provisionNodes() error {
 		// scheduler only knows its own nodes. Hybrids register every
 		// node with both heads (down on the side it is not booted in).
 		if c.cfg.Mode != Static || startOS == osid.Linux {
-			if _, err := c.PBS.AddNode(name, c.cfg.CoresPerNode, startOS == osid.Linux); err != nil {
+			pn, err := c.PBS.AddNode(name, c.cfg.CoresPerNode, startOS == osid.Linux)
+			if err != nil {
 				return err
 			}
+			node.pbsNode = pn
 		}
 		if c.cfg.Mode != Static || startOS == osid.Windows {
-			if _, err := c.Win.AddNode(name, c.cfg.CoresPerNode, startOS == osid.Windows); err != nil {
+			wn, err := c.Win.AddNode(name, c.cfg.CoresPerNode, startOS == osid.Windows)
+			if err != nil {
 				return err
 			}
+			node.winNode = wn
 		}
 		c.Rec.NodeUp(startOS)
 	}
@@ -429,7 +439,7 @@ func (c *Cluster) markDone(id string, completed bool) {
 // returnNodesHome implements mono-stable behaviour: once the Windows
 // queue is empty, every idle Windows node reboots back to Linux.
 func (c *Cluster) returnNodesHome() {
-	if len(c.Win.QueuedJobs()) > 0 || len(c.Win.RunningJobs()) > 0 {
+	if snap := c.Win.Snapshot(); snap.Queued > 0 || snap.Running > 0 {
 		return
 	}
 	var idle []*Node
@@ -487,11 +497,11 @@ func (c *Cluster) pointBootConfig(nodes []*Node, target osid.OS) error {
 func (c *Cluster) nodeIdle(n *Node) bool {
 	switch n.OS {
 	case osid.Linux:
-		pn, err := c.PBS.Node(n.HW.Name)
-		return err == nil && pn.UsedCPUs() == 0 && pn.State() == pbs.NodeFree
+		pn := n.pbsNode
+		return pn != nil && pn.UsedCPUs() == 0 && pn.State() == pbs.NodeFree
 	case osid.Windows:
-		wn, err := c.Win.Node(n.HW.Name)
-		return err == nil && wn.UsedCores() == 0 && wn.State() == winhpc.NodeOnline
+		wn := n.winNode
+		return wn != nil && wn.UsedCores() == 0 && wn.State() == winhpc.NodeOnline
 	default:
 		return false
 	}

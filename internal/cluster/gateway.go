@@ -30,11 +30,10 @@ func (c *Cluster) SideInfo(os osid.OS) controller.SideState {
 	switch os {
 	case osid.Linux:
 		det = c.pbsDet
-		s.RunningJobs = len(c.PBS.RunningJobs())
-		for _, j := range c.PBS.QueuedJobs() {
-			s.QueuedJobs++
-			s.QueuedCPUs += j.CPUs()
-		}
+		stats := c.PBS.QueueStats()
+		s.RunningJobs = stats.Running
+		s.QueuedJobs = stats.Queued
+		s.QueuedCPUs = stats.QueuedCPUs
 	case osid.Windows:
 		det = c.winDet
 		snap := c.Win.Snapshot()

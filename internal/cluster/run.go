@@ -202,17 +202,19 @@ type Snapshot struct {
 	WindowsRun    int
 }
 
-// TakeSnapshot captures the current state.
+// TakeSnapshot captures the current state from the schedulers'
+// maintained census counters.
 func (c *Cluster) TakeSnapshot() Snapshot {
 	winSnap := c.Win.Snapshot()
+	pbsStats := c.PBS.QueueStats()
 	return Snapshot{
 		At:            c.Eng.Now(),
 		LinuxNodes:    c.NodesOn(osid.Linux),
 		WindowsNodes:  c.NodesOn(osid.Windows),
 		Switching:     c.SwitchingCount(),
 		Broken:        c.BrokenCount(),
-		LinuxRunning:  len(c.PBS.RunningJobs()),
-		LinuxQueued:   len(c.PBS.QueuedJobs()),
+		LinuxRunning:  pbsStats.Running,
+		LinuxQueued:   pbsStats.Queued,
 		WindowsQueued: winSnap.Queued,
 		WindowsRun:    winSnap.Running,
 	}
@@ -227,7 +229,9 @@ func (c *Cluster) SampleSeries(trace workload.Trace, interval, horizon time.Dura
 	if err := c.ScheduleTrace(trace); err != nil {
 		return nil, metrics.Summary{}, err
 	}
-	var series []Snapshot
+	// Preallocate for the full horizon: series storage must not be the
+	// allocation hot spot of a sampled run.
+	series := make([]Snapshot, 0, horizon/interval+2)
 	tk := c.Eng.EveryBackground(interval, func() {
 		series = append(series, c.TakeSnapshot())
 	})

@@ -111,14 +111,26 @@ type Detector interface {
 // through function values so it can be pointed at a live simulated
 // server, canned text from the paper, or (in the original deployment)
 // actual pbs command invocations.
+//
+// When wired to a live simulated server, Detect answers from the
+// server's maintained queue census instead of rendering and re-parsing
+// the full `qstat -f` text every poll — the render/scrape cycle is
+// O(total jobs ever submitted) and dominated whole-run profiles at
+// metro scale. Describe keeps the text path: its output *is* the
+// scrape (Figure 6), and canned-text detectors have no server to ask.
 type PBSDetector struct {
 	QstatF   func() string
 	PBSNodes func() string
+
+	// Server, when non-nil, enables the structured fast path for
+	// Detect. The text path remains authoritative for Describe and for
+	// detectors built from canned command output.
+	Server *pbs.Server
 }
 
 // NewPBSDetector wires a detector to a simulated PBS server.
 func NewPBSDetector(s *pbs.Server) *PBSDetector {
-	return &PBSDetector{QstatF: s.QstatF, PBSNodes: s.PBSNodes}
+	return &PBSDetector{QstatF: s.QstatF, PBSNodes: s.PBSNodes, Server: s}
 }
 
 // scan parses the command output into running/queued job lists.
@@ -140,6 +152,16 @@ func (d *PBSDetector) scan() (running, queued []pbs.JobStatus, err error) {
 
 // Detect implements Detector.
 func (d *PBSDetector) Detect() (Report, error) {
+	if d.Server != nil {
+		// Structured fast path: the maintained census carries the same
+		// running/queued counts and queue head the text scrape yields
+		// (the simulated server never renders transient E states).
+		stats := d.Server.QueueStats()
+		return buildReport(stats.Running, stats.Queued, func() (int, string) {
+			j := d.Server.FirstQueued()
+			return j.Nodes * j.PPN, j.ID
+		}), nil
+	}
 	running, queued, err := d.scan()
 	if err != nil {
 		return Report{}, err

@@ -61,6 +61,8 @@ func All() []Runner {
 		{"E14", E14RoutingPolicies},
 		{"E15", E15PolicySuite},
 		{"E16", E16SchedPolicies},
+		{"E17", E17MetroScale},
+		{"E18", E18CityScale},
 		{"A1", A1CycleInterval},
 		{"A2", A2Policies},
 		{"A3", A3SwitchCost},

@@ -1,0 +1,11 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this test binary was built with the race
+// detector. The city tier (E18) is skipped under race: it is a
+// single-cell sweep, so one worker runs it serially and the detector
+// finds no concurrency the metro tier (E17, four concurrent cells)
+// does not already cover — while its ~16 s simulation balloons past
+// five minutes under instrumentation.
+const raceEnabled = true

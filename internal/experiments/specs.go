@@ -40,6 +40,7 @@ func SpecFiles() ([]SpecFile, error) {
 		{"e14_routing_policies.json", sweep.Spec{Version: sweep.SpecVersion, Name: "E14 campus-grid routing policies", Grid: e14}},
 		{"e15_policy_suite.json", sweep.Spec{Version: sweep.SpecVersion, Name: "E15 adaptive OS-switching policy suite", Grid: e15}},
 		{"e16_sched_policies.json", sweep.Spec{Version: sweep.SpecVersion, Name: "E16 FCFS vs EASY backfill", Grid: E16Grid()}},
+		{"e17_metro_scale.json", sweep.Spec{Version: sweep.SpecVersion, Name: "E17 metro scale tier", Grid: E17Grid()}},
 	}, nil
 }
 

@@ -20,7 +20,7 @@ func TestCommittedSpecDocumentsMatchGrids(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) != 5 {
+	if len(files) != 6 {
 		t.Fatalf("expected one spec document per recorded sweep experiment, got %d", len(files))
 	}
 	for _, sf := range files {
@@ -89,6 +89,13 @@ func TestSpecReplayMatchesGoldenCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, sf := range files {
+		if raceEnabled && sf.File == "e17_metro_scale.json" {
+			// The metro grid replays at workers=1 here — serial, so the
+			// detector sees no concurrency — and is minutes-slow under
+			// instrumentation; the regular pass and CI's spec-replay job
+			// still diff it against the golden.
+			continue
+		}
 		base := sf.File[:len(sf.File)-len(".json")]
 		golden, err := os.ReadFile(filepath.Join("..", "..", "specs", "golden", base+".csv"))
 		if err != nil {

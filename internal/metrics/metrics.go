@@ -59,19 +59,26 @@ type SwitchRecord struct {
 // Duration returns the switch latency.
 func (s SwitchRecord) Duration() time.Duration { return s.Finished - s.Started }
 
+// osSlots sizes the per-OS integration arrays: osid values are dense
+// small integers (None, Linux, Windows).
+const osSlots = int(osid.Windows) + 1
+
 // Recorder accumulates cluster state over virtual time.
 type Recorder struct {
 	now func() time.Duration
 
 	totalCores int
 
+	// The integration state is indexed by osid value rather than keyed
+	// by map: advance runs on every recorder event, so at city scale
+	// (millions of events) per-event map iteration is pure overhead.
 	last       time.Duration
-	busyCores  map[osid.OS]int
-	upNodes    map[osid.OS]int
+	busyCores  [osSlots]int
+	upNodes    [osSlots]int
 	switching  int
-	busyCoreNS map[osid.OS]float64 // ∫ busy cores dt
-	upNodeNS   map[osid.OS]float64 // ∫ nodes-up dt
-	switchNS   float64             // ∫ nodes-switching dt
+	busyCoreNS [osSlots]float64 // ∫ busy cores dt
+	upNodeNS   [osSlots]float64 // ∫ nodes-up dt
+	switchNS   float64          // ∫ nodes-switching dt
 
 	jobs        map[string]*JobRecord
 	order       []string
@@ -87,27 +94,26 @@ func NewRecorder(now func() time.Duration, totalCores int) *Recorder {
 	return &Recorder{
 		now:        now,
 		totalCores: totalCores,
-		busyCores:  map[osid.OS]int{},
-		upNodes:    map[osid.OS]int{},
-		busyCoreNS: map[osid.OS]float64{},
-		upNodeNS:   map[osid.OS]float64{},
 		jobs:       map[string]*JobRecord{},
 		inFlight:   map[string]*SwitchRecord{},
 	}
 }
 
-// advance integrates state up to the current instant.
+// advance integrates state up to the current instant. Events landing
+// at the same instant — the common case inside a scheduling cascade —
+// integrate a zero-width interval and return immediately.
 func (r *Recorder) advance() {
 	now := r.now()
+	if now == r.last {
+		return
+	}
 	dt := float64(now - r.last)
 	if dt < 0 {
 		panic("metrics: clock went backwards")
 	}
-	for os, c := range r.busyCores {
-		r.busyCoreNS[os] += float64(c) * dt
-	}
-	for os, n := range r.upNodes {
-		r.upNodeNS[os] += float64(n) * dt
+	for os := 0; os < osSlots; os++ {
+		r.busyCoreNS[os] += float64(r.busyCores[os]) * dt
+		r.upNodeNS[os] += float64(r.upNodes[os]) * dt
 	}
 	r.switchNS += float64(r.switching) * dt
 	r.last = now
@@ -229,6 +235,38 @@ func (r *Recorder) SwitchFinished(node string, ok bool) {
 	r.switches = append(r.switches, *rec)
 }
 
+// durSum accumulates a sum of non-negative durations without the
+// int64-nanosecond overflow a city-scale run hits: a million completed
+// jobs waiting hours each total centuries of queue time, past what
+// time.Duration can hold. Seconds and sub-second nanoseconds are
+// carried separately, and the mean is computed with the remainder
+// folded in before the final division, so for sums that do fit in a
+// Duration the result is bit-identical to naive accumulation.
+type durSum struct {
+	sec int64 // whole seconds
+	ns  int64 // sub-second remainder, always < count × 1e9
+}
+
+func (a *durSum) add(d time.Duration) {
+	a.sec += int64(d / time.Second)
+	a.ns += int64(d % time.Second)
+}
+
+// addN accumulates d × n (a per-part mean re-weighted by its count)
+// without forming the overflowing product in nanoseconds.
+func (a *durSum) addN(d time.Duration, n int) {
+	a.sec += int64(d/time.Second) * int64(n)
+	a.ns += int64(d%time.Second) * int64(n)
+}
+
+// mean divides by n (n > 0). Exact: sec*1e9+ns = (q*n+r)*1e9+ns with
+// q = sec/n, r = sec%n, so the naive (sec*1e9+ns)/n equals
+// q*1e9 + (r*1e9+ns)/n without ever forming the overflowing product.
+func (a durSum) mean(n int) time.Duration {
+	q, r := a.sec/int64(n), a.sec%int64(n)
+	return time.Duration(q)*time.Second + time.Duration((r*int64(time.Second)+a.ns)/int64(n))
+}
+
 // Summary is the digested result of a run.
 type Summary struct {
 	Elapsed        time.Duration
@@ -272,7 +310,7 @@ func (r *Recorder) Summarise(totalNodes int) Summary {
 	}
 	denom := float64(r.totalCores) * float64(elapsed)
 	var busyTotal float64
-	waitSums := map[osid.OS]time.Duration{}
+	waitSums := map[osid.OS]*durSum{}
 	waitCounts := map[osid.OS]int{}
 	for _, os := range []osid.OS{osid.Linux, osid.Windows} {
 		busyTotal += r.busyCoreNS[os]
@@ -284,7 +322,12 @@ func (r *Recorder) Summarise(totalNodes int) Summary {
 		s.JobsSubmitted[j.OS]++
 		if j.Completed {
 			s.JobsCompleted[j.OS]++
-			waitSums[j.OS] += j.Wait()
+			sum := waitSums[j.OS]
+			if sum == nil {
+				sum = &durSum{}
+				waitSums[j.OS] = sum
+			}
+			sum.add(j.Wait())
 			waitCounts[j.OS]++
 			if j.Wait() > s.MaxWait[j.OS] {
 				s.MaxWait[j.OS] = j.Wait()
@@ -295,7 +338,7 @@ func (r *Recorder) Summarise(totalNodes int) Summary {
 		}
 	}
 	for os, sum := range waitSums {
-		s.MeanWait[os] = sum / time.Duration(waitCounts[os])
+		s.MeanWait[os] = sum.mean(waitCounts[os])
 	}
 	s.Switches = len(r.switches)
 	var switchSum time.Duration
@@ -335,7 +378,7 @@ func Aggregate(parts []Summary) Summary {
 	}
 	var busyCores, overheadNodes float64
 	busyByOS := map[osid.OS]float64{}
-	waitSums := map[osid.OS]time.Duration{}
+	waitSums := map[osid.OS]*durSum{}
 	waitCounts := map[osid.OS]int{}
 	var switchSum time.Duration
 	for _, p := range parts {
@@ -350,7 +393,12 @@ func Aggregate(parts []Summary) Summary {
 			busyByOS[os] += p.UtilisationOS[os] * float64(p.TotalCores)
 			out.JobsSubmitted[os] += p.JobsSubmitted[os]
 			out.JobsCompleted[os] += p.JobsCompleted[os]
-			waitSums[os] += p.MeanWait[os] * time.Duration(p.JobsCompleted[os])
+			sum := waitSums[os]
+			if sum == nil {
+				sum = &durSum{}
+				waitSums[os] = sum
+			}
+			sum.addN(p.MeanWait[os], p.JobsCompleted[os])
 			waitCounts[os] += p.JobsCompleted[os]
 			if p.MaxWait[os] > out.MaxWait[os] {
 				out.MaxWait[os] = p.MaxWait[os]
@@ -378,7 +426,7 @@ func Aggregate(parts []Summary) Summary {
 	}
 	for os, n := range waitCounts {
 		if n > 0 {
-			out.MeanWait[os] = waitSums[os] / time.Duration(n)
+			out.MeanWait[os] = waitSums[os].mean(n)
 		}
 	}
 	if out.Switches > 0 {
@@ -416,7 +464,7 @@ type AppStat struct {
 // of a run. Results are sorted by application name.
 func (r *Recorder) AppStats() []AppStat {
 	acc := map[string]*AppStat{}
-	waitSums := map[string]time.Duration{}
+	waitSums := map[string]*durSum{}
 	for _, id := range r.order {
 		j := r.jobs[id]
 		if !j.Completed {
@@ -430,7 +478,12 @@ func (r *Recorder) AppStats() []AppStat {
 		}
 		st.Completed++
 		w := j.Wait()
-		waitSums[key] += w
+		sum := waitSums[key]
+		if sum == nil {
+			sum = &durSum{}
+			waitSums[key] = sum
+		}
+		sum.add(w)
 		if w > st.LongestWait {
 			st.LongestWait = w
 		}
@@ -443,7 +496,7 @@ func (r *Recorder) AppStats() []AppStat {
 	}
 	out := make([]AppStat, 0, len(acc))
 	for key, st := range acc {
-		st.MeanWait = waitSums[key] / time.Duration(st.Completed)
+		st.MeanWait = waitSums[key].mean(st.Completed)
 		out = append(out, *st)
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,250 @@
+package pbs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// scratchRebuild throws away every piece of incremental scheduler
+// state and recomputes it from the ground truth (the job map and the
+// node table): the queued and running ledgers, the census counters,
+// the per-queue running counts, and the free-CPU segment tree. The
+// equivalence tests rebuild before every scheduling pass on one of two
+// twin servers; if the incremental state ever drifted from a
+// from-scratch recompute, the twins' placement decisions would
+// diverge.
+func scratchRebuild(s *Server) {
+	for _, j := range s.queued {
+		j.inQueue = false
+	}
+	s.queued = s.queued[:0]
+	s.queuedDead, s.queuedHead = 0, 0
+	s.queuedN, s.queuedCPUs = 0, 0
+	s.running = s.running[:0]
+	for _, q := range s.queues {
+		q.running = 0
+	}
+	all := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		all = append(all, s.jobs[id])
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].SeqNo < all[j].SeqNo })
+	for _, j := range all {
+		switch j.State {
+		case StateQueued:
+			j.inQueue = true
+			s.queued = append(s.queued, j)
+			s.queuedN++
+			s.queuedCPUs += j.Nodes * j.PPN
+		case StateHeld:
+			j.inQueue = true
+			s.queued = append(s.queued, j)
+		case StateRunning:
+			j.runIdx = len(s.running)
+			s.running = append(s.running, j)
+			if q, ok := s.queues[j.Queue]; ok {
+				q.running++
+			}
+		}
+	}
+	s.cpusUp, s.nodesUp = 0, 0
+	for _, name := range s.nodeOrder {
+		n := s.nodes[name]
+		if n.state != NodeDown {
+			s.cpusUp += n.NP
+		}
+		if n.state != NodeDown && n.state != NodeOffline {
+			s.nodesUp++
+		}
+	}
+	s.rebuildFreeTree()
+}
+
+// assertLedgersMatchScratch cross-checks the incremental state against
+// a non-mutating recompute from the ground truth.
+func assertLedgersMatchScratch(t *testing.T, s *Server) {
+	t.Helper()
+	wantQ, wantCPUs := 0, 0
+	wantRunning := map[string]bool{}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		switch j.State {
+		case StateQueued:
+			wantQ++
+			wantCPUs += j.Nodes * j.PPN
+		case StateRunning:
+			wantRunning[j.ID] = true
+		}
+	}
+	if s.queuedN != wantQ || s.queuedCPUs != wantCPUs {
+		t.Fatalf("queue census: got (%d jobs, %d cpus), scratch (%d, %d)",
+			s.queuedN, s.queuedCPUs, wantQ, wantCPUs)
+	}
+	if len(s.running) != len(wantRunning) {
+		t.Fatalf("running ledger has %d jobs, scratch %d", len(s.running), len(wantRunning))
+	}
+	for _, j := range s.running {
+		if !wantRunning[j.ID] {
+			t.Fatalf("running ledger holds %s which is in state %v", j.ID, j.State)
+		}
+	}
+	cpus, nodes := 0, 0
+	for _, name := range s.nodeOrder {
+		n := s.nodes[name]
+		if n.state != NodeDown {
+			cpus += n.NP
+		}
+		if n.state != NodeDown && n.state != NodeOffline {
+			nodes++
+		}
+		if got := s.freeTree[s.treeCap+n.idx]; got != n.effFree() {
+			t.Fatalf("free tree leaf for %s = %d, node has %d", name, got, n.effFree())
+		}
+	}
+	if s.cpusUp != cpus || s.nodesUp != nodes {
+		t.Fatalf("census: got (%d cpus, %d nodes), scratch (%d, %d)", s.cpusUp, s.nodesUp, cpus, nodes)
+	}
+}
+
+// pbsAction is one scripted step of the randomized workload; the same
+// script drives both twin servers.
+type pbsAction struct {
+	at   time.Duration
+	kind int // 0 submit, 1 hold, 2 release, 3 delete, 4 node down, 5 node up
+	job  int // submission index for hold/release/delete
+	node string
+	req  SubmitRequest
+}
+
+// pbsScript generates a deterministic randomized workload: mixed-width
+// jobs, holds and releases, deletions, and node outages (which requeue
+// rerunnable jobs and exercise the revival paths of the queue ledger).
+func pbsScript(seed int64, nodes, jobs int) []pbsAction {
+	rng := rand.New(rand.NewSource(seed))
+	var script []pbsAction
+	for i := 0; i < jobs; i++ {
+		at := time.Duration(rng.Int63n(int64(6 * time.Hour)))
+		req := SubmitRequest{
+			Name:    fmt.Sprintf("job%03d", i),
+			Owner:   "eq",
+			Nodes:   1 + rng.Intn(3),
+			PPN:     1 + rng.Intn(4),
+			Runtime: time.Duration(rng.Int63n(int64(2*time.Hour))) + 5*time.Minute,
+			Rerun:   rng.Intn(4) != 0,
+		}
+		if rng.Intn(3) == 0 {
+			req.Walltime = req.Runtime + time.Duration(rng.Int63n(int64(time.Hour)))
+		}
+		script = append(script, pbsAction{at: at, kind: 0, job: i, req: req})
+		switch rng.Intn(10) {
+		case 0:
+			h := at + time.Duration(rng.Int63n(int64(30*time.Minute)))
+			script = append(script, pbsAction{at: h, kind: 1, job: i})
+			script = append(script, pbsAction{at: h + time.Duration(rng.Int63n(int64(2*time.Hour))), kind: 2, job: i})
+		case 1:
+			script = append(script, pbsAction{at: at + time.Duration(rng.Int63n(int64(time.Hour))), kind: 3, job: i})
+		}
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("eqnode%02d", 1+rng.Intn(nodes))
+		down := time.Duration(rng.Int63n(int64(4 * time.Hour)))
+		script = append(script, pbsAction{at: down, kind: 4, node: name})
+		script = append(script, pbsAction{at: down + time.Duration(rng.Int63n(int64(time.Hour))) + time.Minute, kind: 5, node: name})
+	}
+	return script
+}
+
+// runPBSScript drives one server through the script. When rebuild is
+// set, every scheduling pass is preceded by a from-scratch state
+// recompute.
+func runPBSScript(t *testing.T, script []pbsAction, nodes int, backfill, rebuild bool) *Server {
+	t.Helper()
+	eng := simtime.NewEngine()
+	s := NewServer(eng, "eq.test")
+	s.Backfill = backfill
+	if rebuild {
+		var wrap func()
+		wrap = func() {
+			scratchRebuild(s)
+			s.schedOverride = nil
+			s.schedule()
+			s.schedOverride = wrap
+		}
+		s.schedOverride = wrap
+	}
+	for i := 1; i <= nodes; i++ {
+		if _, err := s.AddNode(fmt.Sprintf("eqnode%02d", i), 4, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := make([]string, 0, len(script))
+	for i := 0; i < len(script); i++ {
+		if script[i].kind == 0 {
+			ids = append(ids, "")
+		}
+	}
+	for _, a := range script {
+		a := a
+		eng.After(a.at, func() {
+			switch a.kind {
+			case 0:
+				j, err := s.Qsub(a.req)
+				if err != nil {
+					t.Errorf("qsub %s: %v", a.req.Name, err)
+					return
+				}
+				ids[a.job] = j.ID
+			case 1:
+				_ = s.Qhold(ids[a.job]) // may legitimately race the start
+			case 2:
+				_ = s.Qrls(ids[a.job])
+			case 3:
+				_ = s.Qdel(ids[a.job])
+			case 4:
+				_ = s.SetNodeAvailable(a.node, false)
+			case 5:
+				_ = s.SetNodeAvailable(a.node, true)
+			}
+		})
+	}
+	eng.Run()
+	return s
+}
+
+// TestPBSIncrementalMatchesScratchRecompute runs the identical
+// randomized workload on twin servers — one scheduling off its
+// incremental ledgers and free-slot profile, one rebuilding all of it
+// from scratch before every pass — and requires byte-identical
+// outcomes: same start times, same placements, same final states.
+func TestPBSIncrementalMatchesScratchRecompute(t *testing.T) {
+	for _, backfill := range []bool{false, true} {
+		name := "fcfs"
+		if backfill {
+			name = "backfill"
+		}
+		t.Run(name, func(t *testing.T) {
+			script := pbsScript(421, 12, 120)
+			inc := runPBSScript(t, script, 12, backfill, false)
+			ref := runPBSScript(t, script, 12, backfill, true)
+			assertLedgersMatchScratch(t, inc)
+			if len(inc.order) != len(ref.order) {
+				t.Fatalf("job counts diverged: %d vs %d", len(inc.order), len(ref.order))
+			}
+			for _, id := range inc.order {
+				a, b := inc.jobs[id], ref.jobs[id]
+				if a.State != b.State || a.StartTime != b.StartTime || a.EndTime != b.EndTime {
+					t.Fatalf("job %s diverged: incremental (%v start=%v end=%v) vs scratch (%v start=%v end=%v)",
+						id, a.State, a.StartTime, a.EndTime, b.State, b.StartTime, b.EndTime)
+				}
+				if fmt.Sprint(a.ExecHost) != fmt.Sprint(b.ExecHost) {
+					t.Fatalf("job %s placement diverged:\n%v\nvs\n%v", id, a.ExecHost, b.ExecHost)
+				}
+			}
+		})
+	}
+}

@@ -75,6 +75,13 @@ type Job struct {
 
 	killedAtLimit bool
 	failed        bool
+
+	// Scheduler ledger bookkeeping: inQueue flags an entry in the
+	// server's queued slice (states Q and H, plus stale entries waiting
+	// for compaction); runIdx is the job's slot in the running slice
+	// while in state R.
+	inQueue bool
+	runIdx  int
 }
 
 // CPUs returns the total virtual processors the job needs.

@@ -20,6 +20,10 @@ type Queue struct {
 	// MaxRunning bounds concurrently running jobs from this queue
 	// (0 = unlimited).
 	MaxRunning int
+	// running counts this queue's jobs in state R, maintained by the
+	// server's start/stop ledger so the cap check never scans job
+	// history.
+	running int
 }
 
 // Enabled reports whether the queue accepts submissions.
@@ -86,13 +90,11 @@ func (s *Server) SetQueueStarted(name string, started bool) error {
 
 // runningInQueue counts running jobs belonging to a queue.
 func (s *Server) runningInQueue(name string) int {
-	n := 0
-	for _, id := range s.order {
-		if j := s.jobs[id]; j.State == StateRunning && j.Queue == name {
-			n++
-		}
+	q, ok := s.queues[name]
+	if !ok {
+		return 0
 	}
-	return n
+	return q.running
 }
 
 // schedulable reports whether a queued job may be considered in this

@@ -24,8 +24,11 @@ type Node struct {
 	NP         int
 	Properties []string
 	state      NodeState
-	// busy[cpu] holds the job occupying that virtual processor.
-	busy map[int]*Job
+	idx        int // position in Server.nodeOrder
+	// busy[cpu] holds the job occupying that virtual processor (nil
+	// when the slot is free); used counts occupied slots.
+	busy []*Job
+	used int
 }
 
 // State derives the reported state: offline/down are administrative or
@@ -35,7 +38,7 @@ func (n *Node) State() NodeState {
 	if n.state == NodeOffline || n.state == NodeDown {
 		return n.state
 	}
-	if len(n.busy) >= n.NP {
+	if n.used >= n.NP {
 		return NodeExclusive
 	}
 	return NodeFree
@@ -46,23 +49,30 @@ func (n *Node) FreeCPUs() int {
 	if n.state == NodeOffline || n.state == NodeDown {
 		return 0
 	}
-	return n.NP - len(n.busy)
+	return n.NP - n.used
+}
+
+// effFree is the schedulable free-CPU count maintained in the free-CPU
+// index: identical to FreeCPUs but spelled out here because it defines
+// the segment-tree leaf value.
+func (n *Node) effFree() int {
+	if n.state == NodeOffline || n.state == NodeDown {
+		return 0
+	}
+	return n.NP - n.used
 }
 
 // UsedCPUs counts occupied virtual processors.
-func (n *Node) UsedCPUs() int { return len(n.busy) }
+func (n *Node) UsedCPUs() int { return n.used }
 
 // Jobs lists IDs of jobs with slots on this node, PBS-style
 // "cpu/jobid" pairs sorted by CPU.
 func (n *Node) Jobs() []string {
-	cpus := make([]int, 0, len(n.busy))
-	for c := range n.busy {
-		cpus = append(cpus, c)
-	}
-	sort.Ints(cpus)
-	out := make([]string, len(cpus))
-	for i, c := range cpus {
-		out[i] = fmt.Sprintf("%d/%s", c, n.busy[c].ID)
+	out := make([]string, 0, n.used)
+	for c, j := range n.busy {
+		if j != nil {
+			out = append(out, fmt.Sprintf("%d/%s", c, j.ID))
+		}
 	}
 	return out
 }
@@ -71,6 +81,12 @@ func (n *Node) Jobs() []string {
 // deployment ran stock OSCAR scheduling: first-come first-served, no
 // backfill — which is exactly what lets the head of the queue wedge
 // the whole system and makes the "stuck" signal meaningful).
+//
+// Scheduler state is incremental: the server maintains live queued and
+// running job lists, per-queue running counts, an indexed free-CPU
+// profile over the node table, and O(1) census counters, so a
+// scheduling pass or a controller poll never rescans the full job
+// history.
 type Server struct {
 	eng *simtime.Engine
 	// domain is the cluster FQDN ("eridani.qgg.hud.ac.uk"): the head
@@ -86,6 +102,41 @@ type Server struct {
 
 	queues       map[string]*Queue
 	defaultQueue string
+
+	// queued holds jobs with queue presence (states Q and H) in SeqNo
+	// order. Entries whose job has moved on (started, finished) are
+	// dead weight until compactQueue sweeps them; Job.inQueue flags
+	// membership so a requeued job revives its stale entry instead of
+	// duplicating it.
+	queued     []*Job
+	queuedDead int // entries in queued whose state is neither Q nor H
+	queuedHead int // index of the first possibly-live entry in queued
+	queuedN    int // jobs currently in state Q
+	queuedCPUs int // sum of Nodes*PPN over state-Q jobs
+
+	// running holds executing jobs in start order; removal swaps the
+	// tail into the vacated slot via Job.runIdx.
+	running []*Job
+
+	// cpusUp / nodesUp are the O(1) forms of TotalCPUs / AvailableNodes.
+	cpusUp  int
+	nodesUp int
+
+	// npHist[c] counts configured nodes with NP == c (regardless of
+	// state), giving Qsub's feasibility check without a node scan.
+	npHist []int
+
+	// freeTree is a max segment tree over node indices keyed by
+	// effective free CPUs: chooseNodes jumps straight to the next node
+	// that fits instead of walking the whole table.
+	freeTree []int
+	treeCap  int
+
+	// Scratch buffers reused across scheduling passes.
+	candBuf  []cand
+	cpuArena []int
+	rsvFree  []int
+	rsvRun   []*Job
 
 	// Backfill enables reservation-based EASY backfill: later jobs may
 	// jump a blocked queue head only when they cannot delay its
@@ -148,12 +199,21 @@ func (s *Server) AddNode(name string, np int, avail bool) (*Node, error) {
 	if np <= 0 {
 		return nil, fmt.Errorf("pbs: node %s: bad np %d", name, np)
 	}
-	n := &Node{Name: name, NP: np, Properties: []string{"all"}, busy: make(map[int]*Job)}
+	n := &Node{Name: name, NP: np, Properties: []string{"all"}, busy: make([]*Job, np), idx: len(s.nodeOrder)}
 	if !avail {
 		n.state = NodeDown
 	}
 	s.nodes[name] = n
 	s.nodeOrder = append(s.nodeOrder, name)
+	for len(s.npHist) <= np {
+		s.npHist = append(s.npHist, 0)
+	}
+	s.npHist[np]++
+	if n.state != NodeDown {
+		s.cpusUp += np
+		s.nodesUp++
+	}
+	s.refreshNodeFree(n)
 	if avail {
 		s.kick()
 	}
@@ -178,6 +238,35 @@ func (s *Server) Nodes() []*Node {
 	return out
 }
 
+// setNodeState applies an administrative/connectivity state change and
+// keeps the up-CPU and up-node counters plus the free-CPU index
+// consistent.
+func (s *Server) setNodeState(n *Node, st NodeState) {
+	old := n.state
+	if old == st {
+		return
+	}
+	wasDown, isDown := old == NodeDown, st == NodeDown
+	if wasDown != isDown {
+		if isDown {
+			s.cpusUp -= n.NP
+		} else {
+			s.cpusUp += n.NP
+		}
+	}
+	wasUp := old != NodeDown && old != NodeOffline
+	isUp := st != NodeDown && st != NodeOffline
+	if wasUp != isUp {
+		if isUp {
+			s.nodesUp++
+		} else {
+			s.nodesUp--
+		}
+	}
+	n.state = st
+	s.refreshNodeFree(n)
+}
+
 // SetNodeAvailable brings a node up (it re-registered after booting
 // Linux) or marks it down (it rebooted away). Jobs running on a node
 // that goes down are requeued if rerunnable, otherwise killed.
@@ -187,15 +276,17 @@ func (s *Server) SetNodeAvailable(name string, avail bool) error {
 		return fmt.Errorf("pbs: unknown node %s", name)
 	}
 	if avail {
-		n.state = NodeFree
+		s.setNodeState(n, NodeFree)
 		s.kick()
 		return nil
 	}
-	n.state = NodeDown
+	s.setNodeState(n, NodeDown)
 	// Collect affected jobs before mutating.
 	affected := map[string]*Job{}
 	for _, j := range n.busy {
-		affected[j.ID] = j
+		if j != nil {
+			affected[j.ID] = j
+		}
 	}
 	for _, j := range affected {
 		s.interruptJob(j)
@@ -211,9 +302,9 @@ func (s *Server) SetNodeOffline(name string, offline bool) error {
 		return fmt.Errorf("pbs: unknown node %s", name)
 	}
 	if offline {
-		n.state = NodeOffline
+		s.setNodeState(n, NodeOffline)
 	} else {
-		n.state = NodeFree
+		s.setNodeState(n, NodeFree)
 		s.kick()
 	}
 	return nil
@@ -224,9 +315,11 @@ func (s *Server) SetNodeOffline(name string, offline bool) error {
 // accounting upstream cannot mistake it for a completed job.
 func (s *Server) interruptJob(j *Job) {
 	s.releaseSlots(j)
+	s.noteStopped(j)
 	if j.Rerunnable {
 		j.State = StateQueued
 		j.ExecHost = nil
+		s.noteRequeued(j)
 		if s.OnJobRequeue != nil {
 			s.OnJobRequeue(j)
 		}
@@ -254,10 +347,8 @@ func (s *Server) Qsub(req SubmitRequest) (*Job, error) {
 		return nil, err
 	}
 	feasible := 0
-	for _, n := range s.nodes {
-		if n.NP >= req.PPN {
-			feasible++
-		}
+	for np := req.PPN; np < len(s.npHist); np++ {
+		feasible += s.npHist[np]
 	}
 	if feasible < req.Nodes {
 		return nil, fmt.Errorf("pbs: qsub: cannot locate feasible nodes (nodes=%d:ppn=%d, %d candidates)",
@@ -296,6 +387,10 @@ func (s *Server) Qsub(req SubmitRequest) (*Job, error) {
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
+	j.inQueue = true
+	s.queued = append(s.queued, j) // SeqNo is monotonic: append keeps order
+	s.queuedN++
+	s.queuedCPUs += j.Nodes * j.PPN
 	s.kick()
 	return j, nil
 }
@@ -322,9 +417,16 @@ func (s *Server) Qdel(id string) error {
 		return fmt.Errorf("pbs: unknown job %s", id)
 	}
 	switch j.State {
-	case StateQueued, StateHeld:
+	case StateQueued:
 		j.State = StateComplete
 		j.EndTime = s.eng.Now()
+		s.queuedN--
+		s.queuedCPUs -= j.Nodes * j.PPN
+		s.queuedDead++
+	case StateHeld:
+		j.State = StateComplete
+		j.EndTime = s.eng.Now()
+		s.queuedDead++
 	case StateRunning:
 		s.finishJob(j, true)
 	}
@@ -342,6 +444,8 @@ func (s *Server) Qhold(id string) error {
 		return fmt.Errorf("pbs: qhold: job %s is %s, not queued", id, j.State)
 	}
 	j.State = StateHeld
+	s.queuedN--
+	s.queuedCPUs -= j.Nodes * j.PPN
 	return nil
 }
 
@@ -355,6 +459,8 @@ func (s *Server) Qrls(id string) error {
 		return fmt.Errorf("pbs: qrls: job %s is %s, not held", id, j.State)
 	}
 	j.State = StateQueued
+	s.queuedN++
+	s.queuedCPUs += j.Nodes * j.PPN
 	s.kick()
 	return nil
 }
@@ -379,46 +485,149 @@ func (s *Server) Jobs() []*Job {
 
 // QueuedJobs returns jobs waiting to run, in submission order.
 func (s *Server) QueuedJobs() []*Job {
-	var out []*Job
-	for _, id := range s.order {
-		if j := s.jobs[id]; j.State == StateQueued {
+	out := make([]*Job, 0, s.queuedN)
+	for _, j := range s.queued {
+		if j.State == StateQueued {
 			out = append(out, j)
 		}
 	}
 	return out
 }
 
-// RunningJobs returns jobs currently executing.
+// RunningJobs returns jobs currently executing, in submission order.
 func (s *Server) RunningJobs() []*Job {
-	var out []*Job
-	for _, id := range s.order {
-		if j := s.jobs[id]; j.State == StateRunning {
-			out = append(out, j)
+	out := make([]*Job, len(s.running))
+	copy(out, s.running)
+	sort.Slice(out, func(i, j int) bool { return out[i].SeqNo < out[j].SeqNo })
+	return out
+}
+
+// Stats is the O(1) scheduler census: what the controller's polling
+// cycle needs, without rendering or rescanning anything.
+type Stats struct {
+	Running    int // jobs in state R
+	Queued     int // jobs in state Q
+	QueuedCPUs int // total CPUs requested by state-Q jobs
+}
+
+// QueueStats returns the maintained census counters.
+func (s *Server) QueueStats() Stats {
+	return Stats{Running: len(s.running), Queued: s.queuedN, QueuedCPUs: s.queuedCPUs}
+}
+
+// FirstQueued returns the oldest job in state Q, or nil when the queue
+// is empty — the detector's head-of-line candidate.
+func (s *Server) FirstQueued() *Job {
+	s.advanceQueueHead()
+	for _, j := range s.queued[s.queuedHead:] {
+		if j.State == StateQueued {
+			return j
 		}
 	}
-	return out
+	return nil
+}
+
+// advanceQueueHead slides the live-queue cursor past leading stale
+// entries — exactly the states compactQueue drops. Under a deep
+// backlog the stale prefix grows by one per started job while
+// compaction waits for its majority threshold, and rescanning that
+// prefix on every kick made scheduling O(backlog) per event; the
+// cursor keeps each pass proportional to live work. It never skips
+// states Q or H: a held entry can revive in place via Qrls.
+func (s *Server) advanceQueueHead() {
+	for s.queuedHead < len(s.queued) {
+		st := s.queued[s.queuedHead].State
+		if st == StateQueued || st == StateHeld {
+			return
+		}
+		s.queuedHead++
+	}
 }
 
 // TotalCPUs sums np over nodes that are not down.
-func (s *Server) TotalCPUs() int {
-	total := 0
-	for _, n := range s.Nodes() {
-		if n.state != NodeDown {
-			total += n.NP
-		}
-	}
-	return total
-}
+func (s *Server) TotalCPUs() int { return s.cpusUp }
 
 // AvailableNodes counts nodes that are up (free or busy).
-func (s *Server) AvailableNodes() int {
-	c := 0
-	for _, n := range s.Nodes() {
-		if n.state != NodeDown && n.state != NodeOffline {
-			c++
+func (s *Server) AvailableNodes() int { return s.nodesUp }
+
+// noteStarted moves a job into the running ledger as it leaves the
+// queue.
+func (s *Server) noteStarted(j *Job) {
+	s.queuedN--
+	s.queuedCPUs -= j.Nodes * j.PPN
+	s.queuedDead++ // its queue entry is now stale
+	j.runIdx = len(s.running)
+	s.running = append(s.running, j)
+	if q, ok := s.queues[j.Queue]; ok {
+		q.running++
+	}
+}
+
+// noteStopped removes a job from the running ledger (finish, kill, or
+// node-loss interruption).
+func (s *Server) noteStopped(j *Job) {
+	last := len(s.running) - 1
+	tail := s.running[last]
+	s.running[j.runIdx] = tail
+	tail.runIdx = j.runIdx
+	s.running[last] = nil
+	s.running = s.running[:last]
+	if q, ok := s.queues[j.Queue]; ok {
+		q.running--
+	}
+}
+
+// noteRequeued returns an interrupted job to the queue ledger at its
+// original submission position.
+func (s *Server) noteRequeued(j *Job) {
+	s.queuedN++
+	s.queuedCPUs += j.Nodes * j.PPN
+	if j.inQueue {
+		s.queuedDead-- // its stale entry is live again
+		// The revived entry may sit below the head cursor; pull the
+		// cursor back to its SeqNo-ordered position so the next pass
+		// sees it.
+		at := sort.Search(len(s.queued), func(i int) bool { return s.queued[i].SeqNo >= j.SeqNo })
+		if at < s.queuedHead {
+			s.queuedHead = at
+		}
+		return
+	}
+	j.inQueue = true
+	if n := len(s.queued); n == 0 || s.queued[n-1].SeqNo < j.SeqNo {
+		s.queued = append(s.queued, j)
+		return
+	}
+	at := sort.Search(len(s.queued), func(i int) bool { return s.queued[i].SeqNo > j.SeqNo })
+	s.queued = append(s.queued, nil)
+	copy(s.queued[at+1:], s.queued[at:])
+	s.queued[at] = j
+	if at < s.queuedHead {
+		s.queuedHead = at
+	}
+}
+
+// compactQueue sweeps stale entries once they dominate the queue
+// slice. Entries in states Q and H stay; everything else is dropped
+// and unflagged so a later requeue re-inserts cleanly.
+func (s *Server) compactQueue() {
+	if s.queuedDead <= 64 || s.queuedDead*2 <= len(s.queued) {
+		return
+	}
+	kept := s.queued[:0]
+	for _, j := range s.queued {
+		if j.State == StateQueued || j.State == StateHeld {
+			kept = append(kept, j)
+		} else {
+			j.inQueue = false
 		}
 	}
-	return c
+	for i := len(kept); i < len(s.queued); i++ {
+		s.queued[i] = nil
+	}
+	s.queued = kept
+	s.queuedDead = 0
+	s.queuedHead = 0
 }
 
 // kick coalesces scheduling passes into a single immediate event.
@@ -446,10 +655,17 @@ func (s *Server) schedule() {
 		s.schedOverride()
 		return
 	}
+	s.compactQueue()
+	s.advanceQueueHead()
 	var pivot *Job
 	var rsv reservation
-	for _, j := range s.QueuedJobs() {
-		if !s.schedulable(j) {
+	// Iterate the live queue ledger directly; the bound snapshots the
+	// pass the way the old QueuedJobs() copy did, so jobs submitted by
+	// an Exec callback mid-pass wait for the next kick.
+	bound := len(s.queued)
+	for i := s.queuedHead; i < bound; i++ {
+		j := s.queued[i]
+		if j.State != StateQueued || !s.schedulable(j) {
 			continue
 		}
 		if pivot == nil {
@@ -468,14 +684,19 @@ func (s *Server) schedule() {
 }
 
 // reservation is the pivot's EASY booking: the shadow time and the
-// per-node free-CPU projection at that instant. When ok is false no
+// per-node free-CPU projection at that instant, indexed by node
+// registration order (-1 marks nodes that are not up). fit counts
+// nodes whose projected free CPUs satisfy the pivot's PPN, so
+// tryBackfill can test "does the pivot still fit" by threshold
+// crossings instead of a node-table scan. When ok is false no
 // projected future fits the pivot (its nodes are down or booted into
 // the other OS) — there is nothing to protect, so backfill runs
 // unrestricted, which preserves the hybrid's behaviour of packing
 // narrow work while the controller fetches nodes for the wide head.
 type reservation struct {
 	shadow time.Duration
-	free   map[string]int
+	free   []int
+	fit    int
 	ok     bool
 }
 
@@ -494,31 +715,49 @@ func projectedEnd(j *Job) time.Duration {
 
 // reserve computes the pivot's shadow state by replaying the running
 // jobs' projected releases onto the current per-node free CPUs, in
-// release order, until the pivot fits.
+// release order, until the pivot fits. The projection and the job
+// copy live in pooled buffers; the fit counter makes each release
+// O(slots) instead of O(nodes).
 func (s *Server) reserve(pivot *Job) reservation {
-	free := make(map[string]int, len(s.nodeOrder))
-	for _, name := range s.nodeOrder {
+	if cap(s.rsvFree) < len(s.nodeOrder) {
+		s.rsvFree = make([]int, len(s.nodeOrder))
+	}
+	free := s.rsvFree[:len(s.nodeOrder)]
+	fit := 0
+	for i, name := range s.nodeOrder {
 		n := s.nodes[name]
-		if n.State() == NodeOffline || n.State() == NodeDown {
+		if n.state == NodeOffline || n.state == NodeDown {
+			free[i] = -1
 			continue
 		}
-		free[name] = n.FreeCPUs()
+		free[i] = n.NP - n.used
+		if free[i] >= pivot.PPN {
+			fit++
+		}
 	}
-	running := s.RunningJobs()
-	sort.SliceStable(running, func(i, j int) bool {
-		return projectedEnd(running[i]) < projectedEnd(running[j])
+	running := append(s.rsvRun[:0], s.running...)
+	s.rsvRun = running
+	sort.Slice(running, func(i, j int) bool {
+		ei, ej := projectedEnd(running[i]), projectedEnd(running[j])
+		if ei != ej {
+			return ei < ej
+		}
+		return running[i].SeqNo < running[j].SeqNo
 	})
 	for i := 0; i < len(running); {
 		end := projectedEnd(running[i])
 		for ; i < len(running) && projectedEnd(running[i]) == end; i++ {
 			for _, slot := range running[i].ExecHost {
-				if _, up := free[slot.Node]; up {
-					free[slot.Node]++
+				if n, ok := s.nodes[slot.Node]; ok && free[n.idx] >= 0 {
+					free[n.idx]++
+					if free[n.idx] == pivot.PPN {
+						fit++
+					}
 				}
 			}
 		}
-		if fitsIn(free, s.nodeOrder, pivot) {
-			return reservation{shadow: end, free: free, ok: true}
+		if fit >= pivot.Nodes {
+			return reservation{shadow: end, free: free, fit: fit, ok: true}
 		}
 	}
 	return reservation{}
@@ -537,11 +776,19 @@ func (s *Server) tryBackfill(j *Job, pivot *Job, rsv *reservation) bool {
 	}
 	if rsv.ok && s.eng.Now()+backfillDemand(j) > rsv.shadow {
 		for _, c := range chosen {
-			rsv.free[c.node.Name] -= len(c.cpus)
+			i := c.node.idx
+			if rsv.free[i] >= pivot.PPN && rsv.free[i]-len(c.cpus) < pivot.PPN {
+				rsv.fit--
+			}
+			rsv.free[i] -= len(c.cpus)
 		}
-		if !fitsIn(rsv.free, s.nodeOrder, pivot) {
+		if rsv.fit < pivot.Nodes {
 			for _, c := range chosen {
-				rsv.free[c.node.Name] += len(c.cpus)
+				i := c.node.idx
+				if rsv.free[i] < pivot.PPN && rsv.free[i]+len(c.cpus) >= pivot.PPN {
+					rsv.fit++
+				}
+				rsv.free[i] += len(c.cpus)
 			}
 			return false
 		}
@@ -559,50 +806,120 @@ func backfillDemand(j *Job) time.Duration {
 	return j.Runtime
 }
 
-// fitsIn checks a job against a per-node free-CPU projection.
-func fitsIn(free map[string]int, order []string, j *Job) bool {
-	have := 0
-	for _, name := range order {
-		if free[name] >= j.PPN {
-			have++
-			if have == j.Nodes {
-				return true
-			}
-		}
-	}
-	return false
-}
-
 // cand is one node's contribution to a placement.
 type cand struct {
 	node *Node
 	cpus []int
 }
 
-// chooseNodes selects nodes and CPU slots for a job without
-// committing them; nil when the job does not fit right now.
-func (s *Server) chooseNodes(j *Job) []cand {
-	var chosen []cand
+// refreshNodeFree re-derives the node's leaf in the free-CPU segment
+// tree after a busy or state mutation.
+func (s *Server) refreshNodeFree(n *Node) {
+	if n.idx >= s.treeCap {
+		s.rebuildFreeTree()
+		return
+	}
+	i := s.treeCap + n.idx
+	v := n.effFree()
+	if s.freeTree[i] == v {
+		return
+	}
+	s.freeTree[i] = v
+	for i >>= 1; i >= 1; i >>= 1 {
+		m := s.freeTree[2*i]
+		if r := s.freeTree[2*i+1]; r > m {
+			m = r
+		}
+		if s.freeTree[i] == m {
+			break
+		}
+		s.freeTree[i] = m
+	}
+}
+
+// rebuildFreeTree resizes the segment tree to the node count and
+// recomputes every level.
+func (s *Server) rebuildFreeTree() {
+	capacity := 1
+	for capacity < len(s.nodeOrder) {
+		capacity <<= 1
+	}
+	s.treeCap = capacity
+	s.freeTree = make([]int, 2*capacity)
 	for _, name := range s.nodeOrder {
 		n := s.nodes[name]
-		if n.State() == NodeOffline || n.State() == NodeDown {
-			continue
+		s.freeTree[capacity+n.idx] = n.effFree()
+	}
+	for i := capacity - 1; i >= 1; i-- {
+		m := s.freeTree[2*i]
+		if r := s.freeTree[2*i+1]; r > m {
+			m = r
 		}
-		if n.FreeCPUs() < j.PPN {
-			continue
-		}
-		var cpus []int
-		for c := n.NP - 1; c >= 0 && len(cpus) < j.PPN; c-- {
-			if _, used := n.busy[c]; !used {
-				cpus = append(cpus, c)
+		s.freeTree[i] = m
+	}
+}
+
+// nextFit returns the first node index >= from whose effective free
+// CPUs reach want, or -1. O(log nodes) via the segment tree.
+func (s *Server) nextFit(from, want int) int {
+	if s.treeCap == 0 || from >= len(s.nodeOrder) {
+		return -1
+	}
+	i := s.treeCap + from
+	for {
+		if s.freeTree[i] >= want {
+			for i < s.treeCap {
+				if s.freeTree[2*i] >= want {
+					i = 2 * i
+				} else {
+					i = 2*i + 1
+				}
 			}
+			idx := i - s.treeCap
+			if idx < len(s.nodeOrder) {
+				return idx
+			}
+			return -1
 		}
-		chosen = append(chosen, cand{n, cpus})
-		if len(chosen) == j.Nodes {
-			return chosen
+		for {
+			if i == 1 {
+				return -1
+			}
+			if i%2 == 0 {
+				i++
+				break
+			}
+			i >>= 1
 		}
 	}
-	return nil
+}
+
+// chooseNodes selects nodes and CPU slots for a job without
+// committing them; nil when the job does not fit right now. The
+// free-CPU index jumps between qualifying nodes, preserving the
+// first-fit-in-registration-order placement of the linear scan; the
+// candidate list and CPU slots come from pooled buffers valid until
+// the next chooseNodes call.
+func (s *Server) chooseNodes(j *Job) []cand {
+	s.candBuf = s.candBuf[:0]
+	s.cpuArena = s.cpuArena[:0]
+	from := 0
+	for len(s.candBuf) < j.Nodes {
+		i := s.nextFit(from, j.PPN)
+		if i < 0 {
+			return nil
+		}
+		n := s.nodes[s.nodeOrder[i]]
+		start := len(s.cpuArena)
+		for c := n.NP - 1; c >= 0 && len(s.cpuArena)-start < j.PPN; c-- {
+			if n.busy[c] == nil {
+				s.cpuArena = append(s.cpuArena, c)
+			}
+		}
+		s.candBuf = append(s.candBuf, cand{n, s.cpuArena[start:len(s.cpuArena):len(s.cpuArena)]})
+		from = i + 1
+	}
+	return s.candBuf
 }
 
 // commit occupies the chosen slots and starts the job.
@@ -612,6 +929,8 @@ func (s *Server) commit(j *Job, chosen []cand) {
 			c.node.busy[cpu] = j
 			j.ExecHost = append(j.ExecHost, ExecSlot{Node: c.node.Name, CPU: cpu})
 		}
+		c.node.used += len(c.cpus)
+		s.refreshNodeFree(c.node)
 	}
 	s.startJob(j)
 }
@@ -629,6 +948,7 @@ func (s *Server) tryPlace(j *Job) bool {
 func (s *Server) startJob(j *Job) {
 	j.State = StateRunning
 	j.StartTime = s.eng.Now()
+	s.noteStarted(j)
 	if s.OnJobStart != nil {
 		s.OnJobStart(j)
 	}
@@ -663,6 +983,7 @@ func (s *Server) finishJob(j *Job, killed bool) {
 		j.killedAtLimit = true
 	}
 	s.releaseSlots(j)
+	s.noteStopped(j)
 	j.State = StateComplete
 	j.EndTime = s.eng.Now()
 	if s.OnJobEnd != nil {
@@ -678,7 +999,9 @@ func (s *Server) releaseSlots(j *Job) {
 	for _, slot := range j.ExecHost {
 		if n, ok := s.nodes[slot.Node]; ok {
 			if n.busy[slot.CPU] == j {
-				delete(n.busy, slot.CPU)
+				n.busy[slot.CPU] = nil
+				n.used--
+				s.refreshNodeFree(n)
 			}
 		}
 	}

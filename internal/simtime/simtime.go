@@ -11,7 +11,6 @@
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -28,7 +27,6 @@ type event struct {
 	fn         func()
 	dead       bool
 	background bool
-	idx        int
 	eng        *Engine
 }
 
@@ -39,64 +37,43 @@ type Timer struct {
 
 // Stop cancels the timer. It reports whether the timer was still
 // pending; a false return means the callback already ran (or the timer
-// was stopped earlier).
+// was stopped earlier). The cancelled event leaves Pending() and (for
+// foreground timers) ForegroundPending immediately — quiescence
+// detection never waits on a corpse — while the queue slot itself is
+// reaped lazily at fire time.
 func (t *Timer) Stop() bool {
 	if t == nil || t.ev == nil || t.ev.dead {
 		return false
 	}
 	t.ev.dead = true
 	t.ev.fn = nil
-	if !t.ev.background && t.ev.eng != nil {
-		t.ev.eng.foreground--
+	if eng := t.ev.eng; eng != nil {
+		eng.live--
+		if !t.ev.background {
+			eng.foreground--
+		}
 	}
 	return true
-}
-
-// eventQueue is a min-heap ordered by (due, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].due != q[j].due {
-		return q[i].due < q[j].due
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use; all simulated components run inside engine
 // callbacks, mirroring the single-box deployment of the paper's
-// daemons.
+// daemons. The queue is an indexed calendar/bucket queue (see
+// calendar.go) with the exact (due, seq) pop order of a flat min-heap.
 type Engine struct {
 	now        time.Duration
 	seq        uint64
-	queue      eventQueue
+	queue      *calendar
 	stopped    bool
 	ran        uint64
+	live       int // live events still queued (cancelled ones excluded)
 	foreground int // live non-background events still queued
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{queue: newCalendar()}
 }
 
 // Now returns the current virtual time.
@@ -106,9 +83,10 @@ func (e *Engine) Now() time.Duration { return e.now }
 // useful for progress assertions in tests.
 func (e *Engine) EventsRun() uint64 { return e.ran }
 
-// Pending returns the number of events still queued (including
-// cancelled-but-unreaped timers).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live events still queued. Cancelled
+// timers leave the count at Stop time, not at their original fire
+// time, even though their queue slots are reaped lazily.
+func (e *Engine) Pending() int { return e.live }
 
 // At schedules fn at absolute virtual time t. Scheduling in the past
 // (t < Now) panics: it indicates a logic error in the caller, and
@@ -133,10 +111,11 @@ func (e *Engine) at(t time.Duration, fn func(), background bool) *Timer {
 	}
 	ev := &event{due: t, seq: e.seq, fn: fn, background: background, eng: e}
 	e.seq++
+	e.live++
 	if !background {
 		e.foreground++
 	}
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return &Timer{ev: ev}
 }
 
@@ -220,8 +199,11 @@ func (e *Engine) Stop() { e.stopped = true }
 // step executes the next pending live event, returning false when the
 // queue is exhausted.
 func (e *Engine) step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
+	for {
+		ev := e.queue.pop()
+		if ev == nil {
+			return false
+		}
 		if ev.dead {
 			continue
 		}
@@ -232,6 +214,7 @@ func (e *Engine) step() bool {
 		fn := ev.fn
 		ev.dead = true
 		ev.fn = nil
+		e.live--
 		if !ev.background {
 			e.foreground--
 		}
@@ -239,7 +222,6 @@ func (e *Engine) step() bool {
 		fn()
 		return true
 	}
-	return false
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -314,16 +296,20 @@ func (e *Engine) RunUntilQuiescent(deadline time.Duration) {
 	}
 }
 
-// peek returns the due time of the next live event.
+// peek returns the due time of the next live event, reaping cancelled
+// ones it walks over.
 func (e *Engine) peek() (time.Duration, bool) {
-	for len(e.queue) > 0 {
-		if e.queue[0].dead {
-			heap.Pop(&e.queue)
+	for {
+		ev := e.queue.peek()
+		if ev == nil {
+			return 0, false
+		}
+		if ev.dead {
+			e.queue.pop()
 			continue
 		}
-		return e.queue[0].due, true
+		return ev.due, true
 	}
-	return 0, false
 }
 
 // NextEventAt reports when the next live event is due. ok is false when

@@ -1,0 +1,194 @@
+package winhpc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// scratchRebuild throws away every piece of incremental scheduler
+// state and recomputes it from the ground truth (the job map and the
+// node table): the queued and running ledgers, the pending-demand and
+// node census counters, and both segment trees. The equivalence test
+// rebuilds before every scheduling pass on one of two twin schedulers;
+// if the incremental state ever drifted from a from-scratch recompute,
+// the twins' placement decisions would diverge.
+func scratchRebuild(s *Scheduler) {
+	for _, j := range s.queued {
+		j.inQueue = false
+	}
+	s.queued = s.queued[:0]
+	s.queuedDead, s.queuedHead, s.queuedN = 0, 0, 0
+	s.queuedCores, s.queuedNodeUnits = 0, 0
+	s.running = s.running[:0]
+	queued := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		switch j.State {
+		case JobQueued:
+			queued = append(queued, j)
+		case JobRunning:
+			j.runIdx = len(s.running)
+			s.running = append(s.running, j)
+		}
+	}
+	sort.Slice(queued, func(i, k int) bool { return queueLess(queued[i], queued[k]) })
+	for _, j := range queued {
+		j.inQueue = true
+		s.queued = append(s.queued, j)
+		s.queuedN++
+		if j.Unit == UnitNode {
+			s.queuedNodeUnits += j.Count
+		} else {
+			s.queuedCores += j.Count
+		}
+	}
+	s.allCores, s.coresUp = 0, 0
+	s.onlineNodes, s.onlineCores, s.freeCores, s.idleNodes = 0, 0, 0, 0
+	for _, name := range s.nodeOrder {
+		n := s.nodes[name]
+		s.allCores += n.Cores
+		if n.state != NodeUnreachable {
+			s.coresUp += n.Cores
+		}
+		if n.state == NodeOnline {
+			s.onlineNodes++
+			s.onlineCores += n.Cores
+			s.freeCores += n.Cores - n.used
+			if n.used == 0 {
+				s.idleNodes++
+			}
+		}
+	}
+	s.rebuildTrees()
+}
+
+// winAction is one scripted step; the same script drives both twins.
+type winAction struct {
+	at   time.Duration
+	kind int // 0 submit, 1 cancel, 2 node unreachable, 3 node online
+	job  int // submission index for cancel
+	node string
+	spec JobSpec
+}
+
+// winScript generates a deterministic randomized workload: core- and
+// node-unit jobs across all priority levels, cancellations, and node
+// outages (which requeue rerunnable jobs through the priority-ordered
+// revival path of the queue ledger).
+func winScript(seed int64, nodes, jobs int) []winAction {
+	rng := rand.New(rand.NewSource(seed))
+	var script []winAction
+	for i := 0; i < jobs; i++ {
+		at := time.Duration(rng.Int63n(int64(6 * time.Hour)))
+		spec := JobSpec{
+			Name:     fmt.Sprintf("job%03d", i),
+			Owner:    "eq",
+			Runtime:  time.Duration(rng.Int63n(int64(2*time.Hour))) + 5*time.Minute,
+			Rerun:    rng.Intn(4) != 0,
+			Priority: Priority(rng.Intn(5) - 2),
+		}
+		if rng.Intn(3) == 0 {
+			spec.Unit = UnitNode
+			spec.Count = 1 + rng.Intn(2)
+		} else {
+			spec.Unit = UnitCore
+			spec.Count = 1 + rng.Intn(8)
+		}
+		script = append(script, winAction{at: at, kind: 0, job: i, spec: spec})
+		if rng.Intn(10) == 0 {
+			script = append(script, winAction{at: at + time.Duration(rng.Int63n(int64(time.Hour))), kind: 1, job: i})
+		}
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("eqwin%02d", 1+rng.Intn(nodes))
+		down := time.Duration(rng.Int63n(int64(4 * time.Hour)))
+		script = append(script, winAction{at: down, kind: 2, node: name})
+		script = append(script, winAction{at: down + time.Duration(rng.Int63n(int64(time.Hour))) + time.Minute, kind: 3, node: name})
+	}
+	return script
+}
+
+// runWinScript drives one scheduler through the script. When rebuild
+// is set, every scheduling pass is preceded by a from-scratch state
+// recompute.
+func runWinScript(t *testing.T, script []winAction, nodes int, backfill, rebuild bool) *Scheduler {
+	t.Helper()
+	eng := simtime.NewEngine()
+	s := NewScheduler(eng, "EQHEAD")
+	s.Backfill = backfill
+	if rebuild {
+		var wrap func()
+		wrap = func() {
+			scratchRebuild(s)
+			s.schedOverride = nil
+			s.schedule()
+			s.schedOverride = wrap
+		}
+		s.schedOverride = wrap
+	}
+	for i := 1; i <= nodes; i++ {
+		if _, err := s.AddNode(fmt.Sprintf("eqwin%02d", i), 4, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := make([]int, len(script))
+	for _, a := range script {
+		a := a
+		eng.After(a.at, func() {
+			switch a.kind {
+			case 0:
+				j, err := s.SubmitJob(a.spec)
+				if err != nil {
+					t.Errorf("submit %s: %v", a.spec.Name, err)
+					return
+				}
+				ids[a.job] = j.ID
+			case 1:
+				_ = s.CancelJob(ids[a.job]) // may legitimately race completion
+			case 2:
+				_ = s.SetNodeOnline(a.node, false)
+			case 3:
+				_ = s.SetNodeOnline(a.node, true)
+			}
+		})
+	}
+	eng.Run()
+	return s
+}
+
+// TestWinHPCIncrementalMatchesScratchRecompute runs the identical
+// randomized workload on twin schedulers — one scheduling off its
+// incremental ledgers and free-core profile, one rebuilding all of it
+// from scratch before every pass — and requires identical outcomes:
+// same start times, same allocations, same final states.
+func TestWinHPCIncrementalMatchesScratchRecompute(t *testing.T) {
+	for _, backfill := range []bool{false, true} {
+		name := "fcfs"
+		if backfill {
+			name = "backfill"
+		}
+		t.Run(name, func(t *testing.T) {
+			script := winScript(733, 12, 120)
+			inc := runWinScript(t, script, 12, backfill, false)
+			ref := runWinScript(t, script, 12, backfill, true)
+			if len(inc.order) != len(ref.order) {
+				t.Fatalf("job counts diverged: %d vs %d", len(inc.order), len(ref.order))
+			}
+			for _, id := range inc.order {
+				a, b := inc.jobs[id], ref.jobs[id]
+				if a.State != b.State || a.StartTime != b.StartTime || a.EndTime != b.EndTime {
+					t.Fatalf("job %d diverged: incremental (%v start=%v end=%v) vs scratch (%v start=%v end=%v)",
+						id, a.State, a.StartTime, a.EndTime, b.State, b.StartTime, b.EndTime)
+				}
+				if fmt.Sprint(a.Alloc) != fmt.Sprint(b.Alloc) {
+					t.Fatalf("job %d allocation diverged:\n%v\nvs\n%v", id, a.Alloc, b.Alloc)
+				}
+			}
+		})
+	}
+}

@@ -98,6 +98,13 @@ type Job struct {
 	// fires at completion, failure or cancellation.
 	Exec  func(nodes []string)
 	OnEnd func(*Job)
+
+	// Scheduler ledger bookkeeping: inQueue flags an entry in the
+	// scheduler's queued slice (kept in scheduling order — Priority is
+	// fixed at submission, so the position never goes stale); runIdx is
+	// the slot in the running slice while the job executes.
+	inQueue bool
+	runIdx  int
 }
 
 // Cores returns the total cores the job occupies once allocated, or
@@ -151,6 +158,7 @@ type Node struct {
 	Template string
 	state    NodeState
 	used     int
+	idx      int // position in Scheduler.nodeOrder
 }
 
 // State returns the node state.
@@ -210,6 +218,11 @@ type JobSpec struct {
 }
 
 // Scheduler is the head-node scheduler service.
+//
+// Scheduler state is incremental: live queued/running ledgers, indexed
+// free-core profiles over the node table, and O(1) census counters
+// replace the full job-history rescans the original implementation did
+// on every kick and every Snapshot poll.
 type Scheduler struct {
 	eng     *simtime.Engine
 	cluster string
@@ -219,6 +232,49 @@ type Scheduler struct {
 	order     []int
 	nodes     map[string]*Node
 	nodeOrder []string
+
+	// queued holds waiting jobs in scheduling order — priority
+	// descending, submission order within a level. Entries whose job
+	// has moved on are dead weight until compactQueue sweeps them;
+	// Job.inQueue flags membership so a requeue revives its stale
+	// entry instead of duplicating it.
+	queued     []*Job
+	queuedDead int
+	queuedHead int // index of the first possibly-live entry in queued
+	queuedN    int
+	// queuedCores / queuedNodeUnits split pending demand by resource
+	// unit, so Snapshot's PendingCores is arithmetic instead of a scan.
+	queuedCores     int
+	queuedNodeUnits int
+
+	// running holds executing jobs in start order; removal swaps the
+	// tail into the vacated slot via Job.runIdx.
+	running []*Job
+
+	// Census counters maintained on node mutations.
+	allCores    int // every configured node, any state (submission cap)
+	coresUp     int // nodes not unreachable (TotalCores)
+	onlineNodes int
+	onlineCores int // capacity of online nodes
+	freeCores   int // free cores on online nodes
+	idleNodes   int // online nodes with no allocation at all
+	cpn         int // cached typicalCores()
+
+	// freeTree / idleTree are max segment trees over node indices:
+	// free cores per node, and a wholly-free flag. chooseAlloc jumps
+	// straight to the next usable node instead of scanning the table.
+	freeTree []int
+	idleTree []int
+	treeCap  int
+
+	// Scratch buffers reused across scheduling passes.
+	allocBuf []Allocation
+	rsvFree  []int
+	rsvRun   []*Job
+
+	// coresHist counts configured nodes by core count, for the cached
+	// typicalCores recompute on AddNode.
+	coresHist map[int]int
 
 	// Backfill enables the product's "backfilling" option, modelled as
 	// reservation-based EASY backfill: a job may jump the blocked
@@ -244,10 +300,12 @@ type Scheduler struct {
 // NewScheduler creates the scheduler for a named cluster.
 func NewScheduler(eng *simtime.Engine, cluster string) *Scheduler {
 	return &Scheduler{
-		eng:     eng,
-		cluster: cluster,
-		jobs:    make(map[int]*Job),
-		nodes:   make(map[string]*Node),
+		eng:       eng,
+		cluster:   cluster,
+		jobs:      make(map[int]*Job),
+		nodes:     make(map[string]*Node),
+		coresHist: make(map[int]int),
+		cpn:       4,
 	}
 }
 
@@ -263,16 +321,87 @@ func (s *Scheduler) AddNode(name string, cores int, online bool) (*Node, error) 
 	if cores <= 0 {
 		return nil, fmt.Errorf("winhpc: node %s: bad core count %d", name, cores)
 	}
-	n := &Node{Name: name, Cores: cores, Template: "Default ComputeNode Template"}
+	n := &Node{Name: name, Cores: cores, Template: "Default ComputeNode Template", idx: len(s.nodeOrder)}
 	if !online {
 		n.state = NodeUnreachable
 	}
 	s.nodes[name] = n
 	s.nodeOrder = append(s.nodeOrder, name)
+	s.allCores += cores
+	if n.state != NodeUnreachable {
+		s.coresUp += cores
+	}
+	if n.state == NodeOnline {
+		s.onlineNodes++
+		s.onlineCores += cores
+		s.freeCores += cores
+		s.idleNodes++
+	}
+	s.coresHist[cores]++
+	s.recomputeTypicalCores()
+	s.refreshNode(n)
 	if online {
 		s.kick()
 	}
 	return n, nil
+}
+
+// setNodeState applies a state change and keeps every census counter
+// and both node indexes consistent.
+func (s *Scheduler) setNodeState(n *Node, st NodeState) {
+	old := n.state
+	if old == st {
+		return
+	}
+	if (old == NodeUnreachable) != (st == NodeUnreachable) {
+		if st == NodeUnreachable {
+			s.coresUp -= n.Cores
+		} else {
+			s.coresUp += n.Cores
+		}
+	}
+	if old == NodeOnline {
+		s.onlineNodes--
+		s.onlineCores -= n.Cores
+		s.freeCores -= n.Cores - n.used
+		if n.used == 0 {
+			s.idleNodes--
+		}
+	}
+	if st == NodeOnline {
+		s.onlineNodes++
+		s.onlineCores += n.Cores
+		s.freeCores += n.Cores - n.used
+		if n.used == 0 {
+			s.idleNodes++
+		}
+	}
+	n.state = st
+	s.refreshNode(n)
+}
+
+// addUsed adjusts a node's allocated-core count (clamped at zero, as
+// release always was) and maintains the free-core counters and
+// indexes.
+func (s *Scheduler) addUsed(n *Node, d int) {
+	old := n.used
+	nu := old + d
+	if nu < 0 {
+		nu = 0
+	}
+	if nu == old {
+		return
+	}
+	n.used = nu
+	if n.state == NodeOnline {
+		s.freeCores += old - nu
+		if old == 0 {
+			s.idleNodes--
+		} else if nu == 0 {
+			s.idleNodes++
+		}
+	}
+	s.refreshNode(n)
 }
 
 // Node returns a node by name.
@@ -302,17 +431,16 @@ func (s *Scheduler) SetNodeOnline(name string, online bool) error {
 		return fmt.Errorf("winhpc: unknown node %s", name)
 	}
 	if online {
-		n.state = NodeOnline
+		s.setNodeState(n, NodeOnline)
 		s.kick()
 		return nil
 	}
-	n.state = NodeUnreachable
+	s.setNodeState(n, NodeUnreachable)
+	// Scan the live running ledger, not the whole job history; process
+	// victims in submission order so requeue/end hooks fire in the
+	// order the old history scan produced.
 	var victims []*Job
-	for _, id := range s.order {
-		j := s.jobs[id]
-		if j.State != JobRunning {
-			continue
-		}
+	for _, j := range s.running {
 		for _, a := range j.Alloc {
 			if a.Node == name {
 				victims = append(victims, j)
@@ -320,11 +448,14 @@ func (s *Scheduler) SetNodeOnline(name string, online bool) error {
 			}
 		}
 	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].ID < victims[j].ID })
 	for _, j := range victims {
 		s.release(j)
+		s.noteStopped(j)
 		if j.Rerunnable {
 			j.State = JobQueued
 			j.Alloc = nil
+			s.noteQueued(j)
 			if s.OnJobRequeue != nil {
 				s.OnJobRequeue(j)
 			}
@@ -346,9 +477,9 @@ func (s *Scheduler) SetNodeOffline(name string, offline bool) error {
 		return fmt.Errorf("winhpc: unknown node %s", name)
 	}
 	if offline {
-		n.state = NodeOffline
+		s.setNodeState(n, NodeOffline)
 	} else {
-		n.state = NodeOnline
+		s.setNodeState(n, NodeOnline)
 		s.kick()
 	}
 	return nil
@@ -377,12 +508,8 @@ func (s *Scheduler) SubmitJob(spec JobSpec) (*Job, error) {
 			return nil, fmt.Errorf("winhpc: job needs %d nodes, cluster has %d", spec.Count, len(s.nodes))
 		}
 	default:
-		total := 0
-		for _, n := range s.nodes {
-			total += n.Cores
-		}
-		if spec.Count > total {
-			return nil, fmt.Errorf("winhpc: job needs %d cores, cluster has %d", spec.Count, total)
+		if spec.Count > s.allCores {
+			return nil, fmt.Errorf("winhpc: job needs %d cores, cluster has %d", spec.Count, s.allCores)
 		}
 	}
 	s.seq++
@@ -403,6 +530,7 @@ func (s *Scheduler) SubmitJob(spec JobSpec) (*Job, error) {
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
+	s.noteQueued(j)
 	s.kick()
 	return j, nil
 }
@@ -417,9 +545,11 @@ func (s *Scheduler) CancelJob(id int) error {
 	case JobQueued:
 		j.State = JobCanceled
 		j.EndTime = s.eng.Now()
+		s.noteDequeued(j)
 		s.notifyEnd(j)
 	case JobRunning:
 		s.release(j)
+		s.noteStopped(j)
 		j.State = JobCanceled
 		j.EndTime = s.eng.Now()
 		s.notifyEnd(j)
@@ -448,52 +578,151 @@ func (s *Scheduler) Jobs() []*Job {
 	return out
 }
 
+// queueLess orders the queued ledger: priority descending (the HPC
+// Pack "Queued" policy), submission order within a level.
+func queueLess(a, b *Job) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.ID < b.ID
+}
+
+// noteQueued inserts a job into the queued ledger at its scheduling
+// position (or revives its stale entry after a requeue) and adjusts
+// the pending-demand counters.
+func (s *Scheduler) noteQueued(j *Job) {
+	s.queuedN++
+	if j.Unit == UnitNode {
+		s.queuedNodeUnits += j.Count
+	} else {
+		s.queuedCores += j.Count
+	}
+	if j.inQueue {
+		s.queuedDead-- // requeue before compaction: the entry is live again
+		// The revived entry may sit below the head cursor; pull the
+		// cursor back to its scheduling-order position so the next
+		// pass sees it.
+		at := sort.Search(len(s.queued), func(i int) bool { return !queueLess(s.queued[i], j) })
+		if at < s.queuedHead {
+			s.queuedHead = at
+		}
+		return
+	}
+	j.inQueue = true
+	if n := len(s.queued); n == 0 || queueLess(s.queued[n-1], j) {
+		s.queued = append(s.queued, j)
+		return
+	}
+	at := sort.Search(len(s.queued), func(i int) bool { return queueLess(j, s.queued[i]) })
+	s.queued = append(s.queued, nil)
+	copy(s.queued[at+1:], s.queued[at:])
+	s.queued[at] = j
+	if at < s.queuedHead {
+		s.queuedHead = at
+	}
+}
+
+// noteDequeued adjusts the counters as a job leaves the queued state;
+// its ledger entry goes stale until compactQueue sweeps it.
+func (s *Scheduler) noteDequeued(j *Job) {
+	s.queuedN--
+	if j.Unit == UnitNode {
+		s.queuedNodeUnits -= j.Count
+	} else {
+		s.queuedCores -= j.Count
+	}
+	s.queuedDead++
+}
+
+// noteStarted moves a job into the running ledger.
+func (s *Scheduler) noteStarted(j *Job) {
+	s.noteDequeued(j)
+	j.runIdx = len(s.running)
+	s.running = append(s.running, j)
+}
+
+// noteStopped removes a job from the running ledger (finish, cancel,
+// or node loss).
+func (s *Scheduler) noteStopped(j *Job) {
+	last := len(s.running) - 1
+	tail := s.running[last]
+	s.running[j.runIdx] = tail
+	tail.runIdx = j.runIdx
+	s.running[last] = nil
+	s.running = s.running[:last]
+}
+
+// compactQueue sweeps stale ledger entries once they dominate.
+func (s *Scheduler) compactQueue() {
+	if s.queuedDead <= 64 || s.queuedDead*2 <= len(s.queued) {
+		return
+	}
+	kept := s.queued[:0]
+	for _, j := range s.queued {
+		if j.State == JobQueued {
+			kept = append(kept, j)
+		} else {
+			j.inQueue = false
+		}
+	}
+	for i := len(kept); i < len(s.queued); i++ {
+		s.queued[i] = nil
+	}
+	s.queued = kept
+	s.queuedDead = 0
+	s.queuedHead = 0
+}
+
+// advanceQueueHead slides the live-queue cursor past leading stale
+// entries — the ones compactQueue drops. Under a deep backlog the
+// stale prefix grows by one per started job while compaction waits for
+// its majority threshold, and rescanning it every kick made scheduling
+// O(backlog) per event; the cursor keeps passes proportional to live
+// work.
+func (s *Scheduler) advanceQueueHead() {
+	for s.queuedHead < len(s.queued) && s.queued[s.queuedHead].State != JobQueued {
+		s.queuedHead++
+	}
+}
+
+// firstQueued returns the scheduling-order head of the queue, nil when
+// empty.
+func (s *Scheduler) firstQueued() *Job {
+	s.advanceQueueHead()
+	for _, j := range s.queued[s.queuedHead:] {
+		if j.State == JobQueued {
+			return j
+		}
+	}
+	return nil
+}
+
 // QueuedJobs returns waiting jobs in scheduling order: priority
 // descending (the HPC Pack "Queued" policy), submission order within
 // a level.
 func (s *Scheduler) QueuedJobs() []*Job {
-	var out []*Job
-	for _, id := range s.order {
-		if j := s.jobs[id]; j.State == JobQueued {
+	out := make([]*Job, 0, s.queuedN)
+	for _, j := range s.queued {
+		if j.State == JobQueued {
 			out = append(out, j)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Priority > out[j].Priority })
 	return out
 }
 
 // RunningJobs returns executing jobs in submission order.
 func (s *Scheduler) RunningJobs() []*Job {
-	var out []*Job
-	for _, id := range s.order {
-		if j := s.jobs[id]; j.State == JobRunning {
-			out = append(out, j)
-		}
-	}
+	out := make([]*Job, len(s.running))
+	copy(out, s.running)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // TotalCores sums cores over nodes that are not unreachable.
-func (s *Scheduler) TotalCores() int {
-	total := 0
-	for _, n := range s.Nodes() {
-		if n.state != NodeUnreachable {
-			total += n.Cores
-		}
-	}
-	return total
-}
+func (s *Scheduler) TotalCores() int { return s.coresUp }
 
 // OnlineNodes counts online nodes.
-func (s *Scheduler) OnlineNodes() int {
-	c := 0
-	for _, n := range s.Nodes() {
-		if n.state == NodeOnline {
-			c++
-		}
-	}
-	return c
-}
+func (s *Scheduler) OnlineNodes() int { return s.onlineNodes }
 
 // QueueSnapshot is the condensed queue view the detector polls through
 // the SDK (job counts plus the head-of-queue demand).
@@ -507,49 +736,47 @@ type QueueSnapshot struct {
 	PendingCores int // total cores requested by all queued jobs
 }
 
-// Snapshot builds the queue view.
+// Snapshot builds the queue view from the maintained counters — O(1)
+// apart from skipping stale entries ahead of the queue head.
 func (s *Scheduler) Snapshot() QueueSnapshot {
-	snap := QueueSnapshot{OnlineCores: 0}
-	for _, n := range s.Nodes() {
-		if n.state == NodeOnline {
-			snap.OnlineCores += n.Cores
-		}
-	}
 	cpn := s.typicalCores()
-	snap.Running = len(s.RunningJobs())
+	snap := QueueSnapshot{
+		OnlineCores:  s.onlineCores,
+		Running:      len(s.running),
+		Queued:       s.queuedN,
+		PendingCores: s.queuedCores + s.queuedNodeUnits*cpn,
+	}
 	// The queue head follows scheduling order (priority first), since
 	// that is the job whose demand a dual-boot controller must satisfy.
-	for i, j := range s.QueuedJobs() {
-		snap.Queued++
-		snap.PendingCores += j.Cores(cpn)
-		if i == 0 {
-			snap.FirstQueued = j.ID
-			snap.FirstName = j.Name
-			snap.NeededCores = j.Cores(cpn)
-		}
+	if head := s.firstQueued(); head != nil {
+		snap.FirstQueued = head.ID
+		snap.FirstName = head.Name
+		snap.NeededCores = head.Cores(cpn)
 	}
 	return snap
 }
 
 // typicalCores returns the modal node size for UnitNode→core
-// conversion; the Eridani nodes are uniform quad-cores.
-func (s *Scheduler) typicalCores() int {
-	counts := map[int]int{}
-	for _, n := range s.nodes {
-		counts[n.Cores]++
-	}
+// conversion (cached; recomputed when nodes register). The Eridani
+// nodes are uniform quad-cores.
+func (s *Scheduler) typicalCores() int { return s.cpn }
+
+// recomputeTypicalCores rebuilds the cached modal node size from the
+// core-count histogram, smallest size winning ties, 4 when the node
+// table is empty.
+func (s *Scheduler) recomputeTypicalCores() {
 	best, bestCount := 4, 0
-	keys := make([]int, 0, len(counts))
-	for k := range counts {
+	keys := make([]int, 0, len(s.coresHist))
+	for k := range s.coresHist {
 		keys = append(keys, k)
 	}
 	sort.Ints(keys)
 	for _, k := range keys {
-		if counts[k] > bestCount {
-			best, bestCount = k, counts[k]
+		if s.coresHist[k] > bestCount {
+			best, bestCount = k, s.coresHist[k]
 		}
 	}
-	return best
+	s.cpn = best
 }
 
 func (s *Scheduler) kick() {
@@ -575,9 +802,19 @@ func (s *Scheduler) schedule() {
 		s.schedOverride()
 		return
 	}
+	s.compactQueue()
+	s.advanceQueueHead()
 	var pivot *Job
 	var rsv reservation
-	for _, j := range s.QueuedJobs() {
+	// Iterate the live queue ledger directly; the bound snapshots the
+	// pass the way the old QueuedJobs() copy did, so jobs submitted by
+	// an Exec callback mid-pass wait for the next kick.
+	bound := len(s.queued)
+	for i := s.queuedHead; i < bound; i++ {
+		j := s.queued[i]
+		if j.State != JobQueued {
+			continue
+		}
 		if pivot == nil {
 			if s.tryPlace(j) {
 				continue
@@ -594,13 +831,27 @@ func (s *Scheduler) schedule() {
 }
 
 // reservation is the pivot's EASY booking: the shadow time plus the
-// per-node free-core projection at that instant. ok is false when no
-// projected future fits the pivot (its nodes are unreachable in the
-// other OS) — nothing to protect, so backfill runs unrestricted.
+// per-node free-core projection at that instant, indexed by node
+// registration order (-1 marks nodes that are not online). totalFree
+// and fitIdle are the maintained fit criteria — projected free cores
+// in total, and projected wholly-free nodes — so testing the pivot
+// against the projection is O(1). ok is false when no projected
+// future fits the pivot (its nodes are unreachable in the other OS) —
+// nothing to protect, so backfill runs unrestricted.
 type reservation struct {
-	shadow time.Duration
-	free   map[string]int
-	ok     bool
+	shadow    time.Duration
+	free      []int
+	totalFree int
+	fitIdle   int
+	ok        bool
+}
+
+// fits tests the pivot against the projection's maintained criteria.
+func (r *reservation) fits(pivot *Job) bool {
+	if pivot.Unit == UnitNode {
+		return r.fitIdle >= pivot.Count
+	}
+	return r.totalFree >= pivot.Count
 }
 
 // projectedEnd bounds when a running job releases its cores. The HPC
@@ -610,57 +861,58 @@ func projectedEnd(j *Job) time.Duration { return j.StartTime + j.Runtime }
 
 // reserve computes the pivot's shadow state by replaying running
 // jobs' projected releases onto the current free cores, in release
-// order, until the pivot fits.
+// order, until the pivot fits. The projection and the job copy live
+// in pooled buffers; the fit counters make each release O(slots)
+// instead of O(nodes).
 func (s *Scheduler) reserve(pivot *Job) reservation {
-	free := make(map[string]int, len(s.nodeOrder))
-	for _, name := range s.nodeOrder {
+	if cap(s.rsvFree) < len(s.nodeOrder) {
+		s.rsvFree = make([]int, len(s.nodeOrder))
+	}
+	rsv := reservation{free: s.rsvFree[:len(s.nodeOrder)]}
+	for i, name := range s.nodeOrder {
 		n := s.nodes[name]
 		if n.state != NodeOnline {
+			rsv.free[i] = -1
 			continue
 		}
-		free[name] = n.FreeCores()
+		rsv.free[i] = n.Cores - n.used
+		rsv.totalFree += rsv.free[i]
+		if n.used == 0 {
+			rsv.fitIdle++
+		}
 	}
-	running := s.RunningJobs()
-	sort.SliceStable(running, func(i, j int) bool {
-		return projectedEnd(running[i]) < projectedEnd(running[j])
+	running := append(s.rsvRun[:0], s.running...)
+	s.rsvRun = running
+	sort.Slice(running, func(i, j int) bool {
+		ei, ej := projectedEnd(running[i]), projectedEnd(running[j])
+		if ei != ej {
+			return ei < ej
+		}
+		return running[i].ID < running[j].ID
 	})
 	for i := 0; i < len(running); {
 		end := projectedEnd(running[i])
 		for ; i < len(running) && projectedEnd(running[i]) == end; i++ {
 			for _, a := range running[i].Alloc {
-				if _, up := free[a.Node]; up {
-					free[a.Node] += a.Cores
+				n, ok := s.nodes[a.Node]
+				if !ok || rsv.free[n.idx] < 0 {
+					continue
+				}
+				was := rsv.free[n.idx]
+				rsv.free[n.idx] = was + a.Cores
+				rsv.totalFree += a.Cores
+				if was < n.Cores && rsv.free[n.idx] >= n.Cores {
+					rsv.fitIdle++
 				}
 			}
 		}
-		if s.fitsIn(free, pivot) {
-			return reservation{shadow: end, free: free, ok: true}
+		if rsv.fits(pivot) {
+			rsv.shadow = end
+			rsv.ok = true
+			return rsv
 		}
 	}
 	return reservation{}
-}
-
-// fitsIn checks a job against a per-node free-core projection:
-// UnitNode jobs need that many wholly-free nodes, UnitCore jobs the
-// core total.
-func (s *Scheduler) fitsIn(free map[string]int, j *Job) bool {
-	if j.Unit == UnitNode {
-		have := 0
-		for _, name := range s.nodeOrder {
-			if c, up := free[name]; up && c >= s.nodes[name].Cores {
-				have++
-				if have == j.Count {
-					return true
-				}
-			}
-		}
-		return false
-	}
-	total := 0
-	for _, c := range free {
-		total += c
-	}
-	return total >= j.Count
 }
 
 // tryBackfill starts a candidate behind the blocked pivot if it
@@ -675,11 +927,23 @@ func (s *Scheduler) tryBackfill(j *Job, pivot *Job, rsv *reservation) bool {
 	}
 	if rsv.ok && s.eng.Now()+j.Runtime > rsv.shadow {
 		for _, a := range alloc {
-			rsv.free[a.Node] -= a.Cores
+			n := s.nodes[a.Node]
+			was := rsv.free[n.idx]
+			rsv.free[n.idx] = was - a.Cores
+			rsv.totalFree -= a.Cores
+			if was >= n.Cores && rsv.free[n.idx] < n.Cores {
+				rsv.fitIdle--
+			}
 		}
-		if !s.fitsIn(rsv.free, pivot) {
+		if !rsv.fits(pivot) {
 			for _, a := range alloc {
-				rsv.free[a.Node] += a.Cores
+				n := s.nodes[a.Node]
+				was := rsv.free[n.idx]
+				rsv.free[n.idx] = was + a.Cores
+				rsv.totalFree += a.Cores
+				if was < n.Cores && rsv.free[n.idx] >= n.Cores {
+					rsv.fitIdle++
+				}
 			}
 			return false
 		}
@@ -688,49 +952,156 @@ func (s *Scheduler) tryBackfill(j *Job, pivot *Job, rsv *reservation) bool {
 	return true
 }
 
-// chooseAlloc selects an allocation for a job without committing it;
-// nil when the job does not fit right now.
-func (s *Scheduler) chooseAlloc(j *Job) []Allocation {
-	var alloc []Allocation
-	switch j.Unit {
-	case UnitNode:
-		for _, name := range s.nodeOrder {
-			n := s.nodes[name]
-			if n.state == NodeOnline && n.used == 0 {
-				alloc = append(alloc, Allocation{Node: n.Name, Cores: n.Cores})
-				if len(alloc) == j.Count {
-					return alloc
+// refreshNode re-derives the node's leaves in both indexes after a
+// busy or state mutation.
+func (s *Scheduler) refreshNode(n *Node) {
+	if n.idx >= s.treeCap {
+		s.rebuildTrees()
+		return
+	}
+	idle := 0
+	if n.state == NodeOnline && n.used == 0 {
+		idle = 1
+	}
+	updateMaxTree(s.freeTree, s.treeCap, n.idx, n.FreeCores())
+	updateMaxTree(s.idleTree, s.treeCap, n.idx, idle)
+}
+
+// rebuildTrees resizes both segment trees to the node count and
+// recomputes every level.
+func (s *Scheduler) rebuildTrees() {
+	capacity := 1
+	for capacity < len(s.nodeOrder) {
+		capacity <<= 1
+	}
+	s.treeCap = capacity
+	s.freeTree = make([]int, 2*capacity)
+	s.idleTree = make([]int, 2*capacity)
+	for _, name := range s.nodeOrder {
+		n := s.nodes[name]
+		s.freeTree[capacity+n.idx] = n.FreeCores()
+		if n.state == NodeOnline && n.used == 0 {
+			s.idleTree[capacity+n.idx] = 1
+		}
+	}
+	for i := capacity - 1; i >= 1; i-- {
+		s.freeTree[i] = maxInt(s.freeTree[2*i], s.freeTree[2*i+1])
+		s.idleTree[i] = maxInt(s.idleTree[2*i], s.idleTree[2*i+1])
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// updateMaxTree sets a leaf and repairs ancestors until unchanged.
+func updateMaxTree(t []int, treeCap, idx, v int) {
+	i := treeCap + idx
+	if t[i] == v {
+		return
+	}
+	t[i] = v
+	for i >>= 1; i >= 1; i >>= 1 {
+		m := maxInt(t[2*i], t[2*i+1])
+		if t[i] == m {
+			break
+		}
+		t[i] = m
+	}
+}
+
+// nextFit returns the first node index >= from whose leaf value in t
+// reaches want, or -1. O(log nodes).
+func nextFit(t []int, treeCap, limit, from, want int) int {
+	if treeCap == 0 || from >= limit {
+		return -1
+	}
+	i := treeCap + from
+	for {
+		if t[i] >= want {
+			for i < treeCap {
+				if t[2*i] >= want {
+					i = 2 * i
+				} else {
+					i = 2*i + 1
 				}
 			}
-		}
-		return nil
-	default: // UnitCore
-		need := j.Count
-		for _, name := range s.nodeOrder {
-			n := s.nodes[name]
-			take := n.FreeCores()
-			if take == 0 {
-				continue
+			idx := i - treeCap
+			if idx < limit {
+				return idx
 			}
+			return -1
+		}
+		for {
+			if i == 1 {
+				return -1
+			}
+			if i%2 == 0 {
+				i++
+				break
+			}
+			i >>= 1
+		}
+	}
+}
+
+// chooseAlloc selects an allocation for a job without committing it;
+// nil when the job does not fit right now. The census counters give
+// an O(1) fit test and the node indexes jump between usable nodes,
+// preserving the first-fit-in-registration-order placement of the
+// linear scan. The returned slice is a pooled buffer valid until the
+// next chooseAlloc call.
+func (s *Scheduler) chooseAlloc(j *Job) []Allocation {
+	s.allocBuf = s.allocBuf[:0]
+	switch j.Unit {
+	case UnitNode:
+		if s.idleNodes < j.Count {
+			return nil
+		}
+		from := 0
+		for len(s.allocBuf) < j.Count {
+			i := nextFit(s.idleTree, s.treeCap, len(s.nodeOrder), from, 1)
+			if i < 0 {
+				return nil // unreachable: idleNodes bounds the search
+			}
+			n := s.nodes[s.nodeOrder[i]]
+			s.allocBuf = append(s.allocBuf, Allocation{Node: n.Name, Cores: n.Cores})
+			from = i + 1
+		}
+		return s.allocBuf
+	default: // UnitCore
+		if s.freeCores < j.Count {
+			return nil
+		}
+		need := j.Count
+		from := 0
+		for need > 0 {
+			i := nextFit(s.freeTree, s.treeCap, len(s.nodeOrder), from, 1)
+			if i < 0 {
+				return nil // unreachable: freeCores bounds the search
+			}
+			n := s.nodes[s.nodeOrder[i]]
+			take := n.FreeCores()
 			if take > need {
 				take = need
 			}
-			alloc = append(alloc, Allocation{Node: n.Name, Cores: take})
+			s.allocBuf = append(s.allocBuf, Allocation{Node: n.Name, Cores: take})
 			need -= take
-			if need == 0 {
-				return alloc
-			}
+			from = i + 1
 		}
-		return nil
+		return s.allocBuf
 	}
 }
 
 // commit occupies an allocation and starts the job.
 func (s *Scheduler) commit(j *Job, alloc []Allocation) {
-	for _, a := range alloc {
-		s.nodes[a.Node].used += a.Cores
-	}
 	j.Alloc = append(j.Alloc, alloc...)
+	for _, a := range alloc {
+		s.addUsed(s.nodes[a.Node], a.Cores)
+	}
 	s.start(j)
 }
 
@@ -746,6 +1117,7 @@ func (s *Scheduler) tryPlace(j *Job) bool {
 func (s *Scheduler) start(j *Job) {
 	j.State = JobRunning
 	j.StartTime = s.eng.Now()
+	s.noteStarted(j)
 	if s.OnJobStart != nil {
 		s.OnJobStart(j)
 	}
@@ -757,6 +1129,7 @@ func (s *Scheduler) start(j *Job) {
 			return
 		}
 		s.release(j)
+		s.noteStopped(j)
 		j.State = JobFinished
 		j.EndTime = s.eng.Now()
 		s.notifyEnd(j)
@@ -767,10 +1140,7 @@ func (s *Scheduler) start(j *Job) {
 func (s *Scheduler) release(j *Job) {
 	for _, a := range j.Alloc {
 		if n, ok := s.nodes[a.Node]; ok {
-			n.used -= a.Cores
-			if n.used < 0 {
-				n.used = 0
-			}
+			s.addUsed(n, -a.Cores)
 		}
 	}
 }
