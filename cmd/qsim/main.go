@@ -162,7 +162,11 @@ func runSingle(args []string) {
 				*o.specFile, len(cells))
 			os.Exit(2)
 		}
-		sc := cells[0].Scenario()
+		sc, err := cells[0].Scenario()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qsim:", err)
+			os.Exit(1)
+		}
 		if *o.series || *o.csvPath != "" {
 			sc.SampleInterval = time.Hour
 		}
@@ -420,19 +424,13 @@ func writeFile(path string, fn func(*os.File) error) error {
 	return f.Close()
 }
 
+// buildTrace materialises the single-run workload. "file" reads the
+// CSV interchange format (-tracefile); every other token — a generator
+// kind, or "swf:<path>" for SWF replay — resolves through the sweep
+// registry's trace vocabulary and builds exactly the trace a sweep
+// cell would, so the single-run and sweep paths can never drift apart.
 func buildTrace(name, traceFile string, seed int64, winfrac, hours, rate float64) (workload.Trace, error) {
-	switch name {
-	case "poisson":
-		return workload.Poisson(workload.PoissonConfig{
-			Seed: seed, Duration: time.Duration(hours * float64(time.Hour)),
-			JobsPerHour: rate, WindowsFrac: winfrac, MaxNodes: 4,
-		}), nil
-	case "diurnal":
-		return workload.Diurnal(workload.DiurnalConfig{
-			Seed: seed, Days: int(hours/24) + 1, PeakPerHour: rate,
-			WindowsFrac: winfrac, MaxNodes: 4,
-		}), nil
-	case "file":
+	if name == "file" {
 		if traceFile == "" {
 			return nil, fmt.Errorf("-trace file needs -tracefile")
 		}
@@ -442,18 +440,15 @@ func buildTrace(name, traceFile string, seed int64, winfrac, hours, rate float64
 		}
 		defer f.Close()
 		return workload.ReadCSV(f)
-	case "phased":
-		return workload.PhasedWideMix(workload.PhasedConfig{Seed: seed, Phases: 8, WindowsFrac: winfrac}), nil
-	case "matlabga":
-		return workload.MatlabGACase(seed), nil
-	case "burst":
-		return workload.Burst(workload.BurstConfig{
-			Start: 0, Jobs: 6, Gap: 2 * time.Minute, App: "Backburner",
-			OS: osid.Windows, Nodes: 2, PPN: 4, Runtime: 45 * time.Minute, Owner: "render",
-		}), nil
-	default:
-		return nil, fmt.Errorf("unknown trace %q (valid: %s | file)", name, strings.Join(sweep.TraceKindNames(), " | "))
 	}
+	spec, err := sweep.ParseTraceValue(name)
+	if err != nil {
+		return nil, fmt.Errorf("%v; or -trace file with -tracefile", err)
+	}
+	spec.JobsPerHour = rate
+	spec.WindowsFrac = winfrac
+	spec.Duration = time.Duration(hours * float64(time.Hour))
+	return spec.Build(seed)
 }
 
 // parsePolicy and parseMode delegate to the controller and sweep name

@@ -63,6 +63,7 @@ func All() []Runner {
 		{"E16", E16SchedPolicies},
 		{"E17", E17MetroScale},
 		{"E18", E18CityScale},
+		{"E19", E19SWFReplay},
 		{"A1", A1CycleInterval},
 		{"A2", A2Policies},
 		{"A3", A3SwitchCost},

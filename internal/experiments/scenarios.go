@@ -268,7 +268,11 @@ func hybridVsStaticRow(out *sweep.Outcome, traceName string, frac float64) ([]st
 	if err != nil {
 		return nil, err
 	}
-	traceLen := len(h.Cell.Trace.Build(h.Cell.TraceSeed))
+	trace, err := h.Cell.Trace.Build(h.Cell.TraceSeed)
+	if err != nil {
+		return nil, err
+	}
+	traceLen := len(trace)
 	total := func(m map[osid.OS]int) int { return m[osid.Linux] + m[osid.Windows] }
 	return []string{
 		metrics.Pct(frac),

@@ -1,4 +1,4 @@
-// Spec-document emission: every recorded sweep experiment (E12–E16)
+// Spec-document emission: every recorded sweep experiment (E12–E17, E19)
 // publishes its grid as a versioned sweep.Spec document, committed
 // under specs/ at the repository root. The documents are the
 // reproducibility artifacts — `qsim sweep -f specs/<file>` replays a
@@ -41,6 +41,7 @@ func SpecFiles() ([]SpecFile, error) {
 		{"e15_policy_suite.json", sweep.Spec{Version: sweep.SpecVersion, Name: "E15 adaptive OS-switching policy suite", Grid: e15}},
 		{"e16_sched_policies.json", sweep.Spec{Version: sweep.SpecVersion, Name: "E16 FCFS vs EASY backfill", Grid: E16Grid()}},
 		{"e17_metro_scale.json", sweep.Spec{Version: sweep.SpecVersion, Name: "E17 metro scale tier", Grid: E17Grid()}},
+		{"e19_swf_replay.json", sweep.Spec{Version: sweep.SpecVersion, Name: "E19 SWF replay", Grid: E19Grid()}},
 	}, nil
 }
 

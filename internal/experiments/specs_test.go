@@ -11,7 +11,7 @@ import (
 )
 
 // The committed spec documents under specs/ are the reproducibility
-// artifacts for E12–E16. They must stay byte-identical to what the
+// artifacts for E12–E17 and E19. They must stay byte-identical to what the
 // in-code grids serialise to (so `benchtab -specs specs` is a no-op on
 // a clean tree), and loading them back must yield the exact cell set
 // the experiments run.
@@ -20,7 +20,7 @@ func TestCommittedSpecDocumentsMatchGrids(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) != 6 {
+	if len(files) != 7 {
 		t.Fatalf("expected one spec document per recorded sweep experiment, got %d", len(files))
 	}
 	for _, sf := range files {

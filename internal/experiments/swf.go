@@ -1,0 +1,63 @@
+// E19 replays a committed Standard Workload Format log through the
+// sweep subsystem — the first experiment fed by the trace-file side of
+// the workload layer rather than a synthetic generator. The fixture
+// (specs/pwa_sample_1k.swf) is a synthetic ~1000-job log in PWA
+// format: ~60% offered load on a 16-node (64-processor) machine with
+// occasional wide head-blockers, so FCFS and EASY backfill separate
+// cleanly. Replaying it against both disciplines pins the whole SWF
+// path — header parsing, sentinel fallbacks, processor folding and the
+// deterministic platform assignment — into the golden CSV and the
+// bench gate.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sweep"
+)
+
+// E19Grid is the SWF replay: the committed fixture on a 16-node hybrid
+// cluster, FCFS vs EASY backfill. The path is repo-root relative; the
+// sweep resolves it against the working directory and its ancestors,
+// so the document replays from the repo root and from package test
+// directories alike. Exported so the grid travels as a committed spec
+// document (see SpecFiles) and CI can replay it.
+func E19Grid() sweep.Grid {
+	return sweep.Grid{
+		Modes:         []cluster.Mode{cluster.HybridV2},
+		SchedPolicies: []cluster.SchedPolicy{cluster.SchedFCFS, cluster.SchedBackfill},
+		NodeCounts:    []int{16},
+		Traces: []sweep.TraceSpec{
+			{Kind: sweep.TraceSWF, SWFFile: "specs/pwa_sample_1k.swf", WindowsFrac: 0.3},
+		},
+		BaseSeed: 1900,
+		Cycle:    5 * time.Minute,
+	}
+}
+
+// E19SWFReplay runs the SWF replay and ranks the cells — the E16 table
+// shape on a recorded-format workload instead of a drawn one.
+func E19SWFReplay() (Table, error) {
+	g := E19Grid()
+	out, err := sweep.Run(sweep.Config{Grid: g})
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:        "E19",
+		Title:     "SWF replay: committed PWA-format log, FCFS vs EASY backfill",
+		Header:    sweep.Header(),
+		EventsRun: sumEvents(out),
+		Notes: fmt.Sprintf("%s; ~1k jobs over ~6.5 days at ~60%% offered load; platform split hashed per job (30%% Windows)",
+			g.Describe()),
+	}
+	for i, r := range out.Ranked() {
+		if r.Err != nil {
+			return t, r.Err
+		}
+		t.Rows = append(t.Rows, sweep.Row(i+1, r))
+	}
+	return t, nil
+}

@@ -160,10 +160,15 @@ func ModeNames() []string {
 }
 
 // TraceKindNames lists the trace-kind vocabulary in registry order.
+// The SWF kind renders as its full token syntax — it always travels
+// with a file.
 func TraceKindNames() []string {
 	names := make([]string, len(allTraceKinds))
 	for i, k := range allTraceKinds {
 		names[i] = k.String()
+		if k == TraceSWF {
+			names[i] = "swf:<file>"
+		}
 	}
 	return names
 }
@@ -189,59 +194,152 @@ func TopologyNames() []string {
 
 var (
 	allModes      = []cluster.Mode{cluster.HybridV1, cluster.HybridV2, cluster.Static, cluster.MonoStable}
-	allTraceKinds = []TraceKind{TracePoisson, TracePhased, TraceMatlabGA, TraceDiurnal, TraceBurst}
-	allRoutings   = []grid.RoutingPolicy{grid.RouteLeastLoaded, grid.RouteRoundRobin, grid.RouteHybridLast}
+	allTraceKinds = []TraceKind{
+		TracePoisson, TracePhased, TraceMatlabGA, TraceDiurnal, TraceBurst,
+		TraceMMPP, TraceUsers, TraceSWF,
+	}
+	allRoutings = []grid.RoutingPolicy{grid.RouteLeastLoaded, grid.RouteRoundRobin, grid.RouteHybridLast}
 )
 
+// traceKindPoint is one traces-axis token: a generator kind, plus the
+// log path for the swf kind (which always travels with its file).
+type traceKindPoint struct {
+	kind TraceKind
+	file string
+}
+
+// kindBinding records that a parameter key was set and which trace
+// kind it feeds, so buildTraces can reject a parameter whose kind
+// never appears in traces= instead of ignoring it silently.
+type kindBinding struct {
+	key  string
+	kind TraceKind
+}
+
 // specState carries ParseGridSpec's intermediate values: the trace
-// group (rates × winfracs × hours × kinds) is assembled into
-// Grid.Traces only after every key has parsed.
+// group (rates × winfracs × hours × kinds, plus the per-kind parameter
+// singles) is assembled into Grid.Traces only after every key has
+// parsed.
 type specState struct {
 	g        *Grid
 	rates    []float64
 	winfracs []float64
-	kinds    []TraceKind
+	kinds    []traceKindPoint
 	hours    float64
+
+	// Per-kind trace parameters (Single keys), folded by buildTraces
+	// into every trace of the matching kind.
+	swfMaxJobs   int
+	swfWindow    time.Duration
+	swfNodes     int
+	swfRequested bool
+	mmppBurst    float64
+	mmppDwell    time.Duration
+	users        int
+	think        time.Duration
+
+	bound []kindBinding
 }
 
 func newSpecState(g *Grid) *specState {
-	return &specState{g: g, rates: []float64{4}, winfracs: []float64{0.3}, kinds: []TraceKind{TracePoisson}, hours: 24}
+	return &specState{g: g, rates: []float64{4}, winfracs: []float64{0.3}, kinds: []traceKindPoint{{kind: TracePoisson}}, hours: 24}
+}
+
+// bind notes a per-kind parameter key so buildTraces can verify its
+// kind appears on the traces axis.
+func (ps *specState) bind(key string, kind TraceKind) {
+	ps.bound = append(ps.bound, kindBinding{key, kind})
 }
 
 // buildTraces crosses the trace group into Grid.Traces exactly as the
 // compact notation documents: kind (outer) × rate × winfrac, one
 // submission window, deduplicated by derived name (non-poisson kinds
-// ignore some parameters, so the cross can repeat a shape).
-func (ps *specState) buildTraces() {
+// ignore some parameters, so the cross can repeat a shape). It errors
+// when a per-kind parameter key was set but its kind never appears on
+// the traces axis — a silent no-op would read as a typo.
+func (ps *specState) buildTraces() error {
+	haveKind := map[TraceKind]bool{}
+	for _, kp := range ps.kinds {
+		haveKind[kp.kind] = true
+	}
+	for _, b := range ps.bound {
+		if !haveKind[b.kind] {
+			return fmt.Errorf("sweep: grid key %q only applies to %s traces, and traces= has none", b.key, b.kind)
+		}
+	}
 	seen := map[string]bool{}
-	for _, kind := range ps.kinds {
+	for _, kp := range ps.kinds {
 		for _, rate := range ps.rates {
 			for _, wf := range ps.winfracs {
 				t := TraceSpec{
-					Kind:        kind,
+					Kind:        kp.kind,
 					JobsPerHour: rate,
 					WindowsFrac: wf,
 					Duration:    time.Duration(ps.hours * float64(time.Hour)),
-				}.withDefaults()
-				if seen[t.Name] {
+				}
+				switch kp.kind {
+				case TraceSWF:
+					t.SWFFile = kp.file
+					t.SWFMaxJobs = ps.swfMaxJobs
+					t.SWFWindow = ps.swfWindow
+					t.SWFTargetNodes = ps.swfNodes
+					t.SWFUseRequested = ps.swfRequested
+				case TraceMMPP:
+					t.MMPPBurst = ps.mmppBurst
+					t.MMPPDwell = ps.mmppDwell
+				case TraceUsers:
+					t.Users = ps.users
+					t.Think = ps.think
+				}
+				t = t.withDefaults()
+				// Derived names embed only the file's basename, so the
+				// dedup key carries the full path: two distinct logs that
+				// happen to share a basename stay distinct cells (their
+				// colliding names get withDefaults' position suffix).
+				key := t.Name + "\x00" + t.SWFFile
+				if seen[key] {
 					continue
 				}
-				seen[t.Name] = true
+				seen[key] = true
 				ps.g.Traces = append(ps.g.Traces, t)
 			}
 		}
 	}
+	return nil
 }
 
 // traceGroup recovers the spec-notation trace group from a grid's
 // trace axis, or errors when the traces cannot be expressed (custom
-// builders, explicit names, non-default phases/width, or a set that is
+// builders, explicit names, non-default phases/width, per-kind
+// parameters that differ between traces of one kind, or a set that is
 // not a clean kind × rate × winfrac cross).
 type traceGroup struct {
-	kinds    []TraceKind
+	kinds    []traceKindPoint
 	rates    []float64
 	winfracs []float64
 	hours    float64
+
+	// Per-kind parameter singles, captured from the first trace of
+	// each kind; the replay check enforces uniformity across the rest.
+	swfMaxJobs   int
+	swfWindow    time.Duration
+	swfNodes     int
+	swfRequested bool
+	mmppBurst    float64
+	mmppDwell    time.Duration
+	users        int
+	think        time.Duration
+}
+
+// hasKind reports whether the group carries a trace of the kind — the
+// per-kind parameter keys omit themselves from documents otherwise.
+func (tg traceGroup) hasKind(k TraceKind) bool {
+	for _, kp := range tg.kinds {
+		if kp.kind == k {
+			return true
+		}
+	}
+	return false
 }
 
 func traceGroupOf(g Grid) (traceGroup, error) {
@@ -250,9 +348,10 @@ func traceGroupOf(g Grid) (traceGroup, error) {
 		return tg, fmt.Errorf("sweep: grid has no traces to express")
 	}
 	norm := make([]TraceSpec, len(g.Traces))
-	seenKind := map[TraceKind]bool{}
+	seenKind := map[traceKindPoint]bool{}
 	seenRate := map[float64]bool{}
 	seenWF := map[float64]bool{}
+	sawSWF, sawMMPP, sawUsers := false, false, false
 	for i, t := range g.Traces {
 		norm[i] = t.withDefaults()
 		t = norm[i]
@@ -271,9 +370,31 @@ func traceGroupOf(g Grid) (traceGroup, error) {
 			return tg, fmt.Errorf("sweep: traces mix submission windows (%v vs %v); not expressible in spec notation",
 				norm[0].Duration, t.Duration)
 		}
-		if !seenKind[t.Kind] {
-			seenKind[t.Kind] = true
-			tg.kinds = append(tg.kinds, t.Kind)
+		// The parameter keys are grid-wide singles, so the first trace
+		// of each kind donates its values; any later trace that
+		// disagrees fails the replay check below.
+		switch t.Kind {
+		case TraceSWF:
+			if !sawSWF {
+				sawSWF = true
+				tg.swfMaxJobs, tg.swfWindow = t.SWFMaxJobs, t.SWFWindow
+				tg.swfNodes, tg.swfRequested = t.SWFTargetNodes, t.SWFUseRequested
+			}
+		case TraceMMPP:
+			if !sawMMPP {
+				sawMMPP = true
+				tg.mmppBurst, tg.mmppDwell = t.MMPPBurst, t.MMPPDwell
+			}
+		case TraceUsers:
+			if !sawUsers {
+				sawUsers = true
+				tg.users, tg.think = t.Users, t.Think
+			}
+		}
+		kp := traceKindPoint{kind: t.Kind, file: t.SWFFile}
+		if !seenKind[kp] {
+			seenKind[kp] = true
+			tg.kinds = append(tg.kinds, kp)
 		}
 		if !seenRate[t.JobsPerHour] {
 			seenRate[t.JobsPerHour] = true
@@ -290,13 +411,21 @@ func traceGroupOf(g Grid) (traceGroup, error) {
 	// (they key the trace seeds), so name equality is behaviour
 	// equality.
 	replay := Grid{}
-	ps := &specState{g: &replay, rates: tg.rates, winfracs: tg.winfracs, kinds: tg.kinds, hours: tg.hours}
-	ps.buildTraces()
+	ps := &specState{
+		g: &replay, rates: tg.rates, winfracs: tg.winfracs, kinds: tg.kinds, hours: tg.hours,
+		swfMaxJobs: tg.swfMaxJobs, swfWindow: tg.swfWindow,
+		swfNodes: tg.swfNodes, swfRequested: tg.swfRequested,
+		mmppBurst: tg.mmppBurst, mmppDwell: tg.mmppDwell,
+		users: tg.users, think: tg.think,
+	}
+	if err := ps.buildTraces(); err != nil {
+		return tg, err
+	}
 	if len(replay.Traces) != len(norm) {
 		return tg, fmt.Errorf("sweep: traces are not a kind × rate × winfrac cross; not expressible in spec notation")
 	}
 	for i := range norm {
-		if replay.Traces[i].Name != norm[i].Name {
+		if replay.Traces[i].Name != norm[i].Name || replay.Traces[i].SWFFile != norm[i].SWFFile {
 			return tg, fmt.Errorf("sweep: trace %q is not at its cross-product position; not expressible in spec notation", norm[i].Name)
 		}
 	}
@@ -542,11 +671,11 @@ func buildRegistry() []*Axis {
 			Parse: func(ps *specState, vals string) error {
 				ps.kinds = ps.kinds[:0]
 				for _, v := range strings.Split(vals, ",") {
-					k, err := ParseTraceKind(strings.TrimSpace(v))
+					kp, err := parseTraceToken(strings.TrimSpace(v))
 					if err != nil {
 						return err
 					}
-					ps.kinds = append(ps.kinds, k)
+					ps.kinds = append(ps.kinds, kp)
 				}
 				return nil
 			},
@@ -556,8 +685,11 @@ func buildRegistry() []*Axis {
 					return "", err
 				}
 				parts := make([]string, len(tg.kinds))
-				for i, k := range tg.kinds {
-					parts[i] = k.String()
+				for i, kp := range tg.kinds {
+					parts[i] = kp.kind.String()
+					if kp.kind == TraceSWF {
+						parts[i] = "swf:" + kp.file
+					}
 				}
 				return strings.Join(parts, ","), nil
 			},
@@ -569,6 +701,202 @@ func buildRegistry() []*Axis {
 			Col:       func(c Cell) (string, any) { return c.Trace.Name, c.Trace.Name },
 			Segment:   func(c Cell) string { return c.Trace.Name },
 			NameOrder: 40,
+		},
+		{
+			Key:    "swfmaxjobs",
+			Help:   "SWF replay: keep only the first N records (single value; 0 = all)",
+			Single: true,
+			Parse: func(ps *specState, vals string) error {
+				n, err := strconv.Atoi(strings.TrimSpace(vals))
+				if err != nil || n < 0 {
+					return fmt.Errorf("sweep: bad swfmaxjobs %q", vals)
+				}
+				ps.swfMaxJobs = n
+				ps.bind("swfmaxjobs", TraceSWF)
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				tg, err := traceGroupOf(g)
+				if err != nil {
+					return "", err
+				}
+				if !tg.hasKind(TraceSWF) || tg.swfMaxJobs == 0 {
+					return "", nil
+				}
+				return strconv.Itoa(tg.swfMaxJobs), nil
+			},
+		},
+		{
+			Key:    "swfhours",
+			Help:   "SWF replay: keep only the first window of submissions, hours (single value; 0 = all)",
+			Single: true,
+			Parse: func(ps *specState, vals string) error {
+				h, err := strconv.ParseFloat(strings.TrimSpace(vals), 64)
+				if err != nil || h < 0 {
+					return fmt.Errorf("sweep: bad swfhours %q", vals)
+				}
+				ps.swfWindow = time.Duration(h * float64(time.Hour))
+				ps.bind("swfhours", TraceSWF)
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				tg, err := traceGroupOf(g)
+				if err != nil {
+					return "", err
+				}
+				if !tg.hasKind(TraceSWF) || tg.swfWindow == 0 {
+					return "", nil
+				}
+				return fmt.Sprintf("%g", tg.swfWindow.Hours()), nil
+			},
+		},
+		{
+			Key:    "swfnodes",
+			Help:   "SWF replay: rescale the log's widest job to N nodes (single value; 0 = keep)",
+			Single: true,
+			Parse: func(ps *specState, vals string) error {
+				n, err := strconv.Atoi(strings.TrimSpace(vals))
+				if err != nil || n < 0 {
+					return fmt.Errorf("sweep: bad swfnodes %q", vals)
+				}
+				ps.swfNodes = n
+				ps.bind("swfnodes", TraceSWF)
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				tg, err := traceGroupOf(g)
+				if err != nil {
+					return "", err
+				}
+				if !tg.hasKind(TraceSWF) || tg.swfNodes == 0 {
+					return "", nil
+				}
+				return strconv.Itoa(tg.swfNodes), nil
+			},
+		},
+		{
+			Key:    "swftime",
+			Help:   "SWF replay: runtime field choice (single value)",
+			Values: func() string { return "used|requested" },
+			Single: true,
+			Parse: func(ps *specState, vals string) error {
+				switch strings.TrimSpace(vals) {
+				case "used":
+					ps.swfRequested = false
+				case "requested":
+					ps.swfRequested = true
+				default:
+					return fmt.Errorf("sweep: bad swftime %q (valid: used | requested)", vals)
+				}
+				ps.bind("swftime", TraceSWF)
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				tg, err := traceGroupOf(g)
+				if err != nil {
+					return "", err
+				}
+				if !tg.hasKind(TraceSWF) || !tg.swfRequested {
+					return "", nil
+				}
+				return "requested", nil
+			},
+		},
+		{
+			Key:    "mmppburst",
+			Help:   "MMPP burst-state rate multiplier (single value; default 10)",
+			Single: true,
+			Parse: func(ps *specState, vals string) error {
+				f, err := strconv.ParseFloat(strings.TrimSpace(vals), 64)
+				if err != nil || f <= 0 {
+					return fmt.Errorf("sweep: bad mmppburst %q", vals)
+				}
+				ps.mmppBurst = f
+				ps.bind("mmppburst", TraceMMPP)
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				tg, err := traceGroupOf(g)
+				if err != nil {
+					return "", err
+				}
+				if !tg.hasKind(TraceMMPP) || tg.mmppBurst == defaultMMPPBurst {
+					return "", nil
+				}
+				return fmt.Sprintf("%g", tg.mmppBurst), nil
+			},
+		},
+		{
+			Key:    "mmppdwell",
+			Help:   "MMPP mean state dwell, Go duration (single value; default 1h)",
+			Single: true,
+			Parse: func(ps *specState, vals string) error {
+				d, err := time.ParseDuration(strings.TrimSpace(vals))
+				if err != nil || d <= 0 {
+					return fmt.Errorf("sweep: bad mmppdwell %q", vals)
+				}
+				ps.mmppDwell = d
+				ps.bind("mmppdwell", TraceMMPP)
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				tg, err := traceGroupOf(g)
+				if err != nil {
+					return "", err
+				}
+				if !tg.hasKind(TraceMMPP) || tg.mmppDwell == defaultMMPPDwell {
+					return "", nil
+				}
+				return tg.mmppDwell.String(), nil
+			},
+		},
+		{
+			Key:    "users",
+			Help:   "user-population size (single value; default 500)",
+			Single: true,
+			Parse: func(ps *specState, vals string) error {
+				n, err := strconv.Atoi(strings.TrimSpace(vals))
+				if err != nil || n <= 0 {
+					return fmt.Errorf("sweep: bad users %q", vals)
+				}
+				ps.users = n
+				ps.bind("users", TraceUsers)
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				tg, err := traceGroupOf(g)
+				if err != nil {
+					return "", err
+				}
+				if !tg.hasKind(TraceUsers) || tg.users == defaultUsers {
+					return "", nil
+				}
+				return strconv.Itoa(tg.users), nil
+			},
+		},
+		{
+			Key:    "think",
+			Help:   "user-population mean think time, Go duration (single value; default 2h)",
+			Single: true,
+			Parse: func(ps *specState, vals string) error {
+				d, err := time.ParseDuration(strings.TrimSpace(vals))
+				if err != nil || d <= 0 {
+					return fmt.Errorf("sweep: bad think %q", vals)
+				}
+				ps.think = d
+				ps.bind("think", TraceUsers)
+				return nil
+			},
+			Format: func(g Grid) (string, error) {
+				tg, err := traceGroupOf(g)
+				if err != nil {
+					return "", err
+				}
+				if !tg.hasKind(TraceUsers) || tg.think == defaultThink {
+					return "", nil
+				}
+				return tg.think.String(), nil
+			},
 		},
 		{
 			Key:  "failrates",

@@ -45,10 +45,10 @@ func TestSwitchLatAxisIsTreatmentAxis(t *testing.T) {
 		t.Fatalf("scaled cell name %q", scaled.Name())
 	}
 	// The scaled cell materialises with the latency model applied.
-	if sc := scaled.Scenario(); sc.Latency == nil {
+	if sc := mustScenario(scaled); sc.Latency == nil {
 		t.Fatal("scaled cell scenario carries no latency model")
 	}
-	if sc := stock.Scenario(); sc.Latency != nil {
+	if sc := mustScenario(stock); sc.Latency != nil {
 		t.Fatal("stock cell scenario should keep the config's own model")
 	}
 }

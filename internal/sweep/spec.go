@@ -24,7 +24,15 @@ import (
 //	rates          Poisson arrival rates, jobs/hour
 //	winfracs       Windows demand shares (0..1)
 //	hours          submission window in hours (single value)
-//	traces         trace kinds, crossed with rates/winfracs (poisson|phased|matlabga|diurnal|burst)
+//	traces         trace kinds, crossed with rates/winfracs (poisson|phased|matlabga|diurnal|burst|mmpp|users|swf:<file>)
+//	swfmaxjobs     SWF replay: keep only the first N records (single value; 0 = all)
+//	swfhours       SWF replay: keep only the first window of submissions, hours (single value; 0 = all)
+//	swfnodes       SWF replay: rescale the log's widest job to N nodes (single value; 0 = keep)
+//	swftime        SWF replay: runtime field choice (single value) (used|requested)
+//	mmppburst      MMPP burst-state rate multiplier (single value; default 10)
+//	mmppdwell      MMPP mean state dwell, Go duration (single value; default 1h)
+//	users          user-population size (single value; default 500)
+//	think          user-population mean think time, Go duration (single value; default 2h)
 //	failrates      per-boot failure probabilities (0..1)
 //	topologies     fabric presets (single|campus|twin-hybrid)
 //	routings       campus routing policies (least-loaded|round-robin|hybrid-last)
@@ -82,7 +90,9 @@ func ParseGridSpecWarn(spec string) (Grid, []string, error) {
 			return g, warnings, err
 		}
 	}
-	ps.buildTraces()
+	if err := ps.buildTraces(); err != nil {
+		return g, warnings, err
+	}
 	return g, warnings, nil
 }
 
@@ -118,6 +128,36 @@ func ParseTraceKind(name string) (TraceKind, error) {
 		}
 	}
 	return 0, fmt.Errorf("sweep: unknown trace kind %q (valid: %s)", name, strings.Join(TraceKindNames(), " | "))
+}
+
+// ParseTraceValue resolves one traces-axis token — a kind name, or
+// "swf:<path>" for SWF replay — into a TraceSpec carrying the kind
+// (and the log file for swf). The qsim -trace flag shares this parser
+// so the CLI and the grid spec can never drift apart.
+func ParseTraceValue(tok string) (TraceSpec, error) {
+	kp, err := parseTraceToken(tok)
+	if err != nil {
+		return TraceSpec{}, err
+	}
+	return TraceSpec{Kind: kp.kind, SWFFile: kp.file}, nil
+}
+
+func parseTraceToken(tok string) (traceKindPoint, error) {
+	if rest, ok := strings.CutPrefix(tok, "swf:"); ok {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			return traceKindPoint{}, fmt.Errorf("sweep: trace kind swf needs a file: swf:<path>")
+		}
+		return traceKindPoint{kind: TraceSWF, file: rest}, nil
+	}
+	k, err := ParseTraceKind(tok)
+	if err != nil {
+		return traceKindPoint{}, err
+	}
+	if k == TraceSWF {
+		return traceKindPoint{}, fmt.Errorf("sweep: trace kind swf needs a file: swf:<path>")
+	}
+	return traceKindPoint{kind: k}, nil
 }
 
 // ParseMode resolves a cluster mode by its String name. The qsim CLI

@@ -33,6 +33,8 @@ package sweep
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -66,6 +68,18 @@ const (
 	// steady Linux background — the sharpest demand oscillation in the
 	// suite, the shape the anti-thrash policies are judged on.
 	TraceBurst
+	// TraceMMPP draws a two-state Markov-modulated Poisson process:
+	// the arrival rate flips between the axis rate and a burst
+	// multiple of it, with exponential dwell times.
+	TraceMMPP
+	// TraceUsers draws the closed interactive user-population model: N
+	// simulated users submitting with think times, the offered load
+	// self-limiting the way real user populations do.
+	TraceUsers
+	// TraceSWF replays a Standard Workload Format log (the Parallel
+	// Workloads Archive format). The axis value carries the file:
+	// "swf:<path>".
+	TraceSWF
 )
 
 // String names the kind.
@@ -79,6 +93,12 @@ func (k TraceKind) String() string {
 		return "diurnal"
 	case TraceBurst:
 		return "burst"
+	case TraceMMPP:
+		return "mmpp"
+	case TraceUsers:
+		return "users"
+	case TraceSWF:
+		return "swf"
 	default:
 		return "poisson"
 	}
@@ -97,11 +117,46 @@ type TraceSpec struct {
 	Duration    time.Duration // submission window, default 24h (poisson)
 	MaxNodes    int           // job width cap, default 4 (poisson)
 	Phases      int           // default 8 (phased)
+
+	// SWF replay parameters (kind swf). SWFFile is the log path —
+	// relative paths in committed spec documents are repo-root
+	// relative and resolved against the working directory and then its
+	// ancestors. The remaining fields mirror workload.SWFConfig:
+	// MaxJobs/Window truncation, node-count rescale, and the
+	// requested-vs-used runtime choice.
+	SWFFile         string
+	SWFMaxJobs      int           // keep only the first N records (0 = all)
+	SWFWindow       time.Duration // keep only the first window of submissions (0 = all)
+	SWFTargetNodes  int           // rescale the widest job to this many nodes (0 = keep)
+	SWFUseRequested bool          // prefer requested over used runtimes
+
+	// MMPP parameters (kind mmpp): the burst-state rate is
+	// JobsPerHour × MMPPBurst (default 10), with mean state dwell
+	// MMPPDwell (default 1h).
+	MMPPBurst float64
+	MMPPDwell time.Duration
+
+	// User-population parameters (kind users): Users simulated users
+	// (default 500) with mean think time Think (default 2h).
+	// JobsPerHour does not apply — the population size sets the load.
+	Users int
+	Think time.Duration
+
 	// Custom, when non-nil, overrides Kind entirely: the sweep calls
 	// it with the cell's trace seed. Experiments use this to fan
 	// bespoke traces through the grid machinery.
 	Custom func(seed int64) workload.Trace
 }
+
+// Defaults for the heavy-traffic trace parameters; values the derived
+// names omit, so explicitly setting a default is behaviour- and
+// name-identical to leaving the field zero.
+const (
+	defaultMMPPBurst = 10.0
+	defaultMMPPDwell = time.Hour
+	defaultUsers     = 500
+	defaultThink     = 2 * time.Hour
+)
 
 func (t TraceSpec) withDefaults() TraceSpec {
 	if t.JobsPerHour <= 0 {
@@ -115,6 +170,18 @@ func (t TraceSpec) withDefaults() TraceSpec {
 	}
 	if t.Phases <= 0 {
 		t.Phases = 8
+	}
+	if t.MMPPBurst <= 0 {
+		t.MMPPBurst = defaultMMPPBurst
+	}
+	if t.MMPPDwell <= 0 {
+		t.MMPPDwell = defaultMMPPDwell
+	}
+	if t.Users <= 0 {
+		t.Users = defaultUsers
+	}
+	if t.Think <= 0 {
+		t.Think = defaultThink
 	}
 	if t.Name == "" {
 		// %g keeps derived names lossless: distinct parameters must
@@ -134,6 +201,41 @@ func (t TraceSpec) withDefaults() TraceSpec {
 			// so the name ignores WindowsFrac — crossing it with the
 			// winfracs axis dedups instead of duplicating cells.
 			t.Name = fmt.Sprintf("burst-%gjph", t.JobsPerHour)
+		case t.Kind == TraceMMPP:
+			t.Name = fmt.Sprintf("mmpp-%gjph-w%g", t.JobsPerHour, t.WindowsFrac)
+			if t.MMPPBurst != defaultMMPPBurst {
+				t.Name += fmt.Sprintf("-b%g", t.MMPPBurst)
+			}
+			if t.MMPPDwell != defaultMMPPDwell {
+				t.Name += "-d" + t.MMPPDwell.String()
+			}
+		case t.Kind == TraceUsers:
+			// The population size, not the rate axis, sets the load, so
+			// the name ignores JobsPerHour — crossing with the rates
+			// axis dedups instead of duplicating cells.
+			t.Name = fmt.Sprintf("users%d-w%g", t.Users, t.WindowsFrac)
+			if t.Think != defaultThink {
+				t.Name += "-t" + t.Think.String()
+			}
+		case t.Kind == TraceSWF:
+			// Like every derived name this one is lossless over the
+			// parameters that shape the trace: distinct truncation,
+			// rescale or runtime choices must never collide, because
+			// the name keys the trace seed and the parser's dedup.
+			// (Rate and submission window do not apply to a replay.)
+			t.Name = "swf-" + swfNameBase(t.SWFFile) + fmt.Sprintf("-w%g", t.WindowsFrac)
+			if t.SWFMaxJobs > 0 {
+				t.Name += fmt.Sprintf("-j%d", t.SWFMaxJobs)
+			}
+			if t.SWFWindow > 0 {
+				t.Name += fmt.Sprintf("-h%g", t.SWFWindow.Hours())
+			}
+			if t.SWFTargetNodes > 0 {
+				t.Name += fmt.Sprintf("-n%d", t.SWFTargetNodes)
+			}
+			if t.SWFUseRequested {
+				t.Name += "-req"
+			}
 		default:
 			t.Name = fmt.Sprintf("poisson-%gjph-w%g", t.JobsPerHour, t.WindowsFrac)
 		}
@@ -141,21 +243,77 @@ func (t TraceSpec) withDefaults() TraceSpec {
 	return t
 }
 
+// swfNameBase derives the trace-name stem from an SWF path: the
+// basename without its extension, any character outside [a-zA-Z0-9._-]
+// replaced so the name stays safe in cell names and CSV.
+func swfNameBase(path string) string {
+	base := filepath.Base(path)
+	base = strings.TrimSuffix(base, filepath.Ext(base))
+	if base == "" || base == "." || base == string(filepath.Separator) {
+		return "log"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, base)
+}
+
+// resolveTracePath finds a trace file: the path as given, or — when it
+// is relative and missing — the same path against each ancestor
+// directory. Committed spec documents carry repo-root-relative paths
+// ("specs/sample.swf"), so replays keep working from package test
+// directories and nested working directories alike. When nothing
+// matches, the original path is returned so the open error names it.
+func resolveTracePath(path string) string {
+	if filepath.IsAbs(path) {
+		return path
+	}
+	if _, err := os.Stat(path); err == nil {
+		return path
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	for {
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return path
+		}
+		dir = parent
+		if cand := filepath.Join(dir, path); fileExists(cand) {
+			return cand
+		}
+	}
+}
+
+func fileExists(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && !fi.IsDir()
+}
+
 // Build materialises the trace with the given seed. Cells sharing a
 // TraceSpec receive the same seed, so every mode/policy/failure-rate
 // variant replays the identical job stream — comparisons are paired.
-func (t TraceSpec) Build(seed int64) workload.Trace {
+// The error path exists for the file-backed kinds (swf): the synthetic
+// generators cannot fail.
+func (t TraceSpec) Build(seed int64) (workload.Trace, error) {
 	t = t.withDefaults()
 	if t.Custom != nil {
-		return t.Custom(seed)
+		return t.Custom(seed), nil
 	}
 	switch t.Kind {
 	case TracePhased:
 		return workload.PhasedWideMix(workload.PhasedConfig{
 			Seed: seed, Phases: t.Phases, WindowsFrac: t.WindowsFrac,
-		})
+		}), nil
 	case TraceMatlabGA:
-		return workload.MatlabGACase(seed)
+		return workload.MatlabGACase(seed), nil
 	case TraceDiurnal:
 		days := int(t.Duration / (24 * time.Hour))
 		if days < 1 {
@@ -164,7 +322,7 @@ func (t TraceSpec) Build(seed int64) workload.Trace {
 		return workload.Diurnal(workload.DiurnalConfig{
 			Seed: seed, Days: days, PeakPerHour: t.JobsPerHour,
 			WindowsFrac: t.WindowsFrac, MaxNodes: t.MaxNodes,
-		})
+		}), nil
 	case TraceBurst:
 		// Render-farm bursts every six hours over a Linux-only Poisson
 		// background at half the axis rate: demand that swings hard to
@@ -181,12 +339,36 @@ func (t TraceSpec) Build(seed int64) workload.Trace {
 				Runtime: 45 * time.Minute, Owner: "render",
 			})...)
 		}
-		return workload.Merge(lin, bursts)
+		return workload.Merge(lin, bursts), nil
+	case TraceMMPP:
+		return workload.MMPP(workload.MMPPConfig{
+			Seed: seed, Duration: t.Duration, BaseRate: t.JobsPerHour,
+			BurstFactor: t.MMPPBurst, MeanDwell: t.MMPPDwell,
+			WindowsFrac: t.WindowsFrac, MaxNodes: t.MaxNodes,
+		}), nil
+	case TraceUsers:
+		return workload.UserPopulation(workload.UserPopulationConfig{
+			Seed: seed, Users: t.Users, Duration: t.Duration,
+			MeanThink: t.Think, WindowsFrac: t.WindowsFrac, MaxNodes: t.MaxNodes,
+		}), nil
+	case TraceSWF:
+		if t.SWFFile == "" {
+			return nil, fmt.Errorf("sweep: trace %q: swf kind needs a file", t.Name)
+		}
+		tr, _, err := workload.ReadSWFFile(resolveTracePath(t.SWFFile), workload.SWFConfig{
+			Seed: seed, WindowsFrac: t.WindowsFrac,
+			MaxJobs: t.SWFMaxJobs, Window: t.SWFWindow,
+			TargetNodes: t.SWFTargetNodes, UseRequested: t.SWFUseRequested,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sweep: trace %q: %w", t.Name, err)
+		}
+		return tr, nil
 	default:
 		return workload.Poisson(workload.PoissonConfig{
 			Seed: seed, Duration: t.Duration, JobsPerHour: t.JobsPerHour,
 			WindowsFrac: t.WindowsFrac, MaxNodes: t.MaxNodes,
-		})
+		}), nil
 	}
 }
 
@@ -485,11 +667,16 @@ func (c Cell) Name() string {
 // cells expand their topology into concrete member configs: each
 // member derives its seed from the cell seed and its own name (so
 // members draw independent RNG streams that are still pure functions
-// of the grid coordinates) and gets a fresh policy instance.
-func (c Cell) Scenario() core.Scenario {
+// of the grid coordinates) and gets a fresh policy instance. The error
+// comes from trace materialisation (file-backed kinds).
+func (c Cell) Scenario() (core.Scenario, error) {
+	trace, err := c.Trace.Build(c.TraceSeed)
+	if err != nil {
+		return core.Scenario{}, err
+	}
 	sc := core.Scenario{
 		Name:        c.Name(),
-		Trace:       c.Trace.Build(c.TraceSeed),
+		Trace:       trace,
 		Horizon:     c.horizon,
 		SchedPolicy: c.Sched,
 	}
@@ -504,7 +691,7 @@ func (c Cell) Scenario() core.Scenario {
 			Seed:            c.Seed,
 			BootFailureProb: c.FailureRate,
 		}
-		return c.configure(sc)
+		return c.configure(sc), nil
 	}
 	// Grid runs read only the mode from the root config (for
 	// Result.Mode); the members below carry the real configurations.
@@ -541,7 +728,7 @@ func (c Cell) Scenario() core.Scenario {
 		})
 	}
 	sc.Topology = core.Topology{Routing: c.Routing, Members: members}
-	return c.configure(sc)
+	return c.configure(sc), nil
 }
 
 // configure lets registry axes that act through core.Scenario fields
@@ -680,7 +867,12 @@ func Run(cfg Config) (*Outcome, error) {
 				// Scenario() builds a private engine, cluster and
 				// policy instance per cell; the only shared write is
 				// this cell's own result slot.
-				res, err := core.Run(cells[i].Scenario())
+				sc, err := cells[i].Scenario()
+				if err != nil {
+					results[i] = CellResult{Cell: cells[i], Err: err}
+					continue
+				}
+				res, err := core.Run(sc)
 				results[i] = CellResult{Cell: cells[i], Res: res, Err: err}
 			}
 		}()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/export"
 	"repro/internal/grid"
 	"repro/internal/workload"
@@ -376,6 +377,16 @@ func mustTopology(name string) TopologySpec {
 	return tp
 }
 
+// mustScenario is a test helper; panics when the cell fails to
+// materialise (only file-backed traces can).
+func mustScenario(c Cell) core.Scenario {
+	sc, err := c.Scenario()
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
 // Grid cells materialise into campus scenarios: inherit members take
 // the cell's mode and node count, pinned members keep theirs, splits
 // resolve, and each member derives its own seed from the cell seed.
@@ -391,7 +402,7 @@ func TestGridCellScenarioBuildsMembers(t *testing.T) {
 	if len(cells) != 1 {
 		t.Fatalf("cells = %d", len(cells))
 	}
-	sc := cells[0].Scenario()
+	sc := mustScenario(cells[0])
 	if !sc.Topology.IsGrid() || len(sc.Topology.Members) != 3 {
 		t.Fatalf("topology = %+v", sc.Topology)
 	}
@@ -417,7 +428,7 @@ func TestGridCellScenarioBuildsMembers(t *testing.T) {
 		t.Fatal("members share a derived seed")
 	}
 	// Member seeds are pure functions of the cell coordinates.
-	sc2 := cells[0].Scenario()
+	sc2 := mustScenario(cells[0])
 	for i := range sc.Topology.Members {
 		if sc.Topology.Members[i].Config.Seed != sc2.Topology.Members[i].Config.Seed {
 			t.Fatal("member seeds unstable across materialisations")
@@ -581,11 +592,11 @@ func TestSchedPolicyAxisExpansion(t *testing.T) {
 	}
 	// The cells materialise with the policy applied to the cluster
 	// config and mirrored on the scenario.
-	sc := bf.Scenario()
+	sc := mustScenario(bf)
 	if sc.Cluster.SchedPolicy != cluster.SchedBackfill || sc.SchedPolicy != cluster.SchedBackfill {
 		t.Fatalf("scenario sched = %v / cluster %v", sc.SchedPolicy, sc.Cluster.SchedPolicy)
 	}
-	if sc := fcfs.Scenario(); sc.Cluster.SchedPolicy != cluster.SchedFCFS {
+	if sc := mustScenario(fcfs); sc.Cluster.SchedPolicy != cluster.SchedFCFS {
 		t.Fatalf("fcfs scenario cluster sched = %v", sc.Cluster.SchedPolicy)
 	}
 }
@@ -603,7 +614,7 @@ func TestSchedPolicyReachesTopologyMembers(t *testing.T) {
 	if len(cells) != 1 {
 		t.Fatalf("cells = %d", len(cells))
 	}
-	sc := cells[0].Scenario()
+	sc := mustScenario(cells[0])
 	for _, m := range sc.Topology.Members {
 		if m.Config.SchedPolicy != cluster.SchedBackfill {
 			t.Fatalf("member %s sched = %v", m.Name, m.Config.SchedPolicy)

@@ -1,0 +1,169 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseGridSpecHeavyTrafficKinds(t *testing.T) {
+	g, err := ParseGridSpec("traces=mmpp,users;rates=2;winfracs=0.4;mmppburst=5;mmppdwell=30m;users=40;think=1h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Traces) != 2 {
+		t.Fatalf("traces = %+v", g.Traces)
+	}
+	m := g.Traces[0]
+	if m.Kind != TraceMMPP || m.JobsPerHour != 2 || m.MMPPBurst != 5 || m.MMPPDwell != 30*time.Minute {
+		t.Fatalf("mmpp trace = %+v", m)
+	}
+	u := g.Traces[1]
+	if u.Kind != TraceUsers || u.Users != 40 || u.Think != time.Hour {
+		t.Fatalf("users trace = %+v", u)
+	}
+
+	// The population size, not the rate axis, sets a users trace's
+	// load, so crossing with rates dedups instead of duplicating.
+	g, err = ParseGridSpec("traces=users;rates=2,4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Traces) != 1 {
+		t.Fatalf("users traces across 3 rates = %d, want 1 (deduped)", len(g.Traces))
+	}
+}
+
+func TestParseGridSpecSWF(t *testing.T) {
+	g, err := ParseGridSpec("traces=swf:specs/sample.swf;swfmaxjobs=100;swfhours=2;swfnodes=8;swftime=requested")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Traces) != 1 {
+		t.Fatalf("traces = %+v", g.Traces)
+	}
+	tr := g.Traces[0]
+	if tr.Kind != TraceSWF || tr.SWFFile != "specs/sample.swf" ||
+		tr.SWFMaxJobs != 100 || tr.SWFWindow != 2*time.Hour ||
+		tr.SWFTargetNodes != 8 || !tr.SWFUseRequested {
+		t.Fatalf("swf trace = %+v", tr)
+	}
+	if !strings.HasPrefix(tr.Name, "swf-sample-") {
+		t.Fatalf("swf trace name = %q", tr.Name)
+	}
+
+	// Two logs that happen to share a basename stay distinct cells.
+	g, err = ParseGridSpec("traces=swf:a/log.swf,swf:b/log.swf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Traces) != 2 {
+		t.Fatalf("same-basename logs deduped: %d traces", len(g.Traces))
+	}
+	cells := g.Expand()
+	if cells[0].Trace.Name == cells[1].Trace.Name || cells[0].TraceSeed == cells[1].TraceSeed {
+		t.Fatalf("same-basename logs share name %q / seed", cells[0].Trace.Name)
+	}
+}
+
+func TestParseGridSpecTraceAxisRejections(t *testing.T) {
+	for _, bad := range []string{
+		"traces=swf",          // the swf kind always travels with a file
+		"traces=swf:",         // ... a non-empty one
+		"users=50",            // parameter keys need their kind on the traces axis
+		"mmppburst=5",         //
+		"swfmaxjobs=10",       //
+		"think=1h",            // (even the well-formed ones)
+		"traces=mmpp;users=5", // bound to users, grid has only mmpp
+		"traces=mmpp;mmppburst=0",
+		"traces=mmpp;mmppdwell=never",
+		"traces=users;users=-3",
+		"traces=users;think=0s",
+		"traces=swf:x.swf;swfmaxjobs=-1",
+		"traces=swf:x.swf;swfhours=-2",
+		"traces=swf:x.swf;swfnodes=-1",
+		"traces=swf:x.swf;swftime=guessed",
+		"traces=swf:x.swf;swfmaxjobs=5,10", // singles reject comma lists
+	} {
+		if _, err := ParseGridSpec(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+	// The kind-binding error names the offending key.
+	_, err := ParseGridSpec("traces=poisson;swfnodes=8")
+	if err == nil || !strings.Contains(err.Error(), `"swfnodes" only applies to swf traces`) {
+		t.Fatalf("unbound parameter error = %v", err)
+	}
+}
+
+// ParseGridSpec(GridString(g)) is an equivalent grid for every new
+// trace kind, including the full path of an SWF log (cell names carry
+// only its basename, so the file round-trip is checked explicitly).
+func TestGridStringRoundTripHeavyTraffic(t *testing.T) {
+	grids := map[string]Grid{
+		"swf": {
+			Traces: []TraceSpec{{
+				Kind: TraceSWF, SWFFile: "specs/pwa_sample_1k.swf",
+				WindowsFrac: 0.3, JobsPerHour: 4, Duration: 24 * time.Hour,
+				SWFMaxJobs: 500, SWFWindow: 12 * time.Hour,
+				SWFTargetNodes: 8, SWFUseRequested: true,
+			}},
+			BaseSeed: 19,
+		},
+		"mmpp-users": {
+			Traces: []TraceSpec{
+				{Kind: TraceMMPP, JobsPerHour: 3, WindowsFrac: 0.5, Duration: 24 * time.Hour, MMPPBurst: 4, MMPPDwell: 45 * time.Minute},
+				{Kind: TraceUsers, JobsPerHour: 3, WindowsFrac: 0.5, Duration: 24 * time.Hour, Users: 64, Think: 90 * time.Minute},
+			},
+		},
+		"defaults-omitted": {
+			Traces: []TraceSpec{
+				{Kind: TraceMMPP, JobsPerHour: 4, WindowsFrac: 0.3, Duration: 24 * time.Hour},
+			},
+		},
+	}
+	for name, g := range grids {
+		spec, err := GridString(g)
+		if err != nil {
+			t.Fatalf("%s: GridString: %v", name, err)
+		}
+		back, err := ParseGridSpec(spec)
+		if err != nil {
+			t.Fatalf("%s: reparse %q: %v", name, spec, err)
+		}
+		gridsEquivalent(t, g, back)
+		for i := range g.Traces {
+			want := g.Traces[i].withDefaults()
+			got := back.Traces[i]
+			if got.SWFFile != want.SWFFile || got.SWFMaxJobs != want.SWFMaxJobs ||
+				got.SWFWindow != want.SWFWindow || got.SWFTargetNodes != want.SWFTargetNodes ||
+				got.SWFUseRequested != want.SWFUseRequested ||
+				got.MMPPBurst != want.MMPPBurst || got.MMPPDwell != want.MMPPDwell ||
+				got.Users != want.Users || got.Think != want.Think {
+				t.Fatalf("%s: trace %d round-tripped to %+v, want %+v", name, i, got, want)
+			}
+		}
+	}
+	// Default-valued parameters stay out of the canonical notation.
+	spec, err := GridString(grids["defaults-omitted"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"mmppburst", "mmppdwell", "users", "think", "swfmaxjobs"} {
+		if strings.Contains(spec, key) {
+			t.Fatalf("spec %q carries default-valued key %s", spec, key)
+		}
+	}
+}
+
+// Traces of one kind that disagree on a grid-wide parameter single
+// cannot travel as a document.
+func TestGridStringRejectsMixedKindParameters(t *testing.T) {
+	g := Grid{Traces: []TraceSpec{
+		{Kind: TraceUsers, Users: 10, JobsPerHour: 4, WindowsFrac: 0.3, Duration: 24 * time.Hour},
+		{Kind: TraceUsers, Users: 20, JobsPerHour: 4, WindowsFrac: 0.3, Duration: 24 * time.Hour},
+	}}
+	if _, err := GridString(g); err == nil {
+		t.Fatal("mixed users populations serialised without error")
+	}
+}

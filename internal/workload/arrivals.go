@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/osid"
+)
+
+// This file holds the heavy-traffic arrival processes: a two-state
+// Markov-modulated Poisson process (MMPP) whose rate flips between a
+// quiet and a burst level, and a closed user-population model where N
+// simulated users submit interactively with think times. Both draw job
+// shapes from the Table-I catalog exactly like Poisson does, and both
+// are seeded and deterministic.
+
+// MMPPConfig parameterises the two-state MMPP arrival process.
+type MMPPConfig struct {
+	Seed     int64
+	Duration time.Duration // submission window
+	// BaseRate is the quiet-state submission rate in jobs/hour.
+	BaseRate float64
+	// BurstFactor multiplies BaseRate in the burst state (default 10).
+	BurstFactor float64
+	// MeanDwell is the mean sojourn time in each state, exponentially
+	// distributed (default 1h).
+	MeanDwell   time.Duration
+	WindowsFrac float64 // fraction of jobs routed to Windows (0..1)
+	MaxNodes    int     // job width cap (default: uncapped)
+}
+
+// MMPP draws a Markov-modulated Poisson trace: the arrival rate
+// alternates between BaseRate and BaseRate×BurstFactor, with
+// exponential dwell times in each state. The marginal process is far
+// burstier than a plain Poisson stream at the same mean rate — long
+// quiet stretches punctuated by dense arrival clusters, the shape
+// heavy production traffic actually has.
+func MMPP(cfg MMPPConfig) Trace {
+	if cfg.BaseRate <= 0 || cfg.Duration <= 0 {
+		return nil
+	}
+	if cfg.BurstFactor <= 0 {
+		cfg.BurstFactor = 10
+	}
+	if cfg.MeanDwell <= 0 {
+		cfg.MeanDwell = time.Hour
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var trace Trace
+	burst := false
+	now := time.Duration(0)
+	segEnd := time.Duration(rng.ExpFloat64() * float64(cfg.MeanDwell))
+	for now <= cfg.Duration {
+		rate := cfg.BaseRate
+		if burst {
+			rate *= cfg.BurstFactor
+		}
+		gap := time.Duration(rng.ExpFloat64() * float64(time.Hour) / rate)
+		if next := now + gap; next > segEnd {
+			// The state flips before the next arrival would land. The
+			// exponential gap is memoryless, so restarting the draw at
+			// the boundary with the new state's rate is exact.
+			now = segEnd
+			burst = !burst
+			segEnd += time.Duration(rng.ExpFloat64() * float64(cfg.MeanDwell))
+			continue
+		} else {
+			now = next
+		}
+		if now > cfg.Duration {
+			break
+		}
+		trace = append(trace, drawCatalogJob(rng, now, cfg.WindowsFrac, cfg.MaxNodes))
+	}
+	trace.Sort()
+	return trace
+}
+
+// UserPopulationConfig parameterises the interactive user-population
+// model.
+type UserPopulationConfig struct {
+	Seed     int64
+	Users    int           // population size
+	Duration time.Duration // submission window
+	// MeanThink is the mean think time between a user's job finishing
+	// and their next submission, exponentially distributed (default 2h).
+	MeanThink   time.Duration
+	WindowsFrac float64
+	MaxNodes    int
+}
+
+// UserPopulation simulates N users in a closed interactive loop: each
+// user thinks for an exponential think time, submits a catalog job,
+// conceptually waits out its runtime, and thinks again. Unlike an open
+// Poisson stream the offered load self-limits — a user with a job in
+// flight submits nothing — which is how populations of real users
+// behave. Every user draws from an independent RNG stream derived from
+// (Seed, user index), so the trace is a pure function of the
+// configuration regardless of generation order.
+func UserPopulation(cfg UserPopulationConfig) Trace {
+	if cfg.Users <= 0 || cfg.Duration <= 0 {
+		return nil
+	}
+	if cfg.MeanThink <= 0 {
+		cfg.MeanThink = 2 * time.Hour
+	}
+	var trace Trace
+	for u := 0; u < cfg.Users; u++ {
+		rng := rand.New(rand.NewSource(mixSeed(cfg.Seed, int64(u))))
+		owner := fmt.Sprintf("user%04d", u+1)
+		now := time.Duration(rng.ExpFloat64() * float64(cfg.MeanThink))
+		for now <= cfg.Duration {
+			j := drawCatalogJob(rng, now, cfg.WindowsFrac, cfg.MaxNodes)
+			j.Owner = owner
+			trace = append(trace, j)
+			// Closed loop: the user waits for the job, then thinks.
+			now += j.Runtime + time.Duration(rng.ExpFloat64()*float64(cfg.MeanThink))
+		}
+	}
+	trace.Sort()
+	return trace
+}
+
+// drawCatalogJob draws one submission from the Table-I catalog with
+// the same per-job draw sequence Poisson uses: the OS share first,
+// then the application, then the log-normal-ish runtime scatter, then
+// the owner.
+func drawCatalogJob(rng *rand.Rand, at time.Duration, winFrac float64, maxNodes int) Job {
+	var app App
+	var os osid.OS
+	if rng.Float64() < winFrac {
+		apps := append(CatalogByPlatform(WindowsOnly), CatalogByPlatform(Both)...)
+		app = apps[rng.Intn(len(apps))]
+		os = osid.Windows
+	} else {
+		apps := append(CatalogByPlatform(LinuxOnly), CatalogByPlatform(Both)...)
+		app = apps[rng.Intn(len(apps))]
+		os = osid.Linux
+	}
+	nodes := app.TypicalNodes
+	if maxNodes > 0 && nodes > maxNodes {
+		nodes = maxNodes
+	}
+	scatter := math.Exp(0.5 * rng.NormFloat64())
+	runtime := time.Duration(float64(app.TypicalRuntime) * scatter)
+	if runtime < time.Minute {
+		runtime = time.Minute
+	}
+	return Job{
+		At:      at,
+		App:     app.Name,
+		OS:      os,
+		Owner:   fmt.Sprintf("user%02d", rng.Intn(12)+1),
+		Nodes:   nodes,
+		PPN:     app.TypicalPPN,
+		Runtime: runtime,
+	}
+}
+
+// mixSeed folds a stream index into a base seed with FNV-1a, matching
+// the coordinate-derived seeding style the sweep package uses:
+// deterministic across runs, platforms and Go versions.
+func mixSeed(base, idx int64) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d", base, idx)
+	return int64(h.Sum64() &^ (1 << 63))
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/osid"
+)
+
+func TestMMPPDeterministicAndBursty(t *testing.T) {
+	cfg := MMPPConfig{
+		Seed: 7, Duration: 48 * time.Hour, BaseRate: 2,
+		BurstFactor: 20, MeanDwell: 2 * time.Hour,
+		WindowsFrac: 0.3, MaxNodes: 4,
+	}
+	a, b := MMPP(cfg), MMPP(cfg)
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs between identical runs", i)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Span() > cfg.Duration {
+		t.Fatalf("span %v exceeds duration", a.Span())
+	}
+	// Burstiness: the index of dispersion of hourly arrival counts must
+	// exceed 1 by a wide margin — a plain Poisson stream sits at ~1.
+	hours := int(cfg.Duration / time.Hour)
+	counts := make([]float64, hours)
+	for _, j := range a {
+		if h := int(j.At / time.Hour); h < hours {
+			counts[h]++
+		}
+	}
+	var mean, varsum float64
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= float64(hours)
+	for _, c := range counts {
+		varsum += (c - mean) * (c - mean)
+	}
+	if iod := varsum / float64(hours) / mean; iod < 2 {
+		t.Fatalf("index of dispersion %.2f; MMPP should be far burstier than Poisson (~1)", iod)
+	}
+}
+
+func TestMMPPDefaultsAndDegenerate(t *testing.T) {
+	if tr := MMPP(MMPPConfig{}); tr != nil {
+		t.Fatalf("zero config should yield no trace, got %d jobs", len(tr))
+	}
+	tr := MMPP(MMPPConfig{Seed: 1, Duration: 24 * time.Hour, BaseRate: 4})
+	if len(tr) == 0 {
+		t.Fatal("defaults produced an empty trace")
+	}
+}
+
+func TestUserPopulationClosedLoop(t *testing.T) {
+	cfg := UserPopulationConfig{
+		Seed: 11, Users: 40, Duration: 48 * time.Hour,
+		MeanThink: time.Hour, WindowsFrac: 0.4, MaxNodes: 4,
+	}
+	a, b := UserPopulation(cfg), UserPopulation(cfg)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs between identical runs", i)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Closed loop: each user's submissions must be separated by at
+	// least the preceding job's runtime — no user has two jobs in
+	// flight.
+	last := map[string]Job{}
+	perUser := map[string]int{}
+	for _, j := range a {
+		if prev, ok := last[j.Owner]; ok {
+			if j.At < prev.At+prev.Runtime {
+				t.Fatalf("user %s submitted at %v with a job still running until %v",
+					j.Owner, j.At, prev.At+prev.Runtime)
+			}
+		}
+		last[j.Owner] = j
+		perUser[j.Owner]++
+	}
+	if len(perUser) != cfg.Users {
+		t.Fatalf("%d distinct users, want %d", len(perUser), cfg.Users)
+	}
+	if got := a.CountByOS(); got[osid.Windows] == 0 || got[osid.Linux] == 0 {
+		t.Fatalf("degenerate OS split: %v", got)
+	}
+}
+
+// Population size scales offered load: more users, more jobs — and the
+// per-user RNG streams mean a prefix of the population submits exactly
+// the jobs it would in a bigger population.
+func TestUserPopulationScalesWithUsers(t *testing.T) {
+	small := UserPopulation(UserPopulationConfig{Seed: 3, Users: 10, Duration: 24 * time.Hour})
+	big := UserPopulation(UserPopulationConfig{Seed: 3, Users: 50, Duration: 24 * time.Hour})
+	if len(big) <= len(small) {
+		t.Fatalf("50 users submitted %d jobs, 10 users %d", len(big), len(small))
+	}
+	smallJobs := map[Job]int{}
+	for _, j := range small {
+		smallJobs[j]++
+	}
+	for _, j := range big {
+		if smallJobs[j] > 0 {
+			smallJobs[j]--
+		}
+	}
+	for j, n := range smallJobs {
+		if n > 0 {
+			t.Fatalf("job %+v from the small population missing from the big one", j)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/osid"
+)
+
+// This file ingests Standard Workload Format (SWF) logs — the format
+// the Parallel Workloads Archive publishes real supercomputer traces
+// in — so published job streams replay through the simulator beside
+// the synthetic generators. An SWF log is line-oriented: lines starting
+// with ";" are header directives ("; MaxNodes: 128") or comments, and
+// every data line carries the same 18 whitespace-separated numeric
+// fields, with -1 marking a missing value.
+
+// SWF field indices (0-based) per the PWA definition.
+const (
+	swfJobID = iota
+	swfSubmit
+	swfWait
+	swfRunTime
+	swfAllocProcs
+	swfAvgCPU
+	swfUsedMem
+	swfReqProcs
+	swfReqTime
+	swfReqMem
+	swfStatus
+	swfUser
+	swfGroup
+	swfExecutable
+	swfQueue
+	swfPartition
+	swfPrecedingJob
+	swfThinkTime
+	swfFields // = 18
+)
+
+// SWFHeader holds the log's ";"-directive lines as key → value text
+// ("MaxNodes" → "128"). Directives repeat in some archive logs; the
+// last occurrence wins.
+type SWFHeader map[string]string
+
+// SWFConfig parameterises the SWF → Trace mapping. The zero value
+// replays the whole log with used runtimes, a 4-cores-per-node shape,
+// and every job on Linux.
+type SWFConfig struct {
+	// Seed salts the deterministic platform-assignment hash. SWF logs
+	// carry no OS column, so each job is assigned a side by hashing
+	// (Seed, job number): the same seed always yields the same
+	// assignment, independent of read order or truncation.
+	Seed int64
+	// WindowsFrac is the fraction of jobs assigned to Windows (0..1).
+	WindowsFrac float64
+	// PPN is the cores-per-node used to fold the log's flat processor
+	// counts into the simulator's nodes × ppn job shape (default 4).
+	// A job asking for fewer than PPN processors becomes 1 × procs;
+	// wider jobs become ceil(procs/PPN) × PPN.
+	PPN int
+	// MaxJobs keeps only the first MaxJobs usable records (0 = all).
+	MaxJobs int
+	// Window keeps only jobs submitted within Window of the first
+	// kept job (0 = the whole log). Submission times are normalised so
+	// the first kept job arrives at time zero.
+	Window time.Duration
+	// TargetNodes rescales job widths so the log's widest job spans
+	// TargetNodes nodes (0 = keep the log's widths). Use it to fit an
+	// archive trace from a big machine onto a small simulated topology.
+	TargetNodes int
+	// UseRequested prefers the requested (walltime-estimate) runtime
+	// field over the used one. Whichever field is preferred, the other
+	// stands in when the preferred one is a -1 sentinel.
+	UseRequested bool
+}
+
+// ReadSWFFile reads an SWF log from disk.
+func ReadSWFFile(path string, cfg SWFConfig) (Trace, SWFHeader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	trace, hdr, err := ReadSWF(f, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload: %s: %w", path, err)
+	}
+	return trace, hdr, nil
+}
+
+// ReadSWF parses a Standard Workload Format log into a Trace.
+//
+// Mapping, per record: submit time (field 2, normalised to the first
+// kept job) becomes the submission offset; the used runtime (field 4,
+// or the requested time per SWFConfig.UseRequested, each falling back
+// to the other on a -1 sentinel) becomes the runtime; the requested
+// processor count (field 8, falling back to allocated, field 5) is
+// folded into nodes × ppn via SWFConfig.PPN; the user id becomes the
+// owner and the executable number the application name; and the OS is
+// assigned by the deterministic (Seed, job number) hash.
+//
+// Records whose sentinels leave no usable processor count or runtime
+// are skipped — they describe jobs that never ran (cancelled before
+// start) and carry no load. Malformed input — a data line with the
+// wrong field count, a non-numeric field, a negative value that is not
+// the -1 sentinel, or submit times running backwards — is an error
+// naming the offending line. A log with no usable job records (e.g. a
+// header-only file) is an error too.
+func ReadSWF(r io.Reader, cfg SWFConfig) (Trace, SWFHeader, error) {
+	if cfg.PPN <= 0 {
+		cfg.PPN = 4
+	}
+	header := SWFHeader{}
+	var trace Trace
+	var maxNodes int
+	var base, prevSubmit float64
+	first := true
+	truncated := false
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			if key, val, ok := strings.Cut(strings.TrimLeft(line, "; \t"), ":"); ok {
+				key = strings.TrimSpace(key)
+				if key != "" {
+					header[key] = strings.TrimSpace(val)
+				}
+			}
+			continue
+		}
+		if truncated {
+			// MaxJobs / Window reached: the rest of the log is cut off,
+			// not validated.
+			break
+		}
+		fields := strings.Fields(line)
+		if len(fields) != swfFields {
+			return nil, header, fmt.Errorf("swf line %d: %d fields, want %d", lineno, len(fields), swfFields)
+		}
+		rec := make([]float64, swfFields)
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, header, fmt.Errorf("swf line %d: field %d: bad number %q", lineno, i+1, f)
+			}
+			if v < 0 && v != -1 {
+				return nil, header, fmt.Errorf("swf line %d: field %d: negative value %v is not the -1 sentinel", lineno, i+1, v)
+			}
+			rec[i] = v
+		}
+		submit := rec[swfSubmit]
+		if submit == -1 {
+			return nil, header, fmt.Errorf("swf line %d: missing submit time", lineno)
+		}
+		if !first && submit < prevSubmit {
+			return nil, header, fmt.Errorf("swf line %d: submit time %v runs backwards (previous %v)", lineno, submit, prevSubmit)
+		}
+		prevSubmit = submit
+
+		procs := rec[swfReqProcs]
+		if procs <= 0 {
+			procs = rec[swfAllocProcs]
+		}
+		runtime := rec[swfRunTime]
+		requested := rec[swfReqTime]
+		if cfg.UseRequested {
+			runtime, requested = requested, runtime
+		}
+		if runtime <= 0 {
+			runtime = requested
+		}
+		if procs <= 0 || runtime <= 0 {
+			continue // sentinel-only record: the job never ran
+		}
+		if first {
+			base = submit
+			first = false
+		}
+		at := time.Duration((submit - base) * float64(time.Second))
+		if cfg.Window > 0 && at > cfg.Window {
+			truncated = true
+			continue
+		}
+
+		nodes, ppn := 1, int(procs)
+		if ppn > cfg.PPN {
+			nodes = (ppn + cfg.PPN - 1) / cfg.PPN
+			ppn = cfg.PPN
+		}
+		if nodes > maxNodes {
+			maxNodes = nodes
+		}
+		owner := "unknown"
+		if rec[swfUser] >= 0 {
+			owner = fmt.Sprintf("u%d", int(rec[swfUser]))
+		}
+		app := "swf-app"
+		if rec[swfExecutable] >= 0 {
+			app = fmt.Sprintf("swf-app%d", int(rec[swfExecutable]))
+		}
+		trace = append(trace, Job{
+			At:      at,
+			App:     app,
+			OS:      swfPlatform(cfg.Seed, int64(rec[swfJobID]), cfg.WindowsFrac),
+			Owner:   owner,
+			Nodes:   nodes,
+			PPN:     ppn,
+			Runtime: time.Duration(runtime * float64(time.Second)),
+		})
+		if cfg.MaxJobs > 0 && len(trace) >= cfg.MaxJobs {
+			truncated = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, header, fmt.Errorf("swf line %d: %w", lineno, err)
+	}
+	if len(trace) == 0 {
+		return nil, header, fmt.Errorf("swf: no usable job records (%d lines read)", lineno)
+	}
+	if cfg.TargetNodes > 0 && maxNodes > 0 && cfg.TargetNodes != maxNodes {
+		f := float64(cfg.TargetNodes) / float64(maxNodes)
+		for i := range trace {
+			n := int(math.Round(float64(trace[i].Nodes) * f))
+			if n < 1 {
+				n = 1
+			}
+			trace[i].Nodes = n
+		}
+	}
+	if err := trace.Validate(); err != nil {
+		return nil, header, fmt.Errorf("swf: %w", err)
+	}
+	return trace, header, nil
+}
+
+// swfPlatform deterministically assigns a job to an OS: an FNV-1a hash
+// of (seed, job number) mapped to [0,1) and compared against the
+// Windows fraction. Pure function of its inputs — the assignment never
+// depends on read order, truncation, or any RNG stream.
+func swfPlatform(seed, jobID int64, winFrac float64) osid.OS {
+	if winFrac <= 0 {
+		return osid.Linux
+	}
+	if winFrac >= 1 {
+		return osid.Windows
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d", seed, jobID)
+	// FNV-1a's high bits avalanche poorly on short sequential inputs,
+	// so finish with a splitmix64-style mix before mapping to [0,1).
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	u := float64(z>>11) / float64(uint64(1)<<53) // 53-bit mantissa, uniform [0,1)
+	if u < winFrac {
+		return osid.Windows
+	}
+	return osid.Linux
+}

@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/osid"
+)
+
+// swfLine renders one 18-field SWF record from a short field list,
+// padding the trailing fields with -1 sentinels.
+func swfLine(fields ...string) string {
+	for len(fields) < swfFields {
+		fields = append(fields, "-1")
+	}
+	return strings.Join(fields, " ")
+}
+
+// A well-formed miniature log: header directives, a comment, and three
+// jobs (one relying on the requested-time fallback).
+const sampleSWF = `; Version: 2.2
+; Computer: test rig
+; MaxNodes: 8
+; this comment line has no colon-separated value
+1 0    -1 3600 4  -1 -1 4  5400 -1 1 7  -1 3  1 1 -1 -1
+2 60   -1 -1   -1 -1 -1 12 1800 -1 1 8  -1 5  1 1 -1 -1
+3 7260 -1 600  1  -1 -1 1  900  -1 1 -1 -1 -1 1 1 -1 -1
+`
+
+func TestReadSWFMapsFields(t *testing.T) {
+	trace, hdr, err := ReadSWF(strings.NewReader(sampleSWF), SWFConfig{Seed: 1, PPN: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr["MaxNodes"] != "8" || hdr["Computer"] != "test rig" {
+		t.Fatalf("header = %v", hdr)
+	}
+	if len(trace) != 3 {
+		t.Fatalf("got %d jobs", len(trace))
+	}
+	// Job 1: 4 procs at ppn 4 → 1×4, used time 3600s.
+	if j := trace[0]; j.At != 0 || j.Nodes != 1 || j.PPN != 4 || j.Runtime != time.Hour || j.Owner != "u7" || j.App != "swf-app3" {
+		t.Fatalf("job 1 = %+v", j)
+	}
+	// Job 2: used time is -1, so the requested 1800s stands in; 12
+	// procs fold to 3×4.
+	if j := trace[1]; j.At != time.Minute || j.Nodes != 3 || j.PPN != 4 || j.Runtime != 30*time.Minute {
+		t.Fatalf("job 2 = %+v", j)
+	}
+	// Job 3: -1 user and executable sentinels get placeholder labels.
+	if j := trace[2]; j.Owner != "unknown" || j.App != "swf-app" {
+		t.Fatalf("job 3 = %+v", j)
+	}
+}
+
+func TestReadSWFRequestedTime(t *testing.T) {
+	trace, _, err := ReadSWF(strings.NewReader(sampleSWF), SWFConfig{UseRequested: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 1 now takes the requested 5400s; job 2 falls back from the
+	// missing used time to the requested field either way.
+	if trace[0].Runtime != 90*time.Minute || trace[1].Runtime != 30*time.Minute {
+		t.Fatalf("runtimes = %v, %v", trace[0].Runtime, trace[1].Runtime)
+	}
+}
+
+func TestReadSWFTruncation(t *testing.T) {
+	trace, _, err := ReadSWF(strings.NewReader(sampleSWF), SWFConfig{MaxJobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2 {
+		t.Fatalf("maxjobs: got %d jobs", len(trace))
+	}
+	// The window is measured from the first kept job; job 3 arrives at
+	// 7260s and falls outside a 1h window.
+	trace, _, err = ReadSWF(strings.NewReader(sampleSWF), SWFConfig{Window: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2 {
+		t.Fatalf("window: got %d jobs", len(trace))
+	}
+}
+
+func TestReadSWFRescalesNodes(t *testing.T) {
+	trace, _, err := ReadSWF(strings.NewReader(sampleSWF), SWFConfig{TargetNodes: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Widest job was 3 nodes → scaled ×2; the 1-node jobs follow.
+	if trace[1].Nodes != 6 || trace[0].Nodes != 2 {
+		t.Fatalf("rescaled widths = %d, %d", trace[0].Nodes, trace[1].Nodes)
+	}
+}
+
+func TestReadSWFPlatformAssignment(t *testing.T) {
+	var lines []string
+	lines = append(lines, "; Version: 2.2")
+	for i := 1; i <= 400; i++ {
+		lines = append(lines, swfLine(itoa(i), itoa(i*10), "-1", "600", "1"))
+	}
+	log := strings.Join(lines, "\n")
+	trace, _, err := ReadSWF(strings.NewReader(log), SWFConfig{Seed: 42, WindowsFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := trace.CountByOS()
+	if counts[osid.Windows] == 0 || counts[osid.Linux] == 0 {
+		t.Fatalf("degenerate split: %v", counts)
+	}
+	if frac := float64(counts[osid.Windows]) / float64(len(trace)); frac < 0.2 || frac > 0.4 {
+		t.Fatalf("windows share %.2f far from 0.3", frac)
+	}
+	// Deterministic: same seed → same assignment; different seed →
+	// (almost surely) a different one.
+	again, _, err := ReadSWF(strings.NewReader(log), SWFConfig{Seed: 42, WindowsFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reseeded, _, err := ReadSWF(strings.NewReader(log), SWFConfig{Seed: 43, WindowsFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var differs bool
+	for i := range trace {
+		if trace[i].OS != again[i].OS {
+			t.Fatalf("job %d: same seed, different platform", i)
+		}
+		if trace[i].OS != reseeded[i].OS {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("reseeding never moved a job")
+	}
+}
+
+func TestReadSWFMalformed(t *testing.T) {
+	cases := []struct {
+		name, input, wantErr string
+	}{
+		{"header only", "; Version: 2.2\n; MaxJobs: 0\n", "no usable job records"},
+		{"empty", "", "no usable job records"},
+		{"sentinels only", swfLine("1", "0", "-1", "-1", "-1") + "\n", "no usable job records"},
+		{"short row", "1 0 3600 4\n", "line 1: 4 fields, want 18"},
+		{"long row", swfLine("1", "0", "-1", "600", "1") + " 9\n", "line 1: 19 fields, want 18"},
+		{"non-numeric", swfLine("1", "zero", "-1", "600", "1") + "\n", `line 1: field 2: bad number "zero"`},
+		{"bad negative", swfLine("1", "0", "-1", "-600", "1") + "\n", "line 1: field 4: negative value -600"},
+		{"missing submit", swfLine("1", "-1", "-1", "600", "1") + "\n", "line 1: missing submit time"},
+		{
+			"non-monotonic",
+			swfLine("1", "100", "-1", "600", "1") + "\n" + swfLine("2", "40", "-1", "600", "1") + "\n",
+			"line 2: submit time 40 runs backwards",
+		},
+		{
+			"comment resets nothing",
+			swfLine("1", "100", "-1", "600", "1") + "\n; interleaved comment\n" + swfLine("2", "40", "-1", "600", "1") + "\n",
+			"line 3: submit time 40 runs backwards",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ReadSWF(strings.NewReader(tc.input), SWFConfig{})
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// Lines after the truncation point are cut off, not validated — a
+// MaxJobs prefix of a damaged log still replays.
+func TestReadSWFTruncationStopsValidation(t *testing.T) {
+	log := swfLine("1", "0", "-1", "600", "1") + "\nthis line is garbage\n"
+	if _, _, err := ReadSWF(strings.NewReader(log), SWFConfig{}); err == nil {
+		t.Fatal("garbage line should fail an untruncated read")
+	}
+	trace, _, err := ReadSWF(strings.NewReader(log), SWFConfig{MaxJobs: 1})
+	if err != nil || len(trace) != 1 {
+		t.Fatalf("truncated read = %v, %d jobs", err, len(trace))
+	}
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }
