@@ -130,6 +130,7 @@ func run(linAddr, winAddr string, cycles int) error {
 		if err := comm.SendTCP(linSrv.Addr(), msg, 2*time.Second); err != nil {
 			return fmt.Errorf("state send: %w", err)
 		}
+		//simlint:allow walltime -- live daemon shutdown grace, not simulation time
 		time.Sleep(50 * time.Millisecond) // let handlers finish
 	}
 

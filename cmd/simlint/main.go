@@ -1,0 +1,55 @@
+// Command simlint is the multichecker for the repo's determinism-lint
+// suite (internal/analysis): walltime, globalrand, maporder and
+// fieldsync, statically enforcing the reproducibility invariants the
+// goldens and bench gates check dynamically.
+//
+// Usage:
+//
+//	go run ./cmd/simlint ./...
+//	go run ./cmd/simlint -list
+//
+// Exit status: 0 clean, 1 findings, 2 errors. Silence a legitimate
+// site with a line directive carrying a reason:
+//
+//	//simlint:allow walltime -- real socket deadline, not simulation time
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and what each enforces")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Println(a.Doc)
+			fmt.Println()
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := analysis.Run(patterns, analysis.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		wd, _ := os.Getwd()
+		analysis.Print(os.Stdout, wd, findings)
+		os.Exit(1)
+	}
+}

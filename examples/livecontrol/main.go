@@ -70,6 +70,7 @@ func main() {
 		if err := comm.SendTCP(lin.Addr(), msg, 2*time.Second); err != nil {
 			log.Fatal(err)
 		}
+		//simlint:allow walltime -- interactive demo pacing real output
 		time.Sleep(30 * time.Millisecond)
 	}
 

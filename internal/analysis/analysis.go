@@ -1,0 +1,109 @@
+// Package analysis is simlint: the repo's determinism-lint suite. It
+// statically enforces the reproducibility contract everything else
+// here depends on — byte-identical sweep CSVs at any worker count,
+// EventsRun bench gates, golden spec replays — by banning the three
+// ways Go code silently breaks it: wall-clock time, global RNG state,
+// and order-sensitive map iteration. A fourth analyzer guards the
+// sweep axis-registry hygiene that keeps "one registration per axis"
+// true.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic, an analysistest-style fixture harness)
+// but is built entirely on the standard library — go/ast, go/types,
+// go/importer — so the module stays dependency-free: the loader feeds
+// go/types from the build cache's export data (`go list -export`)
+// instead of x/tools' gcexportdata. Porting an analyzer to the x/tools
+// driver is a mechanical rename.
+//
+// Analyzers only inspect non-test files: the contract binds simulation
+// code, while tests legitimately use wall-clock timeouts and are
+// themselves checked dynamically (goldens, -shuffle, the bench gate).
+//
+// A finding at a site that is genuinely outside simulation time — a
+// socket deadline, the benchtab stopwatch — is silenced with a line
+// directive carrying a mandatory reason:
+//
+//	conn.SetDeadline(time.Now().Add(timeout)) //simlint:allow walltime -- real socket deadline
+//
+// or, on its own line, covering the next line:
+//
+//	//simlint:allow walltime -- real socket deadline
+//	conn.SetDeadline(time.Now().Add(timeout))
+//
+// Multiple analyzer names may be comma-separated; the name "all"
+// silences every analyzer. A directive with no "-- reason" is itself
+// reported. Run the suite with:
+//
+//	go run ./cmd/simlint ./...
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one invariant check. The shape deliberately
+// matches golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //simlint:allow directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced,
+	// beginning "Name: ".
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Report.
+	Run func(*Pass) error
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding inside a package.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Analyzers returns the simlint suite in reporting order. cmd/simlint
+// is a thin multichecker over exactly this slice.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{WallTime, GlobalRand, MapOrder, FieldSync}
+}
+
+// pkgNameOf resolves an identifier to the package it names, when the
+// identifier is the base of a qualified reference (`time` in
+// `time.Now`). Nil when the identifier is anything else — including a
+// local variable shadowing the import name.
+func pkgNameOf(info *types.Info, id *ast.Ident) *types.PkgName {
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn
+	}
+	return nil
+}
+
+// pkgFunc reports whether sel is a reference to the package-level
+// function path.name, resolved through the type checker (import
+// renames and shadowing are handled for free).
+func pkgFunc(info *types.Info, sel *ast.SelectorExpr, path, name string) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn := pkgNameOf(info, id)
+	return pn != nil && pn.Imported().Path() == path && sel.Sel.Name == name
+}

@@ -1,0 +1,258 @@
+// Package analysistest runs simlint analyzers over fixture packages
+// and checks their findings against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only.
+//
+// A fixture lives under <testdata>/src/<pkg>/*.go. Each expected
+// finding is declared next to the offending code:
+//
+//	_ = time.Now() // want `time\.Now reads the wall clock`
+//
+// A want comment holds one Go string literal (quoted or backquoted)
+// per expected diagnostic on that line; each is a regular expression
+// matched against the diagnostic message. Lines without a want
+// comment must produce no diagnostics — which is how fixtures also
+// prove //simlint:allow suppression and clean files: a banned call
+// annotated with a directive carries no want, so the test fails
+// unless suppression removes the finding.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run applies the analyzer to each fixture package under
+// dir/src/<pkg> and reports mismatches between its diagnostics and
+// the fixtures' want comments. Directive suppression is applied
+// exactly as the simlint driver applies it.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runPackage(t, filepath.Join(dir, "src", pkg), a)
+		})
+	}
+}
+
+func runPackage(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	cp, err := loadFixture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, malformed, err := analysis.RunAnalyzer(a, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags = append(diags, malformed...)
+
+	got := map[lineKey][]string{}
+	for _, d := range diags {
+		pos := cp.Fset.Position(d.Pos)
+		k := lineKey{pos.Filename, pos.Line}
+		got[k] = append(got[k], d.Message)
+	}
+	want, err := expectations(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range sortedKeys(want) {
+		patterns := want[k]
+		messages := got[k]
+		for _, pat := range patterns {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", k.file, k.line, pat, err)
+			}
+			idx := -1
+			for i, m := range messages {
+				if re.MatchString(m) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %q)", k.file, k.line, pat, messages)
+				continue
+			}
+			messages = append(messages[:idx], messages[idx+1:]...)
+		}
+		if len(messages) > 0 {
+			t.Errorf("%s:%d: unexpected diagnostics beyond want comments: %q", k.file, k.line, messages)
+		}
+		delete(got, k)
+	}
+	for _, k := range sortedKeys(got) {
+		t.Errorf("%s:%d: unexpected diagnostics (no want comment): %q", k.file, k.line, got[k])
+	}
+}
+
+// sortedKeys orders line keys by (file, line) so harness output is
+// deterministic — the same discipline the maporder analyzer enforces.
+func sortedKeys(m map[lineKey][]string) []lineKey {
+	keys := make([]lineKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	return keys
+}
+
+// loadFixture parses and type-checks one fixture directory, resolving
+// its (standard library) imports from build-cache export data.
+func loadFixture(dir string) (*analysis.CheckedPackage, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	cp := &analysis.CheckedPackage{PkgPath: dir, Fset: fset, Sources: map[string][]byte{}}
+	importSet := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		filename := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		cp.Sources[filename] = src
+		cp.Files = append(cp.Files, f)
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				importSet[path] = true
+			}
+		}
+	}
+	if len(cp.Files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	var imports []string
+	for path := range importSet {
+		imports = append(imports, path)
+	}
+	sort.Strings(imports) // deterministic go list argument order
+	imp, err := analysis.NewImporter(fset, imports...)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	pkg, err := conf.Check(dir, fset, cp.Files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", dir, err)
+	}
+	cp.Pkg = pkg
+	cp.Info = info
+	return cp, nil
+}
+
+// lineKey addresses one fixture source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+// expectations collects the want comments of every fixture file,
+// keyed by (file, line).
+func expectations(cp *analysis.CheckedPackage) (map[lineKey][]string, error) {
+	want := map[lineKey][]string{}
+	for _, f := range cp.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := cp.Fset.Position(c.Pos())
+				patterns, err := parseWant(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				k := lineKey{pos.Filename, pos.Line}
+				want[k] = append(want[k], patterns...)
+			}
+		}
+	}
+	return want, nil
+}
+
+// parseWant reads the sequence of Go string literals in a want
+// comment's payload.
+func parseWant(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted want pattern")
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			lit, rest, err := scanQuoted(s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lit)
+			s = rest
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted Go strings, got %q", s)
+		}
+	}
+}
+
+// scanQuoted consumes one double-quoted Go string literal from the
+// front of s.
+func scanQuoted(s string) (lit, rest string, err error) {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			u, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return u, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted want pattern")
+}

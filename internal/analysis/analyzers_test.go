@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each fixture package holds positive findings, directive-suppressed
+// sites and clean files; the harness fails on any diagnostic without
+// a want comment, so suppression and clean cases are load-bearing.
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.WallTime, "walltime")
+}
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.GlobalRand, "globalrand")
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MapOrder, "maporder")
+}
+
+func TestFieldSync(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.FieldSync, "fieldsync")
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix is the comment marker for allow directives:
+//
+//	//simlint:allow walltime -- real socket deadline
+//	//simlint:allow walltime,globalrand -- reason covering both
+//
+// An end-of-line directive silences the named analyzers on its own
+// line; a directive standing alone on a line silences them on the
+// following line. The reason after " -- " is mandatory: a directive
+// without one is itself reported, so every escape hatch in the tree
+// carries its justification.
+const directivePrefix = "//simlint:allow"
+
+// directiveName attributes malformed-directive findings; it is also a
+// reserved analyzer name.
+const directiveName = "simlint"
+
+// allowAll silences every analyzer at the directive's site.
+const allowAll = "all"
+
+// A directive is one parsed //simlint:allow comment.
+type directive struct {
+	names map[string]bool // analyzer names (or allowAll), all lower-case
+	line  int             // the source line the directive silences
+}
+
+// directiveSet holds the directives of one file, keyed by silenced
+// line, plus the malformed ones found while scanning.
+type directiveSet struct {
+	byLine    map[int][]directive
+	malformed []Diagnostic
+}
+
+// allows reports whether the named analyzer is silenced at line.
+func (ds *directiveSet) allows(name string, line int) bool {
+	for _, d := range ds.byLine[line] {
+		if d.names[allowAll] || d.names[strings.ToLower(name)] {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirectives scans a file's comments for //simlint:allow
+// directives. src is the file's raw bytes — needed to decide whether a
+// directive shares its line with code (silences that line) or stands
+// alone (silences the next line).
+func parseDirectives(fset *token.FileSet, file *ast.File, src []byte) *directiveSet {
+	ds := &directiveSet{byLine: map[int][]directive{}}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := c.Text[len(directivePrefix):]
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //simlint:allowance — not ours
+			}
+			names, reason, ok := splitDirective(rest)
+			if !ok || len(names) == 0 || reason == "" {
+				ds.malformed = append(ds.malformed, Diagnostic{
+					Pos:     c.Pos(),
+					Message: "malformed simlint directive: want //simlint:allow <analyzer>[,<analyzer>] -- <reason>",
+				})
+				continue
+			}
+			line := pos.Line
+			if standalone(src, fset, c.Pos()) {
+				line++
+			}
+			ds.byLine[line] = append(ds.byLine[line], directive{names: names, line: line})
+		}
+	}
+	return ds
+}
+
+// splitDirective parses " walltime,globalrand -- reason" into its name
+// set and reason.
+func splitDirective(rest string) (names map[string]bool, reason string, ok bool) {
+	namePart, reason, found := strings.Cut(rest, " -- ")
+	if !found {
+		return nil, "", false
+	}
+	reason = strings.TrimSpace(reason)
+	names = map[string]bool{}
+	for _, n := range strings.Split(namePart, ",") {
+		n = strings.ToLower(strings.TrimSpace(n))
+		if n == "" {
+			return nil, "", false
+		}
+		names[n] = true
+	}
+	return names, reason, true
+}
+
+// standalone reports whether the comment at pos is the first non-blank
+// text on its source line, i.e. not an end-of-line comment.
+func standalone(src []byte, fset *token.FileSet, pos token.Pos) bool {
+	off := fset.Position(pos).Offset
+	if off > len(src) {
+		return false
+	}
+	for i := off - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return true
+		case ' ', '\t':
+			continue
+		default:
+			return false
+		}
+	}
+	return true // first line of the file
+}
+
+// filterDiagnostics drops diagnostics silenced by a directive for the
+// named analyzer and appends the file set's malformed-directive
+// findings exactly once (when name == directiveName).
+func filterDiagnostics(ds *directiveSet, fset *token.FileSet, name string, diags []Diagnostic) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if ds.allows(name, fset.Position(d.Pos).Line) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

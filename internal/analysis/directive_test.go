@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseForDirectives(t *testing.T, src string) (*token.FileSet, *directiveSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, parseDirectives(fset, f, []byte(src))
+}
+
+func TestDirectivePlacement(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //simlint:allow walltime -- end-of-line covers line 4
+	//simlint:allow maporder -- standalone covers line 6
+	_ = 2
+}
+`
+	_, ds := parseForDirectives(t, src)
+	if !ds.allows("walltime", 4) {
+		t.Error("end-of-line directive must cover its own line")
+	}
+	if ds.allows("walltime", 5) || ds.allows("walltime", 6) {
+		t.Error("end-of-line directive must not leak to other lines")
+	}
+	if !ds.allows("maporder", 6) {
+		t.Error("standalone directive must cover the following line")
+	}
+	if ds.allows("maporder", 5) {
+		t.Error("standalone directive must not cover its own line")
+	}
+	if ds.allows("globalrand", 4) {
+		t.Error("directive must only silence the analyzers it names")
+	}
+}
+
+func TestDirectiveListAndAll(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //simlint:allow walltime, globalrand -- list with spaces
+	_ = 2 //simlint:allow all -- everything
+}
+`
+	_, ds := parseForDirectives(t, src)
+	for _, name := range []string{"walltime", "globalrand"} {
+		if !ds.allows(name, 4) {
+			t.Errorf("comma list must cover %s", name)
+		}
+	}
+	if ds.allows("maporder", 4) {
+		t.Error("comma list must not cover unnamed analyzers")
+	}
+	for _, name := range []string{"walltime", "globalrand", "maporder", "fieldsync"} {
+		if !ds.allows(name, 5) {
+			t.Errorf("allow all must cover %s", name)
+		}
+	}
+}
+
+func TestDirectiveRequiresReason(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //simlint:allow walltime
+	_ = 2 //simlint:allow -- reason with no analyzer names
+	_ = 3 //simlint:allowance is some other tool's business
+}
+`
+	_, ds := parseForDirectives(t, src)
+	if len(ds.malformed) != 2 {
+		t.Fatalf("expected 2 malformed directives, got %d: %v", len(ds.malformed), ds.malformed)
+	}
+	if ds.allows("walltime", 4) || ds.allows("walltime", 5) {
+		t.Error("malformed directives must not silence anything")
+	}
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// A Finding is one directive-filtered diagnostic, positioned and
+// attributed, ready to print.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// RunAnalyzer applies one analyzer to one package and returns its
+// diagnostics with //simlint:allow suppression already applied, plus
+// any malformed directives found in the package's files. Both the
+// multichecker driver and the analysistest harness go through this
+// path, so fixture tests exercise the same suppression machinery the
+// real runs use.
+func RunAnalyzer(a *Analyzer, cp *CheckedPackage) (diags, malformed []Diagnostic, err error) {
+	var raw []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      cp.Fset,
+		Files:     cp.Files,
+		Pkg:       cp.Pkg,
+		TypesInfo: cp.Info,
+		Report:    func(d Diagnostic) { raw = append(raw, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, nil, fmt.Errorf("%s: %v", a.Name, err)
+	}
+	// Suppression is per file: group the diagnostics by file, filter
+	// each group against that file's directive set.
+	for _, f := range cp.Files {
+		filename := cp.Fset.Position(f.Pos()).Filename
+		ds := parseDirectives(cp.Fset, f, cp.Sources[filename])
+		var inFile []Diagnostic
+		for _, d := range raw {
+			if cp.Fset.Position(d.Pos).Filename == filename {
+				inFile = append(inFile, d)
+			}
+		}
+		diags = append(diags, filterDiagnostics(ds, cp.Fset, a.Name, inFile)...)
+		malformed = append(malformed, ds.malformed...)
+	}
+	return diags, malformed, nil
+}
+
+// Run loads the packages matching patterns and applies every analyzer,
+// returning the sorted, suppression-filtered findings. Malformed
+// directives are reported once per file under the name "simlint".
+func Run(patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	pkgs, err := Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, cp := range pkgs {
+		seenMalformed := map[token.Pos]bool{}
+		for _, a := range analyzers {
+			diags, malformed, err := RunAnalyzer(a, cp)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range diags {
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: cp.Fset.Position(d.Pos), Message: d.Message})
+			}
+			for _, d := range malformed {
+				if !seenMalformed[d.Pos] {
+					seenMalformed[d.Pos] = true
+					findings = append(findings, Finding{Analyzer: directiveName, Pos: cp.Fset.Position(d.Pos), Message: d.Message})
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// Print writes findings in the conventional file:line:col form, with
+// paths relative to dir when possible.
+func Print(w io.Writer, dir string, findings []Finding) {
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(dir, name); err == nil && !filepath.IsAbs(rel) {
+			name = rel
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s [%s]\n", name, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+	}
+}

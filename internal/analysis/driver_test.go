@@ -1,0 +1,59 @@
+package analysis_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestAnalyzersRegistry pins the suite's contract: names are unique
+// (directives address analyzers by name), lower-case, never the
+// reserved driver name, and every analyzer is documented — both in
+// its Doc string and in the README's static-analysis section.
+func TestAnalyzersRegistry(t *testing.T) {
+	all := analysis.Analyzers()
+	if len(all) < 4 {
+		t.Fatalf("expected at least the four core analyzers, got %d", len(all))
+	}
+	readme, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatalf("reading README: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Name != strings.ToLower(a.Name) || strings.ContainsAny(a.Name, " ,") {
+			t.Errorf("analyzer name %q must be non-empty, lower-case, and free of spaces/commas", a.Name)
+		}
+		if a.Name == "simlint" || a.Name == "all" {
+			t.Errorf("analyzer name %q is reserved (driver attribution / allow-all directive)", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if !strings.HasPrefix(a.Doc, a.Name+":") {
+			t.Errorf("analyzer %q Doc must start with %q, got %q", a.Name, a.Name+":", a.Doc)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+		if !strings.Contains(string(readme), "`"+a.Name+"`") {
+			t.Errorf("analyzer %q is not documented in README.md", a.Name)
+		}
+	}
+}
+
+// TestRunOnOwnPackage smoke-tests the real loader end to end: the
+// analysis package itself must load, type-check against build-cache
+// export data, and come back clean.
+func TestRunOnOwnPackage(t *testing.T) {
+	findings, err := analysis.Run([]string{"repro/internal/analysis"}, analysis.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Message, f.Analyzer)
+	}
+}

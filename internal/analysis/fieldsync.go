@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// axisFieldRules encodes the registry hygiene PR 5 bought: an axis is
+// one registration, so the fields that jointly make a value visible —
+// parser+formatter, export column+renderer, name segment+order,
+// expansion counter+applier — must travel together or the "adding an
+// axis means one registration" guarantee rots into partially-wired
+// axes that parse but silently drop out of CSVs or cell names.
+var (
+	// axisRequired must appear in every registration.
+	axisRequired = []string{"Key", "Help", "Parse", "Format"}
+	// axisPaired fields are meaningless alone.
+	axisPaired = [][2]string{
+		{"Points", "Apply"},
+		{"Column", "Col"},
+		{"Segment", "NameOrder"},
+		{"ColumnOptional", "ColumnActive"},
+	}
+	// axisExpanding must appear whenever Points does: an axis that
+	// multiplies cells must label them in Describe output, export rows
+	// and cell names, or two cells become indistinguishable.
+	axisExpanding = []string{"Plural", "Column", "Col", "Segment", "NameOrder"}
+)
+
+// FieldSync enforces sweep axis-registry hygiene: every sweep.Axis
+// composite literal must populate its co-dependent field groups
+// together. This is the static guard for the PR 5 redesign — the
+// registry derives ParseGridSpec, the qsim flag set, CSV/JSON columns
+// and deterministic cell names from one registration per axis, so a
+// registration that parses but lacks its formatter, column or name
+// segment would silently desynchronise documents, exports and seeds.
+var FieldSync = &Analyzer{
+	Name: "fieldsync",
+	Doc: "fieldsync: every sweep.Axis registration must populate co-dependent fields together " +
+		"(Key/Help/Parse/Format always; Points with Apply, Plural, Column, Col, Segment, NameOrder; " +
+		"Column with Col; Segment with NameOrder; ColumnOptional with ColumnActive)",
+	Run: runFieldSync,
+}
+
+func runFieldSync(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isAxisLiteral(pass.TypesInfo, lit) {
+				return true
+			}
+			checkAxisLiteral(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// isAxisLiteral reports whether the composite literal builds a
+// sweep.Axis value (directly, via pointer, or as an implicit-type
+// element of an []*Axis registry slice).
+func isAxisLiteral(info *types.Info, lit *ast.CompositeLit) bool {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Axis" && obj.Pkg() != nil && obj.Pkg().Name() == "sweep"
+}
+
+func checkAxisLiteral(pass *Pass, lit *ast.CompositeLit) {
+	set := map[string]bool{}
+	key := "?"
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			pass.Reportf(el.Pos(), "sweep.Axis registrations must use keyed fields")
+			return
+		}
+		id, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		set[id.Name] = true
+		if id.Name == "Key" {
+			if bl, ok := kv.Value.(*ast.BasicLit); ok {
+				if s, err := strconv.Unquote(bl.Value); err == nil && s != "" {
+					key = s
+				}
+			}
+		}
+	}
+	for _, name := range axisRequired {
+		if !set[name] {
+			pass.Reportf(lit.Pos(), "axis %q registration is missing required field %s", key, name)
+		}
+	}
+	for _, pair := range axisPaired {
+		if set[pair[0]] != set[pair[1]] {
+			pass.Reportf(lit.Pos(), "axis %q must register %s and %s together", key, pair[0], pair[1])
+		}
+	}
+	if set["Points"] {
+		for _, name := range axisExpanding {
+			if !set[name] {
+				pass.Reportf(lit.Pos(),
+					"expanding axis %q (has Points) must also register %s, or its cells become indistinguishable in exports and cell names",
+					key, name)
+			}
+		}
+	}
+}

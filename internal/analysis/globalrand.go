@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randPkgs are the stdlib RNG packages whose package-level state is
+// banned. math/rand/v2 has no Seed, but its top-level functions still
+// draw from an unseedable global — equally irreproducible.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// randConstructors build explicit, locally-owned generators; they are
+// the only package-level rand functions a simulation may call, and
+// only with a deterministic seed expression.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// GlobalRand bans the global math/rand state. Sweep cells derive their
+// seeds from grid coordinates precisely so every cell owns its stream:
+// a single rand.Intn call shares one process-global generator across
+// all workers, making cell output depend on worker interleaving — the
+// exact failure the workers=1-vs-8 byte-identity test exists to catch.
+// RNGs must be *rand.Rand values built by rand.New(rand.NewSource(seed))
+// and threaded explicitly; seeding one from the wall clock is flagged
+// even where a walltime annotation is in force.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "globalrand: forbid the process-global math/rand state (top-level rand.Intn etc.) and " +
+		"wall-clock-seeded sources; RNGs must be *rand.Rand values threaded from coordinate-derived seeds",
+	Run: runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn := pkgNameOf(info, id)
+			if pn == nil || !randPkgs[pn.Imported().Path()] {
+				return true
+			}
+			// Types (rand.Rand, rand.Source) and the constructors are
+			// fine; any other package-level function is global state.
+			if _, isFunc := info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			if !randConstructors[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"rand.%s draws from the process-global generator; thread a *rand.Rand built from a coordinate-derived seed instead",
+					sel.Sel.Name)
+				return true
+			}
+			return true
+		})
+		// Second sweep: constructors seeded from the wall clock. The
+		// canonical anti-pattern rand.New(rand.NewSource(time.Now().
+		// UnixNano())) gets its own finding so a walltime allow
+		// directive cannot quietly authorise an irreproducible stream.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !randConstructors[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pn := pkgNameOf(info, id); pn == nil || !randPkgs[pn.Imported().Path()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if readsWallClock(info, arg) {
+					pass.Reportf(call.Pos(),
+						"rand.%s seeded from the wall clock is irreproducible; derive the seed from sweep coordinates",
+						sel.Sel.Name)
+					// One finding per seeding expression: don't descend
+					// into nested constructors of the same chain.
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// readsWallClock reports whether the expression subtree references any
+// wall-clock time function.
+func readsWallClock(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok && wallClockFuncs[sel.Sel.Name] &&
+			pkgFunc(info, sel, "time", sel.Sel.Name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A CheckedPackage is one parsed, type-checked package ready for
+// analyzers: syntax plus full type information plus the raw file
+// bytes (the directive scanner needs them to tell end-of-line
+// directives from standalone ones).
+type CheckedPackage struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	Sources map[string][]byte // filename -> raw bytes
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Error      *struct{ Err string }
+}
+
+// Load resolves package patterns with the go tool and type-checks the
+// matched packages from source. Imports are satisfied from the build
+// cache's export data (`go list -export -deps`), so the loader needs
+// no dependency beyond the standard library and the go tool that is
+// already running it. Test files are deliberately excluded — see the
+// package documentation.
+func Load(patterns []string) ([]*CheckedPackage, error) {
+	targets, err := goList(append([]string{"-json=ImportPath,Dir,GoFiles"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp, err := NewImporter(fset, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	var pkgs []*CheckedPackage
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		cp, err := parseAndCheck(fset, t, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, cp)
+	}
+	return pkgs, nil
+}
+
+// NewImporter builds a types.Importer that satisfies imports from the
+// build cache's export data for the packages matching patterns (and
+// all their dependencies). The analysistest harness uses it with the
+// fixture's import list; Load uses it with the target patterns.
+func NewImporter(fset *token.FileSet, patterns ...string) (types.Importer, error) {
+	exports := map[string]string{}
+	if len(patterns) > 0 {
+		deps, err := goList(append([]string{"-export", "-deps", "-json=ImportPath,Export"}, patterns...))
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range deps {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("simlint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}), nil
+}
+
+func goList(args []string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("simlint: go list: %v\n%s", err, errb.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("simlint: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("simlint: go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func parseAndCheck(fset *token.FileSet, t listedPackage, imp types.Importer) (*CheckedPackage, error) {
+	cp := &CheckedPackage{
+		PkgPath: t.ImportPath,
+		Fset:    fset,
+		Sources: make(map[string][]byte, len(t.GoFiles)),
+	}
+	for _, name := range t.GoFiles {
+		filename := filepath.Join(t.Dir, name)
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			return nil, fmt.Errorf("simlint: %v", err)
+		}
+		f, err := parser.ParseFile(fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("simlint: %v", err)
+		}
+		cp.Sources[filename] = src
+		cp.Files = append(cp.Files, f)
+	}
+	cp.Info = newTypesInfo()
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	pkg, err := conf.Check(t.ImportPath, fset, cp.Files, cp.Info)
+	if err != nil {
+		return nil, fmt.Errorf("simlint: type-checking %s: %v", t.ImportPath, err)
+	}
+	cp.Pkg = pkg
+	return cp, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// writerMethods are method names whose call inside a map-range body
+// emits in iteration order: once bytes leave through a writer or
+// encoder there is no sorting them afterwards.
+var writerMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteRow":    true,
+	"WriteAll":    true,
+	"Encode":      true,
+	"Fprint":      true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+	"Print":       true,
+	"Printf":      true,
+	"Println":     true,
+}
+
+// sortPkgs are the packages whose calls count as an intervening
+// deterministic sort of an accumulated slice.
+var sortPkgs = map[string]bool{"sort": true, "slices": true}
+
+// MapOrder flags order-sensitive consumption of Go's randomised map
+// iteration — the exact hazard class that would silently break
+// workers=1-vs-8 CSV byte identity. A `for range` over a map is fine
+// while its body only does commutative work (sums, map writes,
+// lookups); it is flagged when the body appends to a slice that is
+// never deterministically sorted afterwards in the same function,
+// writes to a writer/encoder, or accumulates a string (cell/CSV names).
+// The collect-then-sort idiom stays clean: an append whose target is
+// later passed to a sort or slices call is not reported.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "maporder: flag for-range over a map whose body appends to a slice (without a later " +
+		"deterministic sort), writes to a writer/encoder, or accumulates a string — map order " +
+		"nondeterminism would leak into output",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, body := range functionBodies(f) {
+			checkBodyMapRanges(pass, body)
+		}
+	}
+	return nil
+}
+
+// functionBodies collects every function body in the file: top-level
+// declarations and function literals alike.
+func functionBodies(f *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				bodies = append(bodies, fn.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, fn.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// checkBodyMapRanges finds map-range statements directly inside body
+// (not inside nested function literals, which get their own pass) and
+// applies the hazard checks, using body as the scope for the
+// sorted-afterwards exemption.
+func checkBodyMapRanges(pass *Pass, body *ast.BlockStmt) {
+	walkShallow(body, func(n ast.Node) {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(pass.TypesInfo, rng.X) {
+			return
+		}
+		checkMapRange(pass, body, rng)
+	})
+}
+
+// walkShallow visits every node under root without descending into
+// nested function literals.
+func walkShallow(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+func isMapType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange reports the hazards inside one map-range body.
+func checkMapRange(pass *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	mapExpr := types.ExprString(rng.X)
+	walkShallow(rng.Body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			// x = append(x, ...) — ordered accumulation, unless x is
+			// deterministically sorted later in this function.
+			for i, rhs := range st.Rhs {
+				if i >= len(st.Lhs) || !containsAppend(pass.TypesInfo, rhs) {
+					continue
+				}
+				target := types.ExprString(st.Lhs[i])
+				if sortedAfter(pass.TypesInfo, funcBody, rng.End(), target) {
+					continue
+				}
+				pass.Reportf(st.Pos(),
+					"append to %s inside range over map %s: iteration order is randomised; sort %s afterwards or iterate sorted keys",
+					target, mapExpr, target)
+			}
+			// s += ... on a string — building a name/CSV fragment in
+			// iteration order.
+			if st.Tok == token.ADD_ASSIGN && len(st.Lhs) == 1 && isStringType(pass.TypesInfo, st.Lhs[0]) {
+				pass.Reportf(st.Pos(),
+					"string concatenation onto %s inside range over map %s: iteration order is randomised; iterate sorted keys",
+					types.ExprString(st.Lhs[0]), mapExpr)
+			}
+		case *ast.CallExpr:
+			if name, ok := emitsInOrder(pass.TypesInfo, st); ok {
+				pass.Reportf(st.Pos(),
+					"%s inside range over map %s emits in randomised iteration order; collect and sort first",
+					name, mapExpr)
+			}
+		}
+	})
+}
+
+// containsAppend reports whether the expression subtree calls the
+// append builtin.
+func containsAppend(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isStringType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// emitsInOrder reports whether the call writes through a writer or
+// encoder: a method call named like a writer, or an fmt print
+// function targeting a stream.
+func emitsInOrder(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !writerMethods[sel.Sel.Name] {
+		return "", false
+	}
+	if info.Selections[sel] != nil { // a method call
+		return types.ExprString(sel), true
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn := pkgNameOf(info, id); pn != nil && pn.Imported().Path() == "fmt" {
+			return types.ExprString(sel), true
+		}
+	}
+	return "", false
+}
+
+// sortedAfter reports whether, past position after inside body, some
+// sort or slices call takes target as (part of) an argument — the
+// collect-then-sort idiom that restores determinism.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, after token.Pos, target string) bool {
+	found := false
+	walkShallow(body, func(n ast.Node) {
+		if found || n.Pos() <= after {
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if pn := pkgNameOf(info, id); pn == nil || !sortPkgs[pn.Imported().Path()] {
+			return
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if e, ok := an.(ast.Expr); ok && types.ExprString(e) == target {
+					found = true
+					return false
+				}
+				return !found
+			})
+		}
+	})
+	return found
+}

@@ -1,0 +1,50 @@
+// Fixture for the fieldsync analyzer: a structural mirror of the real
+// internal/sweep Axis registration type (the analyzer matches any
+// type named Axis in a package named sweep). This file is clean.
+package sweep
+
+type Grid struct{}
+type Cell struct{}
+type Scenario struct{}
+type specState struct{}
+
+type Axis struct {
+	Key    string
+	Alias  string
+	Help   string
+	Values func() string
+	Single bool
+
+	Defaults func(g *Grid)
+
+	Parse  func(ps *specState, vals string) error
+	Format func(g Grid) (string, error)
+
+	Points func(g Grid, c Cell) int
+	Apply  func(g Grid, c *Cell, i int)
+	Env    func(c Cell) string
+	Plural string
+	Quiet  bool
+
+	Column         string
+	Col            func(c Cell) (text string, js any)
+	OmitEmptyJSON  bool
+	ColumnOptional bool
+	ColumnActive   func(c Cell) bool
+
+	Segment   func(c Cell) string
+	NameOrder int
+
+	Configure func(c Cell, sc *Scenario)
+}
+
+// Shared helper values so registrations stay one-liners.
+var (
+	parseFn  = func(ps *specState, vals string) error { return nil }
+	formatFn = func(g Grid) (string, error) { return "", nil }
+	pointsFn = func(g Grid, c Cell) int { return 1 }
+	applyFn  = func(g Grid, c *Cell, i int) {}
+	colFn    = func(c Cell) (string, any) { return "", "" }
+	segFn    = func(c Cell) string { return "" }
+	activeFn = func(c Cell) bool { return false }
+)

@@ -1,0 +1,64 @@
+// Fixture for the fieldsync analyzer: registration hygiene findings.
+package sweep
+
+// A fully-wired expanding axis: parser, formatter, expansion pair,
+// describe label, export column and name segment all present.
+var good = Axis{
+	Key: "modes", Help: "cluster organisations",
+	Parse: parseFn, Format: formatFn,
+	Points: pointsFn, Apply: applyFn,
+	Plural: "modes", Column: "mode", Col: colFn,
+	Segment: segFn, NameOrder: 10,
+}
+
+// A scalar (parse-only) key needs nothing beyond the required four.
+var goodScalar = Axis{
+	Key: "seedlike", Help: "a single value", Single: true,
+	Parse: parseFn, Format: formatFn,
+}
+
+var missingFormat = Axis{ // want `axis "broken" registration is missing required field Format`
+	Key: "broken", Help: "parses but cannot round-trip into documents",
+	Parse: parseFn,
+}
+
+var pointsWithoutApply = Axis{ // want `axis "halfexpand" must register Points and Apply together` `expanding axis "halfexpand" \(has Points\) must also register Plural` `must also register Column` `must also register Col` `must also register Segment` `must also register NameOrder`
+	Key: "halfexpand", Help: "expands cells it cannot label",
+	Parse: parseFn, Format: formatFn,
+	Points: pointsFn,
+}
+
+var columnWithoutCol = Axis{ // want `axis "headless" must register Column and Col together`
+	Key: "headless", Help: "names a column it never renders",
+	Parse: parseFn, Format: formatFn,
+	Column: "headless",
+}
+
+var segmentWithoutOrder = Axis{ // want `axis "floating" must register Segment and NameOrder together`
+	Key: "floating", Help: "a segment with no position in the cell name",
+	Parse: parseFn, Format: formatFn,
+	Segment: segFn,
+}
+
+var optionalWithoutActive = Axis{ // want `axis "ghostcol" must register ColumnOptional and ColumnActive together`
+	Key: "ghostcol", Help: "optional column with no activity predicate",
+	Parse: parseFn, Format: formatFn,
+	Column: "ghost", Col: colFn,
+	ColumnOptional: true,
+}
+
+// Registry-style slice elements (implicit &Axis) are checked too.
+var registry = []*Axis{
+	{ // want `axis "inslice" registration is missing required field Help`
+		Key:   "inslice",
+		Parse: parseFn, Format: formatFn,
+	},
+}
+
+// The escape hatch works on registrations like on anything else.
+//
+//simlint:allow fieldsync -- fixture: deliberately partial registration under construction
+var allowedPartial = Axis{
+	Key: "wip", Help: "under construction",
+	Parse: parseFn,
+}

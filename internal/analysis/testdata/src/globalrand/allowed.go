@@ -1,0 +1,13 @@
+// Fixture for the globalrand analyzer: //simlint:allow suppression.
+package globalrand
+
+import "math/rand"
+
+func allowedInline() int {
+	return rand.Intn(3) //simlint:allow globalrand -- fixture: end-of-line directive
+}
+
+func allowedStandalone() float64 {
+	//simlint:allow globalrand -- fixture: standalone directive covers the next line
+	return rand.Float64()
+}

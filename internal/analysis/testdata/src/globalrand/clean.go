@@ -1,0 +1,24 @@
+// Fixture for the globalrand analyzer: a clean file — the repo's
+// sanctioned pattern. Generators are *rand.Rand values built from
+// deterministic (coordinate-derived) seeds and threaded explicitly;
+// methods on a threaded generator are fine, as are references to the
+// package's types.
+package globalrand
+
+import "math/rand"
+
+type jitter struct {
+	// Referencing rand.Rand and rand.Source as types is not a use of
+	// global state.
+	rng *rand.Rand
+	src rand.Source
+}
+
+func clean(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func threaded(rng *rand.Rand) float64 {
+	return rng.Float64()
+}

@@ -1,0 +1,23 @@
+// Fixture for the globalrand analyzer: positive findings.
+package globalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = rand.Intn(10)                  // want `rand\.Intn draws from the process-global generator`
+	_ = rand.Int63()                   // want `rand\.Int63 draws from the process-global generator`
+	_ = rand.Float64()                 // want `rand\.Float64 draws from the process-global generator`
+	_ = rand.Perm(5)                   // want `rand\.Perm draws from the process-global generator`
+	rand.Seed(42)                      // want `rand\.Seed draws from the process-global generator`
+	rand.Shuffle(2, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global generator`
+}
+
+func badSeeding() {
+	// The canonical anti-pattern: a locally-owned generator whose seed
+	// is the wall clock. One finding for the whole seeding chain.
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.New seeded from the wall clock is irreproducible`
+	_ = rand.NewSource(int64(time.Now().Nanosecond()))  // want `rand\.NewSource seeded from the wall clock is irreproducible`
+}

@@ -1,0 +1,22 @@
+// Fixture for the maporder analyzer: //simlint:allow suppression.
+package maporder
+
+import (
+	"fmt"
+	"io"
+)
+
+func allowedWrite(m map[string]io.Writer) {
+	for k, w := range m {
+		//simlint:allow maporder -- fixture: each key writes to its own stream, order is irrelevant
+		fmt.Fprintln(w, k)
+	}
+}
+
+func allowedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //simlint:allow maporder -- fixture: caller sorts
+	}
+	return keys
+}

@@ -1,0 +1,50 @@
+// Fixture for the maporder analyzer: clean files. Commutative loop
+// bodies and the collect-then-sort idiom must not be flagged — the
+// idiom is the fix the analyzer's message recommends.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func cleanCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func cleanSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func cleanCommutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // int accumulation commutes; only string building is ordered
+	}
+	return total
+}
+
+func cleanMapWrite(m map[string]int) map[string]int {
+	inverted := map[string]int{}
+	for k, v := range m {
+		inverted[k] = -v // keyed writes don't depend on iteration order
+	}
+	return inverted
+}
+
+func cleanSliceRange(xs []string, w io.Writer) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x) // slices iterate deterministically
+	}
+}

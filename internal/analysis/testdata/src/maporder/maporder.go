@@ -1,0 +1,51 @@
+// Fixture for the maporder analyzer: positive findings.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range over map m`
+	}
+	return keys // no sort before the slice escapes: order is random
+}
+
+func badWriter(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside range over map m emits in randomised iteration order`
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `b\.WriteString inside range over map m emits in randomised iteration order`
+	}
+	return b.String()
+}
+
+func badConcat(m map[string]int) string {
+	name := ""
+	for k := range m {
+		name += k // want `string concatenation onto name inside range over map m`
+	}
+	return name
+}
+
+type row struct{ k, v string }
+
+// Named map types are still maps.
+type index map[string]string
+
+func badNamedMap(idx index) []row {
+	var rows []row
+	for k, v := range idx {
+		rows = append(rows, row{k, v}) // want `append to rows inside range over map idx`
+	}
+	return rows
+}

@@ -1,0 +1,30 @@
+// Fixture for the walltime analyzer: //simlint:allow suppression.
+// None of these sites carries a want comment — the test fails unless
+// the directive machinery removes every finding.
+package walltime
+
+import "time"
+
+func allowedInline() time.Time {
+	return time.Now() //simlint:allow walltime -- fixture: end-of-line directive silences its own line
+}
+
+func allowedStandalone() time.Time {
+	//simlint:allow walltime -- fixture: standalone directive silences the next line
+	return time.Now()
+}
+
+func allowedList() {
+	//simlint:allow walltime,globalrand -- fixture: comma-separated analyzer list
+	time.Sleep(time.Millisecond)
+}
+
+func allowedAll() {
+	time.Sleep(time.Millisecond) //simlint:allow all -- fixture: "all" silences every analyzer
+}
+
+// A directive for a different analyzer must NOT silence walltime.
+func wrongName() {
+	//simlint:allow maporder -- fixture: directive names a different analyzer
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}

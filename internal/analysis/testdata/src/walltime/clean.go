@@ -1,0 +1,26 @@
+// Fixture for the walltime analyzer: a clean file. Deterministic
+// time constructors, arithmetic and types are all fine, as is a
+// local identifier that shadows the package name.
+package walltime
+
+import "time"
+
+func cleanConstructors() {
+	_ = time.Unix(1356998400, 0)
+	_ = time.Date(2012, time.September, 24, 0, 0, 0, 0, time.UTC)
+	d, _ := time.ParseDuration("5m")
+	_ = d * 3
+	var t time.Time
+	_ = t.Add(2 * time.Hour)
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Now() int { return 0 }
+
+func cleanShadowed() {
+	// A local value named like the package is not the time package:
+	// the type checker, not the token text, decides.
+	time := fakeClock{}
+	_ = time.Now()
+}

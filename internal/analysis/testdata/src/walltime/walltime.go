@@ -1,0 +1,22 @@
+// Fixture for the walltime analyzer: positive findings.
+package walltime
+
+import "time"
+
+func bad() {
+	_ = time.Now()                      // want `time\.Now reads the wall clock`
+	t0 := time.Now()                    // want `time\.Now reads the wall clock`
+	_ = time.Since(t0)                  // want `time\.Since reads the wall clock`
+	_ = time.Until(t0)                  // want `time\.Until reads the wall clock`
+	<-time.After(time.Second)           // want `time\.After reads the wall clock`
+	_ = time.Tick(time.Second)          // want `time\.Tick reads the wall clock`
+	time.Sleep(time.Millisecond)        // want `time\.Sleep reads the wall clock`
+	_ = time.NewTimer(time.Second)      // want `time\.NewTimer reads the wall clock`
+	tick := time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+	tick.Stop()
+	_ = time.AfterFunc(time.Second, func() {}) // want `time\.AfterFunc reads the wall clock`
+}
+
+// A bare reference (not a call) is equally banned: passing time.Now as
+// a clock function smuggles the wall clock just as well.
+var clock = time.Now // want `time\.Now reads the wall clock`

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the package time functions that read or schedule
+// against the machine clock. Pure constructors and conversions
+// (time.Unix, time.Date, time.Duration arithmetic, time.ParseDuration)
+// are fine: they are deterministic functions of their inputs.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"Sleep":     true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// WallTime bans wall-clock time in simulation code. Every observable
+// the sweep layer emits is a pure function of (spec, seed); one
+// time.Now smuggled into a hot path makes runs differ between
+// machines, CI runners, and re-runs, and the goldens/bench gate only
+// catch it after the fact. All simulated time must flow through
+// internal/simtime's virtual clock. Real-I/O sites (socket deadlines
+// in internal/comm, the benchtab stopwatch) opt out per line with
+// //simlint:allow walltime -- <reason>.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc: "walltime: forbid wall-clock time (time.Now/Since/Until/After/Tick/Sleep/NewTimer/NewTicker/AfterFunc) " +
+		"in simulation code; simulated time must flow through internal/simtime",
+	Run: runWallTime,
+}
+
+func runWallTime(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			if !pkgFunc(pass.TypesInfo, sel, "time", sel.Sel.Name) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; simulation time must flow through internal/simtime (or annotate the line: //simlint:allow walltime -- <reason>)",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

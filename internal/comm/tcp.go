@@ -72,7 +72,7 @@ func (s *TCPServer) acceptLoop() {
 
 func (s *TCPServer) serve(conn net.Conn) {
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	conn.SetDeadline(time.Now().Add(10 * time.Second)) //simlint:allow walltime -- real socket I/O deadline, not simulation time
 	r := bufio.NewReader(conn)
 	line, err := r.ReadString('\n')
 	if err != nil {
@@ -97,7 +97,7 @@ func SendTCP(addr string, m Message, timeout time.Duration) error {
 		return fmt.Errorf("comm: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(timeout))
+	conn.SetDeadline(time.Now().Add(timeout)) //simlint:allow walltime -- real socket I/O deadline, not simulation time
 	if _, err := fmt.Fprintf(conn, "%s\n", m.Encode()); err != nil {
 		return fmt.Errorf("comm: send: %w", err)
 	}

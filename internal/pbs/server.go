@@ -281,11 +281,15 @@ func (s *Server) SetNodeAvailable(name string, avail bool) error {
 		return nil
 	}
 	s.setNodeState(n, NodeDown)
-	// Collect affected jobs before mutating.
-	affected := map[string]*Job{}
+	// Collect affected jobs before mutating — in slot order, not map
+	// order, so the interrupt/requeue sequence (and the hooks it
+	// fires) is deterministic across runs.
+	seen := map[string]bool{}
+	var affected []*Job
 	for _, j := range n.busy {
-		if j != nil {
-			affected[j.ID] = j
+		if j != nil && !seen[j.ID] {
+			seen[j.ID] = true
+			affected = append(affected, j)
 		}
 	}
 	for _, j := range affected {

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSWF throws arbitrary bytes at the SWF reader. The parser
+// must never panic — a malformed log is an error, not a crash — and
+// whatever it accepts must honour the reader's own contract: valid
+// jobs, a deterministic reparse, and submit offsets that never run
+// backwards (the reader rebases the first submit to zero and clamps
+// non-monotone inputs).
+func FuzzParseSWF(f *testing.F) {
+	// Seed with the committed fixture's header plus its first records —
+	// the full 77 KB log would slow every mutation round to a crawl
+	// without adding input shapes the prefix doesn't already cover.
+	if sample, err := os.ReadFile("../../specs/pwa_sample_1k.swf"); err == nil {
+		lines := bytes.SplitAfterN(sample, []byte("\n"), 61)
+		f.Add(bytes.Join(lines[:60], nil))
+	}
+	f.Add([]byte("; Computer: fuzz\n; MaxNodes: 8\n"))
+	f.Add([]byte("1 0 -1 3600 4 3600 4 4 -1 -1 1 1 1 1 1 -1 -1 -1\n"))
+	f.Add([]byte("1 100 -1 60 8\n2 50 -1 30 2\n")) // short rows, submits out of order
+	f.Add([]byte("1 0 -1 -2 -3 0 -4 0 0 0 0 0 0 0 0 0 0 0\n"))
+	f.Add([]byte("; UnixStartTime: 0\n\n1 1e300 -1 1e300 2147483648\n"))
+	f.Add([]byte("not an swf log at all\x00\xff"))
+
+	configs := []SWFConfig{
+		{Seed: 1, WindowsFrac: 0.5},
+		{Seed: 2, WindowsFrac: 1, PPN: 1, MaxJobs: 16, UseRequested: true},
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, cfg := range configs {
+			trace, hdr, err := ReadSWF(bytes.NewReader(data), cfg)
+			if err != nil {
+				continue
+			}
+			for i, j := range trace {
+				if err := j.Validate(); err != nil {
+					t.Fatalf("cfg %+v: job %d invalid after accepted parse: %v (%+v)", cfg, i, err, j)
+				}
+				if i > 0 && j.At < trace[i-1].At {
+					t.Fatalf("cfg %+v: job %d submitted at %v before predecessor's %v", cfg, i, j.At, trace[i-1].At)
+				}
+			}
+			again, hdr2, err := ReadSWF(bytes.NewReader(data), cfg)
+			if err != nil {
+				t.Fatalf("cfg %+v: accepted log failed on reparse: %v", cfg, err)
+			}
+			if !reflect.DeepEqual(trace, again) || !reflect.DeepEqual(hdr, hdr2) {
+				t.Fatalf("cfg %+v: reparse of identical bytes diverged", cfg)
+			}
+		}
+	})
+}
