@@ -27,6 +27,17 @@
 // package's Spec): `qsim sweep -f spec.json` replays a committed sweep
 // document, and `qsim run -f spec.json` replays a document that
 // expands to a single cell.
+//
+// The serve subcommand turns the same spec documents into a
+// long-running simulation service (see the service package): a
+// crash-safe async job queue with per-cell checkpoints, SSE progress
+// streaming, and a content-addressed result cache keyed by the spec's
+// canonical bytes:
+//
+//	qsim serve -addr 127.0.0.1:8080 -state-dir qsim-state -workers 8
+//	qsim submit -f specs/e13_sweep_modes.json
+//	qsim status j000001
+//	qsim fetch -wait -o e13.csv j000001
 package main
 
 import (
@@ -56,6 +67,18 @@ func main() {
 			return
 		case "run":
 			runSingle(args[1:])
+			return
+		case "serve":
+			runServe(args[1:])
+			return
+		case "submit":
+			runSubmit(args[1:])
+			return
+		case "status":
+			runStatus(args[1:])
+			return
+		case "fetch":
+			runFetch(args[1:])
 			return
 		}
 	}

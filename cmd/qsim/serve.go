@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+// runServe is the serve subcommand: the long-running simulation
+// service. It binds -addr, recovers the -state-dir (re-enqueueing any
+// job a previous process left queued or running), and serves the
+// /v1 sweep API until SIGINT/SIGTERM.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("qsim serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	stateDir := fs.String("state-dir", "qsim-state", "crash-safe state directory (created if missing)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "sweep worker pool size per job (output is identical for any value)")
+	fs.Parse(args)
+
+	srv, err := service.New(service.Config{Addr: *addr, StateDir: *stateDir, Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(1)
+	}
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("qsim serve: state dir %s\n", *stateDir)
+	fmt.Printf("qsim serve: listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("qsim serve: shutting down")
+	// The in-flight sweep is canceled between cells; its checkpoints
+	// make the interruption recoverable, so draining is bounded by one
+	// cell, not one job.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runSubmit posts a spec document to a running service and prints the
+// job it landed as.
+func runSubmit(args []string) {
+	fs := flag.NewFlagSet("qsim submit", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "service address")
+	specFile := fs.String("f", "", "sweep spec document to submit (required)")
+	quiet := fs.Bool("q", false, "print only the job ID")
+	fs.Parse(args)
+	if *specFile == "" {
+		fmt.Fprintln(os.Stderr, "qsim: submit needs -f <spec.json>")
+		os.Exit(2)
+	}
+	f, err := os.Open(*specFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	c := &service.Client{Base: *addr}
+	job, err := c.Submit(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(1)
+	}
+	if *quiet {
+		fmt.Println(job.ID)
+		return
+	}
+	printJob(job)
+}
+
+// runStatus prints a job's current state.
+func runStatus(args []string) {
+	fs := flag.NewFlagSet("qsim status", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "service address")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "qsim: status needs exactly one job ID")
+		os.Exit(2)
+	}
+	c := &service.Client{Base: *addr}
+	job, err := c.Status(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(1)
+	}
+	printJob(job)
+}
+
+// runFetch downloads a finished job's result table; -wait follows the
+// job's event stream to completion first (event-driven — no polling).
+func runFetch(args []string) {
+	fs := flag.NewFlagSet("qsim fetch", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "service address")
+	asJSON := fs.Bool("json", false, "fetch the JSON rendering instead of CSV")
+	outPath := fs.String("o", "", "write the result to this file instead of stdout")
+	wait := fs.Bool("wait", false, "wait for the job to finish first")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "qsim: fetch needs exactly one job ID")
+		os.Exit(2)
+	}
+	id := fs.Arg(0)
+	c := &service.Client{Base: *addr}
+	if *wait {
+		job, err := c.Wait(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qsim:", err)
+			os.Exit(1)
+		}
+		if job.State != service.StateDone {
+			fmt.Fprintf(os.Stderr, "qsim: job %s ended %s: %s\n", id, job.State, job.Error)
+			os.Exit(1)
+		}
+	}
+	format := "csv"
+	if *asJSON {
+		format = "json"
+	}
+	b, err := c.Result(id, format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(1)
+	}
+	if *outPath == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*outPath, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("result written to %s\n", *outPath)
+}
+
+func printJob(j service.Job) {
+	fmt.Printf("job       %s", j.ID)
+	if j.Name != "" {
+		fmt.Printf("  (%s)", j.Name)
+	}
+	fmt.Println()
+	fmt.Printf("state     %s", j.State)
+	if j.Cached {
+		fmt.Print("  (served from result cache)")
+	}
+	if j.Error != "" {
+		fmt.Printf("  (%s)", j.Error)
+	}
+	fmt.Println()
+	fmt.Printf("cells     %d/%d\n", j.CellsDone, j.Cells)
+	fmt.Printf("spec      sha256:%s\n", j.SpecHash)
+}

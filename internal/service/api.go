@@ -1,0 +1,212 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// maxSpecBytes bounds a submitted spec document. The committed
+// documents are under a kilobyte; a megabyte leaves room for very
+// wide grids while keeping a hostile body from ballooning memory.
+const maxSpecBytes = 1 << 20
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	return mux
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone mid-response
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "jobs": s.mgr.jobCount()})
+}
+
+// handleSubmit accepts a sweep spec document, validates it through
+// the same loader the CLI uses plus the served-spec path guard, and
+// registers it under its content address. Submitting a spec whose
+// result is already cached (or whose job already exists) returns 200
+// with the existing state; a newly created job returns 201.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading spec document: %v", err)
+		return
+	}
+	sp, err := sweep.LoadSpec(bytes.NewReader(body))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := CheckSpecPaths(sp); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	canonical, err := sweep.MarshalSpec(sp)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash, err := sweep.SpecHash(sp)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job, created, err := s.mgr.submit(sp, canonical, hash)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, job)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.mgr.job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleResult serves a finished job's sweep table from the result
+// cache: CSV by default, JSON with ?format=json. Unfinished jobs get
+// 409 — poll the status endpoint or follow the event stream.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.mgr.job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	switch job.State {
+	case StateDone:
+	case StateFailed:
+		httpError(w, http.StatusConflict, "job %s failed: %s", id, job.Error)
+		return
+	default:
+		httpError(w, http.StatusConflict, "job %s is %s (%d/%d cells)", id, job.State, job.CellsDone, job.Cells)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "csv":
+		format = "csv"
+	case "json":
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (valid: csv | json)", format)
+		return
+	}
+	b, err := s.st.readCache(job.SpecHash, format)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if format == "json" {
+		w.Header().Set("Content-Type", "application/json")
+	} else {
+		w.Header().Set("Content-Type", "text/csv")
+	}
+	w.Write(b) //nolint:errcheck // client gone mid-response
+}
+
+// sseKeepalive paces comment lines on an idle event stream so
+// intermediaries do not reap the connection.
+const sseKeepalive = 15 * time.Second
+
+// handleEvents streams a job's progress as Server-Sent Events: the
+// history so far (or a synthesised terminal event for jobs that
+// finished before this process started), then live events until a
+// terminal event, client disconnect, or server shutdown.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.mgr.job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	replay, ch, cancel := s.mgr.bc.subscribe(id)
+	defer cancel()
+	if len(replay) == 0 && (job.State == StateDone || job.State == StateFailed) {
+		// Finished before this process started: history is gone, the
+		// outcome is not.
+		e := Event{Type: "done", Job: id, Done: job.Cells, Total: job.Cells, Cached: job.Cached}
+		if job.State == StateFailed {
+			e = Event{Type: "failed", Job: id, Done: job.CellsDone, Total: job.Cells, Err: job.Error}
+		}
+		replay = []Event{e}
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for _, e := range replay {
+		writeSSE(w, e)
+	}
+	fl.Flush()
+	if len(replay) > 0 && replay[len(replay)-1].terminal() {
+		return
+	}
+
+	keepalive := time.NewTicker(sseKeepalive) //simlint:allow walltime -- real I/O: SSE keepalive pacing on a live HTTP stream
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.mgr.stopping():
+			return
+		case e := <-ch:
+			writeSSE(w, e)
+			fl.Flush()
+			if e.terminal() {
+				return
+			}
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+func writeSSE(w io.Writer, e Event) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "data: %s\n\n", b)
+}

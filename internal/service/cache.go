@@ -1,0 +1,27 @@
+package service
+
+import "os"
+
+// The result cache is content-addressed by sweep.SpecHash: the CSV
+// and JSON renderings of a finished sweep live at
+// cache/<hash>.csv|.json. The CSV is the presence marker — it is
+// written last, so a crash between the two writes leaves the entry
+// invisible and the job simply re-finishes from its checkpoints.
+
+func (s *store) cacheHas(hash string) bool {
+	return fileExists(s.cacheCSV(hash))
+}
+
+func (s *store) writeCache(hash string, csv, js []byte) error {
+	if err := writeFileSync(s.cacheJSON(hash), js); err != nil {
+		return err
+	}
+	return writeFileSync(s.cacheCSV(hash), csv)
+}
+
+func (s *store) readCache(hash, format string) ([]byte, error) {
+	if format == "json" {
+		return os.ReadFile(s.cacheJSON(hash))
+	}
+	return os.ReadFile(s.cacheCSV(hash))
+}

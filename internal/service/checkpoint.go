@@ -1,0 +1,161 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/osid"
+	"repro/internal/sweep"
+)
+
+// cellCheckpoint is one finished sweep cell, reduced to exactly the
+// fields the export rows read back. Durations travel as integer
+// nanoseconds and utilisation as a JSON float64 (Go's shortest
+// round-trip encoding), so a checkpointed cell reconstructs its
+// export row byte for byte — the resumed sweep's CSV is
+// indistinguishable from an uninterrupted run's.
+type cellCheckpoint struct {
+	Index int    `json:"index"`
+	Cell  string `json:"cell"`
+	Err   string `json:"err,omitempty"`
+
+	Utilisation          float64 `json:"utilisation"`
+	MeanWaitLinuxNS      int64   `json:"mean_wait_linux_ns"`
+	MeanWaitWindowsNS    int64   `json:"mean_wait_windows_ns"`
+	Switches             int     `json:"switches"`
+	SwitchesOK           int     `json:"switches_ok"`
+	Thrash               int     `json:"thrash"`
+	MeanSwitchNS         int64   `json:"mean_switch_ns"`
+	JobsSubmittedLinux   int     `json:"jobs_submitted_linux"`
+	JobsSubmittedWindows int     `json:"jobs_submitted_windows"`
+	JobsCompletedLinux   int     `json:"jobs_completed_linux"`
+	JobsCompletedWindows int     `json:"jobs_completed_windows"`
+	SubmitFailures       int     `json:"submit_failures"`
+	BrokenNodes          int     `json:"broken_nodes"`
+	Dropped              int     `json:"dropped"`
+	MakespanNS           int64   `json:"makespan_ns"`
+}
+
+// checkpointOf digests a finished cell for the state store.
+func checkpointOf(r sweep.CellResult) cellCheckpoint {
+	ck := cellCheckpoint{Index: r.Cell.Index, Cell: r.Cell.Name()}
+	if r.Err != nil {
+		ck.Err = r.Err.Error()
+		return ck
+	}
+	s := r.Res.Summary
+	ck.Utilisation = s.Utilisation
+	ck.MeanWaitLinuxNS = int64(s.MeanWait[osid.Linux])
+	ck.MeanWaitWindowsNS = int64(s.MeanWait[osid.Windows])
+	ck.Switches = s.Switches
+	ck.SwitchesOK = s.SwitchesOK
+	ck.Thrash = r.Res.Thrash
+	ck.MeanSwitchNS = int64(s.MeanSwitch)
+	ck.JobsSubmittedLinux = s.JobsSubmitted[osid.Linux]
+	ck.JobsSubmittedWindows = s.JobsSubmitted[osid.Windows]
+	ck.JobsCompletedLinux = s.JobsCompleted[osid.Linux]
+	ck.JobsCompletedWindows = s.JobsCompleted[osid.Windows]
+	ck.SubmitFailures = s.SubmitFailures
+	ck.BrokenNodes = r.Res.BrokenNodes
+	ck.Dropped = r.Res.Dropped
+	ck.MakespanNS = int64(s.Makespan)
+	return ck
+}
+
+// result rebuilds the cell's sweep result. Only the fields the export
+// rows and the ranked table consume are restored; the full per-run
+// detail (series, events, per-member digests) lives and dies with the
+// process that ran the cell.
+func (ck cellCheckpoint) result(c sweep.Cell) sweep.CellResult {
+	r := sweep.CellResult{Cell: c}
+	if ck.Err != "" {
+		r.Err = errors.New(ck.Err)
+		return r
+	}
+	r.Res = core.Result{
+		Summary: metrics.Summary{
+			Utilisation: ck.Utilisation,
+			MeanWait: map[osid.OS]time.Duration{
+				osid.Linux:   time.Duration(ck.MeanWaitLinuxNS),
+				osid.Windows: time.Duration(ck.MeanWaitWindowsNS),
+			},
+			JobsSubmitted: map[osid.OS]int{
+				osid.Linux:   ck.JobsSubmittedLinux,
+				osid.Windows: ck.JobsSubmittedWindows,
+			},
+			JobsCompleted: map[osid.OS]int{
+				osid.Linux:   ck.JobsCompletedLinux,
+				osid.Windows: ck.JobsCompletedWindows,
+			},
+			Switches:       ck.Switches,
+			SwitchesOK:     ck.SwitchesOK,
+			MeanSwitch:     time.Duration(ck.MeanSwitchNS),
+			Makespan:       time.Duration(ck.MakespanNS),
+			SubmitFailures: ck.SubmitFailures,
+		},
+		Thrash:      ck.Thrash,
+		BrokenNodes: ck.BrokenNodes,
+		Dropped:     ck.Dropped,
+	}
+	return r
+}
+
+// writeCheckpoint persists a finished cell; idempotent, so resumed
+// cells replayed through the Progress hook cost one stat each.
+func (s *store) writeCheckpoint(hash string, r sweep.CellResult) error {
+	path := s.cellPath(hash, r.Cell.Index)
+	if fileExists(path) {
+		return nil
+	}
+	if err := os.MkdirAll(s.checkpointDir(hash), 0o755); err != nil {
+		return err
+	}
+	b, err := json.Marshal(checkpointOf(r))
+	if err != nil {
+		return err
+	}
+	return writeFileSync(path, append(b, '\n'))
+}
+
+// loadCheckpoint reads a cell's checkpoint back, if one exists and
+// matches the expanded cell. A checkpoint whose recorded cell name
+// disagrees with the expansion (a stale state dir, a hash collision
+// in the making) is ignored — the cell simply re-runs.
+func (s *store) loadCheckpoint(hash string, c sweep.Cell) (sweep.CellResult, bool) {
+	b, err := os.ReadFile(s.cellPath(hash, c.Index))
+	if err != nil {
+		return sweep.CellResult{}, false
+	}
+	var ck cellCheckpoint
+	if err := json.Unmarshal(b, &ck); err != nil || ck.Index != c.Index || ck.Cell != c.Name() {
+		return sweep.CellResult{}, false
+	}
+	return ck.result(c), true
+}
+
+// countCheckpoints reports how many cells of a job already sit on
+// disk (recovery's progress estimate).
+func (s *store) countCheckpoints(hash string) int {
+	entries, err := os.ReadDir(s.checkpointDir(hash))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			n++
+		}
+	}
+	return n
+}
+
+// clearCheckpoints removes a finished job's checkpoint directory —
+// the cache now holds the authoritative result. Best-effort: a
+// leftover directory only costs disk.
+func (s *store) clearCheckpoints(hash string) {
+	os.RemoveAll(s.checkpointDir(hash))
+}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a running qsim serve instance. It is what the
+// submit/status/fetch subcommands use; tests drive it against an
+// in-process Server.
+type Client struct {
+	// Base is the server address: "host:port" or a full
+	// "http://host:port" URL.
+	Base string
+	// HTTPClient overrides http.DefaultClient when set.
+	HTTPClient *http.Client
+}
+
+func (c *Client) url(path string) string {
+	base := c.Base
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return strings.TrimRight(base, "/") + path
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// decodeError turns a non-2xx response into the server's error
+// message when the body carries one.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var ej errorJSON
+	if json.Unmarshal(body, &ej) == nil && ej.Error != "" {
+		return fmt.Errorf("service: %s: %s", resp.Status, ej.Error)
+	}
+	return fmt.Errorf("service: %s", resp.Status)
+}
+
+func (c *Client) getJSON(path string, v any) error {
+	resp, err := c.http().Get(c.url(path))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Submit posts a spec document and returns the job the server
+// registered it under — possibly an existing one, when the same
+// canonical spec was submitted before.
+func (c *Client) Submit(spec io.Reader) (Job, error) {
+	resp, err := c.http().Post(c.url("/v1/sweeps"), "application/json", spec)
+	if err != nil {
+		return Job{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return Job{}, decodeError(resp)
+	}
+	var job Job
+	err = json.NewDecoder(resp.Body).Decode(&job)
+	return job, err
+}
+
+// Status fetches a job's current state.
+func (c *Client) Status(id string) (Job, error) {
+	var job Job
+	err := c.getJSON("/v1/sweeps/"+id, &job)
+	return job, err
+}
+
+// Result fetches a finished job's sweep table; format is "csv" or
+// "json".
+func (c *Client) Result(id, format string) ([]byte, error) {
+	path := "/v1/sweeps/" + id + "/result"
+	if format == "json" {
+		path += "?format=json"
+	}
+	resp, err := c.http().Get(c.url(path))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Health probes the healthz endpoint.
+func (c *Client) Health() error {
+	var v struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.getJSON("/v1/healthz", &v); err != nil {
+		return err
+	}
+	if !v.OK {
+		return fmt.Errorf("service: server reports not ok")
+	}
+	return nil
+}
+
+// Wait follows the job's event stream until a terminal event arrives,
+// then returns the job's final state. Completion is event-driven —
+// the client never sleeps or polls, so waiting costs one held
+// connection and nothing else.
+func (c *Client) Wait(id string) (Job, error) {
+	resp, err := c.http().Get(c.url("/v1/sweeps/" + id + "/events"))
+	if err != nil {
+		return Job{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Job{}, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if !bytes.HasPrefix(line, []byte("data: ")) {
+			continue // keepalive comments, blank separators
+		}
+		var e Event
+		if err := json.Unmarshal(bytes.TrimPrefix(line, []byte("data: ")), &e); err != nil {
+			continue
+		}
+		if e.terminal() {
+			return c.Status(id)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Job{}, fmt.Errorf("service: event stream: %w", err)
+	}
+	// Stream ended without a terminal event (server shutdown mid-job).
+	return c.Status(id)
+}

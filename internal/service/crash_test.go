@@ -1,0 +1,127 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCrashRecoveryResumesByteIdentical is the subsystem's acceptance
+// test: a daemon is hard-stopped after exactly one cell of the
+// committed e13 sweep has been checkpointed, a fresh daemon over the
+// same state directory resumes the job, and the final CSV is
+// byte-identical to the committed golden — the crash is invisible in
+// the output. A resubmission of the same spec then returns the
+// finished job without re-running a cell.
+func TestCrashRecoveryResumesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full e13 sweep in -short mode")
+	}
+	spec, err := os.ReadFile(filepath.Join("..", "..", "specs", "e13_sweep_modes.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join("..", "..", "specs", "golden", "e13_sweep_modes.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// Daemon A: one worker, so cells finish strictly in index order,
+	// and a hook that pulls the plug the moment the first cell's
+	// checkpoint and event have landed.
+	srvA, err := New(Config{Addr: "127.0.0.1:0", StateDir: dir, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped := make(chan struct{})
+	srvA.mgr.cellHook = func(jobID string, index, done int) {
+		if done == 1 {
+			srvA.mgr.stop()
+			close(stopped)
+		}
+	}
+	if err := srvA.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c := &Client{Base: srvA.Addr()}
+	job, err := c.Submit(bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Cells != 12 {
+		t.Fatalf("e13 expands to %d cells, want 12", job.Cells)
+	}
+	<-stopped
+	srvA.Kill() // idempotent stop + close sockets + wait for quiescence
+
+	// The state directory now looks exactly like a SIGKILL mid-sweep:
+	// the job record still says running, and exactly one cell is
+	// checkpointed.
+	b, err := os.ReadFile(srvA.st.jobPath(job.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk Job
+	if err := json.Unmarshal(b, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.State != StateRunning {
+		t.Fatalf("job state on disk after hard stop = %s, want running", onDisk.State)
+	}
+	if n := srvA.st.countCheckpoints(job.SpecHash); n != 1 {
+		t.Fatalf("checkpoints after hard stop = %d, want exactly 1", n)
+	}
+
+	// Daemon B: different worker count on purpose — resume must stay
+	// byte-identical regardless. Recovery re-enqueues the job.
+	srvB, err := New(Config{Addr: "127.0.0.1:0", StateDir: dir, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recovery (before anything executes) re-queued the job with its
+	// progress recounted from the checkpoint directory.
+	resumed, ok := srvB.mgr.job(job.ID)
+	if !ok {
+		t.Fatalf("job %s not recovered", job.ID)
+	}
+	if resumed.State != StateQueued || resumed.CellsDone != 1 {
+		t.Errorf("recovered job = %+v, want queued with 1 cell from the checkpoint", resumed)
+	}
+	if err := srvB.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Kill()
+	c = &Client{Base: srvB.Addr()}
+	final, err := c.Wait(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.CellsDone != 12 {
+		t.Fatalf("resumed job = %+v, want done 12/12", final)
+	}
+	got, err := c.Result(job.ID, "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Errorf("resumed CSV is not byte-identical to the golden (%d vs %d bytes)", len(got), len(golden))
+	}
+
+	// Checkpoints are cleared once the cache holds the result …
+	if n := srvB.st.countCheckpoints(job.SpecHash); n != 0 {
+		t.Errorf("finished job still has %d checkpoints, want 0", n)
+	}
+	// … and resubmitting the identical spec returns the finished job
+	// as-is: no new job, no cell re-runs.
+	again, err := c.Submit(strings.NewReader(string(spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != job.ID || again.State != StateDone {
+		t.Errorf("resubmission = %+v, want existing done job %s", again, job.ID)
+	}
+}

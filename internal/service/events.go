@@ -1,0 +1,79 @@
+package service
+
+import "sync"
+
+// Event is one notification on a job's progress stream. Types:
+// "queued" and "running" mark state transitions, "cell" reports one
+// finished cell (Done of Total so far; Cell/Index name it; Err set
+// when the cell failed to build or run), and "done"/"failed" are
+// terminal. A terminal event always ends the stream.
+type Event struct {
+	Type   string `json:"type"`
+	Job    string `json:"job"`
+	Cell   string `json:"cell,omitempty"`
+	Index  int    `json:"index"`
+	Done   int    `json:"done"`
+	Total  int    `json:"total"`
+	Cached bool   `json:"cached,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+func (e Event) terminal() bool { return e.Type == "done" || e.Type == "failed" }
+
+// broadcaster fans job events out to SSE subscribers. Every event is
+// also appended to the job's in-memory history, which new subscribers
+// replay first — subscribing late loses nothing the process has seen.
+// History does not survive a restart; a resumed job re-emits its
+// checkpointed cells as it replays them, so even post-crash
+// subscribers watch the full progress sequence.
+type broadcaster struct {
+	mu      sync.Mutex
+	history map[string][]Event
+	subs    map[string]map[int]chan Event
+	nextSub int
+}
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{
+		history: map[string][]Event{},
+		subs:    map[string]map[int]chan Event{},
+	}
+}
+
+// emit records and fans out one event. Subscriber channels are
+// buffered; a subscriber that falls a full buffer behind misses
+// events rather than stalling the job executor (the history replay on
+// reconnect recovers them).
+func (b *broadcaster) emit(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.history[e.Job] = append(b.history[e.Job], e)
+	for _, ch := range b.subs[e.Job] {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// subscribe returns the job's history so far plus a live channel for
+// what follows. The two are consistent: events emitted after the
+// snapshot arrive on the channel.
+func (b *broadcaster) subscribe(job string) (replay []Event, ch chan Event, cancel func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	replay = append([]Event(nil), b.history[job]...)
+	ch = make(chan Event, 1024)
+	if b.subs[job] == nil {
+		b.subs[job] = map[int]chan Event{}
+	}
+	id := b.nextSub
+	b.nextSub++
+	b.subs[job][id] = ch
+	cancel = func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		delete(b.subs[job], id)
+	}
+	return replay, ch, cancel
+}

@@ -1,0 +1,33 @@
+package service
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/sweep"
+)
+
+// CheckSpecPaths vets every filesystem path a served spec references.
+// The CLI trusts its operator; the service does not — a submitted
+// document naming an SWF log must stay inside the server's working
+// tree. Absolute paths and any ".." segment are rejected, closing the
+// classic traversal routes (/etc/passwd, ../../secrets) while leaving
+// the committed relative layouts (specs/pwa_sample_1k.swf) usable.
+func CheckSpecPaths(sp sweep.Spec) error {
+	for _, t := range sp.Grid.Traces {
+		if t.Kind != sweep.TraceSWF || t.SWFFile == "" {
+			continue
+		}
+		p := t.SWFFile
+		if filepath.IsAbs(p) {
+			return fmt.Errorf("service: swf trace file %q: absolute paths are not served", p)
+		}
+		for _, seg := range strings.Split(filepath.ToSlash(p), "/") {
+			if seg == ".." {
+				return fmt.Errorf("service: swf trace file %q: path may not traverse outside the working tree", p)
+			}
+		}
+	}
+	return nil
+}

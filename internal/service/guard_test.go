@@ -1,0 +1,55 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+func swfSpec(path string) sweep.Spec {
+	return sweep.Spec{Grid: sweep.Grid{
+		Traces: []sweep.TraceSpec{{Kind: sweep.TraceSWF, SWFFile: path, WindowsFrac: 0.3}},
+	}}
+}
+
+func TestCheckSpecPathsRejectsAbsolute(t *testing.T) {
+	err := CheckSpecPaths(swfSpec("/etc/passwd"))
+	if err == nil {
+		t.Fatal("absolute swf path accepted")
+	}
+	t.Logf("rejected: %v", err)
+}
+
+func TestCheckSpecPathsRejectsTraversal(t *testing.T) {
+	for _, p := range []string{
+		"../secrets.swf",
+		"specs/../../outside.swf",
+		"specs/sub/../../../outside.swf",
+		"..",
+	} {
+		if err := CheckSpecPaths(swfSpec(p)); err == nil {
+			t.Errorf("traversal path %q accepted", p)
+		}
+	}
+}
+
+func TestCheckSpecPathsAcceptsWorkingTreePaths(t *testing.T) {
+	for _, p := range []string{
+		"specs/pwa_sample_1k.swf",
+		"traces/anl_intrepid.swf",
+		"a..b/weird..name.swf", // ".." inside a segment is not traversal
+	} {
+		if err := CheckSpecPaths(swfSpec(p)); err != nil {
+			t.Errorf("relative path %q rejected: %v", p, err)
+		}
+	}
+}
+
+func TestCheckSpecPathsIgnoresNonSWFTraces(t *testing.T) {
+	sp := sweep.Spec{Grid: sweep.Grid{
+		Traces: []sweep.TraceSpec{{Kind: sweep.TracePoisson, JobsPerHour: 3, WindowsFrac: 0.3}},
+	}}
+	if err := CheckSpecPaths(sp); err != nil {
+		t.Fatalf("non-swf trace rejected: %v", err)
+	}
+}

@@ -1,0 +1,154 @@
+// Package service turns the CLI reproduction into a long-running
+// simulation service: qsim serve accepts PR 5's versioned sweep spec
+// documents over HTTP/JSON, queues them in a crash-safe async job
+// manager, streams per-cell progress, and answers repeated
+// submissions of an identical spec from a content-addressed result
+// cache.
+//
+// The subsystem has four layers:
+//
+//   - An HTTP/JSON API (api.go): POST /v1/sweeps submits a spec
+//     document, GET /v1/sweeps/{id} reports job status, GET
+//     /v1/sweeps/{id}/result serves the finished CSV (or JSON with
+//     ?format=json), GET /v1/sweeps/{id}/events streams per-cell
+//     progress as Server-Sent Events, and GET /v1/healthz is the
+//     liveness probe.
+//
+//   - A crash-safe job manager (manager.go) over a filesystem state
+//     store (store.go). Every job is one JSON file under
+//     <state-dir>/jobs/, written atomically (temp file, fsync,
+//     rename, directory fsync) on every state transition
+//     queued→running→done/failed. Each finished sweep cell is
+//     checkpointed the same way under <state-dir>/checkpoints/, so a
+//     daemon killed mid-sweep restarts, re-enqueues the interrupted
+//     job, replays the checkpointed cells through sweep.Run's Cached
+//     hook, and runs only the cells the crash lost.
+//
+//   - A content-addressed result cache (cache.go) keyed by
+//     sweep.SpecHash — the SHA-256 of the spec's byte-stable
+//     canonical form. Resubmitting an identical spec document, in any
+//     JSON formatting, returns the cached byte-identical CSV without
+//     re-running a single cell.
+//
+//   - sweep.Run's bounded worker pool executes each job's cells with
+//     coordinate-derived seeds, so the served CSV is byte-identical
+//     to what `qsim sweep -f <spec> -workers 1` produces — the
+//     workers-1-vs-N determinism guarantee holds end to end, across
+//     crashes and resumes.
+//
+// Specs arriving over the wire are untrusted: CheckSpecPaths
+// (guard.go) rejects swf: trace files with absolute paths or ".."
+// segments before a job is created, so a served daemon can only read
+// trace files below its working tree.
+//
+// Job records deliberately carry no wall-clock timestamps: the state
+// files, like everything else the system emits, are a pure function
+// of what was submitted, which keeps restarted daemons and repeated
+// submissions byte-stable.
+package service
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the TCP listen address (host:port; port 0 picks a free
+	// port — read the bound address back from Server.Addr).
+	Addr string
+	// StateDir is the crash-safe state directory root; it is created
+	// if missing. See the package documentation for the layout.
+	StateDir string
+	// Workers bounds each job's sweep worker pool (default 4, the
+	// sweep package default). The served CSV is byte-identical for
+	// any value.
+	Workers int
+}
+
+// Server is the simulation service: the HTTP front end plus the job
+// manager behind it. New recovers persisted state; Start binds the
+// listener and begins executing queued jobs.
+type Server struct {
+	cfg  Config
+	st   *store
+	mgr  *manager
+	http *http.Server
+	ln   net.Listener
+}
+
+// New opens (or creates) the state directory, recovers persisted
+// jobs — interrupted queued/running jobs are re-enqueued in ID
+// order — and assembles the HTTP front end. Nothing executes until
+// Start.
+func New(cfg Config) (*Server, error) {
+	st, err := openStore(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := newManager(st, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, st: st, mgr: mgr}
+	s.http = &http.Server{
+		Handler: s.Handler(),
+		// Real-I/O timeouts: slow-loris protection on the request
+		// head and idle keep-alive reaping. WriteTimeout stays zero —
+		// the events endpoint holds its response open indefinitely.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler, independent of the
+// listener — tests drive it through httptest.
+func (s *Server) Handler() http.Handler { return s.routes() }
+
+// Start binds the configured address and starts the job loop and the
+// HTTP server in the background.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	s.ln = ln
+	s.mgr.start()
+	go s.http.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return nil
+}
+
+// Addr reports the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown stops the service: the in-flight sweep (if any) is
+// canceled between cells — its completed cells are already
+// checkpointed, and the interrupted job resumes on the next start —
+// then the HTTP server drains within ctx. Crash-safety makes graceful
+// job draining unnecessary; shutdown is deliberately fast.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mgr.stop()
+	s.mgr.wait()
+	return s.http.Shutdown(ctx)
+}
+
+// Kill is the hard stop the crash-recovery tests exercise: cancel the
+// manager and sever every connection immediately, leaving whatever
+// the state directory holds exactly as a SIGKILL would.
+// It still waits for the executor loop to quiesce — cancellation
+// lands between cells — so a successor opening the same state
+// directory sees no trailing writes.
+func (s *Server) Kill() {
+	s.mgr.stop()
+	s.http.Close()
+	s.mgr.wait()
+}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// store is the service's filesystem state layout:
+//
+//	<root>/jobs/<id>.json              one record per job, atomically replaced
+//	<root>/specs/<hash>.json           canonical spec bytes, content-addressed
+//	<root>/checkpoints/<hash>/cell-<index>.json   per-cell results of in-flight jobs
+//	<root>/cache/<hash>.csv|.json      finished sweep results, content-addressed
+//
+// Every write goes through writeFileSync: data lands in a temp file
+// in the destination directory, is fsynced, renamed over the final
+// name, and the directory is fsynced — so a crash at any instant
+// leaves either the old file or the new one, never a torn write, and
+// a rename that survived the crash is durable.
+type store struct {
+	root string
+}
+
+func openStore(root string) (*store, error) {
+	if root == "" {
+		return nil, fmt.Errorf("service: state dir must not be empty")
+	}
+	s := &store{root: root}
+	for _, dir := range []string{s.jobsDir(), s.specsDir(), s.checkpointsDir(), s.cacheDir()} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+	}
+	return s, nil
+}
+
+func (s *store) jobsDir() string        { return filepath.Join(s.root, "jobs") }
+func (s *store) specsDir() string       { return filepath.Join(s.root, "specs") }
+func (s *store) checkpointsDir() string { return filepath.Join(s.root, "checkpoints") }
+func (s *store) cacheDir() string       { return filepath.Join(s.root, "cache") }
+
+func (s *store) jobPath(id string) string     { return filepath.Join(s.jobsDir(), id+".json") }
+func (s *store) specPath(hash string) string  { return filepath.Join(s.specsDir(), hash+".json") }
+func (s *store) cacheCSV(hash string) string  { return filepath.Join(s.cacheDir(), hash+".csv") }
+func (s *store) cacheJSON(hash string) string { return filepath.Join(s.cacheDir(), hash+".json") }
+
+func (s *store) checkpointDir(hash string) string {
+	return filepath.Join(s.checkpointsDir(), hash)
+}
+
+func (s *store) cellPath(hash string, index int) string {
+	return filepath.Join(s.checkpointDir(hash), fmt.Sprintf("cell-%06d.json", index))
+}
+
+// writeFileSync atomically replaces path with data and makes the
+// replacement durable: temp file in the same directory, write, fsync,
+// close, rename, directory fsync.
+func writeFileSync(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	name := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("service: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("service: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("service: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename into it survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	return nil
+}
+
+func fileExists(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && !fi.IsDir()
+}

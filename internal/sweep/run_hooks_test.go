@@ -1,0 +1,140 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/export"
+)
+
+// Progress must fire exactly once per cell — run or cached, across
+// every worker count — and the serialised calls must cover the exact
+// expanded cell set.
+func TestRunProgressFiresOncePerCell(t *testing.T) {
+	g := smallGrid()
+	cells := g.Expand()
+	for _, workers := range []int{1, 4} {
+		seen := map[int]int{}
+		var inHook bool
+		out, err := Run(Config{Grid: g, Workers: workers, Progress: func(r CellResult) {
+			if inHook {
+				t.Fatal("Progress called concurrently")
+			}
+			inHook = true
+			seen[r.Cell.Index]++
+			if r.Err != nil {
+				t.Errorf("workers=%d: cell %s failed: %v", workers, r.Cell.Name(), r.Err)
+			}
+			inHook = false
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != len(cells) {
+			t.Fatalf("workers=%d: Progress covered %d cells, grid has %d", workers, len(seen), len(cells))
+		}
+		for idx, n := range seen {
+			if n != 1 {
+				t.Errorf("workers=%d: cell %d reported %d times", workers, idx, n)
+			}
+		}
+		if len(out.Results) != len(cells) {
+			t.Fatalf("workers=%d: %d results for %d cells", workers, len(out.Results), len(cells))
+		}
+	}
+}
+
+// A Cached hook that supplies every cell must prevent any cell from
+// running: the outcome echoes the supplied results verbatim (with the
+// Cell field rebound), and Progress still reports them. The marker
+// values could never come from a real run, so any actually-run cell
+// would betray itself.
+func TestRunCachedSuppliesResultsWithoutRunning(t *testing.T) {
+	g := smallGrid()
+	cells := g.Expand()
+	// Cached is called from the worker goroutines (unlike Progress it
+	// is not serialised), so the counter is atomic.
+	var hits atomic.Int64
+	reported := 0
+	out, err := Run(Config{
+		Grid:    g,
+		Workers: 3,
+		Cached: func(c Cell) (CellResult, bool) {
+			hits.Add(1)
+			r := CellResult{}
+			r.Res.BrokenNodes = 1000 + c.Index
+			return r, true
+		},
+		Progress: func(r CellResult) { reported++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(hits.Load()) != len(cells) || reported != len(cells) {
+		t.Fatalf("cached=%d reported=%d, want %d each", hits.Load(), reported, len(cells))
+	}
+	for i, r := range out.Results {
+		if r.Res.BrokenNodes != 1000+i {
+			t.Fatalf("cell %d ran instead of using the cached result (BrokenNodes=%d)", i, r.Res.BrokenNodes)
+		}
+		if r.Cell.Index != i || r.Cell.Name() != cells[i].Name() {
+			t.Fatalf("cell %d: Cached result not rebound to the expanded cell", i)
+		}
+	}
+}
+
+// A partial resume — half the cells cached, half run — must produce
+// CSV byte-identical to a cold run: the resumed results and the fresh
+// results land in the same rows with the same bytes.
+func TestRunPartialCacheMatchesColdRunCSV(t *testing.T) {
+	g := smallGrid()
+	cold, err := Run(Config{Grid: g, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := export.WriteSweepCSV(&want, cold.Rows()); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Run(Config{Grid: g, Workers: 4, Cached: func(c Cell) (CellResult, bool) {
+		if c.Index%2 == 0 {
+			return cold.Results[c.Index], true
+		}
+		return CellResult{}, false
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := export.WriteSweepCSV(&got, resumed.Rows()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("partial-cache resume diverged from the cold run's CSV")
+	}
+}
+
+// A Cancel channel closed before the sweep starts cancels every cell:
+// nothing runs, nothing reaches Progress, and every result carries
+// ErrCanceled.
+func TestRunCancelBeforeStart(t *testing.T) {
+	g := smallGrid()
+	cancel := make(chan struct{})
+	close(cancel)
+	reported := 0
+	out, err := Run(Config{Grid: g, Workers: 2, Cancel: cancel,
+		Progress: func(CellResult) { reported++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reported != 0 {
+		t.Fatalf("%d cells reached Progress after cancellation", reported)
+	}
+	for i, r := range out.Results {
+		if !errors.Is(r.Err, ErrCanceled) {
+			t.Fatalf("cell %d: err = %v, want ErrCanceled", i, r.Err)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+// SpecHash returns the content address of a spec: the lowercase-hex
+// SHA-256 of MarshalSpec's byte-stable canonical form. Because the
+// canonical form is a pure function of the grid — keys in registry
+// order, fixed indentation, defaults omitted — two specs hash equal
+// exactly when they replay the same experiment, regardless of how the
+// submitted JSON was formatted. The service layer keys its
+// content-addressed result cache on this hash, and the committed
+// documents under specs/ pin their hashes in a golden test so a
+// refactor that silently perturbs the canonical form cannot slip
+// through. It errors when the grid has no canonical form (custom
+// traces, bespoke topologies), exactly as MarshalSpec does.
+func SpecHash(sp Spec) (string, error) {
+	b, err := MarshalSpec(sp)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b)), nil
+}

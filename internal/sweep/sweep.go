@@ -7,7 +7,11 @@
 // core.Scenario: a single cluster, or a whole campus fabric of
 // members behind a job router. Run executes the cells on a bounded
 // worker pool and aggregates their metrics summaries into ranked
-// comparison tables and flat export rows.
+// comparison tables and flat export rows. Long-running callers (the
+// internal/service daemon) observe and steer an execution through the
+// Config hooks: Progress fires once per finished cell, Cached lets a
+// resume supply checkpointed results without re-running their cells,
+// and closing Cancel stops the sweep between cells.
 //
 // Every axis is one registration in the self-describing axis registry
 // (registry.go): grid-spec parsing, the qsim sweep flag set, CSV/JSON
@@ -31,6 +35,7 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -818,6 +823,11 @@ func (g Grid) Expand() []Cell {
 	return cells
 }
 
+// ErrCanceled marks the cells a canceled sweep never ran: when
+// Config.Cancel is closed mid-sweep, every cell not yet started lands
+// in the outcome with this error instead of a result.
+var ErrCanceled = errors.New("sweep: canceled")
+
 // Config configures one sweep execution.
 type Config struct {
 	Grid Grid
@@ -825,6 +835,30 @@ type Config struct {
 	// owns the engine of whichever cell it is running; workers share
 	// nothing but the work queue and the result slots.
 	Workers int
+
+	// Progress, when non-nil, is called once per finished cell — run
+	// or supplied by Cached, never canceled — as results land. Calls
+	// are serialised (never concurrent) but arrive in completion
+	// order, which depends on worker scheduling; the determinism
+	// contract covers the returned Outcome, not the progress stream.
+	// The service layer hangs its per-cell checkpoints and live event
+	// stream off this hook.
+	Progress func(CellResult)
+	// Cached, when non-nil, is consulted before running each cell: a
+	// true return supplies the cell's result without running it (the
+	// service's crash-recovery resume replays checkpointed cells this
+	// way). Run overwrites the supplied result's Cell field with the
+	// expanded cell, and reports it through Progress like any other
+	// completion. Unlike Progress, calls may be concurrent — each
+	// worker consults the hook itself — so implementations must be
+	// safe for concurrent use.
+	Cached func(Cell) (CellResult, bool)
+	// Cancel, when non-nil, stops the sweep between cells once
+	// closed: cells not yet started finish as Err == ErrCanceled,
+	// while cells already running complete normally (and still reach
+	// Progress, so their checkpoints land before the caller shuts
+	// down).
+	Cancel <-chan struct{}
 }
 
 // CellResult pairs a cell with its outcome. Err is non-nil when the
@@ -857,6 +891,18 @@ func Run(cfg Config) (*Outcome, error) {
 	}
 
 	results := make([]CellResult, len(cells))
+	// Progress calls are serialised under one mutex so the hook never
+	// races with itself — completion order still depends on worker
+	// scheduling.
+	var progressMu sync.Mutex
+	report := func(r CellResult) {
+		if cfg.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		cfg.Progress(r)
+		progressMu.Unlock()
+	}
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -864,16 +910,34 @@ func Run(cfg Config) (*Outcome, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				if cfg.Cancel != nil {
+					select {
+					case <-cfg.Cancel:
+						results[i] = CellResult{Cell: cells[i], Err: ErrCanceled}
+						continue
+					default:
+					}
+				}
+				if cfg.Cached != nil {
+					if r, ok := cfg.Cached(cells[i]); ok {
+						r.Cell = cells[i]
+						results[i] = r
+						report(results[i])
+						continue
+					}
+				}
 				// Scenario() builds a private engine, cluster and
 				// policy instance per cell; the only shared write is
 				// this cell's own result slot.
 				sc, err := cells[i].Scenario()
 				if err != nil {
 					results[i] = CellResult{Cell: cells[i], Err: err}
+					report(results[i])
 					continue
 				}
 				res, err := core.Run(sc)
 				results[i] = CellResult{Cell: cells[i], Res: res, Err: err}
+				report(results[i])
 			}
 		}()
 	}
