@@ -22,9 +22,10 @@ func runServe(args []string) {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 	stateDir := fs.String("state-dir", "qsim-state", "crash-safe state directory (created if missing)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "sweep worker pool size per job (output is identical for any value)")
+	root := fs.String("root", "", "directory served specs' relative swf trace paths resolve against; submitted specs can only read files under it (default: working directory)")
 	fs.Parse(args)
 
-	srv, err := service.New(service.Config{Addr: *addr, StateDir: *stateDir, Workers: *workers})
+	srv, err := service.New(service.Config{Addr: *addr, StateDir: *stateDir, Workers: *workers, Root: *root})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qsim:", err)
 		os.Exit(1)

@@ -62,7 +62,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := CheckSpecPaths(sp); err != nil {
+	if err := CheckSpecPaths(sp, s.cfg.Root); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -161,14 +161,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	replay, ch, cancel := s.mgr.bc.subscribe(id)
 	defer cancel()
+	// Re-read the job after subscribing: a terminal event emitted
+	// between the lookup above and the subscription has already pruned
+	// the history and will never reach the channel.
+	if j, ok := s.mgr.job(id); ok {
+		job = j
+	}
 	if len(replay) == 0 && (job.State == StateDone || job.State == StateFailed) {
-		// Finished before this process started: history is gone, the
-		// outcome is not.
-		e := Event{Type: "done", Job: id, Done: job.Cells, Total: job.Cells, Cached: job.Cached}
-		if job.State == StateFailed {
-			e = Event{Type: "failed", Job: id, Done: job.CellsDone, Total: job.Cells, Err: job.Error}
-		}
-		replay = []Event{e}
+		// Finished before this process started, or history already
+		// pruned: the replay is gone, the outcome is not.
+		replay = []Event{terminalEvent(id, job)}
 	}
 
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -190,7 +192,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-s.mgr.stopping():
 			return
-		case e := <-ch:
+		case e, ok := <-ch:
+			if !ok {
+				// The job's terminal event outran this subscriber's
+				// buffer; the broadcaster closed the channel so the
+				// stream still ends. The job record holds the outcome.
+				if j, ok := s.mgr.job(id); ok {
+					writeSSE(w, terminalEvent(id, j))
+					fl.Flush()
+				}
+				return
+			}
 			writeSSE(w, e)
 			fl.Flush()
 			if e.terminal() {
@@ -201,6 +213,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			fl.Flush()
 		}
 	}
+}
+
+// terminalEvent rebuilds a finished job's terminal event from its
+// record — used when the broadcaster's history is gone (the job
+// finished in an earlier process, or on completion, which prunes it)
+// or when the live terminal event outran a slow subscriber.
+func terminalEvent(id string, job Job) Event {
+	if job.State == StateFailed {
+		return Event{Type: "failed", Job: id, Done: job.CellsDone, Total: job.Cells, Err: job.Error}
+	}
+	return Event{Type: "done", Job: id, Done: job.Cells, Total: job.Cells, Cached: job.Cached}
 }
 
 func writeSSE(w io.Writer, e Event) {

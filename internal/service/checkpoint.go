@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -138,15 +140,27 @@ func (s *store) loadCheckpoint(hash string, c sweep.Cell) (sweep.CellResult, boo
 }
 
 // countCheckpoints reports how many cells of a job already sit on
-// disk (recovery's progress estimate).
+// disk (recovery's progress estimate). Only completed "cell-*.json"
+// entries count: a crash mid-writeFileSync can leave a ".tmp-*" file
+// the rename never consumed, which is deleted on sight rather than
+// inflating the count.
 func (s *store) countCheckpoints(hash string) int {
-	entries, err := os.ReadDir(s.checkpointDir(hash))
+	dir := s.checkpointDir(hash)
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return 0
 	}
 	n := 0
 	for _, e := range entries {
-		if !e.IsDir() {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, ".tmp-") {
+			os.Remove(filepath.Join(dir, name)) //nolint:errcheck // best-effort cleanup
+			continue
+		}
+		if strings.HasPrefix(name, "cell-") && strings.HasSuffix(name, ".json") {
 			n++
 		}
 	}

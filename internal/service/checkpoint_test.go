@@ -1,0 +1,37 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCountCheckpointsIgnoresTempFiles: a crash between CreateTemp and
+// rename leaves a ".tmp-*" file in the checkpoint directory. Recovery
+// must not count it as a finished cell — and should sweep it away.
+func TestCountCheckpointsIgnoresTempFiles(t *testing.T) {
+	st, err := openStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hash = "deadbeef"
+	if err := os.MkdirAll(st.checkpointDir(hash), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := writeFileSync(st.cellPath(hash, i), []byte("{}\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := filepath.Join(st.checkpointDir(hash), ".tmp-1234")
+	if err := os.WriteFile(stale, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := st.countCheckpoints(hash); n != 2 {
+		t.Errorf("countCheckpoints = %d, want 2 (tmp leftovers must not count)", n)
+	}
+	if fileExists(stale) {
+		t.Error("stale .tmp file survived the recovery count")
+	}
+}

@@ -20,12 +20,18 @@ type Event struct {
 
 func (e Event) terminal() bool { return e.Type == "done" || e.Type == "failed" }
 
-// broadcaster fans job events out to SSE subscribers. Every event is
-// also appended to the job's in-memory history, which new subscribers
-// replay first — subscribing late loses nothing the process has seen.
-// History does not survive a restart; a resumed job re-emits its
-// checkpointed cells as it replays them, so even post-crash
-// subscribers watch the full progress sequence.
+// broadcaster fans job events out to SSE subscribers. Every
+// non-terminal event is also appended to the job's in-memory history,
+// which new subscribers replay first — subscribing while a job is
+// live loses nothing the process has seen. A terminal event ends the
+// job's history: it is delivered (or, for a full subscriber, signaled
+// by closing the channel) and the history is dropped, so a
+// long-running daemon does not accumulate per-cell history for every
+// job it ever ran. Subscribers arriving after that — like subscribers
+// after a restart — get a terminal event synthesized from the job
+// record instead. A resumed job re-emits its checkpointed cells as it
+// replays them, so post-crash subscribers watch the full progress
+// sequence.
 type broadcaster struct {
 	mu      sync.Mutex
 	history map[string][]Event
@@ -42,11 +48,26 @@ func newBroadcaster() *broadcaster {
 
 // emit records and fans out one event. Subscriber channels are
 // buffered; a subscriber that falls a full buffer behind misses
-// events rather than stalling the job executor (the history replay on
-// reconnect recovers them).
+// intermediate events rather than stalling the job executor. A
+// terminal event is never silently lost: it closes every subscriber
+// channel, so even a subscriber whose buffer was full finds the end
+// of the stream once it drains — the handler then recovers the
+// outcome from the job record, which was persisted before the emit.
 func (b *broadcaster) emit(e Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if e.terminal() {
+		for _, ch := range b.subs[e.Job] {
+			select {
+			case ch <- e:
+			default:
+			}
+			close(ch)
+		}
+		delete(b.subs, e.Job)
+		delete(b.history, e.Job)
+		return
+	}
 	b.history[e.Job] = append(b.history[e.Job], e)
 	for _, ch := range b.subs[e.Job] {
 		select {

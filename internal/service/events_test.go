@@ -1,0 +1,85 @@
+package service
+
+import "testing"
+
+// TestBroadcasterMidRunReplayAndLive pins the subscribe contract: the
+// replay holds everything emitted so far, later events arrive on the
+// channel, and the terminal event both arrives and closes the channel.
+func TestBroadcasterMidRunReplayAndLive(t *testing.T) {
+	b := newBroadcaster()
+	b.emit(Event{Type: "queued", Job: "j1", Total: 2})
+	b.emit(Event{Type: "running", Job: "j1", Total: 2})
+	b.emit(Event{Type: "cell", Job: "j1", Done: 1, Total: 2})
+
+	replay, ch, cancel := b.subscribe("j1")
+	defer cancel()
+	if len(replay) != 3 || replay[0].Type != "queued" || replay[2].Type != "cell" {
+		t.Fatalf("replay = %+v, want queued/running/cell", replay)
+	}
+
+	b.emit(Event{Type: "cell", Job: "j1", Done: 2, Total: 2})
+	b.emit(Event{Type: "done", Job: "j1", Done: 2, Total: 2})
+	if e := <-ch; e.Type != "cell" {
+		t.Fatalf("live event = %+v, want cell", e)
+	}
+	if e, ok := <-ch; !ok || e.Type != "done" {
+		t.Fatalf("live event = %+v (ok=%v), want done", e, ok)
+	}
+	if _, ok := <-ch; ok {
+		t.Error("channel still open after terminal event")
+	}
+}
+
+// TestBroadcasterTerminalClosesSlowSubscriber fills a subscriber's
+// buffer past capacity before the terminal event fires: the terminal
+// event cannot be enqueued, but it must still end the stream — the
+// channel is closed, so the subscriber finds the end once it drains
+// instead of hanging on keepalives forever.
+func TestBroadcasterTerminalClosesSlowSubscriber(t *testing.T) {
+	b := newBroadcaster()
+	_, ch, cancel := b.subscribe("j1")
+	defer cancel()
+	for i := 0; i < cap(ch)+10; i++ {
+		b.emit(Event{Type: "cell", Job: "j1", Done: i + 1})
+	}
+	b.emit(Event{Type: "done", Job: "j1"})
+
+	drained, sawTerminal := 0, false
+	for e := range ch {
+		drained++
+		if e.terminal() {
+			sawTerminal = true
+		}
+	}
+	if drained != cap(ch) {
+		t.Errorf("drained %d buffered events, want %d", drained, cap(ch))
+	}
+	if sawTerminal {
+		t.Error("terminal event fit in a full buffer — test setup is wrong")
+	}
+	// The channel is closed — the stream ends; handleEvents recovers
+	// the outcome from the job record in this case.
+}
+
+// TestBroadcasterPrunesHistoryOnTerminal: after the terminal event a
+// job's history is gone — late subscribers are served the outcome
+// synthesized from the job record, and a long-running daemon does not
+// hold per-cell history for every job it ever ran.
+func TestBroadcasterPrunesHistoryOnTerminal(t *testing.T) {
+	b := newBroadcaster()
+	b.emit(Event{Type: "queued", Job: "j1", Total: 1})
+	b.emit(Event{Type: "cell", Job: "j1", Done: 1, Total: 1})
+	b.emit(Event{Type: "done", Job: "j1", Done: 1, Total: 1})
+
+	replay, _, cancel := b.subscribe("j1")
+	defer cancel()
+	if len(replay) != 0 {
+		t.Errorf("post-terminal replay = %+v, want empty", replay)
+	}
+	b.mu.Lock()
+	_, held := b.history["j1"]
+	b.mu.Unlock()
+	if held {
+		t.Error("history entry survives the terminal event")
+	}
+}

@@ -10,24 +10,76 @@ import (
 
 // CheckSpecPaths vets every filesystem path a served spec references.
 // The CLI trusts its operator; the service does not — a submitted
-// document naming an SWF log must stay inside the server's working
-// tree. Absolute paths and any ".." segment are rejected, closing the
-// classic traversal routes (/etc/passwd, ../../secrets) while leaving
-// the committed relative layouts (specs/pwa_sample_1k.swf) usable.
-func CheckSpecPaths(sp sweep.Spec) error {
-	for _, t := range sp.Grid.Traces {
+// document naming an SWF log must stay inside the server's spec root.
+// See confineSpecPaths for what is enforced.
+func CheckSpecPaths(sp sweep.Spec, root string) error {
+	_, err := confineSpecPaths(sp, root)
+	return err
+}
+
+// confineSpecPaths pins a served spec's swf trace files to root and
+// returns a copy whose paths are rewritten to the verified absolute
+// locations. Four gates, in order:
+//
+//   - absolute paths are rejected outright;
+//   - any ".." segment is rejected (lexical traversal);
+//   - the file must exist as a regular file under root — crucially,
+//     this runs against root alone, never the cwd-ancestor walk the
+//     CLI's resolveTracePath performs, so a path like "etc/passwd"
+//     cannot ride the walk up to "/" and name a system file;
+//   - after symlink resolution the file must still sit under root, so
+//     a planted symlink cannot smuggle the read outside either.
+//
+// The rewritten path is the lexical join root/path (not the
+// symlink-resolved one), which keeps the basename — and with it the
+// derived trace and cell names in the CSV — identical to a CLI run of
+// the same document. Being absolute, it short-circuits
+// resolveTracePath at execution time: the ancestor walk never runs
+// for a served spec.
+func confineSpecPaths(sp sweep.Spec, root string) (sweep.Spec, error) {
+	traces := sp.Grid.Traces
+	copied := false
+	rootReal := ""
+	for i, t := range traces {
 		if t.Kind != sweep.TraceSWF || t.SWFFile == "" {
 			continue
 		}
 		p := t.SWFFile
 		if filepath.IsAbs(p) {
-			return fmt.Errorf("service: swf trace file %q: absolute paths are not served", p)
+			return sp, fmt.Errorf("service: swf trace file %q: absolute paths are not served", p)
 		}
 		for _, seg := range strings.Split(filepath.ToSlash(p), "/") {
 			if seg == ".." {
-				return fmt.Errorf("service: swf trace file %q: path may not traverse outside the working tree", p)
+				return sp, fmt.Errorf("service: swf trace file %q: path may not traverse outside the server root", p)
 			}
 		}
+		if rootReal == "" {
+			abs, err := filepath.Abs(root)
+			if err == nil {
+				rootReal, err = filepath.EvalSymlinks(abs)
+			}
+			if err != nil {
+				return sp, fmt.Errorf("service: resolving server root %q: %v", root, err)
+			}
+		}
+		pinned := filepath.Join(rootReal, filepath.FromSlash(p))
+		if !fileExists(pinned) {
+			return sp, fmt.Errorf("service: swf trace file %q: no such file under the server root", p)
+		}
+		resolved, err := filepath.EvalSymlinks(pinned)
+		if err != nil {
+			return sp, fmt.Errorf("service: swf trace file %q: %v", p, err)
+		}
+		if rel, err := filepath.Rel(rootReal, resolved); err != nil ||
+			rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			return sp, fmt.Errorf("service: swf trace file %q: resolves outside the server root", p)
+		}
+		if !copied {
+			traces = append([]sweep.TraceSpec(nil), traces...)
+			copied = true
+		}
+		traces[i].SWFFile = pinned
 	}
-	return nil
+	sp.Grid.Traces = traces
+	return sp, nil
 }

@@ -1,6 +1,9 @@
 package service
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/sweep"
@@ -12,8 +15,20 @@ func swfSpec(path string) sweep.Spec {
 	}}
 }
 
+// plantFile creates an empty file (and its parents) under root.
+func plantFile(t *testing.T, root string, rel string) {
+	t.Helper()
+	path := filepath.Join(root, filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("; test swf\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCheckSpecPathsRejectsAbsolute(t *testing.T) {
-	err := CheckSpecPaths(swfSpec("/etc/passwd"))
+	err := CheckSpecPaths(swfSpec("/etc/passwd"), t.TempDir())
 	if err == nil {
 		t.Fatal("absolute swf path accepted")
 	}
@@ -21,27 +36,103 @@ func TestCheckSpecPathsRejectsAbsolute(t *testing.T) {
 }
 
 func TestCheckSpecPathsRejectsTraversal(t *testing.T) {
+	root := t.TempDir()
 	for _, p := range []string{
 		"../secrets.swf",
 		"specs/../../outside.swf",
 		"specs/sub/../../../outside.swf",
 		"..",
 	} {
-		if err := CheckSpecPaths(swfSpec(p)); err == nil {
+		if err := CheckSpecPaths(swfSpec(p), root); err == nil {
 			t.Errorf("traversal path %q accepted", p)
 		}
 	}
 }
 
+// TestCheckSpecPathsRejectsAncestorEscape pins the guard against the
+// CLI's cwd-ancestor resolution: "etc/passwd" is relative and has no
+// ".." segment, but resolveTracePath would walk the daemon's cwd up
+// to "/" and find the real /etc/passwd. The guard must refuse it
+// because no such file exists under the server root.
+func TestCheckSpecPathsRejectsAncestorEscape(t *testing.T) {
+	root := t.TempDir()
+	for _, p := range []string{
+		"etc/passwd",       // resolves at / via the ancestor walk
+		"root/.ssh/id_rsa", // ditto
+	} {
+		if err := CheckSpecPaths(swfSpec(p), root); err == nil {
+			t.Errorf("ancestor-escape path %q accepted", p)
+		}
+	}
+}
+
+// TestCheckSpecPathsRejectsSymlinkEscape plants a symlink inside the
+// root that points outside it: the lexical path is clean, but the
+// resolved file is not under the root, so the guard must refuse it.
+func TestCheckSpecPathsRejectsSymlinkEscape(t *testing.T) {
+	root := t.TempDir()
+	outside := filepath.Join(t.TempDir(), "outside.swf")
+	if err := os.WriteFile(outside, []byte("; outside\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	link := filepath.Join(root, "inside.swf")
+	if err := os.Symlink(outside, link); err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+	if err := CheckSpecPaths(swfSpec("inside.swf"), root); err == nil {
+		t.Error("symlink escaping the server root accepted")
+	}
+}
+
+func TestCheckSpecPathsRejectsMissingFile(t *testing.T) {
+	if err := CheckSpecPaths(swfSpec("specs/does_not_exist.swf"), t.TempDir()); err == nil {
+		t.Error("nonexistent swf path accepted")
+	}
+}
+
 func TestCheckSpecPathsAcceptsWorkingTreePaths(t *testing.T) {
+	root := t.TempDir()
 	for _, p := range []string{
 		"specs/pwa_sample_1k.swf",
 		"traces/anl_intrepid.swf",
 		"a..b/weird..name.swf", // ".." inside a segment is not traversal
 	} {
-		if err := CheckSpecPaths(swfSpec(p)); err != nil {
+		plantFile(t, root, p)
+		if err := CheckSpecPaths(swfSpec(p), root); err != nil {
 			t.Errorf("relative path %q rejected: %v", p, err)
 		}
+	}
+}
+
+// TestConfineSpecPathsPinsUnderRoot checks the execution-side rewrite:
+// the confined spec carries the absolute root-joined path (so
+// resolveTracePath's ancestor walk never runs), while the submitted
+// spec is left untouched (its canonical bytes are what gets hashed
+// and stored).
+func TestConfineSpecPathsPinsUnderRoot(t *testing.T) {
+	root := t.TempDir()
+	plantFile(t, root, "specs/pwa_sample_1k.swf")
+	orig := swfSpec("specs/pwa_sample_1k.swf")
+	confined, err := confineSpecPaths(orig, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := confined.Grid.Traces[0].SWFFile
+	if !filepath.IsAbs(got) {
+		t.Errorf("confined path %q is not absolute", got)
+	}
+	rootReal, err := filepath.EvalSymlinks(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel, err := filepath.Rel(rootReal, got); err != nil || strings.HasPrefix(rel, "..") {
+		t.Errorf("confined path %q does not sit under root %q", got, rootReal)
+	}
+	if filepath.Base(got) != "pwa_sample_1k.swf" {
+		t.Errorf("confined path %q changed the basename (trace names would drift)", got)
+	}
+	if orig.Grid.Traces[0].SWFFile != "specs/pwa_sample_1k.swf" {
+		t.Errorf("confine mutated the submitted spec: %q", orig.Grid.Traces[0].SWFFile)
 	}
 }
 
@@ -49,7 +140,7 @@ func TestCheckSpecPathsIgnoresNonSWFTraces(t *testing.T) {
 	sp := sweep.Spec{Grid: sweep.Grid{
 		Traces: []sweep.TraceSpec{{Kind: sweep.TracePoisson, JobsPerHour: 3, WindowsFrac: 0.3}},
 	}}
-	if err := CheckSpecPaths(sp); err != nil {
+	if err := CheckSpecPaths(sp, t.TempDir()); err != nil {
 		t.Fatalf("non-swf trace rejected: %v", err)
 	}
 }

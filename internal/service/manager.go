@@ -61,6 +61,9 @@ type manager struct {
 	st      *store
 	bc      *broadcaster
 	workers int
+	// root is the spec root: the only directory a served spec's swf
+	// trace paths may resolve into (see confineSpecPaths).
+	root string
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -88,11 +91,12 @@ type manager struct {
 // interrupted work: every job found queued or running is reset to
 // queued (its CellsDone recomputed from the checkpoint directory) and
 // re-enqueued in ID order.
-func newManager(st *store, workers int) (*manager, error) {
+func newManager(st *store, workers int, root string) (*manager, error) {
 	m := &manager{
 		st:       st,
 		bc:       newBroadcaster(),
 		workers:  workers,
+		root:     root,
 		jobs:     map[string]*Job{},
 		byHash:   map[string]string{},
 		stopCh:   make(chan struct{}),
@@ -296,6 +300,15 @@ func (m *manager) execute(id string) {
 	}
 	sp, err := sweep.LoadSpec(f)
 	f.Close()
+	if err != nil {
+		m.fail(job, err)
+		return
+	}
+	// Re-pin the spec's trace paths to the server root. The canonical
+	// bytes store the paths as submitted (relative, guard-checked), so
+	// every execution — first run or post-crash resume — must confine
+	// them again before the sweep opens a file.
+	sp, err = confineSpecPaths(sp, m.root)
 	if err != nil {
 		m.fail(job, err)
 		return

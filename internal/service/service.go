@@ -38,8 +38,11 @@
 //
 // Specs arriving over the wire are untrusted: CheckSpecPaths
 // (guard.go) rejects swf: trace files with absolute paths or ".."
-// segments before a job is created, so a served daemon can only read
-// trace files below its working tree.
+// segments before a job is created, requires the named file to exist
+// under the server's spec root (Config.Root, default the process
+// working directory), and pins the executed path to that root — the
+// CLI's cwd-ancestor path resolution never runs for a served spec, so
+// the daemon can only read trace files below its root.
 //
 // Job records deliberately carry no wall-clock timestamps: the state
 // files, like everything else the system emits, are a pure function
@@ -52,6 +55,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"time"
 )
 
@@ -67,6 +71,10 @@ type Config struct {
 	// sweep package default). The served CSV is byte-identical for
 	// any value.
 	Workers int
+	// Root is the directory a served spec's relative swf trace paths
+	// resolve against; submitted specs can only read files under it.
+	// Empty means the process working directory at New.
+	Root string
 }
 
 // Server is the simulation service: the HTTP front end plus the job
@@ -89,7 +97,13 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	mgr, err := newManager(st, cfg.Workers)
+	if cfg.Root == "" {
+		cfg.Root, err = os.Getwd()
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+	}
+	mgr, err := newManager(st, cfg.Workers, cfg.Root)
 	if err != nil {
 		return nil, err
 	}

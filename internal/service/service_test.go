@@ -207,6 +207,9 @@ func TestSubmitRejectsBadSpecs(t *testing.T) {
 		"unknown axis":   `{"spec_version":1,"grid":{"modes":"hybrid-v1","flux":"3"}}`,
 		"absolute swf":   `{"spec_version":1,"grid":{"traces":"swf:/etc/passwd","winfracs":"0.3"}}`,
 		"traversal swf":  `{"spec_version":1,"grid":{"traces":"swf:../../etc/passwd","winfracs":"0.3"}}`,
+		// Relative, no "..", but resolveTracePath's ancestor walk would
+		// find the real /etc/passwd — the root confinement must not.
+		"ancestor swf": `{"spec_version":1,"grid":{"traces":"swf:etc/passwd","winfracs":"0.3"}}`,
 		"oversized body": `{"spec_version":1,"name":"` + strings.Repeat("x", maxSpecBytes) + `"}`,
 	} {
 		resp := post(body)
@@ -269,9 +272,11 @@ func TestStatusAndResultErrors(t *testing.T) {
 	}
 }
 
-// TestEventsStreamReplaysHistory subscribes after the job finished and
-// still sees the full queued → running → cell… → done sequence.
-func TestEventsStreamReplaysHistory(t *testing.T) {
+// TestEventsStreamAfterCompletion subscribes after the job finished:
+// per-cell history is pruned when the terminal event fires, so a late
+// subscriber gets exactly one synthesized terminal event — and, most
+// importantly, a stream that actually ends.
+func TestEventsStreamAfterCompletion(t *testing.T) {
 	srv := startServer(t, t.TempDir(), 2)
 	c := &Client{Base: srv.Addr()}
 	job, err := c.Submit(strings.NewReader(testSpec))
@@ -290,6 +295,54 @@ func TestEventsStreamReplaysHistory(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
 		t.Fatalf("events content type = %q", ct)
 	}
+	body, err := io.ReadAll(resp.Body) // terminal event closes the stream
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != 1 || events[0].Type != "done" {
+		t.Fatalf("late subscription events = %+v, want exactly one done", events)
+	}
+	if events[0].Done != 2 || events[0].Total != 2 {
+		t.Errorf("synthesized done = %d/%d, want 2/2", events[0].Done, events[0].Total)
+	}
+}
+
+// TestEventsStreamLive subscribes while the job is still queued (the
+// executor starts only after the subscription is confirmed) and sees
+// the full queued → running → cell… → done sequence as it happens.
+func TestEventsStreamLive(t *testing.T) {
+	srv, err := New(Config{StateDir: t.TempDir(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &Client{Base: ts.URL}
+	job, err := c.Submit(strings.NewReader(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Once Get returns, response headers are out — the handler has
+	// subscribed. Only then may the executor start.
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	srv.mgr.start()
+	t.Cleanup(func() { srv.mgr.stop(); srv.mgr.wait() })
 	body, err := io.ReadAll(resp.Body) // terminal event closes the stream
 	if err != nil {
 		t.Fatal(err)
@@ -313,6 +366,6 @@ func TestEventsStreamReplaysHistory(t *testing.T) {
 		t.Errorf("event sequence = %v, want queued … done", types)
 	}
 	if cells != 2 {
-		t.Errorf("replayed %d cell events, want 2", cells)
+		t.Errorf("saw %d cell events, want 2", cells)
 	}
 }
